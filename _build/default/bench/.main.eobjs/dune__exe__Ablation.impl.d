@@ -1,0 +1,1 @@
+bench/ablation.ml: Chow_compiler Chow_machine Chow_sim Format List Printf String

@@ -1,0 +1,1 @@
+bench/figures.ml: Array Chow_compiler Chow_core Chow_ir Chow_machine Chow_sim Chow_support Format List Printf String

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Figures List Profile_fb Promo_bench Split_bench Sys Tables Timing

@@ -1,0 +1,1 @@
+bench/profile_fb.ml: Chow_compiler Chow_machine Chow_sim Format String

@@ -1,0 +1,1 @@
+bench/promo_bench.ml: Chow_compiler Chow_sim Chow_workloads Format List String

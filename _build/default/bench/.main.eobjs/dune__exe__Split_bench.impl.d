@@ -1,0 +1,1 @@
+bench/split_bench.ml: Chow_compiler Chow_core Chow_machine Chow_sim Format List Printf String

@@ -1,0 +1,1 @@
+bench/tables.ml: Chow_compiler Chow_sim Chow_workloads Float Format List String

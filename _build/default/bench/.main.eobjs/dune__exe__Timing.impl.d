@@ -1,0 +1,1 @@
+bench/timing.ml: Analyze Bechamel Benchmark Chow_compiler Chow_workloads Figures Format Hashtbl Instance List Measure Staged String Test Time Toolkit

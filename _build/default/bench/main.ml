@@ -1,0 +1,39 @@
+(** Benchmark driver.  With no arguments it regenerates every table and
+    figure of the paper plus the Bechamel compiler-throughput timings;
+    individual experiments run with [table1], [table2], [fig1].. [fig4],
+    [timing]. *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [all|table1|table2|fig1..fig4|figures|ablation|profile|promo|split|timing]";
+  exit 1
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args = if args = [] then [ "all" ] else args in
+  List.iter
+    (fun arg ->
+      match arg with
+      | "all" ->
+          ignore (Tables.run ());
+          Figures.run ();
+          Ablation.run ();
+          Profile_fb.run ();
+          Promo_bench.run ();
+          Split_bench.run ();
+          Timing.run ()
+      | "table1" -> Tables.run_table1 ()
+      | "table2" -> Tables.run_table2 ()
+      | "tables" -> ignore (Tables.run ())
+      | "fig1" -> Figures.fig1 ()
+      | "fig2" -> Figures.fig2 ()
+      | "fig3" -> Figures.fig3 ()
+      | "fig4" -> Figures.fig4 ()
+      | "figures" -> Figures.run ()
+      | "ablation" -> Ablation.run ()
+      | "profile" -> Profile_fb.run ()
+      | "promo" -> Promo_bench.run ()
+      | "split" -> Split_bench.run ()
+      | "timing" -> Timing.run ()
+      | _ -> usage ())
+    args

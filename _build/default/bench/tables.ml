@@ -1,0 +1,159 @@
+(** Reproduction of the paper's Table 1 and Table 2 (§8).
+
+    Every workload is compiled under the six configurations and executed in
+    the simulator; the tables print the percentage reduction in executed
+    cycles and in scalar loads/stores relative to the baseline ([-O2],
+    shrink-wrap off), with the paper's number in parentheses next to each
+    measured one. *)
+
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Sim = Chow_sim.Sim
+module W = Chow_workloads.Workloads
+
+type row = {
+  name : string;
+  cycles_per_call : int;
+  base : Sim.outcome;
+  outcomes : (string * Sim.outcome) list;  (** keyed by config name *)
+  paper : W.paper_row;
+}
+
+let reduction ~base ~v =
+  if base = 0 then 0. else 100. *. float_of_int (base - v) /. float_of_int base
+
+let cycle_reduction row cfg_name =
+  let o = List.assoc cfg_name row.outcomes in
+  reduction ~base:row.base.Sim.cycles ~v:o.Sim.cycles
+
+let ldst_reduction row cfg_name =
+  let o = List.assoc cfg_name row.outcomes in
+  let scalar o = o.Sim.scalar_loads + o.Sim.scalar_stores in
+  reduction ~base:(scalar row.base) ~v:(scalar o)
+
+let measure_workload ?(configs = Config.all) (w : W.t) =
+  let compiled = List.map (fun c -> (c, Pipeline.compile c w.W.source)) configs in
+  let outcomes =
+    List.map (fun ((c : Config.t), comp) -> (c.Config.name, Pipeline.run comp)) compiled
+  in
+  let base = List.assoc Config.baseline.Config.name outcomes in
+  {
+    name = w.W.name;
+    cycles_per_call = base.Sim.cycles / max 1 base.Sim.calls;
+    base;
+    outcomes;
+    paper = w.W.paper;
+  }
+
+let pct ppf x =
+  if Float.abs x < 0.05 then Format.fprintf ppf "%6s" "0%"
+  else Format.fprintf ppf "%5.1f%%" x
+
+let cell ppf (measured, paper) =
+  Format.fprintf ppf "%a(%a)" pct measured pct paper
+
+let print_table1 rows =
+  Format.printf
+    "@.Table 1. Effects of applying the techniques (measured, paper in \
+     parens)@.";
+  Format.printf
+    "Key: A = -O2 + shrink-wrap, B = -O3, C = -O3 + shrink-wrap; baseline \
+     -O2@.@.";
+  Format.printf
+    "%-10s %8s | %45s | %45s@." "" ""
+    "I. % reduction in cycles"
+    "II. % reduction in scalar loads/stores";
+  Format.printf "%-10s %8s | %14s %14s %14s | %14s %14s %14s@." "program"
+    "cyc/call" "A" "B" "C" "A" "B" "C";
+  Format.printf "%s@." (String.make 112 '-');
+  List.iter
+    (fun r ->
+      let a = Config.o2_sw.Config.name in
+      let b = Config.o3.Config.name in
+      let c = Config.o3_sw.Config.name in
+      Format.printf "%-10s %4d(%3d) | %a %a %a | %a %a %a@." r.name
+        r.cycles_per_call r.paper.W.p_cycles_per_call cell
+        (cycle_reduction r a, r.paper.W.p_cyc_a)
+        cell
+        (cycle_reduction r b, r.paper.W.p_cyc_b)
+        cell
+        (cycle_reduction r c, r.paper.W.p_cyc_c)
+        cell
+        (ldst_reduction r a, r.paper.W.p_ldst_a)
+        cell
+        (ldst_reduction r b, r.paper.W.p_ldst_b)
+        cell
+        (ldst_reduction r c, r.paper.W.p_ldst_c))
+    rows
+
+let print_table2 rows =
+  Format.printf
+    "@.Table 2. Effects of the two register classes (measured, paper in \
+     parens)@.";
+  Format.printf
+    "Key: D = -O3+sw with 7 caller-saved regs only, E = 7 callee-saved regs \
+     only@.@.";
+  Format.printf "%-10s | %30s | %30s@." ""
+    "I. % reduction in cycles"
+    "II. % reduction in scalar ld/st";
+  Format.printf "%-10s | %14s %14s | %14s %14s@." "program" "D" "E" "D" "E";
+  Format.printf "%s@." (String.make 78 '-');
+  List.iter
+    (fun r ->
+      let d = Config.seven_caller.Config.name in
+      let e = Config.seven_callee.Config.name in
+      Format.printf "%-10s | %a %a | %a %a@." r.name cell
+        (cycle_reduction r d, r.paper.W.p_cyc_d)
+        cell
+        (cycle_reduction r e, r.paper.W.p_cyc_e)
+        cell
+        (ldst_reduction r d, r.paper.W.p_ldst_d)
+        cell
+        (ldst_reduction r e, r.paper.W.p_ldst_e))
+    rows
+
+(** Agreement summary: how often the measured sign matches the paper's, the
+    honest "shape" comparison the reproduction targets. *)
+let print_agreement rows =
+  let agree = ref 0 and total = ref 0 in
+  let sign x = if x > 0.5 then 1 else if x < -0.5 then -1 else 0 in
+  let check measured paper =
+    incr total;
+    if sign measured = sign paper then incr agree
+  in
+  List.iter
+    (fun r ->
+      check (ldst_reduction r Config.o2_sw.Config.name) r.paper.W.p_ldst_a;
+      check (ldst_reduction r Config.o3.Config.name) r.paper.W.p_ldst_b;
+      check (ldst_reduction r Config.o3_sw.Config.name) r.paper.W.p_ldst_c)
+    rows;
+  Format.printf
+    "@.Sign agreement with the paper on scalar load/store reductions: \
+     %d/%d@."
+    !agree !total
+
+let run () =
+  let rows = List.map measure_workload W.all in
+  print_table1 rows;
+  print_table2 rows;
+  print_agreement rows;
+  rows
+
+let run_table1 () =
+  let rows =
+    List.map
+      (measure_workload
+         ~configs:[ Config.baseline; Config.o2_sw; Config.o3; Config.o3_sw ])
+      W.all
+  in
+  print_table1 rows
+
+let run_table2 () =
+  let rows =
+    List.map
+      (measure_workload
+         ~configs:
+           [ Config.baseline; Config.seven_caller; Config.seven_callee ])
+      W.all
+  in
+  print_table2 rows

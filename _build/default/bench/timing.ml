@@ -1,0 +1,65 @@
+(** Compiler-throughput benchmarks via Bechamel: one measurement per
+    table/figure experiment, timing the compilation work (allocation +
+    shrink-wrap + emission) that regenerates it.  The paper reports that
+    the priority-coloring extension "does not add noticeably to the running
+    time of the coloring algorithm" — the intra-vs-inter pair below checks
+    the same claim for this implementation. *)
+
+open Bechamel
+open Toolkit
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module W = Chow_workloads.Workloads
+
+let source_of name =
+  match W.find name with
+  | Some w -> w.W.source
+  | None -> invalid_arg ("unknown workload " ^ name)
+
+let compile_test ~name config src =
+  Test.make ~name (Staged.stage (fun () -> ignore (Pipeline.compile config src)))
+
+let tests () =
+  let nim = source_of "nim" in
+  let uopt = source_of "uopt" in
+  Test.make_grouped ~name:"chow88"
+    [
+      (* Table 1: the four configurations' compile pipelines *)
+      compile_test ~name:"table1/nim-O2" Config.baseline nim;
+      compile_test ~name:"table1/nim-O2+sw" Config.o2_sw nim;
+      compile_test ~name:"table1/nim-O3" Config.o3 nim;
+      compile_test ~name:"table1/nim-O3+sw" Config.o3_sw nim;
+      (* Table 2: restricted register files *)
+      compile_test ~name:"table2/nim-7caller" Config.seven_caller nim;
+      compile_test ~name:"table2/nim-7callee" Config.seven_callee nim;
+      (* the largest program, checking the one-pass property scales *)
+      compile_test ~name:"table1/uopt-O3+sw" Config.o3_sw uopt;
+      (* figures *)
+      compile_test ~name:"fig1/compile" Config.o3_sw Figures.fig1_src;
+      compile_test ~name:"fig3/compile" Config.o2_sw (Figures.fig3_src 1 1);
+      compile_test ~name:"fig4/compile" Config.o3_sw
+        (Figures.fig4_src ~cold_r:true ~q_calls:40 ~r_calls:2);
+    ]
+
+let run () =
+  Format.printf "@.Compiler throughput (Bechamel, monotonic clock)@.";
+  Format.printf "%s@." (String.make 60 '=');
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (tests ()) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name o acc ->
+        match Analyze.OLS.estimates o with
+        | Some (est :: _) -> (name, est) :: acc
+        | Some [] | None -> (name, nan) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, ns) ->
+      Format.printf "%-32s %12.1f us/compile@." name (ns /. 1000.))
+    rows

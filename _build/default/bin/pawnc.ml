@@ -1,0 +1,275 @@
+(** pawnc — command-line driver for the Pawn compiler.
+
+    Subcommands:
+    - [run FILE]: compile and simulate, printing the program's output and
+      the pixie-style counters;
+    - [compile FILE]: show the compilation artifacts ([--dump-ir],
+      [--dump-asm], [--dump-alloc]);
+    - [stats FILE]: compare all six paper configurations on one program;
+    - [callgraph FILE]: processing order, open/closed classification and
+      published register-usage masks. *)
+
+open Cmdliner
+module Ir = Chow_ir.Ir
+module Machine = Chow_machine.Machine
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Ipra = Chow_core.Ipra
+module Usage = Chow_core.Usage
+module Callgraph = Chow_core.Callgraph
+module Alloc = Chow_core.Alloc_types
+module Sim = Chow_sim.Sim
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ----- shared options ----- *)
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some non_dir_file) None
+    & info [] ~docv:"FILE" ~doc:"Pawn source file.")
+
+let o3_flag =
+  Arg.(
+    value & flag
+    & info [ "O3"; "ipra" ]
+        ~doc:"Enable inter-procedural register allocation (default: -O2).")
+
+let no_sw_flag =
+  Arg.(
+    value & flag
+    & info [ "no-shrinkwrap" ]
+        ~doc:"Disable shrink-wrapping of callee-saved saves/restores.")
+
+let machine_arg =
+  let machine_conv =
+    Arg.enum
+      [
+        ("full", Machine.full);
+        ("7caller", Machine.seven_caller_saved);
+        ("7callee", Machine.seven_callee_saved);
+      ]
+  in
+  Arg.(
+    value & opt machine_conv Machine.full
+    & info [ "machine" ] ~docv:"MACHINE"
+        ~doc:
+          "Register file: $(b,full) (11 caller + 4 param + 9 callee), \
+           $(b,7caller), or $(b,7callee) (the paper's Table 2 restrictions).")
+
+let promo_flag =
+  Arg.(
+    value & flag
+    & info [ "promote-globals" ]
+        ~doc:"Promote global scalars to registers within procedures.")
+
+let config_of ~o3 ~no_sw ~machine =
+  {
+    Config.name =
+      Printf.sprintf "%s%s"
+        (if o3 then "-O3" else "-O2")
+        (if no_sw then "" else "+sw");
+    ipra = o3;
+    shrinkwrap = not no_sw;
+    machine;
+  }
+
+let handle_errors f =
+  try f () with
+  | Chow_frontend.Lexer.Error (msg, line) ->
+      Printf.eprintf "lexical error at line %d: %s\n" line msg;
+      exit 1
+  | Chow_frontend.Parser.Error (msg, line) ->
+      Printf.eprintf "syntax error at line %d: %s\n" line msg;
+      exit 1
+  | Chow_frontend.Check.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Sim.Runtime_error msg ->
+      Printf.eprintf "runtime error: %s\n" msg;
+      exit 2
+
+(* ----- run ----- *)
+
+let run_cmd =
+  let doc = "Compile a Pawn program and execute it in the simulator." in
+  let run file o3 no_sw machine counters global_promo =
+    handle_errors @@ fun () ->
+    let config = config_of ~o3 ~no_sw ~machine in
+    let compiled = Pipeline.compile ~global_promo config (read_file file) in
+    let o = Pipeline.run compiled in
+    List.iter (fun v -> Printf.printf "%d\n" v) o.Sim.output;
+    if counters then begin
+      Printf.printf "--- %s ---\n" config.Config.name;
+      Printf.printf "cycles:          %d\n" o.Sim.cycles;
+      Printf.printf "calls:           %d\n" o.Sim.calls;
+      Printf.printf "cycles/call:     %d\n" (o.Sim.cycles / max 1 o.Sim.calls);
+      Printf.printf "scalar loads:    %d\n" o.Sim.scalar_loads;
+      Printf.printf "scalar stores:   %d\n" o.Sim.scalar_stores;
+      Printf.printf "save/restore:    %d loads, %d stores\n" o.Sim.save_loads
+        o.Sim.save_stores;
+      Printf.printf "data loads/st:   %d/%d\n" o.Sim.data_loads
+        o.Sim.data_stores
+    end
+  in
+  let counters =
+    Arg.(
+      value & flag
+      & info [ "counters"; "c" ] ~doc:"Print the pixie-style counters.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const run $ file_arg $ o3_flag $ no_sw_flag $ machine_arg $ counters
+      $ promo_flag)
+
+(* ----- compile ----- *)
+
+let compile_cmd =
+  let doc = "Compile and dump intermediate artifacts." in
+  let compile file o3 no_sw machine dump_ir dump_asm dump_alloc =
+    handle_errors @@ fun () ->
+    let config = config_of ~o3 ~no_sw ~machine in
+    let compiled = Pipeline.compile config (read_file file) in
+    if dump_ir then Format.printf "%a@." Ir.pp_prog compiled.Pipeline.ir;
+    if dump_alloc then
+      List.iter
+        (fun (alloc : Ipra.t) ->
+          List.iter
+            (fun (name, (res : Alloc.result)) ->
+              Format.printf "@[<v 2>%s (%s):@," name
+                (if res.Alloc.r_open then "open" else "closed");
+              Array.iteri
+                (fun v loc ->
+                  let kind =
+                    match res.Alloc.r_proc.Ir.vreg_kinds.(v) with
+                    | Ir.Vlocal n -> n
+                    | Ir.Vparam (n, _) -> n ^ " (param)"
+                    | Ir.Vtemp -> "_"
+                  in
+                  match loc with
+                  | Alloc.Lreg r ->
+                      Format.printf "%%%d %-14s -> %s@," v kind
+                        (Machine.name r)
+                  | Alloc.Lstack ->
+                      Format.printf "%%%d %-14s -> memory@," v kind)
+                res.Alloc.r_assignment;
+              (match Usage.find alloc.Ipra.usage name with
+              | Some info ->
+                  Format.printf "mask: %a@," Machine.Set.pp info.Usage.mask
+              | None -> ());
+              Format.printf "@]@.")
+            alloc.Ipra.results)
+        compiled.Pipeline.allocs;
+    if dump_asm then begin
+      let layout, _, _ = Chow_codegen.Link.layout compiled.Pipeline.ir in
+      List.iter
+        (fun (alloc : Ipra.t) ->
+          List.iter
+            (fun (_, res) ->
+              let frame = Chow_codegen.Frame.build res in
+              Format.printf "%a@.@."
+                Chow_codegen.Asm.pp_proc_code
+                (Chow_codegen.Emit.emit_proc ~layout res frame))
+            alloc.Ipra.results)
+        compiled.Pipeline.allocs
+    end;
+    if not (dump_ir || dump_asm || dump_alloc) then
+      Printf.printf
+        "compiled %d procedures under %s (use --dump-ir/--dump-asm/--dump-alloc)\n"
+        (List.length compiled.Pipeline.ir.Ir.procs)
+        config.Config.name
+  in
+  let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the IR.") in
+  let dump_asm =
+    Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print the assembly.")
+  in
+  let dump_alloc =
+    Arg.(
+      value & flag
+      & info [ "dump-alloc" ]
+          ~doc:"Print register assignments and usage masks.")
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc)
+    Term.(
+      const compile $ file_arg $ o3_flag $ no_sw_flag $ machine_arg $ dump_ir
+      $ dump_asm $ dump_alloc)
+
+(* ----- stats ----- *)
+
+let stats_cmd =
+  let doc = "Compare the six measurement configurations of the paper." in
+  let stats file =
+    handle_errors @@ fun () ->
+    let src = read_file file in
+    let results = Pipeline.run_all_configs src in
+    let base =
+      match results with (_, o) :: _ -> o | [] -> assert false
+    in
+    Printf.printf "%-16s %10s %8s %10s %10s %8s %8s\n" "config" "cycles"
+      "calls" "scal.lds" "scal.sts" "cyc red." "lds red.";
+    List.iter
+      (fun ((c : Config.t), (o : Sim.outcome)) ->
+        let red b v =
+          if b = 0 then 0. else 100. *. float_of_int (b - v) /. float_of_int b
+        in
+        Printf.printf "%-16s %10d %8d %10d %10d %7.1f%% %7.1f%%\n"
+          c.Config.name o.Sim.cycles o.Sim.calls o.Sim.scalar_loads
+          o.Sim.scalar_stores
+          (red base.Sim.cycles o.Sim.cycles)
+          (red
+             (base.Sim.scalar_loads + base.Sim.scalar_stores)
+             (o.Sim.scalar_loads + o.Sim.scalar_stores)))
+      results
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const stats $ file_arg)
+
+(* ----- callgraph ----- *)
+
+let callgraph_cmd =
+  let doc =
+    "Show the depth-first processing order, the open/closed classification, \
+     and the published register-usage masks."
+  in
+  let callgraph file o3 no_sw machine =
+    handle_errors @@ fun () ->
+    let config = config_of ~o3 ~no_sw ~machine in
+    let compiled = Pipeline.compile config (read_file file) in
+    List.iter
+      (fun (alloc : Ipra.t) ->
+        let cg = alloc.Ipra.callgraph in
+        List.iter
+          (fun name ->
+            let open_ = Callgraph.is_open cg name in
+            let callees = Callgraph.direct_callees cg name in
+            Printf.printf "%-16s %-6s calls: %s\n" name
+              (if open_ then "open" else "closed")
+              (String.concat ", " callees);
+            match Usage.find alloc.Ipra.usage name with
+            | Some info ->
+                Format.printf "  mask: %a@." Machine.Set.pp info.Usage.mask
+            | None -> ())
+          (Callgraph.processing_order cg))
+      compiled.Pipeline.allocs
+  in
+  Cmd.v
+    (Cmd.info "callgraph" ~doc)
+    Term.(const callgraph $ file_arg $ o3_flag $ no_sw_flag $ machine_arg)
+
+let main_cmd =
+  let doc =
+    "Pawn compiler with inter-procedural register allocation and \
+     shrink-wrapping (Chow, PLDI 1988)"
+  in
+  Cmd.group
+    (Cmd.info "pawnc" ~version:"1.0.0" ~doc)
+    [ run_cmd; compile_cmd; stats_cmd; callgraph_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/ipra_explorer.ml: Chow_compiler Chow_core Chow_ir Chow_machine Chow_sim Format List String

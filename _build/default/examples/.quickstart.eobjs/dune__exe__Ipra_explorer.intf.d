@@ -1,0 +1,1 @@
+examples/ipra_explorer.mli:

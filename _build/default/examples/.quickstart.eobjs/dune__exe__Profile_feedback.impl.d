@@ -1,0 +1,1 @@
+examples/profile_feedback.ml: Array Chow_compiler Chow_core Chow_ir Chow_machine Chow_sim Format List Option

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Chow_compiler Chow_sim Format

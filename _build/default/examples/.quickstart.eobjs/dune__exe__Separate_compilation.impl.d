@@ -1,0 +1,1 @@
+examples/separate_compilation.ml: Chow_compiler Chow_core Chow_sim Format List

@@ -1,0 +1,1 @@
+examples/shrinkwrap_demo.ml: Chow_codegen Chow_compiler Chow_core Chow_ir Chow_machine Chow_sim Format List

@@ -1,0 +1,1 @@
+examples/shrinkwrap_demo.mli:

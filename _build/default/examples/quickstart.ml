@@ -1,0 +1,60 @@
+(** Quickstart: compile a Pawn program, run it in the simulator, and watch
+    inter-procedural allocation remove the register-usage penalty at the
+    procedure calls.
+
+    Run with: [dune exec examples/quickstart.exe] *)
+
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Sim = Chow_sim.Sim
+
+(* A call-intensive little program: [average] keeps values live across two
+   calls to [scale], which is exactly where caller/callee-saved traffic
+   appears under per-procedure allocation. *)
+let source =
+  {|
+proc scale(x, factor) {
+  return x * factor + x / 2;
+}
+
+proc average(a, b) {
+  var sa = scale(a, 3);
+  var sb = scale(b, 5);
+  return (sa + sb) / 2;
+}
+
+proc main() {
+  var i = 0;
+  var total = 0;
+  while (i < 100) {
+    total = total + average(i, i + 7);
+    i = i + 1;
+  }
+  print(total);
+}
+|}
+
+let describe (config : Config.t) =
+  let compiled = Pipeline.compile config source in
+  let o = Pipeline.run compiled in
+  Format.printf "%-8s output=%a  cycles=%d  scalar loads/stores=%d/%d@."
+    config.Config.name
+    (Format.pp_print_list Format.pp_print_int)
+    o.Sim.output o.Sim.cycles o.Sim.scalar_loads o.Sim.scalar_stores;
+  o
+
+let () =
+  Format.printf "Compiling under the paper's baseline and -O3+shrink-wrap:@.";
+  let base = describe Config.baseline in
+  let best = describe Config.o3_sw in
+  let reduction b v =
+    100. *. float_of_int (b - v) /. float_of_int (max 1 b)
+  in
+  Format.printf
+    "@.Inter-procedural allocation removed %.1f%% of the cycles and %.1f%% \
+     of the scalar memory traffic —@.the same program, the same machine, \
+     just smarter placement of registers across calls.@."
+    (reduction base.Sim.cycles best.Sim.cycles)
+    (reduction
+       (base.Sim.scalar_loads + base.Sim.scalar_stores)
+       (best.Sim.scalar_loads + best.Sim.scalar_stores))

@@ -1,0 +1,82 @@
+(** Separate compilation (§3, §7): two Pawn units compiled independently —
+    the allocator sees one call graph at a time, cross-unit calls go
+    through [extern] declarations under the default linkage convention —
+    then linked at the assembly level.  Inside each unit, IPRA still runs
+    at full strength.
+
+    Run with: [dune exec examples/separate_compilation.exe] *)
+
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Sim = Chow_sim.Sim
+
+(* the "library" unit: a small string-less formatting core *)
+let unit_mathlib =
+  {|
+proc gcd_step(a, b) { return a % b; }
+
+export proc gcd(a, b) {
+  while (b != 0) {
+    var t = gcd_step(a, b);
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+export proc lcm(a, b) {
+  return a / gcd(a, b) * b;
+}
+|}
+
+(* the application unit *)
+let unit_app =
+  {|
+extern proc gcd(a, b);
+extern proc lcm(a, b);
+
+proc sum_of_gcds(n) {
+  var s = 0;
+  var i = 1;
+  while (i <= n) {
+    s = s + gcd(n, i);
+    i = i + 1;
+  }
+  return s;
+}
+
+proc main() {
+  print(gcd(1071, 462));
+  print(lcm(4, 6));
+  print(sum_of_gcds(30));
+}
+|}
+
+let () =
+  Format.printf "compiling two units separately and linking...@.";
+  let compiled =
+    Pipeline.compile_modules Config.o3_sw [ unit_app; unit_mathlib ]
+  in
+  let o = Pipeline.run compiled in
+  Format.printf "output: %a@.@."
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Format.pp_print_int)
+    o.Sim.output;
+  List.iteri
+    (fun i (alloc : Pipeline.Ipra.t) ->
+      Format.printf "unit %d call graph:@." (i + 1);
+      List.iter
+        (fun name ->
+          Format.printf "  %-14s %s@." name
+            (if Chow_core.Callgraph.is_open alloc.Pipeline.Ipra.callgraph name
+             then "open (visible across units or recursive)"
+             else "closed (full IPRA treatment)"))
+        (Chow_core.Callgraph.processing_order
+           alloc.Pipeline.Ipra.callgraph))
+    compiled.Pipeline.allocs;
+  Format.printf
+    "@.gcd and lcm are exported, so they are open: their callers in the@.\
+     other unit use the default convention.  gcd_step and sum_of_gcds stay@.\
+     closed and enjoy full inter-procedural treatment within their units —@.\
+     exactly the co-existence of §3.@."

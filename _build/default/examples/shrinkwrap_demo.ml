@@ -1,0 +1,82 @@
+(** Shrink-wrap demo: a procedure whose register-hungry work sits on a cold
+    path.  The ordinary convention saves callee-saved registers at the entry
+    on every invocation; shrink-wrapping moves the saves into the cold
+    region, so the hot path runs save-free (§5).
+
+    The demo prints the generated assembly of the procedure both ways, and
+    then measures the difference dynamically.
+
+    Run with: [dune exec examples/shrinkwrap_demo.exe] *)
+
+module Ir = Chow_ir.Ir
+module Machine = Chow_machine.Machine
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Ipra = Chow_core.Ipra
+module Sim = Chow_sim.Sim
+
+let source =
+  {|
+proc expensive(a, b, c, d, e) {
+  return a + b * c - d + e * a;
+}
+
+proc process(x) {
+  if (x % 100 == 0) {
+    // cold path, taken 1% of the time: many values live across a call
+    var a = x + 1;
+    var b = x + 2;
+    var c = x + 3;
+    var d = x + 4;
+    var e = x + 5;
+    var r = expensive(a, b, c, d, e);
+    return r + a + b + c + d + e;
+  }
+  return x * 2;    // hot path
+}
+
+proc main() {
+  var i = 0;
+  var total = 0;
+  while (i < 2000) {
+    total = total + process(i);
+    i = i + 1;
+  }
+  print(total);
+}
+|}
+
+let dump_process (config : Config.t) =
+  let compiled = Pipeline.compile config source in
+  let layout, _, _ = Chow_codegen.Link.layout compiled.Pipeline.ir in
+  List.iter
+    (fun (alloc : Ipra.t) ->
+      List.iter
+        (fun (name, res) ->
+          if name = "process" then begin
+            let frame = Chow_codegen.Frame.build res in
+            let code = Chow_codegen.Emit.emit_proc ~layout res frame in
+            Format.printf "---- process under %s ----@.%a@.@."
+              config.Config.name Chow_codegen.Asm.pp_proc_code code
+          end)
+        alloc.Ipra.results)
+    compiled.Pipeline.allocs;
+  Pipeline.run compiled
+
+let () =
+  let base = dump_process Config.baseline in
+  let sw = dump_process Config.o2_sw in
+  Format.printf
+    "Look for the `sw ... # save` instructions: without shrink-wrap they@.\
+     sit at the top of L0 and run on all 2000 invocations; with it they@.\
+     move into the cold block and run only 20 times.@.@.";
+  Format.printf "%-10s %10s %18s@." "config" "cycles" "save/restore ops";
+  Format.printf "%-10s %10d %18d@." "-O2" base.Sim.cycles
+    (base.Sim.save_loads + base.Sim.save_stores);
+  Format.printf "%-10s %10d %18d@." "-O2+sw" sw.Sim.cycles
+    (sw.Sim.save_loads + sw.Sim.save_stores);
+  Format.printf "@.cycles saved by shrink-wrapping alone: %d (%.1f%%)@."
+    (base.Sim.cycles - sw.Sim.cycles)
+    (100.
+    *. float_of_int (base.Sim.cycles - sw.Sim.cycles)
+    /. float_of_int base.Sim.cycles)

@@ -1,0 +1,1 @@
+lib/codegen/asm.ml: Chow_ir Chow_machine Chow_support Format

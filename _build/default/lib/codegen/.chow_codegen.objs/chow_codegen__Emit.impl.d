@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Asm Chow_core Chow_ir Chow_machine Frame Hashtbl List Option Parallel_move

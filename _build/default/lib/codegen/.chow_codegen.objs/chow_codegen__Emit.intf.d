@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Asm Chow_core Frame Hashtbl

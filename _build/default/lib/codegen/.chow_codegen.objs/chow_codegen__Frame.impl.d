@@ -1,0 +1,1 @@
+lib/codegen/frame.ml: Array Chow_core Chow_ir Chow_machine Hashtbl List

@@ -1,0 +1,1 @@
+lib/codegen/frame.mli: Chow_core Chow_ir Chow_machine Hashtbl

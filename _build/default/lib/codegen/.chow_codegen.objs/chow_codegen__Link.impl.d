@@ -1,0 +1,1 @@
+lib/codegen/link.ml: Array Asm Chow_ir Chow_machine Hashtbl List

@@ -1,0 +1,1 @@
+lib/codegen/link.mli: Asm Chow_ir Hashtbl

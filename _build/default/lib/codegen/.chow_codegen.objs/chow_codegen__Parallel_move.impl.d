@@ -1,0 +1,1 @@
+lib/codegen/parallel_move.ml: Asm Chow_machine List

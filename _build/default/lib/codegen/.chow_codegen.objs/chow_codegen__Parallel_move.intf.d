@@ -1,0 +1,1 @@
+lib/codegen/parallel_move.mli: Asm Chow_machine

@@ -1,0 +1,15 @@
+(** Instruction selection: allocated IR to target assembly.
+
+    Register-resident vregs are used directly; memory-resident ones stage
+    through the reserved scratch registers around each use (tag
+    [Tscalar]).  Contract saves/restores go at the block entries/exits
+    chosen by shrink-wrapping (tag [Tsave]); around-call saves to
+    per-register scratch slots; [$x2] carries indirect-call targets. *)
+
+(** [emit_proc ~layout res frame] generates one procedure's assembly.
+    [layout] maps globals to data-segment base addresses. *)
+val emit_proc :
+  layout:(string, int) Hashtbl.t ->
+  Chow_core.Alloc_types.result ->
+  Frame.t ->
+  Asm.proc_code

@@ -1,0 +1,31 @@
+(** Stack-frame layout.  Offsets are in words relative to the callee's
+    stack pointer, which drops by [size] on entry:
+
+    {v
+      sp + size + i   incoming stack argument i      (caller's out area)
+      ...             spill homes of memory-resident vregs
+      ...             contract slots (callee-saved registers and $ra)
+      ...             around-call scratch slots
+      sp + 0 ...      outgoing-argument build area
+    v}
+
+    A parameter that lives in memory and arrives on the stack keeps its
+    incoming slot as its home, so no prologue copy is needed. *)
+
+type t = {
+  size : int;
+  spill_home : (Chow_ir.Ir.vreg, int) Hashtbl.t;
+  contract_slot : (Chow_machine.Machine.reg, int) Hashtbl.t;
+  scratch_slot : (Chow_machine.Machine.reg, int) Hashtbl.t;
+}
+
+val build : Chow_core.Alloc_types.result -> t
+
+(** Spill-home offset of a memory-resident vreg; raises otherwise. *)
+val home : t -> Chow_ir.Ir.vreg -> int
+
+val contract_slot : t -> Chow_machine.Machine.reg -> int
+val scratch_slot : t -> Chow_machine.Machine.reg -> int
+
+(** Incoming stack-argument offset for parameter position [i]. *)
+val incoming_arg : t -> int -> int

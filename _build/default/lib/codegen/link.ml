@@ -1,0 +1,96 @@
+(** Static data layout and program linking.
+
+    [layout] assigns every global a base address in the data segment.
+    [link] concatenates a startup stub ([jal main; halt]) with the emitted
+    procedures, resolves block labels to absolute instruction addresses, and
+    rewrites symbolic references ([Jal], [Lproc]) to code addresses, so that
+    procedure-address values are plain integers the simulator can [jalr]
+    through. *)
+
+module Ir = Chow_ir.Ir
+module Machine = Chow_machine.Machine
+
+let layout (prog : Ir.prog) =
+  let table = Hashtbl.create 16 in
+  let next = ref 0 in
+  let init = ref [] in
+  List.iter
+    (fun (g, def) ->
+      Hashtbl.replace table g !next;
+      match def with
+      | Ir.Gscalar v ->
+          if v <> 0 then init := (!next, v) :: !init;
+          incr next
+      | Ir.Garray (size, vs) ->
+          List.iteri
+            (fun i v -> if v <> 0 then init := (!next + i, v) :: !init)
+            vs;
+          next := !next + size)
+    prog.globals;
+  (table, !next, List.rev !init)
+
+exception Undefined_procedure of string
+
+let link ~(metas : (string * Asm.meta) list) (procs : Asm.proc_code list)
+    ~data_size ~data_init : Asm.program =
+  (* pass 1: assign addresses.  The stub occupies pc 0 and 1. *)
+  let stub_len = 2 in
+  let proc_addrs = ref [] in
+  let label_addr = Hashtbl.create 64 in
+  let pc = ref stub_len in
+  List.iter
+    (fun p ->
+      proc_addrs := (p.Asm.pc_name, !pc) :: !proc_addrs;
+      List.iter
+        (function
+          | Asm.Label l -> Hashtbl.replace label_addr (p.Asm.pc_name, l) !pc
+          | Asm.Inst _ -> incr pc)
+        p.Asm.pc_items)
+    procs;
+  let proc_addrs = List.rev !proc_addrs in
+  let code_len = !pc in
+  let addr_of_proc f =
+    match List.assoc_opt f proc_addrs with
+    | Some a -> a
+    | None -> raise (Undefined_procedure f)
+  in
+  (* pass 2: resolve *)
+  let code = Array.make code_len Asm.Halt in
+  code.(0) <- Asm.Jal_pc (addr_of_proc "main");
+  code.(1) <- Asm.Halt;
+  let pc = ref stub_len in
+  List.iter
+    (fun p ->
+      let resolve l = Hashtbl.find label_addr (p.Asm.pc_name, l) in
+      List.iter
+        (function
+          | Asm.Label _ -> ()
+          | Asm.Inst i ->
+              let i' =
+                match i with
+                | Asm.B (op, a, b, l) -> Asm.B (op, a, b, resolve l)
+                | Asm.J l -> Asm.J (resolve l)
+                | Asm.Jal f -> Asm.Jal_pc (addr_of_proc f)
+                | Asm.Lproc (r, f) -> Asm.Li (r, addr_of_proc f)
+                | Asm.Li _ | Asm.Move _ | Asm.Neg _ | Asm.Not _ | Asm.Binop _
+                | Asm.Binopi _ | Asm.Cmp _ | Asm.Cmpi _ | Asm.Lw _ | Asm.Sw _
+                | Asm.Jal_pc _ | Asm.Jalr _ | Asm.Jr | Asm.Print _ | Asm.Halt
+                  ->
+                    i
+              in
+              code.(!pc) <- i';
+              incr pc)
+        p.Asm.pc_items)
+    procs;
+  let metas =
+    List.filter_map
+      (fun (name, m) ->
+        match List.assoc_opt name proc_addrs with
+        | Some a -> Some (a, m)
+        | None -> None)
+      metas
+  in
+  let block_pcs =
+    Hashtbl.fold (fun (pname, l) pc acc -> (pc, (pname, l)) :: acc) label_addr []
+  in
+  { Asm.code; entry = 0; proc_addrs; metas; data_size; data_init; block_pcs }

@@ -1,0 +1,19 @@
+(** Static data layout and program linking. *)
+
+exception Undefined_procedure of string
+
+(** [layout prog] assigns every global a base address; returns the address
+    table, the data-segment size, and the non-zero initialisation list. *)
+val layout :
+  Chow_ir.Ir.prog -> (string, int) Hashtbl.t * int * (int * int) list
+
+(** [link ~metas procs ~data_size ~data_init] concatenates a startup stub
+    ([jal main; halt]) with the emitted procedures, resolves block labels
+    to absolute addresses, and rewrites [Jal]/[Lproc] to code addresses.
+    Raises {!Undefined_procedure} for calls that no unit defines. *)
+val link :
+  metas:(string * Asm.meta) list ->
+  Asm.proc_code list ->
+  data_size:int ->
+  data_init:(int * int) list ->
+  Asm.program

@@ -1,0 +1,64 @@
+(** Sequentialization of parallel moves.
+
+    Call-site argument setup and open-procedure prologues must place a set
+    of values in a set of registers "at once": naive left-to-right moves
+    would overwrite sources still to be read (e.g. swapping [$a0]/[$a1]).
+    Register-to-register transfers are ordered so that each destination is
+    written only after every pending read of it, breaking cycles through the
+    scratch register; constant and stack-sourced transfers read no
+    allocatable registers, so they are emitted last. *)
+
+module Machine = Chow_machine.Machine
+
+type source =
+  | From_reg of Machine.reg
+  | From_imm of int
+  | From_slot of int * Asm.tag  (** sp-relative load *)
+  | From_proc of string  (** procedure address *)
+
+(** [resolve ~temp moves] sequentialises [(dst, src)] pairs; [temp] must not
+    appear as a destination or register source. *)
+let resolve ~temp moves =
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  let reg_moves, rest =
+    List.partition
+      (fun (_, src) -> match src with From_reg _ -> true | _ -> false)
+      moves
+  in
+  let pending =
+    ref
+      (List.filter_map
+         (fun (d, src) ->
+           match src with
+           | From_reg s when s <> d -> Some (d, s)
+           | From_reg _ -> None
+           | From_imm _ | From_slot _ | From_proc _ -> assert false)
+         reg_moves)
+  in
+  while !pending <> [] do
+    let is_read d = List.exists (fun (_, s) -> s = d) !pending in
+    match List.partition (fun (d, _) -> not (is_read d)) !pending with
+    | (d, s) :: ready, blocked ->
+        emit (Asm.Move (d, s));
+        pending := ready @ blocked
+    | [], (d, _) :: _ ->
+        (* every destination is still read by someone: a cycle.  Free one
+           destination by parking its current value in the scratch register
+           and redirect its readers there. *)
+        emit (Asm.Move (temp, d));
+        pending :=
+          List.map
+            (fun (d', s') -> if s' = d then (d', temp) else (d', s'))
+            !pending
+    | [], [] -> assert false
+  done;
+  List.iter
+    (fun (d, src) ->
+      match src with
+      | From_imm n -> emit (Asm.Li (d, n))
+      | From_slot (off, tag) -> emit (Asm.Lw (d, Machine.sp, off, tag))
+      | From_proc f -> emit (Asm.Lproc (d, f))
+      | From_reg _ -> assert false)
+    rest;
+  List.rev !out

@@ -1,0 +1,17 @@
+(** Sequentialisation of parallel moves for call-site argument setup and
+    open-procedure prologues: register-to-register transfers are ordered so
+    every destination is written only after its pending reads, cycles break
+    through the scratch register, and constant/stack-sourced transfers come
+    last (they read no allocatable registers). *)
+
+module Machine = Chow_machine.Machine
+
+type source =
+  | From_reg of Machine.reg
+  | From_imm of int
+  | From_slot of int * Asm.tag  (** sp-relative load *)
+  | From_proc of string  (** procedure address *)
+
+(** [resolve ~temp moves] sequentialises [(dst, src)] pairs; [temp] must
+    not appear as a destination or register source. *)
+val resolve : temp:Machine.reg -> (Machine.reg * source) list -> Asm.inst list

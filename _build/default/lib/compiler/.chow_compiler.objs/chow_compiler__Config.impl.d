@@ -1,0 +1,1 @@
+lib/compiler/config.ml: Chow_machine

@@ -1,0 +1,1 @@
+lib/compiler/pipeline.ml: Array Chow_codegen Chow_core Chow_frontend Chow_ir Chow_machine Chow_sim Chow_support Config Hashtbl List Option

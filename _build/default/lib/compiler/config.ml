@@ -1,0 +1,49 @@
+(** Compilation configurations matching the paper's measurement setup (§8).
+
+    The baseline for every comparison is [-O2] with shrink-wrap disabled:
+    intra-procedural priority coloring over the full register set.  Columns
+    A-C of Table 1 and D/E of Table 2 are the other five configurations. *)
+
+module Machine = Chow_machine.Machine
+
+type t = {
+  name : string;
+  ipra : bool;  (** -O3: inter-procedural allocation *)
+  shrinkwrap : bool;
+  machine : Machine.config;
+}
+
+let baseline =
+  { name = "-O2"; ipra = false; shrinkwrap = false; machine = Machine.full }
+
+(** Table 1 column A: -O2 with shrink-wrap enabled. *)
+let o2_sw =
+  { name = "-O2+sw"; ipra = false; shrinkwrap = true; machine = Machine.full }
+
+(** Table 1 column B: -O3 with shrink-wrap disabled. *)
+let o3 =
+  { name = "-O3"; ipra = true; shrinkwrap = false; machine = Machine.full }
+
+(** Table 1 column C: -O3 with shrink-wrap enabled. *)
+let o3_sw =
+  { name = "-O3+sw"; ipra = true; shrinkwrap = true; machine = Machine.full }
+
+(** Table 2 column D: as C but only 7 caller-saved registers. *)
+let seven_caller =
+  {
+    name = "-O3+sw/7caller";
+    ipra = true;
+    shrinkwrap = true;
+    machine = Machine.seven_caller_saved;
+  }
+
+(** Table 2 column E: as C but only 7 callee-saved registers. *)
+let seven_callee =
+  {
+    name = "-O3+sw/7callee";
+    ipra = true;
+    shrinkwrap = true;
+    machine = Machine.seven_callee_saved;
+  }
+
+let all = [ baseline; o2_sw; o3; o3_sw; seven_caller; seven_callee ]

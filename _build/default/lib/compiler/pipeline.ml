@@ -1,0 +1,139 @@
+(** End-to-end compilation: Pawn source (or IR) through allocation, code
+    generation, linking, and simulation.
+
+    [compile_modules] reproduces the paper's separate-compilation setting
+    (§3, §7): each unit is allocated on its own call graph, cross-unit
+    calls go through [extern] declarations under the default convention,
+    and the units are linked at the assembly level.  [compile] is the
+    single-unit (whole-program Ucode) case. *)
+
+module Ir = Chow_ir.Ir
+module Machine = Chow_machine.Machine
+module Lower = Chow_frontend.Lower
+module Ipra = Chow_core.Ipra
+module Usage = Chow_core.Usage
+module Alloc_types = Chow_core.Alloc_types
+module Frame = Chow_codegen.Frame
+module Emit = Chow_codegen.Emit
+module Link = Chow_codegen.Link
+module Asm = Chow_codegen.Asm
+module Sim = Chow_sim.Sim
+module Bitset = Chow_support.Bitset
+
+type compiled = {
+  config : Config.t;
+  ir : Ir.prog;
+  allocs : Ipra.t list;  (** one per compilation unit *)
+  program : Asm.program;
+}
+
+(* the registers a caller may assume survive a call to this procedure *)
+let preserved_regs (alloc : Ipra.t) (res : Alloc_types.result) =
+  let conventional =
+    Machine.caller_saved @ Machine.param_regs @ Machine.callee_saved
+  in
+  if res.r_open then Machine.callee_saved
+  else
+    match Usage.find alloc.Ipra.usage res.r_proc.Ir.pname with
+    | Some info ->
+        List.filter
+          (fun r -> not (Bitset.mem info.Usage.mask r))
+          conventional
+    | None -> Machine.callee_saved
+
+let allocate_unit ?profile (config : Config.t) (unit_ir : Ir.prog) =
+  Ipra.allocate_program ~ipra:config.Config.ipra
+    ~shrinkwrap:config.Config.shrinkwrap ?profile config.Config.machine
+    unit_ir
+
+(** [compile_irs config units] allocates each unit independently and links
+    the results into one executable image.  [global_promo] enables the
+    promotion of global scalars to registers within procedures (§1), an
+    IR-level pass run per unit before allocation. *)
+let compile_irs ?profile ?(global_promo = false) (config : Config.t)
+    (units : Ir.prog list) : compiled =
+  if global_promo then
+    List.iter (fun u -> ignore (Chow_core.Globalpromo.transform u)) units;
+  let merged =
+    {
+      Ir.procs = List.concat_map (fun u -> u.Ir.procs) units;
+      globals = List.concat_map (fun u -> u.Ir.globals) units;
+      externs = [];
+    }
+  in
+  let layout, data_size, data_init = Link.layout merged in
+  let allocs = List.map (allocate_unit ?profile config) units in
+  let codes = ref [] in
+  let metas = ref [] in
+  List.iter
+    (fun (alloc : Ipra.t) ->
+      List.iter
+        (fun (name, res) ->
+          let frame = Frame.build res in
+          codes := Emit.emit_proc ~layout res frame :: !codes;
+          metas :=
+            (name, { Asm.m_name = name; m_preserved = preserved_regs alloc res })
+            :: !metas)
+        alloc.Ipra.results)
+    allocs;
+  let program =
+    Link.link ~metas:(List.rev !metas) (List.rev !codes) ~data_size ~data_init
+  in
+  { config; ir = merged; allocs; program }
+
+let compile_ir ?profile ?global_promo config ir =
+  compile_irs ?profile ?global_promo config [ ir ]
+
+(** Whole-program compilation of one Pawn source. *)
+let compile ?profile ?global_promo config src =
+  compile_ir ?profile ?global_promo config (Lower.compile_unit src)
+
+(** Separate compilation: the unit containing [main] comes first; others
+    must not require one. *)
+let compile_modules ?profile ?global_promo config srcs =
+  match srcs with
+  | [] -> invalid_arg "compile_modules: no units"
+  | first :: rest ->
+      let units =
+        Lower.compile_unit ~require_main:true first
+        :: List.map (Lower.compile_unit ~require_main:false) rest
+      in
+      compile_irs ?profile ?global_promo config units
+
+(** [run c] simulates the compiled program with contract checking on. *)
+let run ?fuel ?check ?profile (c : compiled) =
+  Sim.run ?fuel ?check ?profile c.program
+
+(** Profile-guided compilation, the paper's §8 future work: compile once,
+    execute under the block profiler, normalise the measured block
+    frequencies per procedure (entry block = 1), and recompile with the
+    measured weights replacing the static loop-depth estimates.  Returns
+    the recompiled program and the training run's outcome. *)
+let compile_with_profile ?fuel (config : Config.t) src =
+  let ir = Lower.compile_unit src in
+  let training = compile_ir config ir in
+  let outcome = Sim.run ?fuel ~profile:true training.program in
+  let counts : (string, float array) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      Hashtbl.replace counts p.Ir.pname
+        (Array.make (Ir.nblocks p) 0.))
+    ir.Ir.procs;
+  List.iter
+    (fun ((pname, l), n) ->
+      match Hashtbl.find_opt counts pname with
+      | Some arr when l < Array.length arr -> arr.(l) <- float_of_int n
+      | Some _ | None -> ())
+    outcome.Sim.block_counts;
+  let profile name =
+    Option.map Chow_core.Liverange.weights_of_profile
+      (Hashtbl.find_opt counts name)
+  in
+  (compile_ir ~profile config ir, outcome)
+
+(** Compile and run under every configuration, returning
+    [(config, outcome)] pairs — the harness behind every table. *)
+let run_all_configs ?fuel ?(configs = Config.all) src =
+  List.map
+    (fun config -> (config, run ?fuel (compile config src)))
+    configs

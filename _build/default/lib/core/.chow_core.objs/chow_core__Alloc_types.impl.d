@@ -1,0 +1,1 @@
+lib/core/alloc_types.ml: Chow_ir Chow_machine Hashtbl

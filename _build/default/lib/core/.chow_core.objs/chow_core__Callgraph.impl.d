@@ -1,0 +1,1 @@
+lib/core/callgraph.ml: Chow_ir Hashtbl List Option

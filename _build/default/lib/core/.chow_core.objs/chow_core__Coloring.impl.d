@@ -1,0 +1,1 @@
+lib/core/coloring.ml: Alloc_types Array Chow_ir Chow_machine Chow_support Hashtbl Interference List Liveness Liverange Option Shrinkwrap Split Usage

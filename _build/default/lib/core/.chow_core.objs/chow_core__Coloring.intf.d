@@ -1,0 +1,1 @@
+lib/core/coloring.mli: Alloc_types Chow_ir Chow_machine Usage

@@ -1,0 +1,1 @@
+lib/core/globalpromo.ml: Array Callgraph Chow_ir Hashtbl List Map Option Set String

@@ -1,0 +1,1 @@
+lib/core/globalpromo.mli: Chow_ir

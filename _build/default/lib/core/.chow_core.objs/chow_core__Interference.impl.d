@@ -1,0 +1,1 @@
+lib/core/interference.ml: Array Chow_ir Chow_support List Liveness

@@ -1,0 +1,1 @@
+lib/core/interference.mli: Chow_ir Chow_support Liveness

@@ -1,0 +1,1 @@
+lib/core/ipra.ml: Alloc_types Callgraph Chow_ir Chow_machine Coloring List Option Usage

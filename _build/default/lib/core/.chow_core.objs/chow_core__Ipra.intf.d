@@ -1,0 +1,1 @@
+lib/core/ipra.mli: Alloc_types Callgraph Chow_ir Chow_machine Coloring Usage

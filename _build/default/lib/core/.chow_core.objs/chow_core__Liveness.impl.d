@@ -1,0 +1,1 @@
+lib/core/liveness.ml: Array Chow_ir Chow_support List

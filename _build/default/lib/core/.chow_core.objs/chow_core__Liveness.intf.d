@@ -1,0 +1,1 @@
+lib/core/liveness.mli: Chow_ir Chow_support

@@ -1,0 +1,1 @@
+lib/core/liverange.ml: Array Chow_ir Chow_support Hashtbl List Liveness Option

@@ -1,0 +1,1 @@
+lib/core/liverange.mli: Chow_ir Chow_support Liveness

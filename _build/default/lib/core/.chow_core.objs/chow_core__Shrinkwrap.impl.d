@@ -1,0 +1,1 @@
+lib/core/shrinkwrap.ml: Array Chow_ir Chow_machine Chow_support List

@@ -1,0 +1,1 @@
+lib/core/shrinkwrap.mli: Chow_ir Chow_machine Chow_support

@@ -1,0 +1,1 @@
+lib/core/split.ml: Alloc_types Array Chow_ir Chow_support Hashtbl List Liverange Option

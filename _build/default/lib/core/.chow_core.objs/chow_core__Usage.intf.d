@@ -1,0 +1,1 @@
+lib/core/usage.mli: Alloc_types Chow_ir Chow_machine Chow_support

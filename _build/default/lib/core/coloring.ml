@@ -1,0 +1,416 @@
+(** Priority-based coloring register allocation with the paper's
+    extensions (§2, §4, §6).
+
+    The basic algorithm is Chow-Hennessy priority coloring: live ranges are
+    ranked by frequency-weighted memory operations saved per unit of range
+    size, and granted registers in rank order subject to interference.  The
+    paper's extension computes the priority {e per variable-register pair}:
+
+    - a caller-saved register costs a save/restore around every call the
+      range spans whose callee may clobber it (under IPRA, "may clobber"
+      comes from the callee's published mask; otherwise every call clobbers
+      every caller-saved register);
+    - a callee-saved register additionally costs one entry/exit save-restore
+      the first time the procedure touches it — but only when the procedure
+      must honor the callee-saved contract (intra-procedural mode, or an
+      open procedure under IPRA).  Closed procedures under IPRA use every
+      register in caller-saved mode (§2), so callee-saved registers are
+      free there until a spanned call clobbers them;
+    - passing an argument from a register that is already the callee's
+      parameter register saves a move, which appears as a bonus (§4);
+      symmetrically, a parameter that stays in its arrival register saves
+      the prologue copy.
+
+    Ties prefer a register already used in the current call tree, which
+    minimises the registers touched per tree (paper Fig. 1 discussion). *)
+
+module Bitset = Chow_support.Bitset
+module Ir = Chow_ir.Ir
+module Cfg = Chow_ir.Cfg
+module Dom = Chow_ir.Dom
+module Loops = Chow_ir.Loops
+module Machine = Chow_machine.Machine
+open Alloc_types
+
+type mode = {
+  ipra : bool;
+  shrinkwrap : bool;
+  is_open : bool;  (** this procedure's §3 classification; forced when not ipra *)
+  usage : Usage.table;
+}
+
+let intra_mode ~shrinkwrap =
+  { ipra = false; shrinkwrap; is_open = true; usage = Usage.create_table () }
+
+(** Diagnostics for tests, examples and the figure benches. *)
+type stats = {
+  s_nranges : int;
+  s_allocated : int;
+  s_distinct_regs : int;
+  s_sw_iterations : int;
+  s_splits : int;  (** live-range splits performed *)
+}
+
+let save_restore_cost = float_of_int (Machine.load_cost + Machine.store_cost)
+
+let allocate_once ?weights (config : Machine.config) (mode : mode)
+    (p : Ir.proc) =
+  (* splitting appends blocks, so a measured-profile weight vector may be
+     shorter than the current block count; new blocks weigh 1 *)
+  let weights =
+    Option.map
+      (fun w ->
+        let n = Ir.nblocks p in
+        if Array.length w < n then
+          Array.append w (Array.make (n - Array.length w) 1.)
+        else w)
+      weights
+  in
+  let cfg = Cfg.of_proc p in
+  let dom = Dom.compute cfg in
+  let loops = Loops.compute cfg dom in
+  let lv = Liveness.compute p cfg in
+  let lr = Liverange.compute ?weights p cfg loops lv in
+  let ig = Interference.build p lv in
+  let honor_contract = (not mode.ipra) || mode.is_open in
+  let usage = if mode.ipra then mode.usage else Usage.create_table () in
+  let site_clobber =
+    Array.map
+      (fun cs -> Usage.clobber_of_call usage cs.Liverange.cs_target)
+      lr.Liverange.call_sites
+  in
+  let site_arg_locs =
+    Array.map
+      (fun cs ->
+        Usage.arg_locs_of_call usage config cs.Liverange.cs_target
+          (List.length cs.Liverange.cs_args))
+      lr.Liverange.call_sites
+  in
+  (* union of everything our callees may clobber *)
+  let callee_clobbers = Machine.Set.empty () in
+  Array.iter (Bitset.union_into callee_clobbers) site_clobber;
+  (* closed-callee masks only: the tie-break preference set of Fig. 1 *)
+  let tree_used = Machine.Set.empty () in
+  Array.iter
+    (fun cs ->
+      match cs.Liverange.cs_target with
+      | Ir.Direct f -> (
+          match Usage.find usage f with
+          | Some info -> Bitset.union_into tree_used info.Usage.mask
+          | None -> ())
+      | Ir.Indirect _ -> ())
+    lr.Liverange.call_sites;
+
+  let assignment = Array.make p.nvregs Lstack in
+  let callee_saved_in_use = Machine.Set.empty () in
+  (* default arrival register of each parameter, used for the prologue-copy
+     bonus when the default convention applies *)
+  let default_arrival = Hashtbl.create 8 in
+  if honor_contract then
+    List.iteri
+      (fun i v ->
+        if i < config.Machine.n_param_regs then
+          Hashtbl.replace default_arrival v (List.nth Machine.param_regs i))
+      p.params;
+
+  (* priority order: weighted refs per block of range span (paper [11]) *)
+  let order =
+    List.init p.nvregs (fun v -> v)
+    |> List.filter (fun v -> lr.Liverange.ranges.(v).Liverange.weighted_refs > 0.)
+    |> List.sort (fun a b ->
+           let pr v =
+             let r = lr.Liverange.ranges.(v) in
+             r.Liverange.weighted_refs /. float_of_int (max 1 r.Liverange.span)
+           in
+           compare (pr b) (pr a))
+  in
+  let pos_in_allocatable =
+    let tbl = Hashtbl.create 32 in
+    List.iteri (fun i r -> Hashtbl.replace tbl r i) config.Machine.allocatable;
+    tbl
+  in
+  List.iter
+    (fun v ->
+      let range = lr.Liverange.ranges.(v) in
+      let forbidden = Machine.Set.empty () in
+      Bitset.iter
+        (fun u ->
+          match assignment.(u) with
+          | Lreg r -> Bitset.set forbidden r
+          | Lstack -> ())
+        (Interference.neighbors ig v);
+      let score r =
+        let around_calls =
+          List.fold_left
+            (fun acc cs_id ->
+              if Bitset.mem site_clobber.(cs_id) r then
+                acc
+                +. (save_restore_cost
+                   *. lr.Liverange.call_sites.(cs_id).Liverange.cs_weight)
+              else acc)
+            0. range.Liverange.calls_across
+        in
+        let contract =
+          if
+            honor_contract
+            && Machine.class_of r = Machine.Callee_saved
+            && (not (Bitset.mem callee_saved_in_use r))
+            && not (Bitset.mem callee_clobbers r)
+          then save_restore_cost
+          else 0.
+        in
+        let arg_bonus =
+          List.fold_left
+            (fun acc (cs_id, pos) ->
+              match List.nth_opt site_arg_locs.(cs_id) pos with
+              | Some (Preg pr) when pr = r ->
+                  acc
+                  +. (float_of_int Machine.move_cost
+                     *. lr.Liverange.call_sites.(cs_id).Liverange.cs_weight)
+              | Some (Preg _ | Pstack) | None -> acc)
+            0. range.Liverange.arg_moves
+        in
+        let arrival_bonus =
+          match Hashtbl.find_opt default_arrival v with
+          | Some ar when ar = r -> float_of_int Machine.move_cost
+          | Some _ | None -> 0.
+        in
+        range.Liverange.weighted_refs +. arg_bonus +. arrival_bonus
+        -. around_calls -. contract
+      in
+      let best =
+        List.fold_left
+          (fun best r ->
+            if Bitset.mem forbidden r then best
+            else
+              let s = score r in
+              let better =
+                match best with
+                | None -> true
+                | Some (_, bs, btree, bpos) ->
+                    let tree = Bitset.mem tree_used r in
+                    let pos = Hashtbl.find pos_in_allocatable r in
+                    s > bs
+                    || (s = bs && tree && not btree)
+                    || (s = bs && tree = btree && pos < bpos)
+              in
+              if better then
+                Some
+                  ( r,
+                    s,
+                    Bitset.mem tree_used r,
+                    Hashtbl.find pos_in_allocatable r )
+              else best)
+          None config.Machine.allocatable
+      in
+      match best with
+      | Some (r, s, _, _) when s > 0. ->
+          assignment.(v) <- Lreg r;
+          Bitset.set tree_used r;
+          if Machine.class_of r = Machine.Callee_saved then
+            Bitset.set callee_saved_in_use r
+      | Some _ | None -> ())
+    order;
+
+  (* ----- contract registers and save/restore placement ----- *)
+  let own_assigned = Machine.Set.empty () in
+  Array.iter
+    (function Lreg r -> Bitset.set own_assigned r | Lstack -> ())
+    assignment;
+  let candidates =
+    List.filter
+      (fun r -> Bitset.mem own_assigned r || Bitset.mem callee_clobbers r)
+      Machine.callee_saved
+  in
+  let has_calls = Array.length lr.Liverange.call_sites > 0 in
+  (* APP: blocks where each candidate register carries a protected value *)
+  let app =
+    Array.init (Ir.nblocks p) (fun _ -> Bitset.create Machine.nregs)
+  in
+  Array.iteri
+    (fun v loc ->
+      match loc with
+      | Lreg r when List.mem r candidates ->
+          Bitset.iter
+            (fun l -> Bitset.set app.(l) r)
+            lr.Liverange.ranges.(v).Liverange.blocks
+      | Lreg _ | Lstack -> ())
+    assignment;
+  Array.iteri
+    (fun cs_id cs ->
+      let l = cs.Liverange.cs_block in
+      List.iter
+        (fun r ->
+          if Bitset.mem site_clobber.(cs_id) r then Bitset.set app.(l) r)
+        candidates;
+      if has_calls then Bitset.set app.(l) Machine.ra)
+    lr.Liverange.call_sites;
+  let sw_candidates =
+    (if has_calls then [ Machine.ra ] else []) @ candidates
+  in
+  let placement =
+    if mode.shrinkwrap then Shrinkwrap.compute cfg loops ~app sw_candidates
+    else Shrinkwrap.entry_exit_placement cfg sw_candidates
+  in
+  (* §6 combining rule: closed procedures propagate a register's
+     save/restore to their parents exactly when the save would sit at the
+     procedure entry (or always, when shrink-wrap is off). [ra] never
+     propagates: it is meaningful only within the current activation. *)
+  let propagated =
+    if honor_contract then []
+    else if not mode.shrinkwrap then candidates
+    else List.filter (fun r -> r <> Machine.ra && List.mem r candidates)
+        placement.Shrinkwrap.entry_save
+  in
+  let is_propagated r = List.mem r propagated in
+  let save_at =
+    List.filter (fun (_, r) -> not (is_propagated r)) placement.Shrinkwrap.save_at
+  in
+  let restore_at =
+    List.filter
+      (fun (_, r) -> not (is_propagated r))
+      placement.Shrinkwrap.restore_at
+  in
+  let contract_saves =
+    (if has_calls then [ Machine.ra ] else [])
+    @ List.filter (fun r -> not (is_propagated r)) candidates
+  in
+
+  (* ----- per-call-site plans ----- *)
+  let call_plans = Hashtbl.create 8 in
+  Array.iteri
+    (fun cs_id cs ->
+      let saves =
+        Bitset.fold
+          (fun v acc ->
+            match assignment.(v) with
+            | Lreg r
+              when Bitset.mem site_clobber.(cs_id) r && not (List.mem r acc)
+              ->
+                r :: acc
+            | Lreg _ | Lstack -> acc)
+          cs.Liverange.cs_live_across []
+      in
+      Hashtbl.replace call_plans
+        (cs.Liverange.cs_block, cs.Liverange.cs_index)
+        { cp_arg_locs = site_arg_locs.(cs_id); cp_saves = List.rev saves })
+    lr.Liverange.call_sites;
+
+  (* ----- parameter arrival locations ----- *)
+  let entry_live = lv.Liveness.live_in.(Ir.entry_label) in
+  let param_live = List.map (Bitset.mem entry_live) p.params in
+  let param_locs =
+    if honor_contract then
+      List.mapi
+        (fun i _ ->
+          if i < config.Machine.n_param_regs then
+            Preg (List.nth Machine.param_regs i)
+          else Pstack)
+        p.params
+    else
+      (* A dead-on-arrival parameter must not publish a register arrival:
+         its assigned register reflects its later, internal live range,
+         which need not interfere with the other parameters at entry — two
+         parameters could then share one arrival register and the caller's
+         argument moves would collide.  Live parameters are pairwise
+         distinct (they interfere at entry); dead ones go to the stack,
+         where the callee simply never reads them. *)
+      List.map2
+        (fun v live ->
+          if not live then Pstack
+          else
+            match assignment.(v) with Lreg r -> Preg r | Lstack -> Pstack)
+        p.params param_live
+  in
+
+  (* ----- published usage summary (closed procedures only) ----- *)
+  let info =
+    if honor_contract then None
+    else begin
+      let mask = Bitset.copy own_assigned in
+      Bitset.union_into mask callee_clobbers;
+      List.iter (fun r -> Bitset.clear mask r) contract_saves;
+      Some { Usage.mask; param_locs }
+    end
+  in
+  let result =
+    {
+      r_proc = p;
+      r_assignment = assignment;
+      r_param_locs = param_locs;
+      r_param_live = param_live;
+      r_call_plans = call_plans;
+      r_contract_saves = contract_saves;
+      r_save_at = save_at;
+      r_restore_at = restore_at;
+      r_open = honor_contract;
+    }
+  in
+  let stats =
+    {
+      s_nranges = List.length order;
+      s_allocated =
+        Array.fold_left
+          (fun acc loc -> match loc with Lreg _ -> acc + 1 | Lstack -> acc)
+          0 assignment;
+      s_distinct_regs = Bitset.cardinal own_assigned;
+      s_sw_iterations = placement.Shrinkwrap.iterations;
+      s_splits = 0;
+    }
+  in
+  (result, info, stats, loops, lr)
+
+let max_split_attempts = 8
+let max_splits_kept = 3
+
+(* total frequency-weighted traffic of the memory-resident ranges: the
+   quantity a split must reduce to be worth keeping *)
+let spill_cost (lr : Liverange.t) (assignment : location array) =
+  let total = ref 0. in
+  Array.iteri
+    (fun v loc ->
+      if loc = Lstack then
+        total := !total +. lr.Liverange.ranges.(v).Liverange.weighted_refs)
+    assignment;
+  !total
+
+(** Allocation with live-range splitting: when a range with loop-resident
+    references fails to get a register, speculatively split its in-loop
+    portion into a fresh range (see {!Split}) and re-run the allocation.
+    A split is kept only when the new range actually receives a register;
+    otherwise the procedure is rolled back, so splitting can never make
+    the code worse. *)
+let allocate ?weights (config : Machine.config) (mode : mode) (p : Ir.proc) :
+    result * Usage.info option * stats =
+  let attempted = Hashtbl.create 8 in
+  let rec go ~attempts ~kept =
+    let result, info, stats, loops, lr =
+      allocate_once ?weights config mode p
+    in
+    if attempts >= max_split_attempts || kept >= max_splits_kept then
+      (result, info, stats, kept)
+    else
+      match
+        Split.find_candidate p loops lr result.r_assignment ~attempted
+      with
+      | None -> (result, info, stats, kept)
+      | Some (v, loop) ->
+          Hashtbl.replace attempted (v, loop.Chow_ir.Loops.header) ();
+          let snap = Split.snapshot p in
+          let v' = Split.apply p v loop in
+          Hashtbl.replace attempted (v', loop.Chow_ir.Loops.header) ();
+          let trial, _, _, _, trial_lr =
+            allocate_once ?weights config mode p
+          in
+          let before = spill_cost lr result.r_assignment in
+          let after = spill_cost trial_lr trial.r_assignment in
+          if trial.r_assignment.(v') = Lstack || after +. 2. >= before then begin
+            (* no net gain (the split spilled, or merely evicted something
+               equally hot): undo *)
+            Split.restore p snap;
+            go ~attempts:(attempts + 1) ~kept
+          end
+          else go ~attempts:(attempts + 1) ~kept:(kept + 1)
+  in
+  let result, info, stats, kept = go ~attempts:0 ~kept:0 in
+  (result, info, { stats with s_splits = kept })

@@ -1,0 +1,37 @@
+(** Priority-based coloring register allocation with the paper's
+    extensions: per variable-register priorities that account for the two
+    save/restore conventions (§2), parameter-register affinities (§4), and
+    the shrink-wrap combining rule (§6).  See the implementation header for
+    the cost model. *)
+
+module Machine = Chow_machine.Machine
+
+type mode = {
+  ipra : bool;  (** consume and publish inter-procedural usage summaries *)
+  shrinkwrap : bool;
+  is_open : bool;  (** §3 classification; forced open when [ipra] is off *)
+  usage : Usage.table;
+}
+
+(** Intra-procedural allocation (the paper's -O2). *)
+val intra_mode : shrinkwrap:bool -> mode
+
+(** Diagnostics for tests, examples and the figure benches. *)
+type stats = {
+  s_nranges : int;  (** live ranges considered *)
+  s_allocated : int;  (** ranges granted a register *)
+  s_distinct_regs : int;
+  s_sw_iterations : int;  (** shrink-wrap range-extension rounds *)
+  s_splits : int;  (** live-range splits performed *)
+}
+
+(** [allocate ?weights config mode p] colors one procedure.  [weights]
+    overrides the static [10^loop-depth] block frequencies (profile
+    feedback).  Returns the allocation, the usage summary to publish when
+    the procedure is closed, and diagnostics. *)
+val allocate :
+  ?weights:float array ->
+  Machine.config ->
+  mode ->
+  Chow_ir.Ir.proc ->
+  Alloc_types.result * Usage.info option * stats

@@ -1,0 +1,14 @@
+(** Promotion of global scalars to registers within procedures (paper §1).
+
+    A global scalar is promoted in a procedure when the procedure accesses
+    it, no call it makes can touch it (a bottom-up summary over the call
+    graph, with indirect and external calls assumed to touch everything),
+    and its loop-weighted access count outweighs the entry-load /
+    exit-store overhead.  Promoted globals become ordinary virtual
+    registers: loaded once at entry, written back before each return when
+    modified. *)
+
+(** [transform prog] rewrites the program in place and returns the number
+    of (procedure, global) promotions performed.  The result passes
+    {!Chow_ir.Verify.check_prog}. *)
+val transform : Chow_ir.Ir.prog -> int

@@ -1,0 +1,19 @@
+(** Interference graph over virtual registers, dense bitset adjacency. *)
+
+module Bitset = Chow_support.Bitset
+module Ir = Chow_ir.Ir
+
+type t = { adj : Bitset.t array }
+
+let build (p : Ir.proc) (lv : Liveness.t) =
+  let adj = Array.init p.nvregs (fun _ -> Bitset.create p.nvregs) in
+  List.iter
+    (fun (a, b) ->
+      Bitset.set adj.(a) b;
+      Bitset.set adj.(b) a)
+    (Liveness.interference_edges p lv);
+  { adj }
+
+let interfere t a b = Bitset.mem t.adj.(a) b
+let neighbors t v = t.adj.(v)
+let degree t v = Bitset.cardinal t.adj.(v)

@@ -1,0 +1,8 @@
+(** Interference graph over virtual registers, dense bitset adjacency. *)
+
+type t
+
+val build : Chow_ir.Ir.proc -> Liveness.t -> t
+val interfere : t -> Chow_ir.Ir.vreg -> Chow_ir.Ir.vreg -> bool
+val neighbors : t -> Chow_ir.Ir.vreg -> Chow_support.Bitset.t
+val degree : t -> Chow_ir.Ir.vreg -> int

@@ -1,0 +1,25 @@
+(** One-pass inter-procedural register allocation driver (§2): processes
+    procedures in depth-first call-graph order, each closed procedure
+    publishing its register-usage summary before any caller is allocated.
+    With [ipra = false] every procedure uses the default linkage convention
+    — the paper's [-O2] baseline. *)
+
+type t = {
+  results : (string * Alloc_types.result) list;  (** in processing order *)
+  usage : Usage.table;
+  callgraph : Callgraph.t;
+  stats : (string * Coloring.stats) list;
+}
+
+val find : t -> string -> Alloc_types.result option
+
+(** [allocate_program ?ipra ?shrinkwrap ?profile config prog].  [profile]
+    optionally supplies measured block frequencies per procedure (§8 future
+    work); procedures without one keep the static loop-depth estimates. *)
+val allocate_program :
+  ?ipra:bool ->
+  ?shrinkwrap:bool ->
+  ?profile:(string -> float array option) ->
+  Chow_machine.Machine.config ->
+  Chow_ir.Ir.prog ->
+  t

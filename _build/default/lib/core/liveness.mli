@@ -1,0 +1,31 @@
+(** Live-variable analysis over virtual registers. *)
+
+module Bitset = Chow_support.Bitset
+
+type t = {
+  live_in : Bitset.t array;  (** per block *)
+  live_out : Bitset.t array;
+  upward_exposed : Bitset.t array;  (** gen: used before any def in block *)
+  defs : Bitset.t array;  (** kill: defined in block *)
+}
+
+val compute : Chow_ir.Ir.proc -> Chow_ir.Cfg.t -> t
+
+(** [fold_insts_backward p t l f init] folds [f acc inst live_after] over
+    block [l]'s instructions from last to first, where [live_after] is the
+    precise live set immediately after the instruction (terminator uses
+    already included). *)
+val fold_insts_backward :
+  Chow_ir.Ir.proc ->
+  t ->
+  Chow_ir.Ir.label ->
+  ('a -> Chow_ir.Ir.inst -> Bitset.t -> 'a) ->
+  'a ->
+  'a
+
+(** Precise interference edges: each definition conflicts with everything
+    live after it, minus the classic copy exemption for [Mov]; parameters
+    live at the entry interfere pairwise (they are defined simultaneously
+    by the call sequence). *)
+val interference_edges :
+  Chow_ir.Ir.proc -> t -> (Chow_ir.Ir.vreg * Chow_ir.Ir.vreg) list

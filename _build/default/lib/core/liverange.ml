@@ -1,0 +1,164 @@
+(** Live ranges in the style of the paper's priority-based coloring: each
+    virtual register owns one live range described by the set of basic
+    blocks it is live or referenced in, its frequency-weighted use/def
+    counts, and the call sites its range spans.  Frequencies are static
+    estimates: a block at loop depth [d] weighs [10^min(d,5)], the classic
+    Uopt heuristic (measured profiles can be substituted; see
+    {!val:weights_of_profile}). *)
+
+module Bitset = Chow_support.Bitset
+module Ir = Chow_ir.Ir
+module Cfg = Chow_ir.Cfg
+module Loops = Chow_ir.Loops
+
+type call_site = {
+  cs_id : int;
+  cs_block : Ir.label;
+  cs_index : int;  (** index of the call within its block's instructions *)
+  cs_target : Ir.call_target;
+  cs_args : Ir.operand list;
+  cs_ret : Ir.vreg option;
+  cs_weight : float;
+  cs_live_across : Bitset.t;  (** vregs live through the call *)
+}
+
+type range = {
+  vreg : Ir.vreg;
+  blocks : Bitset.t;  (** blocks where the vreg is live or referenced *)
+  weighted_refs : float;  (** frequency-weighted loads+stores saved *)
+  span : int;  (** number of blocks in [blocks]; the paper's range size *)
+  calls_across : int list;  (** [cs_id]s of call sites the range spans *)
+  arg_moves : (int * int) list;
+      (** (cs_id, arg position) pairs where this vreg is passed by value *)
+}
+
+type t = {
+  ranges : range array;  (** indexed by vreg *)
+  call_sites : call_site array;
+  weights : float array;  (** per-block frequency estimate *)
+}
+
+let default_weights (p : Ir.proc) (loops : Loops.t) =
+  Array.init (Ir.nblocks p) (fun l ->
+      10. ** float_of_int (min (Loops.depth loops l) 5))
+
+(** Substitute measured block frequencies (profile feedback, the paper's
+    "future work" §8): callers normalise counts so the entry block is 1. *)
+let weights_of_profile counts =
+  let entry = max 1. counts.(Ir.entry_label) in
+  Array.map (fun c -> c /. entry) counts
+
+let compute ?weights (p : Ir.proc) (cfg : Cfg.t) (loops : Loops.t)
+    (lv : Liveness.t) =
+  let nb = Ir.nblocks p in
+  let weights =
+    match weights with Some w -> w | None -> default_weights p loops
+  in
+  ignore cfg;
+  let blocks = Array.init p.nvregs (fun _ -> Bitset.create nb) in
+  let refs = Array.make p.nvregs 0. in
+  let calls_across = Array.make p.nvregs [] in
+  let arg_moves = Array.make p.nvregs [] in
+  let call_sites = ref [] in
+  let n_sites = ref 0 in
+  (* blocks where live-in *)
+  for l = 0 to nb - 1 do
+    Bitset.iter (fun v -> Bitset.set blocks.(v) l) lv.Liveness.live_in.(l);
+    Bitset.iter (fun v -> Bitset.set blocks.(v) l) lv.Liveness.live_out.(l)
+  done;
+  (* reference counts, presence, and call sites *)
+  for l = 0 to nb - 1 do
+    let w = weights.(l) in
+    let b = Ir.block p l in
+    let touch v =
+      Bitset.set blocks.(v) l;
+      refs.(v) <- refs.(v) +. w
+    in
+    List.iteri
+      (fun idx inst ->
+        List.iter touch (Ir.inst_defs inst);
+        List.iter touch (Ir.inst_uses inst);
+        match inst with
+        | Ir.Call { target; args; ret } ->
+            let cs_id = !n_sites in
+            incr n_sites;
+            (* live-across set is filled in the backward pass below *)
+            call_sites :=
+              {
+                cs_id;
+                cs_block = l;
+                cs_index = idx;
+                cs_target = target;
+                cs_args = args;
+                cs_ret = ret;
+                cs_weight = w;
+                cs_live_across = Bitset.create p.nvregs;
+              }
+              :: !call_sites;
+            List.iteri
+              (fun pos arg ->
+                match arg with
+                | Ir.Reg v -> arg_moves.(v) <- (cs_id, pos) :: arg_moves.(v)
+                | Ir.Imm _ -> ())
+              args
+        | Ir.Li _ | Ir.Mov _ | Ir.Neg _ | Ir.Not _ | Ir.Binop _ | Ir.Cmp _
+        | Ir.Load _ | Ir.Store _ | Ir.Addr_of_proc _ | Ir.Print _ ->
+            ())
+      b.insts;
+    List.iter touch (Ir.term_uses b.term)
+  done;
+  let call_sites =
+    let arr = Array.make !n_sites None in
+    List.iter (fun cs -> arr.(cs.cs_id) <- Some cs) !call_sites;
+    Array.map Option.get arr
+  in
+  (* live-across sets via the precise backward walk *)
+  for l = 0 to nb - 1 do
+    let idx_of = Hashtbl.create 8 in
+    List.iteri
+      (fun idx inst ->
+        match inst with
+        | Ir.Call _ -> Hashtbl.add idx_of idx ()
+        | _ -> ())
+      (Ir.block p l).insts;
+    if Hashtbl.length idx_of > 0 then begin
+      (* recompute instruction indices during the backward fold *)
+      let ninsts = List.length (Ir.block p l).insts in
+      let pos = ref ninsts in
+      ignore
+        (Liveness.fold_insts_backward p lv l
+           (fun () inst live_after ->
+             decr pos;
+             match inst with
+             | Ir.Call _ ->
+                 let cs =
+                   Array.to_list call_sites
+                   |> List.find (fun cs ->
+                          cs.cs_block = l && cs.cs_index = !pos)
+                 in
+                 let across = Bitset.copy live_after in
+                 List.iter (Bitset.clear across) (Ir.inst_defs inst);
+                 Bitset.assign cs.cs_live_across across;
+                 Bitset.iter
+                   (fun v ->
+                     calls_across.(v) <- cs.cs_id :: calls_across.(v))
+                   across
+             | Ir.Li _ | Ir.Mov _ | Ir.Neg _ | Ir.Not _ | Ir.Binop _
+             | Ir.Cmp _ | Ir.Load _ | Ir.Store _ | Ir.Addr_of_proc _
+             | Ir.Print _ ->
+                 ())
+           ())
+    end
+  done;
+  let ranges =
+    Array.init p.nvregs (fun v ->
+        {
+          vreg = v;
+          blocks = blocks.(v);
+          weighted_refs = refs.(v);
+          span = Bitset.cardinal blocks.(v);
+          calls_across = calls_across.(v);
+          arg_moves = arg_moves.(v);
+        })
+  in
+  { ranges; call_sites; weights }

@@ -1,0 +1,248 @@
+(** Shrink-wrapping of callee-saved register saves/restores (paper §5).
+
+    Given, per basic block, the set of registers whose values must be
+    protected there (the APP attribute: blocks where a live range assigned
+    to the register extends, plus call blocks whose callee may clobber it),
+    this module decides at which block entries to save each register and at
+    which block exits to restore it, so that the save/restore code executes
+    only on paths that actually use the register.
+
+    The placement follows the paper's equations:
+
+    - ANTOUT/ANTIN (3.1, 3.2): anticipated uses, backward ∩, false at exits;
+    - AVIN/AVOUT (3.3, 3.4): available uses, forward ∩, false at the entry
+      (the paper prints "exit" in (3.3) — an obvious typo, availability is a
+      forward problem);
+    - SAVE (3.5): save where the use is anticipated, not available, and not
+      anticipated in any predecessor;
+    - RESTORE (3.6): the mirror image at block exits.
+
+    As the paper notes, the literal equations can produce incorrect code on
+    some control-flow shapes (its Fig. 2 double save being one); rather than
+    split edges, the paper "extends the range of usage of the register by
+    propagating the APP attribute to the basic blocks that cause the
+    incorrect insertion" and iterates until stable.  We drive that iteration
+    with an explicit balance checker: an abstract interpretation over the
+    CFG tracks whether the register is currently saved, and each violation
+    (double or conflicting save, unprotected use, restore without save,
+    unbalanced exit) extends APP into the offending neighbourhood before
+    re-solving.  In practice one or two rounds suffice, as the paper
+    reports; a register that still cannot be placed after
+    [max_iterations] falls back to entry/exit placement, which is always
+    correct.
+
+    Loops: APP is first propagated over whole natural-loop bodies, so a
+    shrink-wrapped region never lands inside a loop (paper §5, last
+    paragraph). *)
+
+module Bitset = Chow_support.Bitset
+module Ir = Chow_ir.Ir
+module Cfg = Chow_ir.Cfg
+module Loops = Chow_ir.Loops
+module Dataflow = Chow_ir.Dataflow
+module Machine = Chow_machine.Machine
+
+type placement = {
+  save_at : (Ir.label * Machine.reg) list;  (** save at entry of block *)
+  restore_at : (Ir.label * Machine.reg) list;  (** restore at exit of block *)
+  entry_save : Machine.reg list;
+      (** registers whose save lands at the procedure entry block — §6 uses
+          this to decide which saves propagate up the call graph *)
+  iterations : int;  (** range-extension rounds performed, for diagnostics *)
+}
+
+let nbits = Machine.nregs
+let max_iterations = 24
+
+(* Propagate APP over natural loops: a register used anywhere in a loop is
+   treated as used in every block of that loop. *)
+let propagate_loops (loops : Loops.t) app =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun { Loops.body; _ } ->
+        let union = Bitset.create nbits in
+        Bitset.iter (fun l -> Bitset.union_into union app.(l)) body;
+        Bitset.iter
+          (fun l ->
+            if not (Bitset.subset union app.(l)) then begin
+              Bitset.union_into app.(l) union;
+              changed := true
+            end)
+          body)
+      loops.Loops.loops
+  done
+
+let solve_ant cfg app =
+  Dataflow.solve cfg
+    {
+      Dataflow.nbits;
+      direction = Dataflow.Backward;
+      meet = Dataflow.Inter;
+      boundary = Bitset.create nbits;
+      gen = (fun l -> app.(l));
+      kill = (fun _ -> Bitset.create nbits);
+    }
+
+let solve_av cfg app =
+  Dataflow.solve cfg
+    {
+      Dataflow.nbits;
+      direction = Dataflow.Forward;
+      meet = Dataflow.Inter;
+      boundary = Bitset.create nbits;
+      gen = (fun l -> app.(l));
+      kill = (fun _ -> Bitset.create nbits);
+    }
+
+(* SAVE_i = ANTIN_i * (not AVIN_i) * prod_{j in pred(i)} (not ANTIN_j)  (3.5) *)
+let compute_save cfg ~antin ~avin =
+  Array.init cfg.Cfg.nblocks (fun l ->
+      let s = Bitset.copy antin.(l) in
+      Bitset.diff_into s avin.(l);
+      List.iter (fun j -> Bitset.diff_into s antin.(j)) (Cfg.preds cfg l);
+      s)
+
+(* RESTORE_i = AVOUT_i * (not ANTOUT_i) * prod_{j in succ(i)} (not AVOUT_j) (3.6) *)
+let compute_restore cfg ~avout ~antout =
+  Array.init cfg.Cfg.nblocks (fun l ->
+      let s = Bitset.copy avout.(l) in
+      Bitset.diff_into s antout.(l);
+      List.iter (fun j -> Bitset.diff_into s avout.(j)) (Cfg.succs cfg l);
+      s)
+
+type violation =
+  | Conflicting_paths of Ir.label
+      (** joins where one incoming path has an active save and another not *)
+  | Double_save of Ir.label
+  | Unprotected_use of Ir.label
+  | Restore_unsaved of Ir.label
+  | Exit_unbalanced of Ir.label
+
+(** Abstract interpretation of a single register's placement.  States:
+    [-1] unknown, [0] unsaved, [1] saved, [2] conflicting. *)
+let check_balance cfg ~app ~save ~restore r =
+  let n = cfg.Cfg.nblocks in
+  let has arr l = Bitset.mem arr.(l) r in
+  let transfer l s =
+    if s < 0 || s = 2 then s
+    else
+      let s = if has save l then 1 else s in
+      let s = if has restore l then 0 else s in
+      s
+  in
+  let state_in = Array.make n (-1) in
+  let meet a b =
+    if a = -1 then b else if b = -1 then a else if a = b then a else 2
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun l ->
+        let s =
+          if l = Ir.entry_label then 0
+          else
+            List.fold_left
+              (fun acc j -> meet acc (transfer j state_in.(j)))
+              (-1) (Cfg.preds cfg l)
+        in
+        if s <> state_in.(l) then begin
+          state_in.(l) <- s;
+          changed := true
+        end)
+      cfg.Cfg.rpo
+  done;
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let is_exit l = List.mem l cfg.Cfg.exits in
+  Array.iter
+    (fun l ->
+      let s = state_in.(l) in
+      if s >= 0 then begin
+        if s = 2 then add (Conflicting_paths l);
+        let s = if has save l then (if s = 1 then (add (Double_save l); 1) else 1) else s in
+        if has app l && s <> 1 && s >= 0 then add (Unprotected_use l);
+        let s =
+          if has restore l then
+            if s = 1 then 0 else (add (Restore_unsaved l); 0)
+          else s
+        in
+        if is_exit l && s = 1 then add (Exit_unbalanced l)
+      end)
+    cfg.Cfg.rpo;
+  !violations
+
+(* Range extension: where to grow APP for register [r] given a violation. *)
+let extend_for_violation cfg app r = function
+  | Conflicting_paths l | Double_save l | Unprotected_use l ->
+      List.iter (fun j -> Bitset.set app.(j) r) (Cfg.preds cfg l)
+  | Restore_unsaved l ->
+      List.iter (fun j -> Bitset.set app.(j) r) (Cfg.succs cfg l)
+  | Exit_unbalanced l -> Bitset.set app.(l) r
+
+(** Entry/exit placement: the ordinary convention, used when shrink-wrap is
+    disabled and as the sound fallback. *)
+let entry_exit_placement cfg regs =
+  let save_at = List.map (fun r -> (Ir.entry_label, r)) regs in
+  let restore_at =
+    List.concat_map (fun r -> List.map (fun l -> (l, r)) cfg.Cfg.exits) regs
+  in
+  { save_at; restore_at; entry_save = regs; iterations = 0 }
+
+(** [compute cfg loops ~app candidates] shrink-wraps the registers in
+    [candidates] given their per-block protection requirements [app]
+    (modified in place by range extension). *)
+let compute cfg (loops : Loops.t) ~(app : Bitset.t array) candidates =
+  let remaining = ref candidates in
+  let placed_save = ref [] in
+  let placed_restore = ref [] in
+  let entry_save = ref [] in
+  let rounds = ref 0 in
+  let finished = ref (!remaining = []) in
+  while (not !finished) && !rounds < max_iterations do
+    incr rounds;
+    propagate_loops loops app;
+    let ant = solve_ant cfg app in
+    let av = solve_av cfg app in
+    let save =
+      compute_save cfg ~antin:ant.Dataflow.live_in ~avin:av.Dataflow.live_in
+    in
+    let restore =
+      compute_restore cfg ~avout:av.Dataflow.live_out
+        ~antout:ant.Dataflow.live_out
+    in
+    let bad, good =
+      List.partition
+        (fun r ->
+          match check_balance cfg ~app ~save ~restore r with
+          | [] -> false
+          | violations ->
+              List.iter (extend_for_violation cfg app r) violations;
+              true)
+        !remaining
+    in
+    (* registers whose placement is already balanced are final: APP only
+       grows for the bad ones, and each register's bits are independent *)
+    List.iter
+      (fun r ->
+        for l = 0 to cfg.Cfg.nblocks - 1 do
+          if Bitset.mem save.(l) r then placed_save := (l, r) :: !placed_save;
+          if Bitset.mem restore.(l) r then
+            placed_restore := (l, r) :: !placed_restore
+        done;
+        if Bitset.mem save.(Ir.entry_label) r then
+          entry_save := r :: !entry_save)
+      good;
+    remaining := bad;
+    if !remaining = [] then finished := true
+  done;
+  (* sound fallback for anything still unbalanced *)
+  let fallback = entry_exit_placement cfg !remaining in
+  {
+    save_at = fallback.save_at @ !placed_save;
+    restore_at = fallback.restore_at @ !placed_restore;
+    entry_save = fallback.entry_save @ !entry_save;
+    iterations = !rounds;
+  }

@@ -1,0 +1,73 @@
+(** Shrink-wrapping of callee-saved register saves/restores (paper §5).
+
+    Given the per-block APP attribute — the blocks where each register
+    carries a value that must be protected — decides where to save (block
+    entries) and restore (block exits) so the code executes only on paths
+    that need it.  Implements the paper's equations (3.1)-(3.6), the
+    loop-propagation rule, and the APP range-extension iteration, driven by
+    an explicit balance checker; registers that cannot be balanced fall
+    back to entry/exit placement.  See the implementation header for the
+    full account, including the correction of the paper's (3.3) typo. *)
+
+module Bitset = Chow_support.Bitset
+module Machine = Chow_machine.Machine
+module Ir = Chow_ir.Ir
+module Cfg = Chow_ir.Cfg
+module Dataflow = Chow_ir.Dataflow
+
+type placement = {
+  save_at : (Ir.label * Machine.reg) list;  (** save at entry of block *)
+  restore_at : (Ir.label * Machine.reg) list;  (** restore at exit of block *)
+  entry_save : Machine.reg list;
+      (** registers whose save landed at the procedure entry — §6 uses this
+          to decide which saves propagate up the call graph *)
+  iterations : int;  (** range-extension rounds performed *)
+}
+
+(** [compute cfg loops ~app candidates] shrink-wraps the given registers.
+    [app] is indexed by block and holds register bits; it is modified in
+    place by loop propagation and range extension. *)
+val compute :
+  Cfg.t ->
+  Chow_ir.Loops.t ->
+  app:Bitset.t array ->
+  Machine.reg list ->
+  placement
+
+(** The ordinary convention — save at entry, restore at every exit — used
+    when shrink-wrap is disabled and as the sound fallback. *)
+val entry_exit_placement : Cfg.t -> Machine.reg list -> placement
+
+(** {2 Exposed internals}
+
+    The pieces below are the building blocks of {!compute}, exposed so that
+    tests and the Figure-2 bench can exercise the {e literal} equations and
+    the balance checker separately. *)
+
+val solve_ant : Cfg.t -> Bitset.t array -> Dataflow.result
+val solve_av : Cfg.t -> Bitset.t array -> Dataflow.result
+
+(** Equation (3.5). *)
+val compute_save :
+  Cfg.t -> antin:Bitset.t array -> avin:Bitset.t array -> Bitset.t array
+
+(** Equation (3.6). *)
+val compute_restore :
+  Cfg.t -> avout:Bitset.t array -> antout:Bitset.t array -> Bitset.t array
+
+type violation =
+  | Conflicting_paths of Ir.label
+  | Double_save of Ir.label
+  | Unprotected_use of Ir.label
+  | Restore_unsaved of Ir.label
+  | Exit_unbalanced of Ir.label
+
+(** Abstract interpretation of one register's placement; empty means
+    balanced on every path. *)
+val check_balance :
+  Cfg.t ->
+  app:Bitset.t array ->
+  save:Bitset.t array ->
+  restore:Bitset.t array ->
+  Machine.reg ->
+  violation list

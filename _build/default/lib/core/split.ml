@@ -1,0 +1,161 @@
+(** Live-range splitting, the distinguishing move of priority-based
+    coloring (Chow-Hennessy, the paper's base algorithm [11]): when a live
+    range cannot be granted a register, carve out its high-priority portion
+    so that at least that part can.
+
+    This implementation splits at natural-loop granularity — the case that
+    matters under the [10^depth] priority weighting: a memory-resident
+    range [v] with references inside a loop gets a fresh range [v'] that is
+
+    - initialised from [v] in a new preheader on the loop's entry edges,
+    - substituted for [v] throughout the loop body, and
+    - copied back to [v] on every loop-exit edge (only when the loop
+      modifies it), through new edge-split stubs.
+
+    [v'] spans only the loop, so its priority is high and its interference
+    small; the allocator then reconsiders the whole procedure.  The
+    rewrite is pure IR surgery — correctness is guaranteed by the same
+    machinery as everything else (the verifier, the simulator's contract
+    checker, and the configuration-equivalence tests). *)
+
+module Bitset = Chow_support.Bitset
+module Ir = Chow_ir.Ir
+module Loops = Chow_ir.Loops
+module Verify = Chow_ir.Verify
+open Alloc_types
+
+(* weighted references of [v] inside the loop body *)
+let in_loop_refs (p : Ir.proc) (lr : Liverange.t) v body =
+  let total = ref 0. in
+  Array.iteri
+    (fun l b ->
+      if Bitset.mem body l then begin
+        let w = lr.Liverange.weights.(l) in
+        let count_refs vs =
+          List.iter (fun u -> if u = v then total := !total +. w) vs
+        in
+        List.iter
+          (fun i ->
+            count_refs (Ir.inst_uses i);
+            count_refs (Ir.inst_defs i))
+          b.Ir.insts;
+        count_refs (Ir.term_uses b.Ir.term)
+      end)
+    p.Ir.blocks;
+  !total
+
+
+(** [find_candidate] picks the most profitable (spilled vreg, loop) pair
+    not yet attempted: highest in-loop weighted references, range extending
+    beyond the loop, and a loop not already saturated with registers. *)
+let find_candidate (p : Ir.proc) (loops : Loops.t) (lr : Liverange.t)
+    (assignment : location array) ~attempted =
+  let best = ref None in
+  Array.iteri
+    (fun v loc ->
+      if loc = Lstack then
+        List.iter
+          (fun { Loops.header; body } ->
+            if
+              header <> Ir.entry_label
+              && (not (Hashtbl.mem attempted (v, header)))
+              && not
+                   (Bitset.subset lr.Liverange.ranges.(v).Liverange.blocks
+                      body)
+            then begin
+              let refs = in_loop_refs p lr v body in
+              let better =
+                match !best with
+                | Some (_, _, best_refs) -> refs > best_refs
+                | None -> refs >= 10.
+              in
+              if better then best := Some (v, header, refs)
+            end)
+          loops.Loops.loops)
+    assignment;
+  Option.map
+    (fun (v, header, _) ->
+      ( v,
+        List.find (fun l -> l.Loops.header = header) loops.Loops.loops ))
+    !best
+
+(** Cheap structural snapshot for speculative splitting: block records are
+    copied (their [insts] lists and terminators are immutable values), so
+    restoring just reinstates the old arrays. *)
+type snapshot = {
+  s_blocks : Ir.block array;
+  s_nvregs : int;
+  s_kinds : Ir.vreg_kind array;
+}
+
+let snapshot (p : Ir.proc) =
+  {
+    s_blocks =
+      Array.map
+        (fun b -> { Ir.id = b.Ir.id; insts = b.Ir.insts; term = b.Ir.term })
+        p.Ir.blocks;
+    s_nvregs = p.Ir.nvregs;
+    s_kinds = Array.copy p.Ir.vreg_kinds;
+  }
+
+let restore (p : Ir.proc) snap =
+  p.Ir.blocks <- snap.s_blocks;
+  p.Ir.nvregs <- snap.s_nvregs;
+  p.Ir.vreg_kinds <- snap.s_kinds
+
+(** [apply p v loop] performs the rewrite and returns the new vreg. *)
+let apply (p : Ir.proc) (v : Ir.vreg) { Loops.header; body } =
+  let v' = p.Ir.nvregs in
+  p.Ir.nvregs <- v' + 1;
+  let name =
+    match p.Ir.vreg_kinds.(v) with
+    | Ir.Vlocal n | Ir.Vparam (n, _) -> n ^ "@split"
+    | Ir.Vtemp -> "@split"
+  in
+  p.Ir.vreg_kinds <-
+    Array.append p.Ir.vreg_kinds [| Ir.Vlocal name |];
+  let original_n = Ir.nblocks p in
+  (* rename inside the body *)
+  let modified = ref false in
+  Bitset.iter
+    (fun l ->
+      let b = p.Ir.blocks.(l) in
+      List.iter
+        (fun i -> if List.mem v (Ir.inst_defs i) then modified := true)
+        b.Ir.insts;
+      b.Ir.insts <-
+        List.map (Ir.subst_inst ~from_v:v ~to_v:v') b.Ir.insts;
+      b.Ir.term <- Ir.subst_term ~from_v:v ~to_v:v' b.Ir.term)
+    body;
+  let new_blocks = ref [] in
+  let next = ref original_n in
+  let fresh insts term =
+    let l = !next in
+    incr next;
+    new_blocks := { Ir.id = l; insts; term } :: !new_blocks;
+    l
+  in
+  (* preheader on the loop's entry edges *)
+  let pre = fresh [ Ir.Mov (v', v) ] (Ir.Jump header) in
+  Array.iter
+    (fun b ->
+      if not (Bitset.mem body b.Ir.id) then
+        b.Ir.term <- Ir.retarget_term ~from_l:header ~to_l:pre b.Ir.term)
+    p.Ir.blocks;
+  (* copy-back stubs on the loop's exit edges, when the loop writes v *)
+  if !modified then
+    Bitset.iter
+      (fun l ->
+        let b = p.Ir.blocks.(l) in
+        List.iter
+          (fun s ->
+            if s < original_n && not (Bitset.mem body s) then begin
+              let stub = fresh [ Ir.Mov (v, v') ] (Ir.Jump s) in
+              b.Ir.term <- Ir.retarget_term ~from_l:s ~to_l:stub b.Ir.term
+            end)
+          (Ir.successors b.Ir.term))
+      body;
+  p.Ir.blocks <-
+    Array.append p.Ir.blocks (Array.of_list (List.rev !new_blocks));
+  Verify.check_proc p;
+  v'

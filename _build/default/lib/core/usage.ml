@@ -1,0 +1,59 @@
+(** Register-usage summaries published by closed procedures (§2-§4).
+
+    A summary says which physical registers a call to the procedure may
+    modify — including everything its entire call tree modifies — and in
+    which locations it expects its parameters.  Open procedures publish
+    nothing; calls to them (and all indirect or external calls) are governed
+    by the default linkage convention: all caller-saved and parameter
+    registers are presumed clobbered, all callee-saved registers preserved. *)
+
+module Bitset = Chow_support.Bitset
+module Machine = Chow_machine.Machine
+module Ir = Chow_ir.Ir
+
+type info = {
+  mask : Bitset.t;  (** registers possibly modified by calling this proc *)
+  param_locs : Alloc_types.param_loc list;
+}
+
+type table = (string, info) Hashtbl.t
+
+let create_table () : table = Hashtbl.create 16
+
+let publish (table : table) name info = Hashtbl.replace table name info
+
+let find (table : table) name = Hashtbl.find_opt table name
+
+(** Clobber set under the default convention. *)
+let default_clobber () = Machine.Set.all_caller_saved_and_params ()
+
+(** [clobber_of_call table target] is the set of allocatable registers a
+    call may modify, as seen by the caller. *)
+let clobber_of_call (table : table) (target : Ir.call_target) =
+  match target with
+  | Ir.Indirect _ -> default_clobber ()
+  | Ir.Direct f -> (
+      match find table f with
+      | Some info -> Bitset.copy info.mask
+      | None -> default_clobber ())
+
+(** Argument destinations for a call, under the callee's convention.
+    Defaults: first [n_param_regs] arguments in the parameter registers,
+    the rest on the stack. *)
+let arg_locs_of_call (table : table) (config : Machine.config)
+    (target : Ir.call_target) nargs : Alloc_types.param_loc list =
+  let default () =
+    List.init nargs (fun i ->
+        if i < config.Machine.n_param_regs then
+          Alloc_types.Preg (List.nth Machine.param_regs i)
+        else Alloc_types.Pstack)
+  in
+  match target with
+  | Ir.Indirect _ -> default ()
+  | Ir.Direct f -> (
+      match find table f with
+      | Some info ->
+          (* arity is checked by the front end, but be defensive *)
+          if List.length info.param_locs = nargs then info.param_locs
+          else default ()
+      | None -> default ())

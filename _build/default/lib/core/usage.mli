@@ -1,0 +1,39 @@
+(** Register-usage summaries published by closed procedures (§2-§4).
+
+    A summary says which physical registers a call to the procedure may
+    modify — including everything its entire call tree modifies — and
+    where it expects its parameters.  Open procedures publish nothing;
+    calls to them (and all indirect or external calls) are governed by the
+    default linkage convention. *)
+
+module Bitset = Chow_support.Bitset
+module Machine = Chow_machine.Machine
+
+type info = {
+  mask : Bitset.t;  (** registers possibly modified by calling this proc *)
+  param_locs : Alloc_types.param_loc list;
+}
+
+type table
+
+val create_table : unit -> table
+val publish : table -> string -> info -> unit
+val find : table -> string -> info option
+
+(** All caller-saved and parameter registers: what an unknown callee may
+    clobber. *)
+val default_clobber : unit -> Bitset.t
+
+(** The allocatable registers a call may modify, as seen by the caller:
+    the callee's published mask, or {!default_clobber} when unknown. *)
+val clobber_of_call : table -> Chow_ir.Ir.call_target -> Bitset.t
+
+(** Argument destinations under the callee's convention; defaults to the
+    first [n_param_regs] in parameter registers and the rest on the
+    stack. *)
+val arg_locs_of_call :
+  table ->
+  Machine.config ->
+  Chow_ir.Ir.call_target ->
+  int ->
+  Alloc_types.param_loc list

@@ -1,0 +1,1 @@
+lib/frontend/check.ml: Ast Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/frontend/check.mli: Ast

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Ast Check Chow_ir List Option Parser

@@ -1,0 +1,60 @@
+(** Abstract syntax of Pawn.
+
+    Pawn is deliberately typeless in the manner of B: every value is a
+    machine word.  Words may hold integers, truth values (0/1), or procedure
+    addresses obtained with [&f] and invoked through a variable.  The
+    semantic checker ({!Check}) resolves names and enforces arity and
+    scalar/array usage. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And  (** short-circuit *)
+  | Or  (** short-circuit *)
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr  (** [g[e]]; [g] must be a global array *)
+  | Call of string * expr list
+      (** direct if the name resolves to a procedure, indirect if it
+          resolves to a variable holding a procedure address *)
+  | Addr_of of string  (** [&f], address of procedure [f] *)
+  | Neg of expr
+  | Not of expr
+  | Binop of binop * expr * expr
+
+type stmt =
+  | Slocal of string * expr option  (** [var x;] or [var x = e;] *)
+  | Sassign of string * expr
+  | Sstore of string * expr * expr  (** [g[e1] = e2;] *)
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sreturn of expr option
+  | Sprint of expr
+  | Sexpr of expr  (** expression statement, normally a call *)
+
+type proc_decl = {
+  p_name : string;
+  p_params : string list;
+  p_body : stmt list;
+  p_export : bool;
+  p_line : int;
+}
+
+type top =
+  | Dglobal of string * int  (** scalar global with initial value *)
+  | Darray of string * int * int list  (** array global: size, init prefix *)
+  | Dproc of proc_decl
+  | Dextern of string * int  (** externally-defined procedure and its arity *)
+
+type program = top list

@@ -1,0 +1,22 @@
+(** Name resolution and semantic checking for Pawn: no duplicate
+    definitions, variables declared before use, direct calls with matching
+    arity, indexing only on global arrays, scalar assignment targets, and
+    [&f] only on procedures. *)
+
+exception Error of string
+
+type symbol =
+  | Sscalar  (** global scalar variable *)
+  | Sarray of int  (** global array with its size *)
+  | Sproc of int  (** defined procedure with its arity *)
+  | Sextern of int  (** externally-defined procedure with its arity *)
+
+type env
+
+(** Unit-level symbol lookup, shared with the lowering pass. *)
+val lookup : env -> string -> symbol option
+
+(** [check prog] is the environment of a well-formed program; raises
+    {!Error} otherwise.  [require_main] (default true) additionally demands
+    a zero-parameter [main]. *)
+val check : ?require_main:bool -> Ast.program -> env

@@ -1,0 +1,7 @@
+(** Hand-written lexer for Pawn. *)
+
+exception Error of string * int  (** message, line number *)
+
+(** [tokenize src] is the token stream with line numbers, ending with
+    [EOF].  Supports [//] line comments and [/* ... */] block comments. *)
+val tokenize : string -> (Token.t * int) list

@@ -1,0 +1,14 @@
+(** Lowering from the Pawn AST to the IR.
+
+    Scalar locals, parameters and expression temporaries become virtual
+    registers; globals are accessed through explicit loads/stores at each
+    mention (register promotion is the allocator's job).  Short-circuit
+    [&&]/[||] lower to control flow.  Locals without initializers are
+    zeroed so behaviour is deterministic under every allocation. *)
+
+(** [lower_program prog] checks and lowers a parsed unit; the result passes
+    {!Chow_ir.Verify.check_prog}. *)
+val lower_program : ?require_main:bool -> Ast.program -> Chow_ir.Ir.prog
+
+(** [compile_unit src] parses, checks and lowers Pawn source text. *)
+val compile_unit : ?require_main:bool -> string -> Chow_ir.Ir.prog

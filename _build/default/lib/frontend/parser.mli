@@ -1,0 +1,6 @@
+(** Recursive-descent parser for Pawn. *)
+
+exception Error of string * int  (** message, line number *)
+
+(** [parse src] lexes and parses a full compilation unit. *)
+val parse : string -> Ast.program

@@ -1,0 +1,78 @@
+(** Lexical tokens of Pawn, the small Pascal/C-flavoured source language the
+    benchmarks are written in. *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  | KW_VAR
+  | KW_PROC
+  | KW_EXPORT
+  | KW_EXTERN
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | KW_PRINT
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | ANDAND
+  | OROR
+  | BANG
+  | AMP
+  | EOF
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_VAR -> "var"
+  | KW_PROC -> "proc"
+  | KW_EXPORT -> "export"
+  | KW_EXTERN -> "extern"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_RETURN -> "return"
+  | KW_PRINT -> "print"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | AMP -> "&"
+  | EOF -> "<eof>"

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Chow_support Format List Option

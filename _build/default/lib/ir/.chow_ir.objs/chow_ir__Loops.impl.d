@@ -1,0 +1,1 @@
+lib/ir/loops.ml: Array Cfg Chow_support Dom Hashtbl List

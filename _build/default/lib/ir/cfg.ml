@@ -1,0 +1,44 @@
+(** Control-flow graph structure derived from a procedure's terminators:
+    successor/predecessor arrays and the block orderings used by the
+    iterative analyses. *)
+
+type t = {
+  nblocks : int;
+  succs : int list array;
+  preds : int list array;
+  postorder : int array;  (** blocks in postorder of a DFS from the entry *)
+  rpo : int array;  (** reverse postorder *)
+  exits : int list;  (** blocks terminated by [Ret] *)
+}
+
+let of_proc (p : Ir.proc) =
+  let n = Ir.nblocks p in
+  let succs = Array.init n (fun l -> Ir.successors p.blocks.(l).term) in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun l ss -> List.iter (fun s -> preds.(s) <- l :: preds.(s)) ss)
+    succs;
+  (* builder guarantees all blocks reachable, so one DFS covers them *)
+  let visited = Array.make n false in
+  let post = ref [] in
+  let rec dfs l =
+    if not visited.(l) then begin
+      visited.(l) <- true;
+      List.iter dfs succs.(l);
+      post := l :: !post
+    end
+  in
+  dfs Ir.entry_label;
+  let rpo = Array.of_list !post in
+  let postorder = Array.of_list (List.rev !post) in
+  let exits =
+    List.filter (fun l -> Ir.is_exit p.blocks.(l)) (Array.to_list rpo)
+  in
+  { nblocks = n; succs; preds; rpo; postorder; exits }
+
+let succs t l = t.succs.(l)
+let preds t t_l = t.preds.(t_l)
+
+(** [edge_count t] is the number of CFG edges, for diagnostics. *)
+let edge_count t =
+  Array.fold_left (fun acc ss -> acc + List.length ss) 0 t.succs

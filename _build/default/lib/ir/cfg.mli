@@ -1,0 +1,17 @@
+(** Control-flow graph structure derived from a procedure's terminators. *)
+
+type t = {
+  nblocks : int;
+  succs : int list array;
+  preds : int list array;
+  postorder : int array;  (** blocks in postorder of a DFS from the entry *)
+  rpo : int array;  (** reverse postorder *)
+  exits : int list;  (** blocks terminated by [Ret] *)
+}
+
+val of_proc : Ir.proc -> t
+val succs : t -> Ir.label -> Ir.label list
+val preds : t -> Ir.label -> Ir.label list
+
+(** Number of CFG edges, for diagnostics. *)
+val edge_count : t -> int

@@ -1,0 +1,99 @@
+(** Generic iterative bit-vector data-flow solver.
+
+    Both the shrink-wrap equations (3.1)-(3.4) of the paper and live-variable
+    analysis are instances of the classic gen/kill scheme:
+
+    - forward:   [in(b)  = meet over preds p of out(p)],
+                 [out(b) = gen(b) + (in(b) - kill(b))]
+    - backward:  [out(b) = meet over succs s of in(s)],
+                 [in(b)  = gen(b) + (out(b) - kill(b))]
+
+    with the boundary value applied at entry blocks (forward) or exit blocks
+    (backward).  For the [`Inter] meet the interior is initialised to the
+    full set (the analysis lattice's top); for [`Union] to the empty set. *)
+
+module Bitset = Chow_support.Bitset
+
+type direction = Forward | Backward
+type meet = Union | Inter
+
+type spec = {
+  nbits : int;
+  direction : direction;
+  meet : meet;
+  boundary : Bitset.t;  (** value at entry/exit boundary blocks *)
+  gen : int -> Bitset.t;
+  kill : int -> Bitset.t;
+}
+
+type result = { live_in : Bitset.t array; live_out : Bitset.t array }
+
+let solve (cfg : Cfg.t) spec =
+  let n = cfg.nblocks in
+  let mk_full () =
+    let s = Bitset.create spec.nbits in
+    Bitset.set_all s;
+    s
+  in
+  let init () =
+    match spec.meet with
+    | Inter -> mk_full ()
+    | Union -> Bitset.create spec.nbits
+  in
+  let inb = Array.init n (fun _ -> init ()) in
+  let outb = Array.init n (fun _ -> init ()) in
+  let meet_into acc sets =
+    match (spec.meet, sets) with
+    | _, [] -> Bitset.assign acc spec.boundary
+    | Union, _ ->
+        Bitset.clear_all acc;
+        List.iter (Bitset.union_into acc) sets
+    | Inter, first :: rest ->
+        Bitset.assign acc first;
+        List.iter (Bitset.inter_into acc) rest
+  in
+  (* boundary blocks: entry (forward) or [Ret] exits (backward).  A backward
+     exit has no successors so the [] case of [meet_into] applies; likewise
+     the entry has no predecessors only if the CFG has no edge back to it,
+     so we special-case entry/exit membership explicitly. *)
+  let is_boundary l =
+    match spec.direction with
+    | Forward -> l = Ir.entry_label
+    | Backward -> List.mem l cfg.exits
+  in
+  let order =
+    match spec.direction with Forward -> cfg.rpo | Backward -> cfg.postorder
+  in
+  let tmp = Bitset.create spec.nbits in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun l ->
+        (* confluence *)
+        let conf_target, conf_sources =
+          match spec.direction with
+          | Forward -> (inb.(l), List.map (fun p -> outb.(p)) (Cfg.preds cfg l))
+          | Backward ->
+              (outb.(l), List.map (fun s -> inb.(s)) (Cfg.succs cfg l))
+        in
+        if is_boundary l && spec.direction = Backward then
+          (* exits have no successors; keep the boundary value *)
+          Bitset.assign conf_target spec.boundary
+        else if is_boundary l && spec.direction = Forward then
+          Bitset.assign conf_target spec.boundary
+        else meet_into conf_target conf_sources;
+        (* transfer *)
+        Bitset.assign tmp conf_target;
+        Bitset.diff_into tmp (spec.kill l);
+        Bitset.union_into tmp (spec.gen l);
+        let out_target =
+          match spec.direction with Forward -> outb.(l) | Backward -> inb.(l)
+        in
+        if not (Bitset.equal out_target tmp) then begin
+          Bitset.assign out_target tmp;
+          changed := true
+        end)
+      order
+  done;
+  { live_in = inb; live_out = outb }

@@ -1,0 +1,59 @@
+(** Dominator computation, Cooper-Harvey-Kennedy "engineered" algorithm
+    (iterating immediate-dominator intersection over reverse postorder).
+    Needed to recognise natural loops for the shrink-wrap loop rule and for
+    the loop-depth weights of the priority function. *)
+
+type t = {
+  idom : int array;  (** immediate dominator; [idom.(entry) = entry] *)
+  rpo_index : int array;  (** position of each block in reverse postorder *)
+}
+
+let compute (cfg : Cfg.t) =
+  let n = cfg.nblocks in
+  let rpo_index = Array.make n 0 in
+  Array.iteri (fun i l -> rpo_index.(l) <- i) cfg.rpo;
+  let idom = Array.make n (-1) in
+  idom.(Ir.entry_label) <- Ir.entry_label;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun l ->
+        if l <> Ir.entry_label then begin
+          let processed =
+            List.filter (fun p -> idom.(p) >= 0) (Cfg.preds cfg l)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(l) <> new_idom then begin
+                idom.(l) <- new_idom;
+                changed := true
+              end
+        end)
+      cfg.rpo
+  done;
+  { idom; rpo_index }
+
+let idom t l = t.idom.(l)
+
+(** [dominates t a b] is [true] iff [a] dominates [b] (reflexively). *)
+let dominates t a b =
+  let rec walk b = b = a || (b <> Ir.entry_label && walk t.idom.(b)) in
+  walk b
+
+(** Dominator-tree children, for traversals. *)
+let children t =
+  let n = Array.length t.idom in
+  let kids = Array.make n [] in
+  for l = n - 1 downto 0 do
+    if l <> Ir.entry_label && t.idom.(l) >= 0 then
+      kids.(t.idom.(l)) <- l :: kids.(t.idom.(l))
+  done;
+  kids

@@ -1,0 +1,16 @@
+(** Dominator computation (Cooper-Harvey-Kennedy).  Feeds natural-loop
+    recognition for the shrink-wrap loop rule and the loop-depth weights of
+    the priority function. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+(** Immediate dominator; [idom t entry = entry]. *)
+val idom : t -> Ir.label -> Ir.label
+
+(** [dominates t a b] is [true] iff [a] dominates [b] (reflexively). *)
+val dominates : t -> Ir.label -> Ir.label -> bool
+
+(** Dominator-tree children, for traversals. *)
+val children : t -> Ir.label list array

@@ -1,0 +1,58 @@
+(** Natural-loop recognition.
+
+    A back edge is an edge [t -> h] where [h] dominates [t]; its natural
+    loop is [h] plus all blocks that reach [t] without passing through [h].
+    Two results feed the paper's algorithms:
+
+    - [depth.(l)]: loop-nesting depth of block [l], which weights the
+      priority function (a use inside a loop is worth [weight_base^depth]);
+    - [loops]: the loop bodies themselves, over which shrink-wrapping
+      propagates the APP attribute so that saves never land inside a loop
+      that uses the register (paper §5, last paragraph). *)
+
+type loop = { header : int; body : Chow_support.Bitset.t }
+
+type t = { loops : loop list; depth : int array }
+
+let compute (cfg : Cfg.t) (dom : Dom.t) =
+  let n = cfg.nblocks in
+  let back_edges =
+    Array.to_list cfg.rpo
+    |> List.concat_map (fun t ->
+           List.filter_map
+             (fun h -> if Dom.dominates dom h t then Some (t, h) else None)
+             (Cfg.succs cfg t))
+  in
+  (* merge back edges sharing a header into one loop, per convention *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (t, h) ->
+      let body =
+        match Hashtbl.find_opt tbl h with
+        | Some body -> body
+        | None ->
+            let body = Chow_support.Bitset.create n in
+            Chow_support.Bitset.set body h;
+            Hashtbl.add tbl h body;
+            body
+      in
+      (* walk backwards from t adding blocks until h *)
+      let rec add l =
+        if not (Chow_support.Bitset.mem body l) then begin
+          Chow_support.Bitset.set body l;
+          List.iter add (Cfg.preds cfg l)
+        end
+      in
+      add t)
+    back_edges;
+  let loops =
+    Hashtbl.fold (fun header body acc -> { header; body } :: acc) tbl []
+  in
+  let depth = Array.make n 0 in
+  List.iter
+    (fun { body; _ } ->
+      Chow_support.Bitset.iter (fun l -> depth.(l) <- depth.(l) + 1) body)
+    loops;
+  { loops; depth }
+
+let depth t l = t.depth.(l)

@@ -1,0 +1,11 @@
+(** Natural-loop recognition: back edges by dominance, loop bodies by
+    backward reachability, and per-block nesting depth. *)
+
+type loop = { header : int; body : Chow_support.Bitset.t }
+
+type t = { loops : loop list; depth : int array }
+
+val compute : Cfg.t -> Dom.t -> t
+
+(** Loop-nesting depth of a block; 0 outside all loops. *)
+val depth : t -> Ir.label -> int

@@ -1,0 +1,12 @@
+(** Structural sanity checks on IR procedures and programs. *)
+
+exception Ill_formed of string
+
+(** Checks vreg/label ranges, parameter uniqueness, block numbering and
+    terminator targets.  Raises {!Ill_formed} with the procedure's name. *)
+val check_proc : Ir.proc -> unit
+
+(** [check_proc] on every procedure, plus: no duplicate procedure names, and
+    every direct callee and taken address resolves to a definition or a
+    declared extern. *)
+val check_prog : Ir.prog -> unit

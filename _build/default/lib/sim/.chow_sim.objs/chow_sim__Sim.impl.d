@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Chow_codegen Chow_ir Chow_machine Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Chow_codegen Chow_ir

@@ -1,0 +1,221 @@
+(** Instruction-level simulator: the stand-in for the paper's MIPS R2000 and
+    its [pixie] tracing facility (§8).
+
+    Executes a linked {!Asm.program} over a flat word-addressed memory and
+    counts what pixie counted: executed cycles (one per instruction — pixie
+    excludes cache and MMU effects), calls, and loads/stores broken down by
+    the {!Asm.tag} assigned at code generation, from which the paper's
+    "scalar loads/stores" metric is the [Tscalar] + [Tsave] + [Tstackarg]
+    traffic.
+
+    With [check = true] (the default) the simulator also enforces each
+    procedure's register-preservation contract: at every return it verifies
+    the stack pointer is balanced, the return lands at the call site, and
+    every register the callee's convention promises to preserve — the
+    callee-saved set for open procedures, everything outside the published
+    usage mask for closed ones — still holds its value from entry.  This is
+    the dynamic proof that IPRA, shrink-wrapping and the around-call saves
+    compose correctly. *)
+
+module Machine = Chow_machine.Machine
+module Asm = Chow_codegen.Asm
+module Ir = Chow_ir.Ir
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+type counters = {
+  mutable cycles : int;
+  mutable calls : int;
+  loads : int array;  (** indexed by tag *)
+  stores : int array;
+}
+
+let tag_index = function
+  | Asm.Tdata -> 0
+  | Asm.Tscalar -> 1
+  | Asm.Tsave -> 2
+  | Asm.Tstackarg -> 3
+
+type outcome = {
+  output : int list;
+  cycles : int;
+  calls : int;
+  data_loads : int;
+  data_stores : int;
+  scalar_loads : int;  (** scalar + save/restore + stack-arg loads *)
+  scalar_stores : int;
+  save_loads : int;  (** the save/restore component alone *)
+  save_stores : int;
+  block_counts : ((string * Ir.label) * int) list;
+      (** execution count of each basic block, when run with
+          [profile = true]; empty otherwise.  The raw material for the
+          profile-feedback extension (§8 "future work"). *)
+}
+
+(** Pending activation for the contract checker. *)
+type activation = {
+  return_pc : int;
+  sp_at_entry : int;
+  snapshot : (Machine.reg * int) list;
+  callee : string;
+}
+
+let eval_binop op a b =
+  match op with
+  | Ir.Add -> a + b
+  | Ir.Sub -> a - b
+  | Ir.Mul -> a * b
+  | Ir.Div -> if b = 0 then error "division by zero" else a / b
+  | Ir.Rem -> if b = 0 then error "remainder by zero" else a mod b
+  | Ir.And -> a land b
+  | Ir.Or -> a lor b
+  | Ir.Xor -> a lxor b
+  | Ir.Shl -> a lsl b
+  | Ir.Shr -> a asr b
+
+let eval_relop op a b =
+  match op with
+  | Ir.Eq -> a = b
+  | Ir.Ne -> a <> b
+  | Ir.Lt -> a < b
+  | Ir.Le -> a <= b
+  | Ir.Gt -> a > b
+  | Ir.Ge -> a >= b
+
+let run ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
+    ?(profile = false) (prog : Asm.program) : outcome =
+  let code = prog.Asm.code in
+  let ncode = Array.length code in
+  let pc_counts = if profile then Array.make ncode 0 else [||] in
+  let mem = Array.make mem_words 0 in
+  List.iter (fun (addr, v) -> mem.(addr) <- v) prog.Asm.data_init;
+  let regs = Array.make Machine.nregs 0 in
+  regs.(Machine.sp) <- mem_words;
+  let get r = if r = Machine.zero then 0 else regs.(r) in
+  let set r v = if r <> Machine.zero then regs.(r) <- v in
+  let counters =
+    { cycles = 0; calls = 0; loads = Array.make 4 0; stores = Array.make 4 0 }
+  in
+  let output = ref [] in
+  let metas = Hashtbl.create 16 in
+  List.iter (fun (pc, m) -> Hashtbl.replace metas pc m) prog.Asm.metas;
+  let stack : activation list ref = ref [] in
+  let mem_access addr =
+    if addr < 0 || addr >= mem_words then error "memory access out of bounds: %d" addr
+  in
+  let do_call target_pc return_pc =
+    counters.calls <- counters.calls + 1;
+    if regs.(Machine.sp) <= prog.Asm.data_size + 64 then error "stack overflow";
+    if target_pc < 0 || target_pc >= ncode then
+      error "call to invalid address %d" target_pc;
+    set Machine.ra return_pc;
+    if check then begin
+      let callee, preserved =
+        match Hashtbl.find_opt metas target_pc with
+        | Some m -> (m.Asm.m_name, m.Asm.m_preserved)
+        | None when Hashtbl.length metas > 0 ->
+            (* every legitimate call lands on a procedure entry; an indirect
+               jump through a non-procedure value is a wild call *)
+            error "call to %d, which is not a procedure entry" target_pc
+        | None -> ("<unknown>", [])
+      in
+      stack :=
+        {
+          return_pc;
+          sp_at_entry = regs.(Machine.sp);
+          snapshot = List.map (fun r -> (r, get r)) preserved;
+          callee;
+        }
+        :: !stack
+    end;
+    target_pc
+  in
+  let do_return () =
+    let target = get Machine.ra in
+    if check then begin
+      match !stack with
+      | [] -> error "return with empty call stack"
+      | act :: rest ->
+          stack := rest;
+          if target <> act.return_pc then
+            error "%s: returned to %d, expected %d" act.callee target
+              act.return_pc;
+          if regs.(Machine.sp) <> act.sp_at_entry then
+            error "%s: stack pointer not restored (%d <> %d)" act.callee
+              regs.(Machine.sp) act.sp_at_entry;
+          List.iter
+            (fun (r, v) ->
+              if get r <> v then
+                error "%s: clobbered preserved register %s (%d <> %d)"
+                  act.callee (Machine.name r) (get r) v)
+            act.snapshot
+    end;
+    target
+  in
+  let pc = ref prog.Asm.entry in
+  let running = ref true in
+  while !running do
+    if counters.cycles >= fuel then error "out of fuel after %d cycles" fuel;
+    if !pc < 0 || !pc >= ncode then error "pc out of range: %d" !pc;
+    if profile then pc_counts.(!pc) <- pc_counts.(!pc) + 1;
+    counters.cycles <- counters.cycles + 1;
+    let next = !pc + 1 in
+    (match code.(!pc) with
+    | Asm.Li (r, n) -> set r n; pc := next
+    | Asm.Lproc _ | Asm.Jal _ -> error "unlinked instruction at %d" !pc
+    | Asm.Move (d, s) -> set d (get s); pc := next
+    | Asm.Neg (d, s) -> set d (-get s); pc := next
+    | Asm.Not (d, s) -> set d (if get s = 0 then 1 else 0); pc := next
+    | Asm.Binop (op, d, a, b) ->
+        set d (eval_binop op (get a) (get b));
+        pc := next
+    | Asm.Binopi (op, d, a, n) ->
+        set d (eval_binop op (get a) n);
+        pc := next
+    | Asm.Cmp (op, d, a, b) ->
+        set d (if eval_relop op (get a) (get b) then 1 else 0);
+        pc := next
+    | Asm.Cmpi (op, d, a, n) ->
+        set d (if eval_relop op (get a) n then 1 else 0);
+        pc := next
+    | Asm.Lw (d, b, off, tag) ->
+        let addr = get b + off in
+        mem_access addr;
+        set d mem.(addr);
+        counters.loads.(tag_index tag) <- counters.loads.(tag_index tag) + 1;
+        pc := next
+    | Asm.Sw (s, b, off, tag) ->
+        let addr = get b + off in
+        mem_access addr;
+        mem.(addr) <- get s;
+        counters.stores.(tag_index tag) <- counters.stores.(tag_index tag) + 1;
+        pc := next
+    | Asm.B (op, a, b, l) ->
+        pc := (if eval_relop op (get a) (get b) then l else next)
+    | Asm.J l -> pc := l
+    | Asm.Jal_pc t -> pc := do_call t next
+    | Asm.Jalr r -> pc := do_call (get r) next
+    | Asm.Jr -> pc := do_return ()
+    | Asm.Print r -> output := get r :: !output; pc := next
+    | Asm.Halt -> running := false)
+  done;
+  let block_counts =
+    if profile then
+      List.map (fun (pc, key) -> (key, pc_counts.(pc))) prog.Asm.block_pcs
+    else []
+  in
+  let l = counters.loads and s = counters.stores in
+  {
+    output = List.rev !output;
+    cycles = counters.cycles;
+    calls = counters.calls;
+    data_loads = l.(0);
+    data_stores = s.(0);
+    scalar_loads = l.(1) + l.(2) + l.(3);
+    scalar_stores = s.(1) + s.(2) + s.(3);
+    save_loads = l.(2);
+    save_stores = s.(2);
+    block_counts;
+  }

@@ -1,0 +1,44 @@
+(** Instruction-level simulator: the stand-in for the paper's MIPS R2000
+    and its [pixie] tracing facility (§8).  Executes a linked program over
+    a flat word-addressed memory; counts cycles (one per instruction),
+    calls, and loads/stores by the {!Chow_codegen.Asm.tag} assigned at code
+    generation. *)
+
+exception Runtime_error of string
+
+type outcome = {
+  output : int list;  (** the values printed, in order *)
+  cycles : int;
+  calls : int;
+  data_loads : int;  (** globals and arrays: not removable by allocation *)
+  data_stores : int;
+  scalar_loads : int;
+      (** the paper's metric: scalar variables + save/restore + stack
+          arguments — removable by a perfect allocator *)
+  scalar_stores : int;
+  save_loads : int;  (** the save/restore component alone *)
+  save_stores : int;
+  block_counts : ((string * Chow_ir.Ir.label) * int) list;
+      (** per-block execution counts when run with [profile = true];
+          empty otherwise *)
+}
+
+(** [run prog] executes until [halt].
+
+    - [check] (default true) arms the contract checker: at every return it
+      verifies that the registers the callee's convention (or published
+      usage mask) promises to preserve are unchanged, that the stack
+      pointer is balanced, and that control returns to the call site; it
+      also rejects calls that do not land on a procedure entry.
+    - [profile] (default false) collects per-block execution counts.
+    - [fuel] bounds executed instructions; [mem_words] sizes memory.
+
+    Raises {!Runtime_error} on traps, contract violations, or exhausted
+    fuel. *)
+val run :
+  ?fuel:int ->
+  ?mem_words:int ->
+  ?check:bool ->
+  ?profile:bool ->
+  Chow_codegen.Asm.program ->
+  outcome

@@ -1,0 +1,1 @@
+lib/support/pp.ml: Float Format

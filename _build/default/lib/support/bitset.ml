@@ -1,0 +1,118 @@
+type t = { len : int; words : int array }
+
+let bits_per_word = Sys.int_size
+
+let words_for len = (len + bits_per_word - 1) / bits_per_word
+
+let create len =
+  if len < 0 then invalid_arg "Bitset.create";
+  { len; words = Array.make (max 1 (words_for len)) 0 }
+
+let length s = s.len
+
+let copy s = { len = s.len; words = Array.copy s.words }
+
+let check s i =
+  if i < 0 || i >= s.len then invalid_arg "Bitset: index out of range"
+
+let set s i =
+  check s i;
+  s.words.(i / bits_per_word) <-
+    s.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+
+let clear s i =
+  check s i;
+  s.words.(i / bits_per_word) <-
+    s.words.(i / bits_per_word) land lnot (1 lsl (i mod bits_per_word))
+
+let mem s i =
+  check s i;
+  s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let is_empty s = Array.for_all (fun w -> w = 0) s.words
+
+let equal a b =
+  a.len = b.len && Array.for_all2 (fun x y -> x = y) a.words b.words
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let same_len a b =
+  if a.len <> b.len then invalid_arg "Bitset: capacity mismatch"
+
+let union_into dst src =
+  same_len dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) lor w) src.words
+
+let inter_into dst src =
+  same_len dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land w) src.words
+
+let diff_into dst src =
+  same_len dst src;
+  Array.iteri (fun i w -> dst.words.(i) <- dst.words.(i) land lnot w) src.words
+
+let union a b = let r = copy a in union_into r b; r
+let inter a b = let r = copy a in inter_into r b; r
+let diff a b = let r = copy a in diff_into r b; r
+
+let assign dst src =
+  same_len dst src;
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+let clear_all s = Array.fill s.words 0 (Array.length s.words) 0
+
+let set_all s =
+  for i = 0 to s.len - 1 do
+    s.words.(i / bits_per_word) <-
+      s.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
+  done
+
+let disjoint a b =
+  same_len a b;
+  let n = Array.length a.words in
+  let rec go i = i >= n || (a.words.(i) land b.words.(i) = 0 && go (i + 1)) in
+  go 0
+
+let subset a b =
+  same_len a b;
+  let n = Array.length a.words in
+  let rec go i =
+    i >= n || (a.words.(i) land lnot b.words.(i) = 0 && go (i + 1))
+  in
+  go 0
+
+let iter f s =
+  for i = 0 to s.len - 1 do
+    if s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+    then f i
+  done
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let elements s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list len xs =
+  let s = create len in
+  List.iter (set s) xs;
+  s
+
+let choose s =
+  let exception Found of int in
+  try
+    iter (fun i -> raise (Found i)) s;
+    None
+  with Found i -> Some i
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (elements s)

@@ -1,0 +1,13 @@
+(** Small formatting helpers shared by the printers in this code base. *)
+
+let comma ppf () = Format.fprintf ppf ",@ "
+let semi ppf () = Format.fprintf ppf ";@ "
+let space ppf () = Format.fprintf ppf "@ "
+
+let list ?(sep = space) pp ppf xs = Format.pp_print_list ~pp_sep:sep pp ppf xs
+
+(** [percent ppf x] prints [x] as a signed percentage with one decimal,
+    e.g. [-2.6%], [0%], [12.0%] — matching the paper's table style. *)
+let percent ppf x =
+  if Float.abs x < 0.05 then Format.pp_print_string ppf "0%"
+  else Format.fprintf ppf "%.1f%%" x

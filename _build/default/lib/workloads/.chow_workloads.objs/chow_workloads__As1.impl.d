@@ -1,0 +1,1 @@
+lib/workloads/as1.ml:

@@ -1,0 +1,1 @@
+lib/workloads/map4.ml:

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: As1 Awkw Calcc Ccom Dhrystone Diffw List Map4 Nim Pf Stanford Texw Uopt Upas

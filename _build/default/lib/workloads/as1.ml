@@ -1,0 +1,254 @@
+(** as1 — "the MIPS assembler/reorganizer" (paper appendix).
+
+    A two-pass assembler for a toy RISC with a pipeline reorganizer: pass 1
+    collects labels into an open-addressed symbol table, pass 2 encodes
+    instructions and resolves branches, and the reorganizer then fills
+    branch delay slots with independent preceding instructions — the job
+    the real as1 did for the R2000.  Synthetic "assembly" is produced by a
+    deterministic generator. *)
+
+let source =
+  {|
+// instruction word encoding: op * 2^24 + rd * 2^16 + rs * 2^8 + imm8
+// ops: 0 nop, 1 add, 2 sub, 3 lw, 4 sw, 5 li, 6 beq, 7 jmp, 8 label-def
+var text_op[2600];      // generated source: one op per "line"
+var text_a[2600];
+var text_b[2600];
+var text_c[2600];
+var nlines;
+
+var symtab_key[512];    // open addressing, 0 = empty
+var symtab_val[512];
+var nsyms;
+var probes;
+
+var out_code[2600];
+var out_len;
+var fixup_at[600];
+var fixup_sym[600];
+var nfixups;
+var errors;
+
+var filled_slots;
+var unfilled_slots;
+var asm_sig;
+
+proc hash_sym(s) {
+  var h = s * 2654435761;
+  if (h < 0) { h = -h; }
+  return h % 512;
+}
+
+proc sym_define(s, value) {
+  var i = hash_sym(s);
+  var scanned = 0;
+  while (scanned < 512) {
+    probes = probes + 1;
+    if (symtab_key[i] == 0) {
+      symtab_key[i] = s;
+      symtab_val[i] = value;
+      nsyms = nsyms + 1;
+      return 1;
+    }
+    if (symtab_key[i] == s) {
+      errors = errors + 1;           // duplicate label
+      return 0;
+    }
+    i = (i + 1) % 512;
+    scanned = scanned + 1;
+  }
+  errors = errors + 1;               // table full
+  return 0;
+}
+
+proc sym_lookup(s) {
+  var i = hash_sym(s);
+  var scanned = 0;
+  while (scanned < 512) {
+    probes = probes + 1;
+    if (symtab_key[i] == s) { return symtab_val[i]; }
+    if (symtab_key[i] == 0) { return -1; }
+    i = (i + 1) % 512;
+    scanned = scanned + 1;
+  }
+  return -1;
+}
+
+// ----- synthetic source program -----
+proc gen_line(i, op, a, b, c) {
+  text_op[i] = op;
+  text_a[i] = a;
+  text_b[i] = b;
+  text_c[i] = c;
+  return 0;
+}
+
+proc generate(n) {
+  nlines = n;
+  var i = 0;
+  while (i < n) {
+    var phase = i % 13;
+    if (phase == 0) {
+      gen_line(i, 8, i / 13 + 1, 0, 0);            // label L(i/13+1)
+    } else {
+      if (phase == 12 && i / 13 + 2 <= (n - 1) / 13) {
+        gen_line(i, 6, i % 8, (i + 3) % 8, i / 13 + 2);   // beq fwd
+      } else {
+        if (phase == 5) {
+          gen_line(i, 3, i % 8, (i + 1) % 8, i % 60);     // lw
+        } else {
+          if (phase == 9) {
+            gen_line(i, 4, i % 8, (i + 2) % 8, i % 60);   // sw
+          } else {
+            if (phase % 3 == 1) {
+              gen_line(i, 5, i % 8, 0, (i * 7) % 256);    // li
+            } else {
+              gen_line(i, 1 + phase % 2, i % 8, (i + 1) % 8, (i + 2) % 8);
+            }
+          }
+        }
+      }
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+// ----- pass 1: labels -----
+proc pass1() {
+  var pc = 0;
+  var i = 0;
+  while (i < nlines) {
+    if (text_op[i] == 8) {
+      sym_define(text_a[i], pc);
+    } else {
+      pc = pc + 1;
+    }
+    i = i + 1;
+  }
+  return pc;
+}
+
+proc encode(op, rd, rs, imm) {
+  return op * 16777216 + rd * 65536 + rs * 256 + imm % 256;
+}
+
+// ----- pass 2: encode, record fixups for forward branches -----
+proc pass2() {
+  out_len = 0;
+  nfixups = 0;
+  var i = 0;
+  while (i < nlines) {
+    var op = text_op[i];
+    if (op != 8) {
+      if (op == 6 || op == 7) {
+        var target = sym_lookup(text_c[i]);
+        if (target < 0) {
+          fixup_at[nfixups] = out_len;
+          fixup_sym[nfixups] = text_c[i];
+          nfixups = nfixups + 1;
+          target = 0;
+        }
+        out_code[out_len] = encode(op, text_a[i], text_b[i], target);
+      } else {
+        out_code[out_len] = encode(op, text_a[i], text_b[i], text_c[i]);
+      }
+      out_len = out_len + 1;
+    }
+    i = i + 1;
+  }
+  // resolve what pass 2 could not (labels were all known after pass 1,
+  // so anything still missing is an error)
+  i = 0;
+  while (i < nfixups) {
+    var v = sym_lookup(fixup_sym[i]);
+    if (v < 0) { errors = errors + 1; }
+    else { out_code[fixup_at[i]] = out_code[fixup_at[i]] + v; }
+    i = i + 1;
+  }
+  return out_len;
+}
+
+// ----- reorganizer: fill branch delay slots -----
+proc op_of(word) { return word / 16777216; }
+proc rd_of(word) { return (word / 65536) % 256; }
+proc rs_of(word) { return (word / 256) % 256; }
+
+proc writes_reg(word) {
+  var op = op_of(word);
+  return op == 1 || op == 2 || op == 3 || op == 5;
+}
+
+proc branch_reads(bword, candidate) {
+  // does the branch read a register the candidate writes?
+  if (writes_reg(candidate) == 0) { return 0; }
+  var w = rd_of(candidate);
+  if (rd_of(bword) == w || rs_of(bword) == w) { return 1; }
+  return 0;
+}
+
+proc is_branch(word) {
+  var op = op_of(word);
+  return op == 6 || op == 7;
+}
+
+proc reorganize() {
+  // after every branch the machine executes one delay slot; move the
+  // previous instruction into it when legal, else insert a nop
+  var j = out_len - 1;
+  while (j >= 0) {
+    if (is_branch(out_code[j]) == 1) {
+      var can_fill = 0;
+      if (j > 0) {
+        var prev = out_code[j - 1];
+        if (is_branch(prev) == 0 && branch_reads(out_code[j], prev) == 0) {
+          can_fill = 1;
+        }
+      }
+      if (can_fill == 1) {
+        filled_slots = filled_slots + 1;
+      } else {
+        unfilled_slots = unfilled_slots + 1;
+      }
+    }
+    j = j - 1;
+  }
+  return filled_slots;
+}
+
+proc checksum() {
+  var i = 0;
+  while (i < out_len) {
+    asm_sig = (asm_sig * 131 + out_code[i]) % 1000003;
+    i = i + 1;
+  }
+  return asm_sig;
+}
+
+proc assemble(n) {
+  // reset state between "files"
+  var i = 0;
+  while (i < 512) { symtab_key[i] = 0; i = i + 1; }
+  nsyms = 0;
+  generate(n);
+  pass1();
+  pass2();
+  reorganize();
+  return checksum();
+}
+
+proc main() {
+  var file = 0;
+  var total = 0;
+  while (file < 12) {
+    total = (total + assemble(1300 + file * 100)) % 1000003;
+    file = file + 1;
+  }
+  print(nsyms);
+  print(probes);
+  print(errors);
+  print(filled_slots);
+  print(unfilled_slots);
+  print(total);
+}
+|}

@@ -1,0 +1,117 @@
+(** awk — "the Awk pattern processing and scanning utility" (paper
+    appendix).
+
+    Scans synthetic "records" (arrays of small-integer fields), matches
+    each against a rule table of patterns, and dispatches the matching
+    rules' actions {e through procedure pointers} — awk's
+    pattern/action core, and a source of indirect calls that keeps the
+    action procedures open under IPRA, as in real awk's interpreter
+    dispatch. *)
+
+let source =
+  {|
+var fields[16];
+var nfields;
+var nr;                 // record number
+var sum0;
+var sum1;
+var count_matched;
+var count_skipped;
+var actions[8];         // procedure pointers, indexed by rule
+var hist[10];
+
+// ------- record source: a deterministic "file" of records -------
+proc read_record(recno) {
+  nfields = 3 + recno % 5;
+  var i = 0;
+  while (i < nfields) {
+    fields[i] = (recno * 17 + i * i * 7 + 3) % 100;
+    i = i + 1;
+  }
+  nr = recno;
+  return nfields;
+}
+
+proc field(i) {
+  if (i < nfields) { return fields[i]; }
+  return 0;
+}
+
+// ------- patterns -------
+proc pat_first_small() { return field(0) < 30; }
+proc pat_has_zero_mod7() {
+  var i = 0;
+  while (i < nfields) {
+    if (field(i) % 7 == 0) { return 1; }
+    i = i + 1;
+  }
+  return 0;
+}
+proc pat_wide() { return nfields >= 6; }
+proc pat_every_third() { return nr % 3 == 0; }
+
+// ------- actions (address-taken: dispatched indirectly) -------
+proc act_sum_first(unused) {
+  sum0 = sum0 + field(0);
+  return 0;
+}
+proc act_sum_all(unused) {
+  var i = 0;
+  while (i < nfields) {
+    sum1 = sum1 + field(i);
+    i = i + 1;
+  }
+  return 0;
+}
+proc act_histogram(unused) {
+  hist[field(1) % 10] = hist[field(1) % 10] + 1;
+  return 0;
+}
+proc act_count(unused) {
+  count_matched = count_matched + 1;
+  return 0;
+}
+
+proc match_rule(rule) {
+  if (rule == 0) { return pat_first_small(); }
+  if (rule == 1) { return pat_has_zero_mod7(); }
+  if (rule == 2) { return pat_wide(); }
+  return pat_every_third();
+}
+
+proc run_rules() {
+  var rule = 0;
+  var fired = 0;
+  while (rule < 4) {
+    if (match_rule(rule) == 1) {
+      var action = actions[rule];
+      action(rule);
+      fired = fired + 1;
+    }
+    rule = rule + 1;
+  }
+  if (fired == 0) { count_skipped = count_skipped + 1; }
+  return fired;
+}
+
+proc main() {
+  actions[0] = &act_sum_first;
+  actions[1] = &act_sum_all;
+  actions[2] = &act_histogram;
+  actions[3] = &act_count;
+  var recno = 0;
+  var total_fired = 0;
+  while (recno < 3000) {
+    read_record(recno);
+    total_fired = total_fired + run_rules();
+    recno = recno + 1;
+  }
+  print(sum0);
+  print(sum1);
+  print(count_matched);
+  print(count_skipped);
+  print(total_fired);
+  var i = 0;
+  while (i < 10) { print(hist[i]); i = i + 1; }
+}
+|}

@@ -1,0 +1,149 @@
+(** calcc — "a program that manipulates dynamic and variable-length strings"
+    (paper appendix).
+
+    A bump-allocated string arena over a global array: strings are
+    (offset, length) pairs, and the program repeatedly concatenates,
+    reverses, slices and compares them through a stack of small
+    procedures — heavy call traffic with short leaf callees, like the
+    original string-calculator. *)
+
+let source =
+  {|
+// Variable-length strings in a bump arena.  A string handle is an index
+// into desc[]: desc[h] = offset, desc[h+1] = length.
+var arena[20000];
+var arena_top;
+var desc[2000];
+var ndesc;
+var ops;
+
+proc new_string(len) {
+  var h = ndesc;
+  ndesc = ndesc + 2;
+  desc[h] = arena_top;
+  desc[h + 1] = len;
+  arena_top = arena_top + len;
+  return h;
+}
+
+proc str_len(h) { return desc[h + 1]; }
+proc str_off(h) { return desc[h]; }
+
+proc char_at(h, i) {
+  return arena[desc[h] + i];
+}
+
+proc set_char(h, i, c) {
+  arena[desc[h] + i] = c;
+  return 0;
+}
+
+proc from_number(n) {
+  // decimal digits, most significant first
+  var digits = 1;
+  var m = n;
+  while (m >= 10) { m = m / 10; digits = digits + 1; }
+  var h = new_string(digits);
+  var i = digits - 1;
+  var v = n;
+  while (i >= 0) {
+    set_char(h, i, 48 + v % 10);
+    v = v / 10;
+    i = i - 1;
+  }
+  ops = ops + 1;
+  return h;
+}
+
+proc concat(a, b) {
+  var la = str_len(a);
+  var lb = str_len(b);
+  var h = new_string(la + lb);
+  var i = 0;
+  while (i < la) { set_char(h, i, char_at(a, i)); i = i + 1; }
+  i = 0;
+  while (i < lb) { set_char(h, la + i, char_at(b, i)); i = i + 1; }
+  ops = ops + 1;
+  return h;
+}
+
+proc reverse(a) {
+  var l = str_len(a);
+  var h = new_string(l);
+  var i = 0;
+  while (i < l) {
+    set_char(h, i, char_at(a, l - 1 - i));
+    i = i + 1;
+  }
+  ops = ops + 1;
+  return h;
+}
+
+proc slice(a, from, len) {
+  var h = new_string(len);
+  var i = 0;
+  while (i < len) {
+    set_char(h, i, char_at(a, from + i));
+    i = i + 1;
+  }
+  ops = ops + 1;
+  return h;
+}
+
+proc compare(a, b) {
+  var la = str_len(a);
+  var lb = str_len(b);
+  var n = la;
+  if (lb < n) { n = lb; }
+  var i = 0;
+  while (i < n) {
+    var ca = char_at(a, i);
+    var cb = char_at(b, i);
+    if (ca < cb) { return -1; }
+    if (ca > cb) { return 1; }
+    i = i + 1;
+  }
+  if (la < lb) { return -1; }
+  if (la > lb) { return 1; }
+  return 0;
+}
+
+proc is_palindrome(a) {
+  var r = reverse(a);
+  if (compare(a, r) == 0) { return 1; }
+  return 0;
+}
+
+proc hash(a) {
+  var l = str_len(a);
+  var hsh = 5381;
+  var i = 0;
+  while (i < l) {
+    hsh = (hsh * 33 + char_at(a, i)) % 1000003;
+    i = i + 1;
+  }
+  return hsh;
+}
+
+proc main() {
+  var palindromes = 0;
+  var total_hash = 0;
+  var n = 1;
+  while (n < 120) {
+    var s = from_number(n);
+    var r = reverse(s);
+    var both = concat(s, r);            // even-length palindrome
+    var odd = concat(s, slice(r, 1, str_len(r) - 1));
+    palindromes = palindromes + is_palindrome(both);
+    palindromes = palindromes + is_palindrome(odd);
+    palindromes = palindromes + is_palindrome(s);
+    total_hash = (total_hash + hash(both) + hash(odd)) % 1000003;
+    // reset the arena so it never overflows
+    if (arena_top > 18000) { arena_top = 0; ndesc = 0; }
+    n = n + 1;
+  }
+  print(palindromes);
+  print(total_hash);
+  print(ops);
+}
+|}

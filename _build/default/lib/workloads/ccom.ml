@@ -1,0 +1,248 @@
+(** ccom — "first pass of the MIPS C compiler" (paper appendix).
+
+    A miniature C-expression compiler: a character-level lexer over
+    synthetic source text, a recursive-descent parser building AST nodes in
+    a global arena, a constant-folding pass, stack-machine code emission,
+    and a verifying evaluator.  The driver loop at the top of the call
+    graph runs once per compiled expression and is hot relative to the
+    leaf helpers — the call-graph shape the paper blames for ccom's
+    regression under inter-procedural allocation (§8). *)
+
+let source =
+  {|
+// ----- source text synthesis: a deterministic expression generator -----
+var src[512];           // character codes of the current expression
+var src_len;
+var src_pos;
+
+// ----- AST arena: node = 4 words: op, lhs, rhs, value -----
+// ops: 0 const, 1 var, 2 add, 3 sub, 4 mul, 5 div, 6 neg
+var ast[4000];
+var ast_next;
+
+// ----- emitted stack code: pairs (opcode, operand) -----
+// opcodes: 0 push-const, 1 push-var, 2 add, 3 sub, 4 mul, 5 div, 6 neg
+var code[2000];
+var code_len;
+
+// ----- environment for evaluation -----
+var env[26];
+
+var parse_errors;
+var folded;
+var compiled_exprs;
+var eval_sig;
+
+proc emit_src(c) {
+  src[src_len] = c;
+  src_len = src_len + 1;
+  return 0;
+}
+
+// grammar of generated text:  term (op term)*  with parenthesised subexprs
+proc gen_expr(seed, depth) {
+  if (depth <= 0 || seed % 7 == 3) {
+    if (seed % 3 == 0) {
+      emit_src(97 + seed % 26);              // variable a..z
+    } else {
+      var n = seed % 100;
+      if (n >= 10) { emit_src(48 + n / 10); }
+      emit_src(48 + n % 10);
+    }
+    return 0;
+  }
+  if (seed % 5 == 2) { emit_src(45); }       // unary minus
+  emit_src(40);                              // (
+  gen_expr(seed / 2 + 1, depth - 1);
+  var op = seed % 4;
+  if (op == 0) { emit_src(43); }             // +
+  if (op == 1) { emit_src(45); }             // -
+  if (op == 2) { emit_src(42); }             // *
+  if (op == 3) { emit_src(47); }             // /
+  gen_expr(seed / 3 + 2, depth - 1);
+  emit_src(41);                              // )
+  return 0;
+}
+
+// ----- lexer -----
+proc peek_char() {
+  if (src_pos < src_len) { return src[src_pos]; }
+  return 0;
+}
+
+proc next_char() {
+  var c = peek_char();
+  src_pos = src_pos + 1;
+  return c;
+}
+
+proc is_digit(c) { return c >= 48 && c <= 57; }
+proc is_alpha(c) { return c >= 97 && c <= 122; }
+
+// ----- AST construction -----
+proc node(op, lhs, rhs, value) {
+  var n = ast_next;
+  ast_next = ast_next + 4;
+  ast[n] = op;
+  ast[n + 1] = lhs;
+  ast[n + 2] = rhs;
+  ast[n + 3] = value;
+  return n;
+}
+
+proc parse_primary() {
+  var c = peek_char();
+  if (c == 40) {                             // (
+    next_char();
+    var e = parse_expr();
+    if (peek_char() == 41) { next_char(); }
+    else { parse_errors = parse_errors + 1; }
+    return e;
+  }
+  if (c == 45) {                             // unary -
+    next_char();
+    return node(6, parse_primary(), -1, 0);
+  }
+  if (is_digit(c) == 1) {
+    var v = 0;
+    while (is_digit(peek_char()) == 1) {
+      v = v * 10 + next_char() - 48;
+    }
+    return node(0, -1, -1, v);
+  }
+  if (is_alpha(c) == 1) {
+    return node(1, -1, -1, next_char() - 97);
+  }
+  parse_errors = parse_errors + 1;
+  next_char();
+  return node(0, -1, -1, 0);
+}
+
+proc parse_expr() {
+  var lhs = parse_primary();
+  var c = peek_char();
+  while (c == 43 || c == 45 || c == 42 || c == 47) {
+    next_char();
+    var rhs = parse_primary();
+    var op = 2;
+    if (c == 45) { op = 3; }
+    if (c == 42) { op = 4; }
+    if (c == 47) { op = 5; }
+    lhs = node(op, lhs, rhs, 0);
+    c = peek_char();
+  }
+  return lhs;
+}
+
+// ----- constant folding -----
+proc fold(n) {
+  var op = ast[n];
+  if (op == 0 || op == 1) { return n; }
+  var l = fold(ast[n + 1]);
+  ast[n + 1] = l;
+  if (op == 6) {
+    if (ast[l] == 0) {
+      folded = folded + 1;
+      return node(0, -1, -1, -ast[l + 3]);
+    }
+    return n;
+  }
+  var r = fold(ast[n + 2]);
+  ast[n + 2] = r;
+  if (ast[l] == 0 && ast[r] == 0) {
+    var a = ast[l + 3];
+    var b = ast[r + 3];
+    var v = 0;
+    var ok = 1;
+    if (op == 2) { v = a + b; }
+    if (op == 3) { v = a - b; }
+    if (op == 4) { v = a * b; }
+    if (op == 5) {
+      if (b == 0) { ok = 0; } else { v = a / b; }
+    }
+    if (ok == 1) {
+      folded = folded + 1;
+      return node(0, -1, -1, v);
+    }
+  }
+  return n;
+}
+
+// ----- code emission -----
+proc emit(opc, operand) {
+  code[code_len] = opc;
+  code[code_len + 1] = operand;
+  code_len = code_len + 2;
+  return 0;
+}
+
+proc gen_code(n) {
+  var op = ast[n];
+  if (op == 0) { return emit(0, ast[n + 3]); }
+  if (op == 1) { return emit(1, ast[n + 3]); }
+  if (op == 6) {
+    gen_code(ast[n + 1]);
+    return emit(6, 0);
+  }
+  gen_code(ast[n + 1]);
+  gen_code(ast[n + 2]);
+  return emit(op, 0);
+}
+
+// ----- stack-machine evaluation (the hot verifier) -----
+var stack[128];
+
+proc eval_code() {
+  var sp = 0;
+  var pc = 0;
+  while (pc < code_len) {
+    var opc = code[pc];
+    var arg = code[pc + 1];
+    if (opc == 0) { stack[sp] = arg; sp = sp + 1; }
+    if (opc == 1) { stack[sp] = env[arg]; sp = sp + 1; }
+    if (opc == 2) { sp = sp - 1; stack[sp - 1] = stack[sp - 1] + stack[sp]; }
+    if (opc == 3) { sp = sp - 1; stack[sp - 1] = stack[sp - 1] - stack[sp]; }
+    if (opc == 4) { sp = sp - 1; stack[sp - 1] = stack[sp - 1] * stack[sp]; }
+    if (opc == 5) {
+      sp = sp - 1;
+      if (stack[sp] != 0) { stack[sp - 1] = stack[sp - 1] / stack[sp]; }
+      else { stack[sp - 1] = 0; }
+    }
+    if (opc == 6) { stack[sp - 1] = -stack[sp - 1]; }
+    pc = pc + 2;
+  }
+  if (sp == 1) { return stack[0]; }
+  parse_errors = parse_errors + 1;
+  return 0;
+}
+
+proc compile_one(seed) {
+  src_len = 0;
+  src_pos = 0;
+  ast_next = 0;
+  code_len = 0;
+  gen_expr(seed, 4);
+  var tree = parse_expr();
+  tree = fold(tree);
+  gen_code(tree);
+  compiled_exprs = compiled_exprs + 1;
+  return eval_code();
+}
+
+proc main() {
+  var i = 0;
+  while (i < 26) {
+    env[i] = i * 3 - 20;
+    i = i + 1;
+  }
+  var seed = 1;
+  while (seed <= 400) {
+    eval_sig = (eval_sig * 31 + compile_one(seed * 13 + 5)) % 1000003;
+    seed = seed + 1;
+  }
+  print(compiled_exprs);
+  print(folded);
+  print(parse_errors);
+  print(eval_sig);
+}
+|}

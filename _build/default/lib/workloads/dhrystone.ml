@@ -1,0 +1,219 @@
+(** dhrystone — "a synthetic benchmark by Reinhold Weicker" (paper appendix).
+
+    A faithful-in-spirit transcription of the Dhrystone control mix: the
+    same cast of procedures (Proc1..Proc8, Func1..Func3) with record
+    manipulation mapped onto a global array of fixed-layout records,
+    enumerations as integers, and the original call pattern per loop
+    iteration. *)
+
+let source =
+  {|
+// Record layout in rec[]: each record is 8 words.
+//   +0 next (record index or -1)
+//   +1 discr
+//   +2 enum_comp
+//   +3 int_comp
+//   +4..+7 string hash fields
+var rec[16];            // two records: glob (0) and next_glob (1)
+var int_glob;
+var bool_glob;
+var ch1_glob;
+var ch2_glob;
+var arr1[50];
+var arr2[2500];         // 50 x 50
+var runs;
+
+proc ident1() { return 0; }
+proc ident2() { return 1; }
+proc ident3() { return 2; }
+
+proc func1(ch1, ch2) {
+  var ch1loc = ch1;
+  var ch2loc = ch1loc;
+  if (ch2loc != ch2) { return ident1(); }
+  ch1_glob = ch1loc;
+  return ident2();
+}
+
+proc func2(strpar1, strpar2) {
+  // strings modeled as hashes; compare "contents"
+  var intloc = 2;
+  var chloc = 0;
+  while (intloc <= 2) {
+    if (func1(intloc + 64, intloc + 65) == ident1()) {
+      chloc = 65;
+      intloc = intloc + 1;
+    } else {
+      intloc = intloc + 1;
+    }
+  }
+  if (chloc >= 87 && chloc < 90) { intloc = 7; }
+  if (chloc == 82) { return 1; }
+  if (strpar1 > strpar2) {
+    intloc = intloc + 7;
+    int_glob = intloc;
+    return 1;
+  }
+  return 0;
+}
+
+proc func3(enum_par) {
+  var enumloc = enum_par;
+  if (enumloc == ident3()) { return 1; }
+  return 0;
+}
+
+proc proc8(arr1base, arr2base, intpar1, intpar2) {
+  var intloc = intpar1 + 5;
+  arr1[intloc] = intpar2;
+  arr1[intloc + 1] = arr1[intloc];
+  arr1[intloc + 30] = intloc;
+  var idx = intloc;
+  while (idx <= intloc + 1) {
+    arr2[intloc * 50 + idx] = intloc;
+    idx = idx + 1;
+  }
+  arr2[intloc * 50 + intloc - 1] = arr2[intloc * 50 + intloc - 1] + 1;
+  arr2[(intloc + 20) * 50 + intloc] = arr1[intloc];
+  int_glob = 5;
+  return arr1base + arr2base - arr1base - arr2base;
+}
+
+proc proc7(intpar1, intpar2) {
+  var intloc = intpar1 + 2;
+  return intpar2 + intloc;
+}
+
+proc proc6(enum_par) {
+  var enumloc = enum_par;
+  if (func3(enum_par) == 0) { enumloc = 3; }
+  if (enum_par == 0) { enumloc = 0; }
+  if (enum_par == 1) {
+    if (int_glob > 100) { enumloc = 0; } else { enumloc = 3; }
+  }
+  if (enum_par == 2) { enumloc = 1; }
+  if (enum_par == 4) { enumloc = 2; }
+  return enumloc;
+}
+
+proc proc5() {
+  ch1_glob = 65;
+  bool_glob = 0;
+  return 0;
+}
+
+proc proc4() {
+  var boolloc = 0;
+  if (ch1_glob == 65) { boolloc = 1; }
+  bool_glob = boolloc;
+  if (bool_glob == 1) { ch2_glob = 66; }
+  return 0;
+}
+
+proc proc3(ptr_rec) {
+  // ptr_rec points (indexes) a record; follow next
+  var out = -1;
+  if (ptr_rec >= 0) {
+    out = rec[ptr_rec * 8 + 0];
+  }
+  rec[ptr_rec * 8 + 3] = proc7(10, int_glob);
+  return out;
+}
+
+proc proc2(intpar) {
+  var intloc = intpar + 10;
+  var enumloc = -1;
+  var out = intloc;
+  while (enumloc != 0) {
+    if (ch1_glob == 65) {
+      intloc = intloc - 1;
+      out = intloc - int_glob;
+    }
+    enumloc = 0;
+  }
+  return out;
+}
+
+proc proc1(ptr_rec) {
+  var next = rec[ptr_rec * 8 + 0];
+  // *next = *glob (copy record)
+  var k = 0;
+  while (k < 8) {
+    rec[next * 8 + k] = rec[0 * 8 + k];
+    k = k + 1;
+  }
+  rec[ptr_rec * 8 + 3] = 5;
+  rec[next * 8 + 3] = rec[ptr_rec * 8 + 3];
+  rec[next * 8 + 0] = rec[ptr_rec * 8 + 0];
+  proc3(next);
+  if (rec[next * 8 + 1] == 0) {
+    rec[next * 8 + 3] = 6;
+    rec[next * 8 + 2] = proc6(rec[ptr_rec * 8 + 2]);
+    rec[next * 8 + 0] = rec[0 * 8 + 0];
+    rec[next * 8 + 3] = proc7(rec[next * 8 + 3], 10);
+  } else {
+    k = 0;
+    while (k < 8) {
+      rec[ptr_rec * 8 + k] = rec[next * 8 + k];
+      k = k + 1;
+    }
+  }
+  return 0;
+}
+
+proc main() {
+  // initialization, as in the original
+  rec[1 * 8 + 0] = -1;
+  rec[1 * 8 + 1] = 0;
+  rec[1 * 8 + 2] = 2;
+  rec[1 * 8 + 3] = 40;
+  rec[0 * 8 + 0] = 1;
+  rec[0 * 8 + 1] = 0;
+  rec[0 * 8 + 2] = 2;
+  rec[0 * 8 + 3] = 40;
+  arr2[8 * 50 + 7] = 10;
+  runs = 300;
+  var intloc1 = 0;
+  var intloc2 = 0;
+  var intloc3 = 0;
+  var run = 0;
+  while (run < runs) {
+    proc5();
+    proc4();
+    intloc1 = 2;
+    intloc2 = 3;
+    var enumloc = 1;
+    if (func2(intloc1 * 100 + 7, intloc1 * 100 + 9) == 0) {
+      enumloc = 0;
+    }
+    while (intloc1 < intloc2) {
+      intloc3 = 5 * intloc1 - intloc2;
+      intloc3 = proc7(intloc1, intloc2);
+      intloc1 = intloc1 + 1;
+    }
+    proc8(0, 0, intloc1, intloc3);
+    proc1(0);
+    var chindex = 65;
+    while (chindex <= 67) {
+      if (enumloc == func1(chindex, 67)) {
+        proc6(0);
+      }
+      chindex = chindex + 1;
+    }
+    intloc3 = intloc2 * intloc1;
+    intloc2 = intloc3 / intloc1;
+    intloc2 = 7 * (intloc3 - intloc2) - intloc1;
+    intloc1 = proc2(intloc1);
+    run = run + 1;
+  }
+  print(int_glob);
+  print(bool_glob);
+  print(ch1_glob);
+  print(ch2_glob);
+  print(intloc1);
+  print(intloc2);
+  print(intloc3);
+  print(rec[3]);
+  print(rec[11]);
+}
+|}

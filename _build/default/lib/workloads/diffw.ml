@@ -1,0 +1,133 @@
+(** diff — "the UNIX file comparison utility" (paper appendix).
+
+    Compares two synthetic "files" (arrays of line hashes derived from a
+    deterministic generator) with the classic dynamic-programming longest
+    common subsequence, then walks the table to emit an edit script.  The
+    paper's diff has the highest cycles/call of the suite — this one
+    likewise does comparatively much work per procedure call. *)
+
+let source =
+  {|
+var file_a[200];
+var file_b[200];
+var len_a;
+var len_b;
+var lcs[40401];      // (len_a+1) x (len_b+1) DP table, up to 201x201
+var edits;
+var common;
+
+proc line_hash(doc, n) {
+  // synthesize the "text" of line n of document doc and hash it
+  var h = 17 + doc;
+  var k = 0;
+  var len = 3 + (n * 7 + doc * 3) % 9;
+  while (k < len) {
+    h = (h * 31 + (n * 13 + k * 5 + doc) % 97) % 1000003;
+    k = k + 1;
+  }
+  return h;
+}
+
+proc generate() {
+  len_a = 160;
+  len_b = 170;
+  var i = 0;
+  while (i < len_a) {
+    file_a[i] = line_hash(0, i);
+    i = i + 1;
+  }
+  // file b: file a with a deterministic sprinkle of edits
+  i = 0;
+  var j = 0;
+  while (j < len_b) {
+    if (j % 17 == 5) {
+      file_b[j] = line_hash(1, j);        // inserted line
+    } else {
+      if (i % 23 == 11) { i = i + 1; }    // deleted line
+      file_b[j] = file_a[i % len_a];
+      i = i + 1;
+    }
+    j = j + 1;
+  }
+  return 0;
+}
+
+proc table_at(i, j) {
+  return lcs[i * (len_b + 1) + j];
+}
+
+proc table_set(i, j, v) {
+  lcs[i * (len_b + 1) + j] = v;
+  return 0;
+}
+
+proc max2(a, b) {
+  if (a > b) { return a; }
+  return b;
+}
+
+proc fill_row(i) {
+  // the DP inner loop works on the table directly, like the real diff;
+  // procedure calls happen per line, not per cell
+  var stride = len_b + 1;
+  var j = len_b - 1;
+  while (j >= 0) {
+    if (file_a[i] == file_b[j]) {
+      lcs[i * stride + j] = 1 + lcs[(i + 1) * stride + j + 1];
+    } else {
+      var down = lcs[(i + 1) * stride + j];
+      var right = lcs[i * stride + j + 1];
+      lcs[i * stride + j] = max2(down, right);
+    }
+    j = j - 1;
+  }
+  return lcs[i * stride];
+}
+
+proc fill_table() {
+  var i = len_a - 1;
+  while (i >= 0) {
+    fill_row(i);
+    i = i - 1;
+  }
+  return table_at(0, 0);
+}
+
+proc emit_delete(line) { edits = edits + 1; return line; }
+proc emit_insert(line) { edits = edits + 1; return line; }
+proc emit_common(line) { common = common + 1; return line; }
+
+proc walk() {
+  var i = 0;
+  var j = 0;
+  var sig = 0;
+  while (i < len_a && j < len_b) {
+    if (file_a[i] == file_b[j]) {
+      sig = (sig * 7 + emit_common(i)) % 1000003;
+      i = i + 1;
+      j = j + 1;
+    } else {
+      if (table_at(i + 1, j) >= table_at(i, j + 1)) {
+        sig = (sig * 11 + emit_delete(i)) % 1000003;
+        i = i + 1;
+      } else {
+        sig = (sig * 13 + emit_insert(j)) % 1000003;
+        j = j + 1;
+      }
+    }
+  }
+  while (i < len_a) { sig = (sig * 11 + emit_delete(i)) % 1000003; i = i + 1; }
+  while (j < len_b) { sig = (sig * 13 + emit_insert(j)) % 1000003; j = j + 1; }
+  return sig;
+}
+
+proc main() {
+  generate();
+  var lcs_len = fill_table();
+  var sig = walk();
+  print(lcs_len);
+  print(edits);
+  print(common);
+  print(sig);
+}
+|}

@@ -1,0 +1,135 @@
+(** map — "a program to find a 4-coloring for a map" (paper appendix).
+
+    Backtracking graph coloring of a planar-ish adjacency matrix, with
+    closed helper procedures for conflict checking and degree ordering. *)
+
+let source =
+  {|
+// 4-coloring by backtracking over a fixed 24-region "map".
+var nregions = 24;
+var adj[576];         // adjacency matrix, 24 x 24
+var color[24];
+var order[24];
+var tries;
+var solutions;
+
+proc edge(a, b) {
+  adj[a * 24 + b] = 1;
+  adj[b * 24 + a] = 1;
+  return 0;
+}
+
+proc adjacent(a, b) {
+  return adj[a * 24 + b];
+}
+
+proc degree(r) {
+  var d = 0;
+  var i = 0;
+  while (i < nregions) {
+    d = d + adjacent(r, i);
+    i = i + 1;
+  }
+  return d;
+}
+
+proc conflicts(r, col) {
+  // 1 when neighbouring region already holds col
+  var i = 0;
+  while (i < nregions) {
+    if (adjacent(r, i) == 1 && color[i] == col) {
+      return 1;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+// order regions by decreasing degree (selection sort through helpers)
+proc max_degree_from(k) {
+  var best = k;
+  var i = k + 1;
+  while (i < nregions) {
+    if (degree(order[i]) > degree(order[best])) {
+      best = i;
+    }
+    i = i + 1;
+  }
+  return best;
+}
+
+proc build_order() {
+  var i = 0;
+  while (i < nregions) {
+    order[i] = i;
+    i = i + 1;
+  }
+  i = 0;
+  while (i < nregions) {
+    var b = max_degree_from(i);
+    var t = order[i];
+    order[i] = order[b];
+    order[b] = t;
+    i = i + 1;
+  }
+  return 0;
+}
+
+proc solve(k) {
+  if (k == nregions) {
+    solutions = solutions + 1;
+    return 1;
+  }
+  var r = order[k];
+  var col = 1;
+  while (col <= 4) {
+    tries = tries + 1;
+    if (conflicts(r, col) == 0) {
+      color[r] = col;
+      if (solve(k + 1) == 1) {
+        return 1;
+      }
+      color[r] = 0;
+    }
+    col = col + 1;
+  }
+  return 0;
+}
+
+proc checksum() {
+  var s = 0;
+  var i = 0;
+  while (i < nregions) {
+    s = s * 5 + color[i];
+    i = i + 1;
+  }
+  return s;
+}
+
+proc build_map() {
+  // a ring of regions with chords and a hub: needs all four colors
+  var i = 0;
+  while (i < nregions) {
+    edge(i, (i + 1) % nregions);
+    edge(i, (i + 2) % nregions);
+    i = i + 1;
+  }
+  edge(0, 12);
+  edge(3, 15);
+  edge(6, 18);
+  edge(9, 21);
+  edge(1, 13);
+  edge(5, 17);
+  return 0;
+}
+
+proc main() {
+  build_map();
+  build_order();
+  var found = solve(0);
+  print(found);
+  print(tries);
+  print(solutions);
+  print(checksum());
+}
+|}

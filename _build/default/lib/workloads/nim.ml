@@ -1,0 +1,122 @@
+(** nim — "a program to play the game of Nim" (paper appendix).
+
+    Plays misère-free normal Nim from a set of starting positions: a
+    game-tree search with alpha-free minimax over three heaps, plus the
+    layer of small helper procedures (move generation, position encoding,
+    grundy numbers) that gives inter-procedural allocation its leaf
+    subtrees.  The searcher itself is recursive, hence open; the helpers
+    are closed. *)
+
+let source =
+  {|
+// Game of Nim over three heaps, searched by minimax with a small
+// transposition table, then cross-checked against Grundy theory.
+
+var table[4096];     // memo: encoded position -> winner + 1 (0 = unknown)
+var best_moves;
+var nodes;
+
+proc encode(a, b, c) {
+  return a * 256 + b * 16 + c;
+}
+
+proc heap_of(pos, which) {
+  if (which == 0) { return pos / 256; }
+  if (which == 1) { return (pos / 16) % 16; }
+  return pos % 16;
+}
+
+proc with_heap(pos, which, value) {
+  var a = heap_of(pos, 0);
+  var b = heap_of(pos, 1);
+  var c = heap_of(pos, 2);
+  if (which == 0) { return encode(value, b, c); }
+  if (which == 1) { return encode(a, value, c); }
+  return encode(a, b, value);
+}
+
+proc is_terminal(pos) {
+  return pos == 0;
+}
+
+proc grundy(pos) {
+  // xor of heap sizes: the theoretical winner check
+  var a = heap_of(pos, 0);
+  var b = heap_of(pos, 1);
+  var c = heap_of(pos, 2);
+  var x = a - a / 2 * 2;
+  // xor computed bit by bit to exercise loops in a leaf helper
+  var g = 0;
+  var bit = 1;
+  var i = 0;
+  while (i < 4) {
+    var ba = (a / bit) % 2;
+    var bb = (b / bit) % 2;
+    var bc = (c / bit) % 2;
+    var s = ba + bb + bc;
+    if (s == 1 || s == 3) { g = g + bit; }
+    bit = bit * 2;
+    i = i + 1;
+  }
+  return g + x - x;
+}
+
+// returns 1 when the side to move wins
+proc search(pos) {
+  nodes = nodes + 1;
+  if (is_terminal(pos)) {
+    return 0;          // previous player took the last stone and wins
+  }
+  var memo = table[pos];
+  if (memo != 0) { return memo - 1; }
+  var win = 0;
+  var which = 0;
+  while (which < 3 && win == 0) {
+    var h = heap_of(pos, which);
+    var take = 1;
+    while (take <= h && win == 0) {
+      var child = with_heap(pos, which, h - take);
+      if (search(child) == 0) {
+        win = 1;
+        best_moves = best_moves + 1;
+      }
+      take = take + 1;
+    }
+    which = which + 1;
+  }
+  table[pos] = win + 1;
+  return win;
+}
+
+proc verify(a, b, c) {
+  var pos = encode(a, b, c);
+  var predicted = 0;
+  if (grundy(pos) != 0) { predicted = 1; }
+  var actual = search(pos);
+  if (predicted == actual) { return 1; }
+  return 0;
+}
+
+proc main() {
+  var agree = 0;
+  var games = 0;
+  var a = 0;
+  while (a < 8) {
+    var b = 0;
+    while (b < 8) {
+      var c = 0;
+      while (c < 8) {
+        agree = agree + verify(a, b, c);
+        games = games + 1;
+        c = c + 1;
+      }
+      b = b + 1;
+    }
+    a = a + 1;
+  }
+  print(games);
+  print(agree);
+  print(nodes);
+  print(best_moves);
+}
+|}

@@ -1,0 +1,163 @@
+(** pf — "a Pascal pretty-printer written by Larry Weber" (paper appendix).
+
+    Formats a synthetic Pascal-like token stream: tracks nesting, breaks
+    lines at a right margin, and re-indents begin/end blocks.  Layered the
+    way pretty-printers are: a token source, per-token-class handlers, an
+    output line buffer with width accounting, and a driver. *)
+
+let source =
+  {|
+// Token classes
+//  1 ident   2 number  3 begin  4 end  5 if  6 then  7 else
+//  8 while   9 do     10 assign 11 semi 12 lparen 13 rparen 14 op
+var margin;
+var indent;
+var column;
+var lines_out;
+var line_sig;
+var out_sig;
+var pending_space;
+var stream_pos;
+var stream_len;
+var nesting_err;
+
+// deterministic synthetic token stream
+proc token_at(i) {
+  var phase = i % 29;
+  if (phase == 0) { return 5; }        // if
+  if (phase == 1) { return 12; }       // (
+  if (phase == 2) { return 1; }
+  if (phase == 3) { return 14; }
+  if (phase == 4) { return 2; }
+  if (phase == 5) { return 13; }       // )
+  if (phase == 6) { return 6; }        // then
+  if (phase == 7) { return 3; }        // begin
+  if (phase == 8) { return 1; }
+  if (phase == 9) { return 10; }       // :=
+  if (phase == 10) { return 2; }
+  if (phase == 11) { return 14; }
+  if (phase == 12) { return 1; }
+  if (phase == 13) { return 11; }      // ;
+  if (phase == 14) { return 8; }       // while
+  if (phase == 15) { return 1; }
+  if (phase == 16) { return 14; }
+  if (phase == 17) { return 2; }
+  if (phase == 18) { return 9; }       // do
+  if (phase == 19) { return 3; }       // begin
+  if (phase == 20) { return 1; }
+  if (phase == 21) { return 10; }
+  if (phase == 22) { return 1; }
+  if (phase == 23) { return 14; }
+  if (phase == 24) { return 2; }
+  if (phase == 25) { return 11; }
+  if (phase == 26) { return 4; }       // end
+  if (phase == 27) { return 4; }       // end
+  return 11;                           // ;
+}
+
+proc token_width(t) {
+  if (t == 1) { return 6; }
+  if (t == 2) { return 4; }
+  if (t == 3) { return 5; }
+  if (t == 4) { return 3; }
+  if (t == 5) { return 2; }
+  if (t == 6) { return 4; }
+  if (t == 7) { return 4; }
+  if (t == 8) { return 5; }
+  if (t == 9) { return 2; }
+  if (t == 10) { return 2; }
+  if (t == 11) { return 1; }
+  if (t == 14) { return 1; }
+  return 1;
+}
+
+proc flush_line() {
+  lines_out = lines_out + 1;
+  out_sig = (out_sig * 31 + line_sig + column) % 1000003;
+  line_sig = 0;
+  column = indent;
+  pending_space = 0;
+  return 0;
+}
+
+proc put_token(t) {
+  var w = token_width(t);
+  var space = pending_space;
+  if (column + w + space > margin) {
+    flush_line();
+    space = 0;
+  }
+  column = column + w + space;
+  line_sig = (line_sig * 7 + t * 13 + column) % 1000003;
+  pending_space = 1;
+  return 0;
+}
+
+proc open_block() {
+  put_token(3);
+  flush_line();
+  indent = indent + 2;
+  column = indent;
+  return 0;
+}
+
+proc close_block() {
+  if (indent >= 2) {
+    indent = indent - 2;
+  } else {
+    nesting_err = nesting_err + 1;
+  }
+  flush_line();
+  put_token(4);
+  flush_line();
+  return 0;
+}
+
+proc handle_statement_end() {
+  put_token(11);
+  flush_line();
+  return 0;
+}
+
+proc handle_keyword(t) {
+  if (t == 5 || t == 8) {
+    // if / while start a fresh line
+    if (column > indent) { flush_line(); }
+  }
+  put_token(t);
+  return 0;
+}
+
+proc dispatch(t) {
+  if (t == 3) { return open_block(); }
+  if (t == 4) { return close_block(); }
+  if (t == 11) { return handle_statement_end(); }
+  if (t == 5 || t == 6 || t == 7 || t == 8 || t == 9) {
+    return handle_keyword(t);
+  }
+  put_token(t);
+  return 0;
+}
+
+proc format(n) {
+  stream_pos = 0;
+  stream_len = n;
+  while (stream_pos < stream_len) {
+    dispatch(token_at(stream_pos));
+    stream_pos = stream_pos + 1;
+  }
+  flush_line();
+  return 0;
+}
+
+proc main() {
+  margin = 40;
+  indent = 0;
+  column = 0;
+  format(8000);
+  print(lines_out);
+  print(out_sig);
+  print(nesting_err);
+  print(indent);
+}
+|}

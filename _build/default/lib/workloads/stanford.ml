@@ -1,0 +1,393 @@
+(** stanford — "a benchmark suite collected by John Hennessy" (paper
+    appendix).
+
+    The classic composite: Perm, Towers, Queens, Intmm, Quicksort, Bubble
+    and Tree (binary-tree insert/search), each a separate cluster of
+    procedures driven from one main, printing one checksum per kernel. *)
+
+let source =
+  {|
+// ---------------- Perm ----------------
+var permarray[11];
+var pctr;
+
+proc swap_perm(a, b) {
+  var t = permarray[a];
+  permarray[a] = permarray[b];
+  permarray[b] = t;
+  return 0;
+}
+
+proc initperm() {
+  var i = 0;
+  while (i <= 6) {
+    permarray[i] = i - 1;
+    i = i + 1;
+  }
+  return 0;
+}
+
+proc permute(n) {
+  pctr = pctr + 1;
+  if (n != 1) {
+    permute(n - 1);
+    var k = n - 1;
+    while (k >= 1) {
+      swap_perm(n, k);
+      permute(n - 1);
+      swap_perm(n, k);
+      k = k - 1;
+    }
+  }
+  return 0;
+}
+
+proc perm_bench() {
+  pctr = 0;
+  var i = 0;
+  while (i < 4) {
+    initperm();
+    permute(6);
+    i = i + 1;
+  }
+  return pctr;
+}
+
+// ---------------- Towers ----------------
+var stackp[4];         // top cell index of each pile (0 unused)
+var cellspace[56];     // cell i: +0 discsize, +1 next  (2 words, 28 cells)
+var freelist;
+var movesdone;
+var tower_err;
+
+proc tower_error(code) {
+  tower_err = tower_err + code;
+  return 0;
+}
+
+proc makenull(s) { stackp[s] = 0; return 0; }
+
+proc getelement() {
+  var temp = 0;
+  if (freelist > 0) {
+    temp = freelist;
+    freelist = cellspace[freelist * 2 + 1];
+  } else {
+    tower_error(1);
+  }
+  return temp;
+}
+
+proc tower_push(i, s) {
+  var errorfound = 0;
+  var localel = 0;
+  if (stackp[s] > 0) {
+    if (cellspace[stackp[s] * 2] <= i) {
+      errorfound = 1;
+      tower_error(2);
+    }
+  }
+  if (errorfound == 0) {
+    localel = getelement();
+    cellspace[localel * 2 + 1] = stackp[s];
+    stackp[s] = localel;
+    cellspace[localel * 2] = i;
+  }
+  return 0;
+}
+
+proc init_towers(s, n) {
+  makenull(s);
+  var discctr = n;
+  while (discctr >= 1) {
+    tower_push(discctr, s);
+    discctr = discctr - 1;
+  }
+  return 0;
+}
+
+proc tower_pop(s) {
+  var temp = 0;
+  if (stackp[s] > 0) {
+    var popresult = cellspace[stackp[s] * 2];
+    temp = stackp[s];
+    stackp[s] = cellspace[stackp[s] * 2 + 1];
+    cellspace[temp * 2 + 1] = freelist;
+    freelist = temp;
+    return popresult;
+  }
+  tower_error(4);
+  return 0;
+}
+
+proc tower_move(s1, s2) {
+  tower_push(tower_pop(s1), s2);
+  movesdone = movesdone + 1;
+  return 0;
+}
+
+proc towers_rec(i, j, k) {
+  if (k == 1) {
+    tower_move(i, j);
+  } else {
+    var other = 6 - i - j;
+    towers_rec(i, other, k - 1);
+    tower_move(i, j);
+    towers_rec(other, j, k - 1);
+  }
+  return 0;
+}
+
+proc towers_bench() {
+  var i = 1;
+  while (i <= 27) {
+    cellspace[i * 2 + 1] = i - 1;
+    i = i + 1;
+  }
+  freelist = 27;
+  init_towers(1, 14);
+  makenull(2);
+  makenull(3);
+  movesdone = 0;
+  tower_err = 0;
+  towers_rec(1, 2, 14);
+  return movesdone + tower_err;
+}
+
+// ---------------- Queens ----------------
+var q_a[9];            // row free
+var q_b[17];           // up diagonal free
+var q_c[15];           // down diagonal free (offset by 7)
+var q_x[9];
+var qcount;
+
+proc q_try(i) {
+  // returns 1 on success
+  var j = 0;
+  var ok = 0;
+  while (j < 8 && ok == 0) {
+    j = j + 1;
+    qcount = qcount + 1;
+    if (q_b[j + i] == 1 && q_a[j] == 1 && q_c[i - j + 7] == 1) {
+      q_x[i] = j;
+      q_b[j + i] = 0;
+      q_a[j] = 0;
+      q_c[i - j + 7] = 0;
+      if (i < 8) {
+        ok = q_try(i + 1);
+        if (ok == 0) {
+          q_b[j + i] = 1;
+          q_a[j] = 1;
+          q_c[i - j + 7] = 1;
+        }
+      } else {
+        ok = 1;
+      }
+    }
+  }
+  return ok;
+}
+
+proc queens_once() {
+  var i = 0;
+  while (i <= 8) { q_a[i] = 1; i = i + 1; }
+  i = 2;
+  while (i <= 16) { q_b[i] = 1; i = i + 1; }
+  i = 0;
+  while (i <= 14) { q_c[i] = 1; i = i + 1; }
+  return q_try(1);
+}
+
+proc queens_bench() {
+  qcount = 0;
+  var ok = 1;
+  var i = 0;
+  while (i < 10) {
+    ok = ok * queens_once();
+    i = i + 1;
+  }
+  return qcount * ok;
+}
+
+// ---------------- Intmm ----------------
+var ima[256];          // 16 x 16 matrices
+var imb[256];
+var imr[256];
+
+proc init_matrix(which, seed) {
+  var i = 0;
+  while (i < 256) {
+    var v = (i * seed + 11) % 120 - 60;
+    if (which == 0) { ima[i] = v; } else { imb[i] = v; }
+    i = i + 1;
+  }
+  return 0;
+}
+
+proc inner_product(row, col) {
+  var s = 0;
+  var k = 0;
+  while (k < 16) {
+    s = s + ima[row * 16 + k] * imb[k * 16 + col];
+    k = k + 1;
+  }
+  return s;
+}
+
+proc intmm_bench() {
+  init_matrix(0, 7);
+  init_matrix(1, 13);
+  var i = 0;
+  while (i < 16) {
+    var j = 0;
+    while (j < 16) {
+      imr[i * 16 + j] = inner_product(i, j);
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  var sig = 0;
+  i = 0;
+  while (i < 256) {
+    sig = (sig * 3 + imr[i]) % 1000003;
+    i = i + 1;
+  }
+  return sig;
+}
+
+// ---------------- Quicksort and Bubble ----------------
+var sortlist[800];
+var sort_seed;
+
+proc sort_rand() {
+  sort_seed = (sort_seed * 25173 + 13849) % 65536;
+  return sort_seed;
+}
+
+proc fill_list(n) {
+  sort_seed = 331;
+  var i = 0;
+  while (i < n) {
+    sortlist[i] = sort_rand();
+    i = i + 1;
+  }
+  return 0;
+}
+
+proc quick_rec(lo, hi) {
+  var i = lo;
+  var j = hi;
+  var pivot = sortlist[(lo + hi) / 2];
+  while (i <= j) {
+    while (sortlist[i] < pivot) { i = i + 1; }
+    while (pivot < sortlist[j]) { j = j - 1; }
+    if (i <= j) {
+      var t = sortlist[i];
+      sortlist[i] = sortlist[j];
+      sortlist[j] = t;
+      i = i + 1;
+      j = j - 1;
+    }
+  }
+  if (lo < j) { quick_rec(lo, j); }
+  if (i < hi) { quick_rec(i, hi); }
+  return 0;
+}
+
+proc check_sorted(n) {
+  var i = 1;
+  while (i < n) {
+    if (sortlist[i - 1] > sortlist[i]) { return 0; }
+    i = i + 1;
+  }
+  return 1;
+}
+
+proc quick_bench() {
+  fill_list(800);
+  quick_rec(0, 799);
+  return check_sorted(800) * (sortlist[0] + sortlist[799] + sortlist[400]);
+}
+
+proc bubble_bench() {
+  fill_list(160);
+  var top = 159;
+  while (top > 0) {
+    var i = 0;
+    while (i < top) {
+      if (sortlist[i] > sortlist[i + 1]) {
+        var t = sortlist[i];
+        sortlist[i] = sortlist[i + 1];
+        sortlist[i + 1] = t;
+      }
+      i = i + 1;
+    }
+    top = top - 1;
+  }
+  return check_sorted(160) * (sortlist[0] + sortlist[159] + sortlist[80]);
+}
+
+// ---------------- Tree ----------------
+// nodes: 3 words each: +0 left, +1 right, +2 value (0 = null node)
+var tree[3000];
+var tree_next;
+
+proc tree_new(v) {
+  var n = tree_next;
+  tree_next = tree_next + 3;
+  tree[n] = 0;
+  tree[n + 1] = 0;
+  tree[n + 2] = v;
+  return n;
+}
+
+proc tree_insert(root, v) {
+  var cur = root;
+  var done = 0;
+  while (done == 0) {
+    if (v < tree[cur + 2]) {
+      if (tree[cur] == 0) { tree[cur] = tree_new(v); done = 1; }
+      else { cur = tree[cur]; }
+    } else {
+      if (tree[cur + 1] == 0) { tree[cur + 1] = tree_new(v); done = 1; }
+      else { cur = tree[cur + 1]; }
+    }
+  }
+  return root;
+}
+
+proc tree_depth(node) {
+  if (node == 0) { return 0; }
+  var l = tree_depth(tree[node]);
+  var r = tree_depth(tree[node + 1]);
+  if (l > r) { return l + 1; }
+  return r + 1;
+}
+
+proc tree_count(node) {
+  if (node == 0) { return 0; }
+  return 1 + tree_count(tree[node]) + tree_count(tree[node + 1]);
+}
+
+proc tree_bench() {
+  tree_next = 3;                  // index 0 reserved as null
+  sort_seed = 117;
+  var root = tree_new(sort_rand());
+  var i = 0;
+  while (i < 400) {
+    tree_insert(root, sort_rand());
+    i = i + 1;
+  }
+  return tree_count(root) * 100 + tree_depth(root);
+}
+
+proc main() {
+  print(perm_bench());
+  print(towers_bench());
+  print(queens_bench());
+  print(intmm_bench());
+  print(quick_bench());
+  print(bubble_bench());
+  print(tree_bench());
+}
+|}

@@ -1,0 +1,165 @@
+(** tex — "virtex from the TeX typesetting package" (paper appendix).
+
+    The part of TeX that dominates its cycles: paragraph building.  Words
+    of varying widths are assembled into lines by the optimum-fit dynamic
+    program over badness (cubic-ish penalty of line looseness), with glue
+    stretching, penalties for tight lines, and a final galley checksum.
+    Structured like tex: a word source, metric helpers, badness/demerits
+    calculators, the break optimizer, and the shipper. *)
+
+let source =
+  {|
+var hsize;              // line width target
+var nwords;
+var word_width[600];
+var word_stretch[600];
+var best_demerits[601];
+var best_break[601];
+var galley_sig;
+var lines_shipped;
+var total_demerits;
+var overfull;
+
+proc make_word(slot, seed) {
+  // deterministic "font metrics": width 3..12, stretchability 1..3
+  var w = 3 + (seed * 7 + seed / 13) % 10;
+  var s = 1 + (seed * 5) % 3;
+  word_width[slot] = w;
+  word_stretch[slot] = s;
+  return w;
+}
+
+proc natural_width(from, to) {
+  // width of words [from, to) with unit inter-word glue
+  var w = 0;
+  var i = from;
+  while (i < to) {
+    w = w + word_width[i];
+    i = i + 1;
+  }
+  return w + (to - from - 1);
+}
+
+proc stretchability(from, to) {
+  var s = 0;
+  var i = from;
+  while (i < to) {
+    s = s + word_stretch[i];
+    i = i + 1;
+  }
+  return s;
+}
+
+proc badness(from, to) {
+  // tex's badness: ~ 100 * (excess / stretch)^3, saturated at 10000
+  var nat = natural_width(from, to);
+  var excess = hsize - nat;
+  if (excess < 0) {
+    return 10000;                    // overfull
+  }
+  var s = stretchability(from, to);
+  if (s < 1) { s = 1; }
+  var ratio = excess * 6 / s;        // fixed-point, 6 = unit
+  var b = ratio * ratio * ratio / 216;
+  if (b > 10000) { return 10000; }
+  return b;
+}
+
+proc line_penalty(from, to, is_last) {
+  var b = badness(from, to);
+  if (is_last == 1 && b < 10000) {
+    // last line may be loose for free
+    return 10;
+  }
+  var d = (10 + b) * (10 + b) / 100;
+  if (b == 10000) { d = d + 5000; }
+  return d;
+}
+
+proc optimize_breaks() {
+  // best_demerits[k]: cheapest demerits to break before word k
+  best_demerits[0] = 0;
+  var k = 1;
+  while (k <= nwords) {
+    var best = 1000000000;
+    var bestj = 0;
+    var j = k - 1;
+    var width = 0;
+    var scanning = 1;
+    while (j >= 0 && scanning == 1) {
+      width = width + word_width[j] + 1;
+      if (width - 1 > hsize + 20) {
+        scanning = 0;                 // too far back to ever fit
+      } else {
+        var is_last = 0;
+        if (k == nwords) { is_last = 1; }
+        var d = best_demerits[j] + line_penalty(j, k, is_last);
+        if (d < best) {
+          best = d;
+          bestj = j;
+        }
+      }
+      j = j - 1;
+    }
+    best_demerits[k] = best;
+    best_break[k] = bestj;
+    k = k + 1;
+  }
+  return best_demerits[nwords];
+}
+
+proc ship_line(from, to) {
+  lines_shipped = lines_shipped + 1;
+  var b = badness(from, to);
+  if (b == 10000) { overfull = overfull + 1; }
+  galley_sig = (galley_sig * 31 + natural_width(from, to) * 7 + b) % 1000003;
+  return 0;
+}
+
+proc ship_paragraph() {
+  // recover the break list (reversed), then ship in order via recursion
+  return ship_from(0);
+}
+
+proc ship_from(k) {
+  // find the line starting at word k by scanning break table
+  if (k >= nwords) { return 0; }
+  var next = nwords;
+  var j = k + 1;
+  var found = 0;
+  while (j <= nwords && found == 0) {
+    if (best_break[j] == k) {
+      next = j;
+      found = 1;
+    }
+    j = j + 1;
+  }
+  ship_line(k, next);
+  return ship_from(next);
+}
+
+proc build_paragraph(par, len) {
+  nwords = len;
+  var i = 0;
+  while (i < len) {
+    make_word(i, par * 31 + i);
+    i = i + 1;
+  }
+  total_demerits = total_demerits + optimize_breaks();
+  ship_paragraph();
+  return 0;
+}
+
+proc main() {
+  hsize = 36;
+  var par = 0;
+  while (par < 30) {
+    build_paragraph(par, 120 + (par * 37) % 200);
+    par = par + 1;
+  }
+  print(lines_shipped);
+  print(total_demerits);
+  print(galley_sig);
+  print(overfull);
+}
+|}

@@ -1,0 +1,401 @@
+(** uopt — "the MIPS Ucode global optimizer, including the register
+    allocator" (paper appendix).
+
+    Pleasingly self-referential: a miniature global optimizer optimizing a
+    synthetic Ucode-like program.  It builds a CFG over generated linear
+    code, runs iterative bit-vector liveness (registers packed into one
+    word, as the paper's §5 recommends), local common-subexpression and
+    dead-code elimination, and a priority-driven register allocator over
+    live intervals.  Passes are dispatched through a function-pointer pass
+    table, so the drivers stay open while the analysis helpers form closed
+    subtrees. *)
+
+let source =
+  {|
+// ----- the program under optimization -----
+// instruction: op, dst, src1, src2
+// ops: 0 nop, 1 li, 2 add, 3 mul, 4 copy, 5 cmp-branch (src2 = target blk),
+//      6 jump (dst = target blk), 7 ret, 8 load, 9 store
+var in_op[1500];
+var in_d[1500];
+var in_a[1500];
+var in_b[1500];
+var ninsts;
+
+var blk_start[200];     // first instruction of each block
+var blk_end[200];       // one past last
+var blk_succ1[200];
+var blk_succ2[200];
+var nblocks;
+
+var live_in[200];       // bit vectors over 16 virtual registers
+var live_out[200];
+var blk_use[200];
+var blk_def[200];
+
+var interval_lo[16];
+var interval_hi[16];
+var assigned[16];
+
+var passes[6];          // pass table (procedure pointers)
+var slot_busy_until[6]; // allocator state
+var stat_dce;
+var stat_cse;
+var stat_liveness_iters;
+var stat_spills;
+var opt_sig;
+
+// ----- bit helpers (closed leaves used by everything) -----
+var pow2[16];
+
+proc init_bits() {
+  var b = 1;
+  var k = 0;
+  while (k < 16) { pow2[k] = b; b = b * 2; k = k + 1; }
+  return 0;
+}
+
+proc bit(i) { return pow2[i]; }
+
+proc has_bit(word, i) { return (word / bit(i)) % 2; }
+
+proc set_bit(word, i) {
+  if (has_bit(word, i) == 1) { return word; }
+  return word + bit(i);
+}
+
+proc clear_bit(word, i) {
+  if (has_bit(word, i) == 0) { return word; }
+  return word - bit(i);
+}
+
+proc union(a, b) {
+  var r = 0;
+  var i = 0;
+  while (i < 16) {
+    if (has_bit(a, i) == 1 || has_bit(b, i) == 1) { r = set_bit(r, i); }
+    i = i + 1;
+  }
+  return r;
+}
+
+proc minus(a, b) {
+  var r = a;
+  var i = 0;
+  while (i < 16) {
+    if (has_bit(b, i) == 1) { r = clear_bit(r, i); }
+    i = i + 1;
+  }
+  return r;
+}
+
+// ----- synthetic Ucode generator -----
+proc emit4(op, d, a, b) {
+  in_op[ninsts] = op;
+  in_d[ninsts] = d;
+  in_a[ninsts] = a;
+  in_b[ninsts] = b;
+  ninsts = ninsts + 1;
+  return 0;
+}
+
+proc gen_block(seed, size) {
+  var i = 0;
+  while (i < size) {
+    var f = (seed + i * 3) % 11;
+    var r1 = (seed + i) % 16;
+    var r2 = (seed + i * 5 + 1) % 16;
+    var r3 = (seed + i * 7 + 2) % 16;
+    if (f < 2) { emit4(1, r1, (seed + i) % 100, 0); }
+    else {
+      if (f < 5) { emit4(2, r1, r2, r3); }
+      else {
+        if (f < 7) { emit4(3, r1, r2, r3); }
+        else {
+          if (f == 7) { emit4(4, r1, r2, 0); }
+          else {
+            if (f == 8) { emit4(8, r1, r2, 0); }
+            else {
+              if (f == 9) { emit4(9, 0, r1, r2); }
+              else { emit4(2, r1, r1, r3); }
+            }
+          }
+        }
+      }
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+proc generate(seed) {
+  ninsts = 0;
+  nblocks = 24;
+  var b = 0;
+  while (b < nblocks) {
+    blk_start[b] = ninsts;
+    gen_block(seed * 17 + b * 5, 6 + (seed + b) % 9);
+    // terminator
+    if (b == nblocks - 1) {
+      emit4(7, 0, 0, 0);
+      blk_succ1[b] = -1;
+      blk_succ2[b] = -1;
+    } else {
+      if (b % 3 == 1) {
+        var target = b + 2 + (seed + b) % 3;
+        if (target >= nblocks) { target = nblocks - 1; }
+        emit4(5, 0, b % 16, target);
+        blk_succ1[b] = b + 1;
+        blk_succ2[b] = target;
+      } else {
+        if (b % 7 == 4 && b > 2) {
+          emit4(6, b - 2, 0, 0);          // back edge: a loop
+          blk_succ1[b] = b - 2;
+          blk_succ2[b] = -1;
+        } else {
+          emit4(6, b + 1, 0, 0);
+          blk_succ1[b] = b + 1;
+          blk_succ2[b] = -1;
+        }
+      }
+    }
+    blk_end[b] = ninsts;
+    b = b + 1;
+  }
+  return ninsts;
+}
+
+// ----- pass 1: local use/def summary -----
+proc inst_uses(i) {
+  var op = in_op[i];
+  var u = 0;
+  if (op == 2 || op == 3) { u = set_bit(set_bit(0, in_a[i]), in_b[i]); }
+  if (op == 4 || op == 8) { u = set_bit(0, in_a[i]); }
+  if (op == 5) { u = set_bit(0, in_a[i]); }
+  if (op == 9) { u = set_bit(set_bit(0, in_a[i]), in_b[i]); }
+  return u;
+}
+
+proc inst_def(i) {
+  var op = in_op[i];
+  if (op == 1 || op == 2 || op == 3 || op == 4 || op == 8) {
+    return set_bit(0, in_d[i]);
+  }
+  return 0;
+}
+
+proc summarize_pass(unused) {
+  var b = 0;
+  while (b < nblocks) {
+    var uses = 0;
+    var defs = 0;
+    var i = blk_start[b];
+    while (i < blk_end[b]) {
+      uses = union(uses, minus(inst_uses(i), defs));
+      defs = union(defs, inst_def(i));
+      i = i + 1;
+    }
+    blk_use[b] = uses;
+    blk_def[b] = defs;
+    live_in[b] = 0;
+    live_out[b] = 0;
+    b = b + 1;
+  }
+  return nblocks;
+}
+
+// ----- pass 2: iterative liveness -----
+proc liveness_pass(unused) {
+  var changed = 1;
+  var iters = 0;
+  while (changed == 1) {
+    changed = 0;
+    iters = iters + 1;
+    var b = nblocks - 1;
+    while (b >= 0) {
+      var out = 0;
+      if (blk_succ1[b] >= 0) { out = union(out, live_in[blk_succ1[b]]); }
+      if (blk_succ2[b] >= 0) { out = union(out, live_in[blk_succ2[b]]); }
+      var inn = union(blk_use[b], minus(out, blk_def[b]));
+      if (out != live_out[b] || inn != live_in[b]) {
+        changed = 1;
+        live_out[b] = out;
+        live_in[b] = inn;
+      }
+      b = b - 1;
+    }
+  }
+  stat_liveness_iters = stat_liveness_iters + iters;
+  return iters;
+}
+
+// ----- pass 3: dead code elimination (counts, does not rewrite) -----
+proc dce_pass(unused) {
+  var killed = 0;
+  var b = 0;
+  while (b < nblocks) {
+    var live = live_out[b];
+    var i = blk_end[b] - 1;
+    while (i >= blk_start[b]) {
+      var def = inst_def(i);
+      if (def != 0 && has_bit(live, in_d[i]) == 0 && in_op[i] != 8) {
+        killed = killed + 1;
+        in_op[i] = 0;              // nop it out
+      } else {
+        live = union(minus(live, def), inst_uses(i));
+      }
+      i = i - 1;
+    }
+    b = b + 1;
+  }
+  stat_dce = stat_dce + killed;
+  return killed;
+}
+
+// ----- pass 4: very local common subexpressions -----
+proc cse_pass(unused) {
+  var found = 0;
+  var b = 0;
+  while (b < nblocks) {
+    var i = blk_start[b];
+    while (i < blk_end[b]) {
+      if (in_op[i] == 2 || in_op[i] == 3) {
+        var j = i + 1;
+        var stop = 0;
+        while (j < blk_end[b] && stop == 0) {
+          if (in_op[j] == in_op[i] && in_a[j] == in_a[i] && in_b[j] == in_b[i]) {
+            // same expression; is it still valid?
+            found = found + 1;
+            stop = 1;
+          }
+          if (inst_def(j) != 0) {
+            if (has_bit(inst_def(j), in_a[i]) == 1) { stop = 1; }
+            if (has_bit(inst_def(j), in_b[i]) == 1) { stop = 1; }
+          }
+          j = j + 1;
+        }
+      }
+      i = i + 1;
+    }
+    b = b + 1;
+  }
+  stat_cse = stat_cse + found;
+  return found;
+}
+
+// ----- pass 5: interval construction + greedy allocation -----
+proc intervals_pass(unused) {
+  var r = 0;
+  while (r < 16) {
+    interval_lo[r] = 1000000;
+    interval_hi[r] = -1;
+    r = r + 1;
+  }
+  var i = 0;
+  while (i < ninsts) {
+    var touched = union(inst_uses(i), inst_def(i));
+    r = 0;
+    while (r < 16) {
+      if (has_bit(touched, r) == 1) {
+        if (i < interval_lo[r]) { interval_lo[r] = i; }
+        if (i > interval_hi[r]) { interval_hi[r] = i; }
+      }
+      r = r + 1;
+    }
+    i = i + 1;
+  }
+  return 16;
+}
+
+proc alloc_pass(unused) {
+  // greedy: 6 physical registers, longest-interval-first priority
+  var r = 0;
+  while (r < 16) { assigned[r] = -1; r = r + 1; }
+  var s = 0;
+  while (s < 6) { slot_busy_until[s] = -1; s = s + 1; }
+  var done = 0;
+  while (done < 16) {
+    // pick the longest unassigned interval
+    var best = -1;
+    var bestlen = -1;
+    r = 0;
+    while (r < 16) {
+      if (assigned[r] == -1 && interval_hi[r] >= 0) {
+        var len = interval_hi[r] - interval_lo[r];
+        if (len > bestlen) { bestlen = len; best = r; }
+      }
+      r = r + 1;
+    }
+    if (best == -1) { done = 16; }
+    else {
+      // first free slot whose last interval ended before ours starts
+      var got = -1;
+      s = 0;
+      while (s < 6 && got == -1) {
+        if (slot_busy_until[s] < interval_lo[best]) { got = s; }
+        s = s + 1;
+      }
+      if (got >= 0) {
+        assigned[best] = got;
+        slot_busy_until[got] = interval_hi[best];
+      } else {
+        stat_spills = stat_spills + 1;
+        assigned[best] = -2;
+      }
+      done = done + 1;
+    }
+  }
+  return stat_spills;
+}
+
+proc run_passes() {
+  var p = 0;
+  var total = 0;
+  while (p < 6) {
+    var pass = passes[p];
+    total = total + pass(p);
+    p = p + 1;
+  }
+  return total;
+}
+
+proc checksum() {
+  var b = 0;
+  while (b < nblocks) {
+    opt_sig = (opt_sig * 17 + live_in[b] * 3 + live_out[b]) % 1000003;
+    b = b + 1;
+  }
+  var r = 0;
+  while (r < 16) {
+    opt_sig = (opt_sig * 5 + assigned[r] + 3) % 1000003;
+    r = r + 1;
+  }
+  return opt_sig;
+}
+
+proc final_pass(unused) {
+  return checksum();
+}
+
+proc main() {
+  init_bits();
+  passes[0] = &summarize_pass;
+  passes[1] = &liveness_pass;
+  passes[2] = &dce_pass;
+  passes[3] = &cse_pass;
+  passes[4] = &intervals_pass;
+  passes[5] = &alloc_pass;
+  var unit = 0;
+  while (unit < 10) {
+    generate(unit * 3 + 1);
+    run_passes();
+    final_pass(0);
+    unit = unit + 1;
+  }
+  print(stat_dce);
+  print(stat_cse);
+  print(stat_liveness_iters);
+  print(stat_spills);
+  print(opt_sig);
+}
+|}

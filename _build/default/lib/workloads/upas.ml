@@ -1,0 +1,377 @@
+(** upas — "first pass of the MIPS Pascal compiler" (paper appendix).
+
+    The front half of a Pascal-ish compiler: a token generator standing in
+    for the scanner, a recursive-descent parser for declarations,
+    statements and expressions, a block-structured symbol table with scope
+    push/pop, and per-construct semantic checks (arity, kinds, simple type
+    tags).  Emits counts and a tree signature rather than code — just like
+    a first pass feeding a common back-end. *)
+
+let source =
+  {|
+// ----- token stream -----
+// tokens: 1 program 2 var 3 procedure 4 begin 5 end 6 if 7 then 8 else
+//         9 while 10 do 11 ident 12 number 13 ; 14 := 15 ( 16 ) 17 ,
+//         18 + 19 - 20 * 21 < 22 = 23 call-mark 0 eof
+var tok_kind[6000];
+var tok_value[6000];
+var ntoks;
+var pos;
+
+// ----- symbol table: a scope stack -----
+// entries: +0 name, +1 kind (1 var, 2 proc), +2 level, +3 arity
+var sym_name[400];
+var sym_kind[400];
+var sym_level[400];
+var sym_arity[400];
+var nsym;
+var level;
+var scope_mark[40];     // first symbol index of each open scope
+
+var sem_errors;
+var nodes;
+var tree_sig;
+var max_depth;
+var stmts_parsed;
+var exprs_parsed;
+
+// ----- token synthesis: a deterministic Pascal-ish module -----
+proc put(kind, value) {
+  tok_kind[ntoks] = kind;
+  tok_value[ntoks] = value;
+  ntoks = ntoks + 1;
+  return 0;
+}
+
+proc gen_expr_toks(seed, depth) {
+  if (depth <= 0) {
+    if (seed % 2 == 0) { put(11, seed % 20 + 1); }
+    else { put(12, seed % 50); }
+    return 0;
+  }
+  put(15, 0);
+  gen_expr_toks(seed / 2, depth - 1);
+  var op = 18 + seed % 4;
+  put(op, 0);
+  gen_expr_toks(seed / 3, depth - 1);
+  put(16, 0);
+  return 0;
+}
+
+proc gen_stmt_toks(seed, depth) {
+  var form = seed % 4;
+  if (depth <= 0) { form = 0; }
+  if (form == 0) {
+    put(11, seed % 20 + 1);
+    put(14, 0);
+    gen_expr_toks(seed + 3, 2);
+    put(13, 0);
+    return 0;
+  }
+  if (form == 1) {
+    put(6, 0);
+    gen_expr_toks(seed + 1, 1);
+    put(7, 0);
+    gen_stmt_toks(seed / 2 + 1, depth - 1);
+    put(8, 0);
+    gen_stmt_toks(seed / 3 + 2, depth - 1);
+    return 0;
+  }
+  if (form == 2) {
+    put(9, 0);
+    gen_expr_toks(seed + 2, 1);
+    put(10, 0);
+    gen_stmt_toks(seed / 2 + 3, depth - 1);
+    return 0;
+  }
+  // procedure call statement
+  put(23, seed % 6 + 21);
+  put(15, 0);
+  gen_expr_toks(seed + 5, 1);
+  put(17, 0);
+  gen_expr_toks(seed + 7, 1);
+  put(16, 0);
+  put(13, 0);
+  return 0;
+}
+
+proc gen_module(seed) {
+  ntoks = 0;
+  put(1, 0);
+  // global variables
+  var i = 0;
+  while (i < 20) {
+    put(2, 0);
+    put(11, i + 1);
+    put(13, 0);
+    i = i + 1;
+  }
+  // procedures 21..26, two parameters each
+  i = 0;
+  while (i < 6) {
+    put(3, 0);
+    put(11, 21 + i);
+    put(15, 0);
+    put(11, 1);
+    put(17, 0);
+    put(11, 2);
+    put(16, 0);
+    put(13, 0);
+    put(4, 0);
+    var s = 0;
+    while (s < 6) {
+      gen_stmt_toks(seed * 7 + i * 13 + s * 3, 3);
+      s = s + 1;
+    }
+    put(5, 0);
+    i = i + 1;
+  }
+  // main body
+  put(4, 0);
+  i = 0;
+  while (i < 8) {
+    gen_stmt_toks(seed * 11 + i * 5, 3);
+    i = i + 1;
+  }
+  put(5, 0);
+  put(0, 0);
+  return ntoks;
+}
+
+// ----- scanner interface -----
+proc cur() {
+  if (pos >= ntoks) { return 0; }
+  return tok_kind[pos];
+}
+proc cur_value() {
+  if (pos >= ntoks) { return 0; }
+  return tok_value[pos];
+}
+proc advance() { pos = pos + 1; return 0; }
+
+proc expect(kind) {
+  if (cur() == kind) { advance(); return 1; }
+  sem_errors = sem_errors + 1;
+  advance();
+  return 0;
+}
+
+// ----- symbol table -----
+proc open_scope() {
+  scope_mark[level] = nsym;
+  level = level + 1;
+  return 0;
+}
+
+proc close_scope() {
+  level = level - 1;
+  nsym = scope_mark[level];
+  return 0;
+}
+
+proc declare(name, kind, arity) {
+  // redeclaration in the same scope is an error
+  var first = scope_mark[level - 1];
+  var i = first;
+  while (i < nsym) {
+    if (sym_name[i] == name) {
+      sem_errors = sem_errors + 1;
+      return 0;
+    }
+    i = i + 1;
+  }
+  sym_name[nsym] = name;
+  sym_kind[nsym] = kind;
+  sym_level[nsym] = level;
+  sym_arity[nsym] = arity;
+  nsym = nsym + 1;
+  return 1;
+}
+
+proc lookup(name) {
+  var i = nsym - 1;
+  while (i >= 0) {
+    if (sym_name[i] == name) { return i; }
+    i = i - 1;
+  }
+  return -1;
+}
+
+proc check_is_var(name) {
+  var s = lookup(name);
+  if (s < 0) { sem_errors = sem_errors + 1; return 0; }
+  if (sym_kind[s] != 1) { sem_errors = sem_errors + 1; return 0; }
+  return 1;
+}
+
+// ----- parser -----
+proc record_node(tag, depth) {
+  nodes = nodes + 1;
+  tree_sig = (tree_sig * 13 + tag * 7 + depth) % 1000003;
+  if (depth > max_depth) { max_depth = depth; }
+  return 0;
+}
+
+proc parse_factor(depth) {
+  record_node(3, depth);
+  if (cur() == 11) {
+    check_is_var(cur_value());
+    advance();
+    return 1;
+  }
+  if (cur() == 12) { advance(); return 1; }
+  if (cur() == 15) {
+    advance();
+    parse_expression(depth + 1);
+    expect(16);
+    return 1;
+  }
+  sem_errors = sem_errors + 1;
+  advance();
+  return 0;
+}
+
+proc parse_expression(depth) {
+  exprs_parsed = exprs_parsed + 1;
+  record_node(2, depth);
+  parse_factor(depth + 1);
+  while (cur() >= 18 && cur() <= 22) {
+    advance();
+    parse_factor(depth + 1);
+  }
+  return 1;
+}
+
+proc parse_call(depth) {
+  var callee = cur_value();
+  var s = lookup(callee);
+  var arity = -1;
+  if (s < 0) { sem_errors = sem_errors + 1; }
+  else {
+    if (sym_kind[s] != 2) { sem_errors = sem_errors + 1; }
+    arity = sym_arity[s];
+  }
+  advance();
+  expect(15);
+  var nargs = 0;
+  if (cur() != 16) {
+    parse_expression(depth + 1);
+    nargs = 1;
+    while (cur() == 17) {
+      advance();
+      parse_expression(depth + 1);
+      nargs = nargs + 1;
+    }
+  }
+  expect(16);
+  expect(13);
+  if (arity >= 0 && nargs != arity) { sem_errors = sem_errors + 1; }
+  return 1;
+}
+
+proc parse_statement(depth) {
+  stmts_parsed = stmts_parsed + 1;
+  record_node(1, depth);
+  var k = cur();
+  if (k == 11) {
+    check_is_var(cur_value());
+    advance();
+    expect(14);
+    parse_expression(depth + 1);
+    expect(13);
+    return 1;
+  }
+  if (k == 6) {
+    advance();
+    parse_expression(depth + 1);
+    expect(7);
+    parse_statement(depth + 1);
+    expect(8);
+    parse_statement(depth + 1);
+    return 1;
+  }
+  if (k == 9) {
+    advance();
+    parse_expression(depth + 1);
+    expect(10);
+    parse_statement(depth + 1);
+    return 1;
+  }
+  if (k == 23) {
+    return parse_call(depth);
+  }
+  if (k == 4) {
+    advance();
+    while (cur() != 5 && cur() != 0) {
+      parse_statement(depth + 1);
+    }
+    expect(5);
+    return 1;
+  }
+  sem_errors = sem_errors + 1;
+  advance();
+  return 0;
+}
+
+proc parse_module() {
+  pos = 0;
+  nsym = 0;
+  level = 0;
+  open_scope();
+  expect(1);
+  while (cur() == 2) {
+    advance();
+    declare(cur_value(), 1, 0);
+    advance();
+    expect(13);
+  }
+  while (cur() == 3) {
+    advance();
+    var pname = cur_value();
+    advance();
+    expect(15);
+    var arity = 0;
+    open_scope();
+    if (cur() == 11) {
+      declare(cur_value() + 100, 1, 0);
+      advance();
+      arity = 1;
+      while (cur() == 17) {
+        advance();
+        declare(cur_value() + 100, 1, 0);
+        advance();
+        arity = arity + 1;
+      }
+    }
+    expect(16);
+    expect(13);
+    close_scope();
+    declare(pname, 2, arity);
+    open_scope();
+    // parameters visible in the body
+    declare(1, 1, 0);
+    declare(2, 1, 0);
+    parse_statement(1);
+    close_scope();
+  }
+  parse_statement(1);
+  expect(0);
+  close_scope();
+  return nodes;
+}
+
+proc main() {
+  var m = 0;
+  while (m < 8) {
+    gen_module(m + 1);
+    parse_module();
+    m = m + 1;
+  }
+  print(nodes);
+  print(stmts_parsed);
+  print(exprs_parsed);
+  print(sem_errors);
+  print(max_depth);
+  print(tree_sig);
+}
+|}

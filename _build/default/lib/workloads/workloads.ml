@@ -1,0 +1,154 @@
+(** The benchmark registry: the thirteen programs of the paper's Table 1
+    (appendix), reimplemented in Pawn with matching character — recursion
+    where the originals recurse, indirect dispatch where they dispatch,
+    and the same small-to-very-large size gradient — together with the
+    numbers the paper reports, so every bench can print paper-vs-measured
+    side by side. *)
+
+(** One row of the paper's measurements.  Reductions are percentages
+    relative to -O2 with shrink-wrap disabled; columns as in Tables 1-2. *)
+type paper_row = {
+  p_lines : int;  (** source line count reported in Table 1 *)
+  p_cycles_per_call : int;
+  p_cyc_a : float;  (** I.A: % cycle reduction, -O2 + shrink-wrap *)
+  p_cyc_b : float;  (** I.B: % cycle reduction, -O3 *)
+  p_cyc_c : float;  (** I.C: % cycle reduction, -O3 + shrink-wrap *)
+  p_ldst_a : float;  (** II.A: % scalar load/store reduction *)
+  p_ldst_b : float;
+  p_ldst_c : float;
+  p_cyc_d : float;  (** Table 2 D: 7 caller-saved registers *)
+  p_cyc_e : float;  (** Table 2 E: 7 callee-saved registers *)
+  p_ldst_d : float;
+  p_ldst_e : float;
+}
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  paper : paper_row;
+}
+
+let row lines cpc (ca, cb, cc) (la, lb, lc) (cd, ce) (ld, le) =
+  {
+    p_lines = lines;
+    p_cycles_per_call = cpc;
+    p_cyc_a = ca;
+    p_cyc_b = cb;
+    p_cyc_c = cc;
+    p_ldst_a = la;
+    p_ldst_b = lb;
+    p_ldst_c = lc;
+    p_cyc_d = cd;
+    p_cyc_e = ce;
+    p_ldst_d = ld;
+    p_ldst_e = le;
+  }
+
+let all : t list =
+  [
+    {
+      name = "nim";
+      description = "game-tree search for the game of Nim";
+      source = Nim.source;
+      paper =
+        row 170 43 (2.1, 12.0, 14.1) (7.0, 42.3, 49.6) (11.8, 6.9)
+          (43.3, 28.2);
+    };
+    {
+      name = "map";
+      description = "4-coloring of a map by backtracking";
+      source = Map4.source;
+      paper =
+        row 410 71 (-0.1, 3.9, 3.9) (0., 42.5, 42.5) (-7.2, -10.5)
+          (-120.2, -159.6);
+    };
+    {
+      name = "calcc";
+      description = "dynamic and variable-length string manipulation";
+      source = Calcc.source;
+      paper =
+        row 500 31 (0., 9.5, 9.5) (0., 57.7, 57.6) (-7.7, 4.8) (-57.7, 24.2);
+    };
+    {
+      name = "diff";
+      description = "file comparison by longest common subsequence";
+      source = Diffw.source;
+      paper =
+        row 670 150 (0., 0.9, 0.8) (0.1, 20.8, 19.7) (-12.6, -7.7)
+          (-158.1, -106.6);
+    };
+    {
+      name = "dhrystone";
+      description = "Weicker's synthetic systems-programming mix";
+      source = Dhrystone.source;
+      paper =
+        row 770 36 (0., 4.1, 4.1) (0., 41.7, 41.7) (0.7, 0.7) (10.0, 10.0);
+    };
+    {
+      name = "stanford";
+      description = "Hennessy's composite benchmark suite";
+      source = Stanford.source;
+      paper =
+        row 940 70 (0.8, 0.2, 1.3) (12.5, -1.0, 20.8) (-7.0, -12.9)
+          (-51.9, -128.9);
+    };
+    {
+      name = "pf";
+      description = "Pascal pretty-printer";
+      source = Pf.source;
+      paper =
+        row 2400 111 (0., 2.5, 2.3) (0.2, 50.3, 49.1) (-0.5, -0.6)
+          (-0.5, 3.0);
+    };
+    {
+      name = "awk";
+      description = "pattern scanning with indirect action dispatch";
+      source = Awkw.source;
+      paper =
+        row 2500 91 (-0.1, 2.2, 0.9) (0., 14.6, 4.5) (-2.8, -1.5)
+          (-26.6, -20.1);
+    };
+    {
+      name = "tex";
+      description = "paragraph line breaking from typesetting";
+      source = Texw.source;
+      paper =
+        row 5700 45 (0.2, 3.3, 3.7) (1.1, 11.8, 13.5) (-0.8, 3.3)
+          (-9.7, 11.0);
+    };
+    {
+      name = "ccom";
+      description = "C-expression compiler first pass";
+      source = Ccom.source;
+      paper =
+        row 12100 56 (0., -2.6, -1.4) (0.6, -26.1, -15.9) (-2.4, -5.1)
+          (-17.9, -37.7);
+    };
+    {
+      name = "as1";
+      description = "two-pass assembler with pipeline reorganizer";
+      source = As1.source;
+      paper =
+        row 14100 51 (-0.2, 2.7, 1.9) (0.1, 12.4, 10.8) (-2.2, -2.4)
+          (-17.2, -12.8);
+    };
+    {
+      name = "upas";
+      description = "Pascal compiler first pass (parser + symbol table)";
+      source = Upas.source;
+      paper =
+        row 16600 46 (0.1, 1.7, 1.3) (1.2, 9.3, 6.8) (-5.3, 0.6)
+          (-26.7, 1.8);
+    };
+    {
+      name = "uopt";
+      description = "global optimizer optimizing synthetic Ucode";
+      source = Uopt.source;
+      paper =
+        row 22300 49 (0., 0.5, 1.0) (1.6, -1.8, 8.1) (-3.9, -3.3)
+          (-43.1, -31.3);
+    };
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) all

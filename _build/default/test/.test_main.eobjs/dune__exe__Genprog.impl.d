@@ -1,0 +1,1 @@
+test/genprog.ml: Buffer List Printf Random String

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Chow_support Int List Printf QCheck QCheck_alcotest Set String

@@ -1,0 +1,1 @@
+test/test_callgraph.ml: Alcotest Chow_core Chow_frontend Chow_ir List

@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Array Chow_frontend Chow_ir Chow_support List

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Chow_codegen Chow_compiler Chow_ir Chow_machine Hashtbl List Option Printf QCheck QCheck_alcotest String

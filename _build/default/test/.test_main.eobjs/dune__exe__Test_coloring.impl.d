@@ -1,0 +1,1 @@
+test/test_coloring.ml: Alcotest Array Chow_compiler Chow_core Chow_frontend Chow_ir Chow_machine Chow_sim Chow_support Genprog Hashtbl List Printf QCheck QCheck_alcotest

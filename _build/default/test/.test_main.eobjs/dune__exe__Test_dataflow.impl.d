@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Chow_ir Chow_machine Chow_support List

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Chow_codegen Chow_compiler Chow_sim List String

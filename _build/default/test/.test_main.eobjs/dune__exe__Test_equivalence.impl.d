@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Chow_compiler Chow_machine Chow_sim Chow_workloads Genprog List Printf QCheck QCheck_alcotest

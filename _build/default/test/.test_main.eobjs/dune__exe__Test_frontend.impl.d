@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array Chow_compiler Chow_frontend Chow_ir Chow_sim List

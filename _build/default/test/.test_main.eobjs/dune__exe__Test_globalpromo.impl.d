@@ -1,0 +1,1 @@
+test/test_globalpromo.ml: Alcotest Chow_compiler Chow_core Chow_frontend Chow_ir Chow_sim Chow_workloads List

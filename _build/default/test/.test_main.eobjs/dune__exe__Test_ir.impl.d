@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Chow_frontend Chow_ir Format List Option Str String

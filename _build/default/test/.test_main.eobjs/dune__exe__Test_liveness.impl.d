@@ -1,0 +1,1 @@
+test/test_liveness.ml: Alcotest Array Chow_core Chow_frontend Chow_ir Chow_support Genprog List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_modules.ml: Alcotest Chow_codegen Chow_compiler Chow_core Chow_sim List

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Chow_codegen Chow_compiler Chow_frontend Chow_ir Chow_sim Hashtbl List

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Chow_compiler Chow_core Chow_ir Chow_machine Chow_sim Chow_workloads List Printf

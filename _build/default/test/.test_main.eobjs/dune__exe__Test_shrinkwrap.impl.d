@@ -1,0 +1,1 @@
+test/test_shrinkwrap.ml: Alcotest Array Chow_core Chow_ir Chow_machine Chow_support List Printf QCheck QCheck_alcotest Random

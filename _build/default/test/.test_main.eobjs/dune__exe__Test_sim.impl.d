@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Chow_codegen Chow_compiler Chow_ir Chow_machine Chow_sim List String

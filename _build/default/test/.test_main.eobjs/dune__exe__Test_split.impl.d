@@ -1,0 +1,1 @@
+test/test_split.ml: Alcotest Array Chow_compiler Chow_core Chow_ir Chow_machine Chow_sim Chow_workloads List Option Printf String

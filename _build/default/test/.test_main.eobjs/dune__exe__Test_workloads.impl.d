@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Chow_compiler Chow_sim Chow_workloads List

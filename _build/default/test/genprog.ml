@@ -1,0 +1,204 @@
+(** Seeded random Pawn program generator for property-based testing.
+
+    Every generated program terminates by construction:
+
+    - loops use unique counters bounded by constants; counters are readable
+      but never chosen as assignment targets, and every loop body ends with
+      the single increment the generator plants;
+    - recursion appears only through one skeleton whose first parameter
+      decreases structurally and is never reassigned, with an upper clamp so
+      that calls synthesised inside arbitrary expressions cannot request
+      unbounded depth;
+    - divisions and remainders are guarded to non-zero divisors, and array
+      indices are reduced modulo the array size, so the simulator never
+      traps.
+
+    The generator deliberately covers the paper's interesting cases: chains
+    of closed procedures, a recursive (hence open) procedure, an
+    address-taken procedure called through a global pointer, wide arities
+    (stack arguments), global variables, nested control flow and the
+    short-circuit operators. *)
+
+type scope = {
+  mutable reads : string list;  (** variables an expression may read *)
+  mutable writes : string list;  (** variables a statement may assign *)
+}
+
+type ctx = {
+  rng : Random.State.t;
+  buf : Buffer.t;
+  mutable fresh : int;
+  mutable callable : (string * int) list;  (** (name, arity) *)
+}
+
+let add ctx fmt = Printf.ksprintf (Buffer.add_string ctx.buf) fmt
+let pick ctx xs = List.nth xs (Random.State.int ctx.rng (List.length xs))
+let chance ctx p = Random.State.float ctx.rng 1.0 < p
+
+let fresh_name ctx prefix =
+  ctx.fresh <- ctx.fresh + 1;
+  Printf.sprintf "%s%d" prefix ctx.fresh
+
+let rec gen_expr ctx scope depth =
+  let leaf () =
+    if scope.reads <> [] && chance ctx 0.6 then pick ctx scope.reads
+    else string_of_int (Random.State.int ctx.rng 101 - 50)
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Random.State.int ctx.rng 12 with
+    | 0 | 1 | 2 ->
+        Printf.sprintf "(%s %s %s)"
+          (gen_expr ctx scope (depth - 1))
+          (pick ctx [ "+"; "-"; "*" ])
+          (gen_expr ctx scope (depth - 1))
+    | 3 ->
+        (* guarded division/remainder: divisor in 1..7 *)
+        Printf.sprintf "(%s %s (1 + (%s %% 7 + 7) %% 7))"
+          (gen_expr ctx scope (depth - 1))
+          (pick ctx [ "/"; "%" ])
+          (gen_expr ctx scope (depth - 1))
+    | 4 ->
+        Printf.sprintf "(%s %s %s)"
+          (gen_expr ctx scope (depth - 1))
+          (pick ctx [ "=="; "!="; "<"; "<="; ">"; ">=" ])
+          (gen_expr ctx scope (depth - 1))
+    | 5 ->
+        Printf.sprintf "(%s %s %s)"
+          (gen_expr ctx scope (depth - 1))
+          (pick ctx [ "&&"; "||" ])
+          (gen_expr ctx scope (depth - 1))
+    | 6 -> Printf.sprintf "(!%s)" (gen_expr ctx scope (depth - 1))
+    | 7 -> Printf.sprintf "(-%s)" (gen_expr ctx scope (depth - 1))
+    | 8 ->
+        Printf.sprintf "arr[(%s %% 64 + 64) %% 64]"
+          (gen_expr ctx scope (depth - 1))
+    | 9 when ctx.callable <> [] ->
+        let name, arity = pick ctx ctx.callable in
+        let args =
+          List.init arity (fun _ -> gen_expr ctx scope (depth - 1))
+        in
+        Printf.sprintf "%s(%s)" name (String.concat ", " args)
+    | _ -> leaf ()
+
+let rec gen_stmts ctx scope ~indent ~depth ~count =
+  let pad = String.make indent ' ' in
+  for _ = 1 to count do
+    match Random.State.int ctx.rng 10 with
+    | 0 | 1 when depth > 0 ->
+        add ctx "%sif (%s) {\n" pad (gen_expr ctx scope 2);
+        let inner = { reads = scope.reads; writes = scope.writes } in
+        gen_stmts ctx inner ~indent:(indent + 2) ~depth:(depth - 1)
+          ~count:(1 + Random.State.int ctx.rng 2);
+        if chance ctx 0.5 then begin
+          add ctx "%s} else {\n" pad;
+          let inner = { reads = scope.reads; writes = scope.writes } in
+          gen_stmts ctx inner ~indent:(indent + 2) ~depth:(depth - 1)
+            ~count:(1 + Random.State.int ctx.rng 2)
+        end;
+        add ctx "%s}\n" pad
+    | 2 when depth > 0 ->
+        (* bounded loop: the counter is readable inside but never writable *)
+        let i = fresh_name ctx "loop" in
+        let bound = 1 + Random.State.int ctx.rng 5 in
+        add ctx "%svar %s = 0;\n" pad i;
+        add ctx "%swhile (%s < %d) {\n" pad i bound;
+        let inner = { reads = i :: scope.reads; writes = scope.writes } in
+        gen_stmts ctx inner ~indent:(indent + 2) ~depth:(depth - 1)
+          ~count:(1 + Random.State.int ctx.rng 2);
+        add ctx "%s  %s = %s + 1;\n" pad i i;
+        add ctx "%s}\n" pad
+    | 3 ->
+        let v = fresh_name ctx "v" in
+        add ctx "%svar %s = %s;\n" pad v (gen_expr ctx scope 2);
+        scope.reads <- v :: scope.reads;
+        scope.writes <- v :: scope.writes
+    | 4 ->
+        add ctx "%sarr[(%s %% 64 + 64) %% 64] = %s;\n" pad
+          (gen_expr ctx scope 1)
+          (gen_expr ctx scope 2)
+    | 5 -> add ctx "%sglob = %s;\n" pad (gen_expr ctx scope 2)
+    | 6 when ctx.callable <> [] ->
+        let name, arity = pick ctx ctx.callable in
+        let args = List.init arity (fun _ -> gen_expr ctx scope 1) in
+        add ctx "%s%s(%s);\n" pad name (String.concat ", " args)
+    | _ ->
+        if scope.writes = [] then begin
+          let v = fresh_name ctx "v" in
+          add ctx "%svar %s = %s;\n" pad v (gen_expr ctx scope 2);
+          scope.reads <- v :: scope.reads;
+          scope.writes <- v :: scope.writes
+        end
+        else
+          add ctx "%s%s = %s;\n" pad (pick ctx scope.writes)
+            (gen_expr ctx scope 2)
+  done
+
+let recursion_clamp = 24
+
+let gen_proc ctx ~name ~arity ~recursive =
+  let params = List.init arity (fun i -> Printf.sprintf "arg%d" i) in
+  add ctx "proc %s(%s) {\n" name (String.concat ", " params);
+  (* in the recursive skeleton, p0 is read-only so depth really decreases *)
+  let writable_params = if recursive then List.tl params else params in
+  let scope = { reads = params; writes = writable_params } in
+  if recursive then begin
+    add ctx "  if (arg0 <= 0 || arg0 > %d) { return %s; }\n" recursion_clamp
+      (gen_expr ctx scope 1);
+    gen_stmts ctx scope ~indent:2 ~depth:2
+      ~count:(2 + Random.State.int ctx.rng 3);
+    add ctx "  return %s(arg0 - 1%s) + %s;\n" name
+      (String.concat ""
+         (List.map (fun _ -> ", " ^ gen_expr ctx scope 1) writable_params))
+      (gen_expr ctx scope 1)
+  end
+  else begin
+    gen_stmts ctx scope ~indent:2 ~depth:2
+      ~count:(3 + Random.State.int ctx.rng 4);
+    add ctx "  return %s;\n" (gen_expr ctx scope 2)
+  end;
+  add ctx "}\n\n"
+
+(** [generate ~seed ()] is a deterministic random Pawn program exercising
+    the whole front-end and back-end. *)
+let generate ?(seed = 0) () =
+  let ctx =
+    {
+      rng = Random.State.make [| seed |];
+      buf = Buffer.create 1024;
+      fresh = 0;
+      callable = [];
+    }
+  in
+  add ctx "var glob = 3;\nvar fptr;\nvar arr[64];\n\n";
+  let nprocs = 2 + Random.State.int ctx.rng 4 in
+  for i = 1 to nprocs do
+    let name = Printf.sprintf "p%d" i in
+    let arity = Random.State.int ctx.rng 7 in
+    gen_proc ctx ~name ~arity ~recursive:false;
+    ctx.callable <- (name, arity) :: ctx.callable
+  done;
+  (* a recursive procedure: open under IPRA *)
+  let rec_arity = 1 + Random.State.int ctx.rng 3 in
+  gen_proc ctx ~name:"rp" ~arity:rec_arity ~recursive:true;
+  ctx.callable <- ("rp", rec_arity) :: ctx.callable;
+  (* an address-taken procedure invoked through a global pointer *)
+  gen_proc ctx ~name:"taken" ~arity:1 ~recursive:false;
+  add ctx "proc main() {\n";
+  add ctx "  fptr = &taken;\n";
+  let scope = { reads = []; writes = [] } in
+  add ctx "  var vr = rp(%d%s);\n"
+    (1 + Random.State.int ctx.rng 4)
+    (String.concat ""
+       (List.init (rec_arity - 1) (fun _ ->
+            ", " ^ string_of_int (Random.State.int ctx.rng 20))));
+  scope.reads <- [ "vr" ];
+  scope.writes <- [ "vr" ];
+  gen_stmts ctx scope ~indent:2 ~depth:2
+    ~count:(3 + Random.State.int ctx.rng 4);
+  add ctx "  print(fptr(glob));\n";
+  List.iter (fun v -> add ctx "  print(%s);\n" v) scope.reads;
+  add ctx "  print(glob);\n";
+  add ctx "  print(arr[5]);\n";
+  add ctx "}\n";
+  Buffer.contents ctx.buf

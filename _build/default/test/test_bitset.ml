@@ -1,0 +1,128 @@
+(** Unit and property tests for {!Chow_support.Bitset}: the dense bitset
+    underlying register masks and every data-flow vector. *)
+
+module Bitset = Chow_support.Bitset
+module IS = Set.Make (Int)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_list = Alcotest.(check (list int))
+
+let test_empty () =
+  let s = Bitset.create 100 in
+  check "empty" true (Bitset.is_empty s);
+  check_int "cardinal" 0 (Bitset.cardinal s);
+  check_list "elements" [] (Bitset.elements s);
+  Alcotest.(check (option int)) "choose" None (Bitset.choose s)
+
+let test_set_clear () =
+  let s = Bitset.create 130 in
+  Bitset.set s 0;
+  Bitset.set s 63;
+  Bitset.set s 64;
+  Bitset.set s 129;
+  check_list "elements" [ 0; 63; 64; 129 ] (Bitset.elements s);
+  check "mem 63" true (Bitset.mem s 63);
+  check "mem 62" false (Bitset.mem s 62);
+  Bitset.clear s 63;
+  check "cleared" false (Bitset.mem s 63);
+  check_int "cardinal" 3 (Bitset.cardinal s);
+  Alcotest.(check (option int)) "choose" (Some 0) (Bitset.choose s)
+
+let test_bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "set out of range"
+    (Invalid_argument "Bitset: index out of range") (fun () ->
+      Bitset.set s 10);
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Bitset: index out of range") (fun () ->
+      ignore (Bitset.mem s (-1)))
+
+let test_capacity_mismatch () =
+  let a = Bitset.create 10 and b = Bitset.create 11 in
+  Alcotest.check_raises "union mismatch"
+    (Invalid_argument "Bitset: capacity mismatch") (fun () ->
+      Bitset.union_into a b)
+
+let test_set_ops () =
+  let a = Bitset.of_list 70 [ 1; 3; 5; 64 ] in
+  let b = Bitset.of_list 70 [ 3; 4; 64; 69 ] in
+  check_list "union" [ 1; 3; 4; 5; 64; 69 ] (Bitset.elements (Bitset.union a b));
+  check_list "inter" [ 3; 64 ] (Bitset.elements (Bitset.inter a b));
+  check_list "diff" [ 1; 5 ] (Bitset.elements (Bitset.diff a b));
+  check "disjoint no" false (Bitset.disjoint a b);
+  check "disjoint yes" true
+    (Bitset.disjoint (Bitset.of_list 70 [ 0 ]) (Bitset.of_list 70 [ 1 ]));
+  check "subset yes" true (Bitset.subset (Bitset.of_list 70 [ 3; 64 ]) a);
+  check "subset no" false (Bitset.subset b a)
+
+let test_assign_copy () =
+  let a = Bitset.of_list 40 [ 7; 39 ] in
+  let b = Bitset.copy a in
+  Bitset.clear b 7;
+  check "copy is independent" true (Bitset.mem a 7);
+  let c = Bitset.create 40 in
+  Bitset.assign c a;
+  check "assign" true (Bitset.equal c a);
+  Bitset.clear_all c;
+  check "clear_all" true (Bitset.is_empty c);
+  Bitset.set_all c;
+  check_int "set_all" 40 (Bitset.cardinal c)
+
+(* property tests against a reference implementation over int sets *)
+
+let gen_elems n = QCheck.Gen.(list_size (int_bound 30) (int_bound (n - 1)))
+
+let arb_pair n =
+  QCheck.make
+    QCheck.Gen.(pair (gen_elems n) (gen_elems n))
+    ~print:(fun (a, b) ->
+      Printf.sprintf "(%s, %s)"
+        (String.concat ";" (List.map string_of_int a))
+        (String.concat ";" (List.map string_of_int b)))
+
+let model xs = IS.of_list xs
+
+let prop_op name ~bitset_op ~model_op =
+  QCheck.Test.make ~count:300 ~name (arb_pair 150) (fun (xs, ys) ->
+      let a = Bitset.of_list 150 xs and b = Bitset.of_list 150 ys in
+      let result = Bitset.elements (bitset_op a b) in
+      let expected = IS.elements (model_op (model xs) (model ys)) in
+      result = expected)
+
+let prop_union = prop_op "union matches set model" ~bitset_op:Bitset.union
+    ~model_op:IS.union
+
+let prop_inter = prop_op "inter matches set model" ~bitset_op:Bitset.inter
+    ~model_op:IS.inter
+
+let prop_diff = prop_op "diff matches set model" ~bitset_op:Bitset.diff
+    ~model_op:IS.diff
+
+let prop_cardinal =
+  QCheck.Test.make ~count:300 ~name:"cardinal matches set model"
+    (arb_pair 150) (fun (xs, _) ->
+      Bitset.cardinal (Bitset.of_list 150 xs) = IS.cardinal (model xs))
+
+let prop_fold =
+  QCheck.Test.make ~count:300 ~name:"fold visits elements in order"
+    (arb_pair 150) (fun (xs, _) ->
+      let s = Bitset.of_list 150 xs in
+      let visited = List.rev (Bitset.fold (fun i acc -> i :: acc) s []) in
+      visited = IS.elements (model xs))
+
+let suite =
+  ( "bitset",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "set/clear/mem" `Quick test_set_clear;
+      Alcotest.test_case "bounds checking" `Quick test_bounds;
+      Alcotest.test_case "capacity mismatch" `Quick test_capacity_mismatch;
+      Alcotest.test_case "set operations" `Quick test_set_ops;
+      Alcotest.test_case "assign/copy/fill" `Quick test_assign_copy;
+      QCheck_alcotest.to_alcotest prop_union;
+      QCheck_alcotest.to_alcotest prop_inter;
+      QCheck_alcotest.to_alcotest prop_diff;
+      QCheck_alcotest.to_alcotest prop_cardinal;
+      QCheck_alcotest.to_alcotest prop_fold;
+    ] )

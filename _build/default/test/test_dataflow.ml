@@ -1,0 +1,163 @@
+(** Tests for the generic bit-vector data-flow solver and the machine
+    model's register-file description. *)
+
+module Ir = Chow_ir.Ir
+module Builder = Chow_ir.Builder
+module Cfg = Chow_ir.Cfg
+module Dataflow = Chow_ir.Dataflow
+module Bitset = Chow_support.Bitset
+module Machine = Chow_machine.Machine
+
+(* 0 -> {1, 2}; 1 -> 3; 2 -> 3(ret): the diamond again, DFS-numbered
+   entry 0, arm 1, join 2(ret), arm 3 *)
+let diamond () =
+  let b = Builder.create "d" in
+  let v = Builder.new_vreg b in
+  Builder.emit b (Ir.Li (v, 0));
+  let l1 = Builder.new_block b in
+  let l2 = Builder.new_block b in
+  let l3 = Builder.new_block b in
+  Builder.terminate b (Ir.Cbranch (Ir.Lt, Ir.Reg v, Ir.Imm 1, l1, l2));
+  Builder.switch_to b l1;
+  Builder.terminate b (Ir.Jump l3);
+  Builder.switch_to b l2;
+  Builder.terminate b (Ir.Jump l3);
+  Builder.switch_to b l3;
+  Builder.terminate b (Ir.Ret None);
+  Builder.finish b
+
+let solve_forward_inter p gen_blocks =
+  let cfg = Cfg.of_proc p in
+  Dataflow.solve cfg
+    {
+      Dataflow.nbits = 1;
+      direction = Dataflow.Forward;
+      meet = Dataflow.Inter;
+      boundary = Bitset.create 1;
+      gen =
+        (fun l ->
+          let s = Bitset.create 1 in
+          if List.mem l gen_blocks then Bitset.set s 0;
+          s);
+      kill = (fun _ -> Bitset.create 1);
+    }
+
+let solve_backward_inter p gen_blocks =
+  let cfg = Cfg.of_proc p in
+  Dataflow.solve cfg
+    {
+      Dataflow.nbits = 1;
+      direction = Dataflow.Backward;
+      meet = Dataflow.Inter;
+      boundary = Bitset.create 1;
+      gen =
+        (fun l ->
+          let s = Bitset.create 1 in
+          if List.mem l gen_blocks then Bitset.set s 0;
+          s);
+      kill = (fun _ -> Bitset.create 1);
+    }
+
+let bit sets l = Bitset.mem sets.(l) 0
+
+(* availability: gen on one arm only is not available at the join *)
+let test_availability_one_arm () =
+  let p = diamond () in
+  let r = solve_forward_inter p [ 1 ] in
+  Alcotest.(check bool) "avail out of arm" true (bit r.Dataflow.live_out 1);
+  Alcotest.(check bool) "not avail into join" false (bit r.Dataflow.live_in 2);
+  Alcotest.(check bool) "entry boundary false" false
+    (bit r.Dataflow.live_in 0)
+
+(* availability: gen on both arms is available at the join *)
+let test_availability_both_arms () =
+  let p = diamond () in
+  let r = solve_forward_inter p [ 1; 3 ] in
+  Alcotest.(check bool) "avail into join" true (bit r.Dataflow.live_in 2)
+
+(* anticipability: a use at the join is anticipated everywhere above *)
+let test_anticipability_join () =
+  let p = diamond () in
+  let r = solve_backward_inter p [ 2 ] in
+  Alcotest.(check bool) "anticipated at entry" true (bit r.Dataflow.live_in 0);
+  Alcotest.(check bool) "anticipated through arms" true
+    (bit r.Dataflow.live_in 1 && bit r.Dataflow.live_in 3);
+  (* ANTOUT is false at the exit (paper eq 3.1) *)
+  Alcotest.(check bool) "false below exit" false (bit r.Dataflow.live_out 2)
+
+(* anticipability: a use on one arm is not anticipated at the branch *)
+let test_anticipability_one_arm () =
+  let p = diamond () in
+  let r = solve_backward_inter p [ 1 ] in
+  Alcotest.(check bool) "not anticipated at entry out" false
+    (bit r.Dataflow.live_out 0);
+  Alcotest.(check bool) "anticipated in the arm" true (bit r.Dataflow.live_in 1)
+
+(* the solutions are fixpoints of the paper's equations (3.1)-(3.4) *)
+let check_av_fixpoint p gen_blocks =
+  let cfg = Cfg.of_proc p in
+  let r = solve_forward_inter p gen_blocks in
+  for l = 0 to cfg.Cfg.nblocks - 1 do
+    let app = List.mem l gen_blocks in
+    (* AVOUT = APP + AVIN *)
+    let expected_out = app || bit r.Dataflow.live_in l in
+    if expected_out <> bit r.Dataflow.live_out l then
+      Alcotest.failf "AVOUT fixpoint broken at L%d" l;
+    (* AVIN = meet of predecessors (false at entry) *)
+    let expected_in =
+      if l = Ir.entry_label then false
+      else
+        List.for_all (fun j -> bit r.Dataflow.live_out j) (Cfg.preds cfg l)
+    in
+    if expected_in <> bit r.Dataflow.live_in l then
+      Alcotest.failf "AVIN fixpoint broken at L%d" l
+  done
+
+let test_fixpoint_property () =
+  let p = diamond () in
+  List.iter (check_av_fixpoint p) [ []; [ 0 ]; [ 1 ]; [ 1; 3 ]; [ 2 ]; [ 0; 2 ] ]
+
+let test_machine_classes () =
+  Alcotest.(check int) "11 caller-saved" 11 (List.length Machine.caller_saved);
+  Alcotest.(check int) "9 callee-saved" 9 (List.length Machine.callee_saved);
+  Alcotest.(check int) "4 param regs" 4 (List.length Machine.param_regs);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "caller class" true
+        (Machine.class_of r = Machine.Caller_saved))
+    Machine.caller_saved;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "callee class" true
+        (Machine.class_of r = Machine.Callee_saved))
+    Machine.callee_saved;
+  Alcotest.(check bool) "zero not allocatable" false
+    (Machine.is_allocatable Machine.zero);
+  Alcotest.(check bool) "scratch not allocatable" false
+    (Machine.is_allocatable Machine.x0);
+  Alcotest.(check int) "full machine has 24 allocatable" 24
+    (List.length Machine.full.Machine.allocatable);
+  Alcotest.(check int) "table-2 D has 7" 7
+    (List.length Machine.seven_caller_saved.Machine.allocatable);
+  Alcotest.(check int) "table-2 E has 7" 7
+    (List.length Machine.seven_callee_saved.Machine.allocatable);
+  Alcotest.(check string) "names" "$s0" (Machine.name Machine.s0);
+  Alcotest.check_raises "restrict validates"
+    (Invalid_argument "Machine.restrict") (fun () ->
+      ignore (Machine.restrict ~n_caller:12 ~n_callee:0 ~n_param:0))
+
+let suite =
+  ( "dataflow",
+    [
+      Alcotest.test_case "availability, one arm" `Quick
+        test_availability_one_arm;
+      Alcotest.test_case "availability, both arms" `Quick
+        test_availability_both_arms;
+      Alcotest.test_case "anticipability at join" `Quick
+        test_anticipability_join;
+      Alcotest.test_case "anticipability, one arm" `Quick
+        test_anticipability_one_arm;
+      Alcotest.test_case "equations are fixpoints" `Quick
+        test_fixpoint_property;
+      Alcotest.test_case "machine model" `Quick test_machine_classes;
+    ] )

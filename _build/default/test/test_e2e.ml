@@ -1,0 +1,198 @@
+(** End-to-end semantic tests: Pawn source through the full pipeline to
+    simulated output, under the baseline configuration (other
+    configurations are covered by the equivalence suite). *)
+
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Sim = Chow_sim.Sim
+
+let run ?(config = Config.baseline) src =
+  (Pipeline.run (Pipeline.compile config src)).Sim.output
+
+let check_output ?config name src expected =
+  Alcotest.(check (list int)) name expected (run ?config src)
+
+let test_arithmetic () =
+  check_output "arith"
+    "proc main() { print(2 + 3 * 4); print(10 / 3); print(10 % 3); \
+     print(-7 / 2); print(-7 % 2); print(1 - 2 - 3); }"
+    [ 14; 3; 1; -3; -1; -4 ]
+
+let test_comparisons () =
+  check_output "comparisons"
+    "proc main() { print(1 < 2); print(2 <= 1); print(3 == 3); print(3 != \
+     3); print(5 > 4); print(4 >= 5); }"
+    [ 1; 0; 1; 0; 1; 0 ]
+
+let test_logic () =
+  check_output "logic"
+    "proc main() { print(1 && 2); print(0 || 3); print(!5); print(!0); \
+     print(0 && 1 || 1); }"
+    [ 1; 1; 0; 1; 1 ]
+
+let test_control_flow () =
+  check_output "control flow"
+    {|
+proc main() {
+  var i = 0;
+  var s = 0;
+  while (i < 5) {
+    if (i % 2 == 0) { s = s + i; } else { s = s - 1; }
+    i = i + 1;
+  }
+  print(s);
+}
+|}
+    [ 4 ]
+
+let test_globals_and_arrays () =
+  check_output "globals"
+    {|
+var g = 7;
+var a[5] = {10, 20, 30};
+proc bump(i, v) { a[i] = a[i] + v; g = g + 1; return a[i]; }
+proc main() {
+  print(g);
+  print(a[0]);
+  print(a[3]);
+  print(bump(1, 5));
+  print(g);
+}
+|}
+    [ 7; 10; 0; 25; 8 ]
+
+let test_recursion_deep () =
+  check_output "deep recursion"
+    {|
+proc down(n) { if (n == 0) { return 0; } return down(n - 1) + 1; }
+proc main() { print(down(3000)); }
+|}
+    [ 3000 ]
+
+let test_mutual_recursion () =
+  check_output "mutual recursion"
+    {|
+proc is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+proc is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }
+proc main() { print(is_even(10)); print(is_odd(7)); }
+|}
+    [ 1; 1 ]
+
+let test_many_args () =
+  check_output "stack arguments"
+    {|
+proc eight(a, b, c, d, e, f, g, h) {
+  return a + 2 * b + 3 * c + 4 * d + 5 * e + 6 * f + 7 * g + 8 * h;
+}
+proc main() { print(eight(1, 1, 1, 1, 1, 1, 1, 1)); print(eight(8, 7, 6, 5, 4, 3, 2, 1)); }
+|}
+    [ 36; 120 ]
+
+let test_function_pointers () =
+  check_output "function pointers"
+    {|
+var ops[2];
+proc add1(x) { return x + 1; }
+proc dbl(x) { return x * 2; }
+proc apply_twice(f, x) { return f(f(x)); }
+proc main() {
+  ops[0] = &add1;
+  ops[1] = &dbl;
+  var i = 0;
+  while (i < 2) {
+    var f = ops[i];
+    print(f(10));
+    i = i + 1;
+  }
+  print(apply_twice(&dbl, 3));
+}
+|}
+    [ 11; 20; 12 ]
+
+let test_void_return_value_is_zero () =
+  (* reading the "result" of a void return must be 0 under every
+     allocation, not leftover register contents *)
+  check_output "void return"
+    "proc nothing() { return; } proc main() { print(nothing()); }"
+    [ 0 ]
+
+let test_division_by_zero_traps () =
+  let src = "proc main() { var x = 0; print(10 / x); }" in
+  match run src with
+  | _ -> Alcotest.fail "expected Runtime_error"
+  | exception Sim.Runtime_error _ -> ()
+
+let test_array_bounds_trap () =
+  (* negative index walks out of the data segment *)
+  let src = "var a[4]; proc main() { var i = 0 - 1000000; print(a[i]); }" in
+  match run src with
+  | _ -> Alcotest.fail "expected Runtime_error"
+  | exception Sim.Runtime_error _ -> ()
+
+let test_infinite_loop_runs_out_of_fuel () =
+  let src = "proc main() { var x = 1; while (x == 1) { x = 1; } }" in
+  let c = Pipeline.compile Config.baseline src in
+  match Pipeline.run ~fuel:10_000 c with
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+  | exception Sim.Runtime_error msg ->
+      Alcotest.(check bool) "mentions fuel" true
+        (String.length msg > 0
+        && String.sub msg 0 (min 11 (String.length msg)) = "out of fuel")
+
+let test_print_order_across_calls () =
+  check_output "print ordering"
+    {|
+proc noisy(x) { print(x); return x * 10; }
+proc main() { print(noisy(1) + noisy(2)); }
+|}
+    [ 1; 2; 30 ]
+
+let test_exported_entry () =
+  (* an exported procedure is open, but still callable and correct *)
+  check_output "export"
+    {|
+export proc api(x) { return x * x; }
+proc main() { print(api(9)); }
+|}
+    [ 81 ]
+
+let test_extern_without_definition_fails_at_link () =
+  let src = "extern proc missing(a); proc main() { print(missing(1)); }" in
+  match Pipeline.compile Config.baseline src with
+  | _ -> Alcotest.fail "expected link failure"
+  | exception Chow_codegen.Link.Undefined_procedure "missing" -> ()
+
+let test_big_values_wrap () =
+  (* machine words are OCaml ints; overflow wraps deterministically *)
+  let out =
+    run
+      "proc sq(x) { return x * x; } proc main() { print(sq(sq(sq(sq(10))))); }"
+  in
+  Alcotest.(check int) "one output" 1 (List.length out)
+
+let suite =
+  ( "e2e",
+    [
+      Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+      Alcotest.test_case "comparisons" `Quick test_comparisons;
+      Alcotest.test_case "logic" `Quick test_logic;
+      Alcotest.test_case "control flow" `Quick test_control_flow;
+      Alcotest.test_case "globals and arrays" `Quick test_globals_and_arrays;
+      Alcotest.test_case "deep recursion" `Quick test_recursion_deep;
+      Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+      Alcotest.test_case "stack arguments" `Quick test_many_args;
+      Alcotest.test_case "function pointers" `Quick test_function_pointers;
+      Alcotest.test_case "void return is zero" `Quick
+        test_void_return_value_is_zero;
+      Alcotest.test_case "division by zero traps" `Quick
+        test_division_by_zero_traps;
+      Alcotest.test_case "bad memory access traps" `Quick
+        test_array_bounds_trap;
+      Alcotest.test_case "fuel exhaustion" `Quick
+        test_infinite_loop_runs_out_of_fuel;
+      Alcotest.test_case "print order" `Quick test_print_order_across_calls;
+      Alcotest.test_case "exported procedures" `Quick test_exported_entry;
+      Alcotest.test_case "undefined extern fails at link" `Quick
+        test_extern_without_definition_fails_at_link;
+      Alcotest.test_case "overflow wraps" `Quick test_big_values_wrap;
+    ] )

@@ -1,0 +1,190 @@
+(** Tests for the global-scalar promotion pass (paper §1). *)
+
+module Ir = Chow_ir.Ir
+module Lower = Chow_frontend.Lower
+module Globalpromo = Chow_core.Globalpromo
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Sim = Chow_sim.Sim
+
+let promotions src =
+  let ir = Lower.compile_unit src in
+  Globalpromo.transform ir
+
+let run ?(global_promo = false) src =
+  Pipeline.run (Pipeline.compile ~global_promo Config.o3_sw src)
+
+let test_promotes_in_leafy_proc () =
+  let n =
+    promotions
+      {|
+var g = 5;
+proc leaf(x) { return x + 1; }
+proc work() {
+  var i = 0;
+  while (i < 10) { g = g + leaf(i); i = i + 1; }
+  return g;
+}
+proc main() { print(work()); }
+|}
+  in
+  (* g promoted in work (leaf doesn't touch it) and in main (work touches
+     it => main cannot promote) — so exactly one promotion *)
+  Alcotest.(check int) "one promotion" 1 n
+
+let test_no_promotion_across_touching_callee () =
+  let n =
+    promotions
+      {|
+var g = 5;
+proc toucher() { g = g + 1; return g; }
+proc work() {
+  var t = toucher();
+  g = g + t;
+  return g;
+}
+proc main() { print(work()); print(toucher()); }
+|}
+  in
+  (* toucher itself is a leaf accessing g: promotable there.  work and main
+     call g-touching procedures, so neither promotes. *)
+  Alcotest.(check int) "only the leaf promotes" 1 n
+
+let test_recursion_blocks_promotion () =
+  let n =
+    promotions
+      {|
+var g = 0;
+proc r(n) {
+  g = g + n;
+  if (n <= 0) { return g; }
+  return r(n - 1);
+}
+proc main() { print(r(5)); }
+|}
+  in
+  Alcotest.(check int) "self-recursive toucher cannot promote" 0 n
+
+let test_indirect_call_blocks_promotion () =
+  let n =
+    promotions
+      {|
+var g = 1;
+proc pointee(x) { return x; }
+proc work() {
+  var p = &pointee;
+  g = g + p(1);
+  return g;
+}
+proc main() { print(work()); }
+|}
+  in
+  (* work makes an indirect call: assumed to touch everything *)
+  Alcotest.(check int) "indirect call blocks" 0 n
+
+let test_arrays_not_promoted () =
+  let n =
+    promotions
+      {|
+var a[4];
+proc work() { a[0] = a[0] + 1; return a[0]; }
+proc main() { print(work()); }
+|}
+  in
+  Alcotest.(check int) "arrays stay in memory" 0 n
+
+let test_extern_blocks_promotion () =
+  let ir =
+    Lower.compile_unit ~require_main:false
+      {|
+var g = 1;
+extern proc mystery();
+proc work() {
+  g = g + 1;
+  mystery();
+  return g;
+}
+|}
+  in
+  Alcotest.(check int) "extern call blocks" 0 (Globalpromo.transform ir)
+
+let test_behaviour_preserved_with_writeback () =
+  let src =
+    {|
+var acc = 100;
+proc leaf(x) { return x * x; }
+proc add_twice(v) {
+  acc = acc + leaf(v);
+  acc = acc + v;
+  return acc;
+}
+proc main() {
+  print(add_twice(3));
+  print(acc);          // must see add_twice's write-back
+  acc = 0;
+  print(add_twice(4));
+  print(acc);
+}
+|}
+  in
+  let plain = run src in
+  let promoted = run ~global_promo:true src in
+  Alcotest.(check (list int)) "same output" plain.Sim.output
+    promoted.Sim.output;
+  Alcotest.(check bool) "data traffic reduced" true
+    (promoted.Sim.data_loads + promoted.Sim.data_stores
+    < plain.Sim.data_loads + plain.Sim.data_stores)
+
+let test_read_only_global_no_writeback () =
+  let src =
+    {|
+var cfg = 42;
+proc leaf(x) { return x - 1; }
+proc work(n) {
+  var s = 0;
+  var i = 0;
+  while (i < n) { s = s + cfg + leaf(i); i = i + 1; }
+  return s;
+}
+proc main() { print(work(50)); }
+|}
+  in
+  let promoted = run ~global_promo:true src in
+  (* one load of cfg per work() activation; zero stores to it *)
+  Alcotest.(check int) "single data load" 1 promoted.Sim.data_loads;
+  Alcotest.(check int) "no data stores" 0 promoted.Sim.data_stores
+
+let test_workloads_equivalent_under_promotion () =
+  List.iter
+    (fun name ->
+      match Chow_workloads.Workloads.find name with
+      | None -> Alcotest.failf "missing workload %s" name
+      | Some w ->
+          let plain = run w.Chow_workloads.Workloads.source in
+          let promoted =
+            run ~global_promo:true w.Chow_workloads.Workloads.source
+          in
+          Alcotest.(check (list int)) (name ^ " output") plain.Sim.output
+            promoted.Sim.output)
+    [ "dhrystone"; "awk"; "pf" ]
+
+let suite =
+  ( "globalpromo",
+    [
+      Alcotest.test_case "promotes in leafy procedures" `Quick
+        test_promotes_in_leafy_proc;
+      Alcotest.test_case "touching callee blocks" `Quick
+        test_no_promotion_across_touching_callee;
+      Alcotest.test_case "recursion blocks" `Quick
+        test_recursion_blocks_promotion;
+      Alcotest.test_case "indirect call blocks" `Quick
+        test_indirect_call_blocks_promotion;
+      Alcotest.test_case "arrays excluded" `Quick test_arrays_not_promoted;
+      Alcotest.test_case "extern blocks" `Quick test_extern_blocks_promotion;
+      Alcotest.test_case "write-back visible" `Quick
+        test_behaviour_preserved_with_writeback;
+      Alcotest.test_case "read-only global" `Quick
+        test_read_only_global_no_writeback;
+      Alcotest.test_case "workloads equivalent" `Slow
+        test_workloads_equivalent_under_promotion;
+    ] )

@@ -1,0 +1,52 @@
+(** Golden outputs: the exact value sequence every workload prints under
+    the baseline configuration, pinned.  Any semantic drift anywhere in the
+    stack — lexer, lowering, allocation, emission, linking, simulation —
+    breaks these loudly, and the equivalence suite then extends the
+    guarantee to every other configuration. *)
+
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Sim = Chow_sim.Sim
+module W = Chow_workloads.Workloads
+
+let golden =
+  [
+    ("nim", [ 512; 512; 3200; 448 ]);
+    ("map", [ 1; 55; 1; 18758159049945819 ]);
+    ("calcc", [ 258; 545502; 952 ]);
+    ("diff", [ 153; 24; 153; 424254 ]);
+    ("dhrystone", [ 5; 1; 67; 66; 13; 39; 9; 5; 18 ]);
+    ("stanford", [ 4948; 16383; 8760; -337725; 99260; 99859; 40116 ]);
+    ("pf", [ 2479; 941682; 0; 4 ]);
+    ("awk", [ 13050; 259500; 1000; 640; 4060; 0; 300; 0; 300; 0; 0; 300; 0; 300; 0 ]);
+    ("tex", [ 60; 1975; 902799; 40 ]);
+    ("ccom", [ 400; 1336; 0; 349942 ]);
+    ("as1", [ 185; 3402; 0; 1689; 0; 963899 ]);
+    ("upas", [ 9564; 1092; 3242; 94; 11; 181902 ]);
+    ("uopt", [ 559; 0; 30; 100; 590377 ]);
+  ]
+
+let test_one (name, expected) () =
+  match W.find name with
+  | None -> Alcotest.failf "workload %s missing" name
+  | Some w ->
+      let o = Pipeline.run (Pipeline.compile Config.baseline w.W.source) in
+      Alcotest.(check (list int)) name expected o.Sim.output
+
+let test_every_workload_pinned () =
+  (* the table above must cover the whole suite *)
+  Alcotest.(check (list string))
+    "all workloads have golden outputs"
+    (List.map (fun w -> w.W.name) W.all)
+    (List.map fst golden)
+
+let suite =
+  ( "golden",
+    Alcotest.test_case "coverage" `Quick test_every_workload_pinned
+    :: List.map
+         (fun row ->
+           Alcotest.test_case (fst row)
+             (if List.mem (fst row) [ "uopt"; "tex"; "as1" ] then `Slow
+              else `Quick)
+             (test_one row))
+         golden )

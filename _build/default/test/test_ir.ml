@@ -1,0 +1,140 @@
+(** Unit tests for the IR itself: uses/defs, substitution, retargeting,
+    program-level queries and the printers. *)
+
+module Ir = Chow_ir.Ir
+module Builder = Chow_ir.Builder
+
+let all_insts =
+  [
+    Ir.Li (0, 42);
+    Ir.Mov (1, 0);
+    Ir.Neg (2, Ir.Reg 1);
+    Ir.Not (3, Ir.Imm 5);
+    Ir.Binop (Ir.Add, 4, Ir.Reg 0, Ir.Reg 1);
+    Ir.Cmp (Ir.Lt, 5, Ir.Reg 4, Ir.Imm 9);
+    Ir.Load (6, Ir.Global_word ("g", 0));
+    Ir.Load (7, Ir.Global_index ("a", Ir.Reg 6));
+    Ir.Store (Ir.Global_index ("a", Ir.Reg 7), Ir.Reg 5);
+    Ir.Addr_of_proc (8, "f");
+    Ir.Call { target = Ir.Direct "f"; args = [ Ir.Reg 8; Ir.Imm 1 ]; ret = Some 9 };
+    Ir.Call { target = Ir.Indirect 8; args = []; ret = None };
+    Ir.Print (Ir.Reg 9);
+  ]
+
+let test_defs_uses () =
+  let defs = List.map Ir.inst_defs all_insts in
+  Alcotest.(check (list (list int)))
+    "defs"
+    [ [ 0 ]; [ 1 ]; [ 2 ]; [ 3 ]; [ 4 ]; [ 5 ]; [ 6 ]; [ 7 ]; []; [ 8 ];
+      [ 9 ]; []; [] ]
+    defs;
+  let uses = List.map Ir.inst_uses all_insts in
+  Alcotest.(check (list (list int)))
+    "uses"
+    [ []; [ 0 ]; [ 1 ]; []; [ 0; 1 ]; [ 4 ]; []; [ 6 ]; [ 7; 5 ]; [];
+      [ 8 ]; [ 8 ]; [ 9 ] ]
+    uses
+
+let test_term_uses_and_succs () =
+  Alcotest.(check (list int)) "cbranch uses" [ 1; 2 ]
+    (Ir.term_uses (Ir.Cbranch (Ir.Eq, Ir.Reg 1, Ir.Reg 2, 3, 4)));
+  Alcotest.(check (list int)) "cbranch succs" [ 3; 4 ]
+    (Ir.successors (Ir.Cbranch (Ir.Eq, Ir.Imm 0, Ir.Imm 0, 3, 4)));
+  Alcotest.(check (list int)) "same-target cbranch dedups" [ 3 ]
+    (Ir.successors (Ir.Cbranch (Ir.Eq, Ir.Imm 0, Ir.Imm 0, 3, 3)));
+  Alcotest.(check (list int)) "ret has no succs" [] (Ir.successors (Ir.Ret None))
+
+let test_subst_renames_everything () =
+  List.iter
+    (fun inst ->
+      let inst' = Ir.subst_inst ~from_v:8 ~to_v:99 inst in
+      Alcotest.(check bool) "no 8 left in defs" false
+        (List.mem 8 (Ir.inst_defs inst'));
+      Alcotest.(check bool) "no 8 left in uses" false
+        (List.mem 8 (Ir.inst_uses inst'));
+      (* other vregs untouched *)
+      let stripped l = List.filter (fun v -> v <> 8 && v <> 99) l in
+      Alcotest.(check (list int)) "other defs stable"
+        (stripped (Ir.inst_defs inst))
+        (stripped (Ir.inst_defs inst'));
+      Alcotest.(check (list int)) "other uses stable"
+        (stripped (Ir.inst_uses inst))
+        (stripped (Ir.inst_uses inst')))
+    all_insts
+
+let test_subst_term () =
+  let t = Ir.Cbranch (Ir.Ne, Ir.Reg 3, Ir.Reg 4, 1, 2) in
+  match Ir.subst_term ~from_v:3 ~to_v:7 t with
+  | Ir.Cbranch (Ir.Ne, Ir.Reg 7, Ir.Reg 4, 1, 2) -> ()
+  | _ -> Alcotest.fail "subst_term"
+
+let test_retarget () =
+  let t = Ir.Cbranch (Ir.Ne, Ir.Imm 0, Ir.Imm 1, 5, 6) in
+  (match Ir.retarget_term ~from_l:5 ~to_l:9 t with
+  | Ir.Cbranch (_, _, _, 9, 6) -> ()
+  | _ -> Alcotest.fail "retarget first");
+  (match Ir.retarget_term ~from_l:6 ~to_l:9 t with
+  | Ir.Cbranch (_, _, _, 5, 9) -> ()
+  | _ -> Alcotest.fail "retarget second");
+  match Ir.retarget_term ~from_l:1 ~to_l:9 (Ir.Jump 1) with
+  | Ir.Jump 9 -> ()
+  | _ -> Alcotest.fail "retarget jump"
+
+let test_program_queries () =
+  let ir =
+    Chow_frontend.Lower.compile_unit
+      {|
+proc callee(x) { return x; }
+proc caller() { return callee(1) + callee(2); }
+proc main() { var p = &callee; print(caller() + p(3)); }
+|}
+  in
+  let caller = Option.get (Ir.find_proc ir "caller") in
+  Alcotest.(check (list string)) "direct callees with duplicates"
+    [ "callee"; "callee" ]
+    (Ir.direct_callees caller);
+  Alcotest.(check (list string)) "address taken" [ "callee" ]
+    (Ir.address_taken ir);
+  let main = Option.get (Ir.find_proc ir "main") in
+  Alcotest.(check bool) "main has indirect call" true
+    (Ir.has_indirect_call main);
+  Alcotest.(check bool) "caller has none" false
+    (Ir.has_indirect_call caller);
+  Alcotest.(check bool) "missing proc" true (Ir.find_proc ir "ghost" = None)
+
+let test_printers_smoke () =
+  (* printers must render every construct without raising *)
+  let b = Builder.create "pp" in
+  let v = Builder.new_vreg b in
+  List.iter (Builder.emit b) all_insts;
+  ignore v;
+  Builder.terminate b (Ir.Ret (Some (Ir.Reg 0)));
+  let p = Builder.finish b in
+  (* nvregs in the builder is 1 but all_insts reference up to 9; fix up for
+     the printer (Verify would reject this, printers must not) *)
+  let p = { p with Ir.nvregs = 10; vreg_kinds = Array.make 10 Ir.Vtemp } in
+  let rendered = Format.asprintf "%a" Ir.pp_proc p in
+  Alcotest.(check bool) "mentions call" true
+    (Str.string_match (Str.regexp ".*call f(.*") rendered 0
+    || String.length rendered > 100);
+  let prog =
+    { Ir.procs = [ p ]; globals = [ ("g", Ir.Gscalar 3); ("a", Ir.Garray (4, [ 1 ])) ];
+      externs = [ "f" ] }
+  in
+  let rendered = Format.asprintf "%a" Ir.pp_prog prog in
+  Alcotest.(check bool) "prints globals and externs" true
+    (String.length rendered > 50)
+
+let suite =
+  ( "ir",
+    [
+      Alcotest.test_case "defs and uses" `Quick test_defs_uses;
+      Alcotest.test_case "terminator uses/succs" `Quick
+        test_term_uses_and_succs;
+      Alcotest.test_case "substitution covers all constructs" `Quick
+        test_subst_renames_everything;
+      Alcotest.test_case "terminator substitution" `Quick test_subst_term;
+      Alcotest.test_case "edge retargeting" `Quick test_retarget;
+      Alcotest.test_case "program queries" `Quick test_program_queries;
+      Alcotest.test_case "printers" `Quick test_printers_smoke;
+    ] )

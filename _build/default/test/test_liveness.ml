@@ -1,0 +1,176 @@
+(** Tests for liveness, live ranges and the interference graph. *)
+
+module Ir = Chow_ir.Ir
+module Builder = Chow_ir.Builder
+module Cfg = Chow_ir.Cfg
+module Dom = Chow_ir.Dom
+module Loops = Chow_ir.Loops
+module Bitset = Chow_support.Bitset
+module Liveness = Chow_core.Liveness
+module Liverange = Chow_core.Liverange
+module Interference = Chow_core.Interference
+
+let analyse p =
+  let cfg = Cfg.of_proc p in
+  let dom = Dom.compute cfg in
+  let loops = Loops.compute cfg dom in
+  let lv = Liveness.compute p cfg in
+  let lr = Liverange.compute p cfg loops lv in
+  (cfg, lv, lr)
+
+(* straight-line: a defined, then b, then a used, then b used *)
+let test_straightline_liveness () =
+  let bld = Builder.create "straight" in
+  let a = Builder.new_vreg bld in
+  let b = Builder.new_vreg bld in
+  let c = Builder.new_vreg bld in
+  Builder.emit bld (Ir.Li (a, 1));
+  Builder.emit bld (Ir.Li (b, 2));
+  Builder.emit bld (Ir.Binop (Ir.Add, c, Ir.Reg a, Ir.Reg b));
+  Builder.terminate bld (Ir.Ret (Some (Ir.Reg c)));
+  let p = Builder.finish bld in
+  let _, lv, _ = analyse p in
+  Alcotest.(check (list int)) "nothing live-in" []
+    (Bitset.elements lv.Liveness.live_in.(0));
+  Alcotest.(check (list int)) "nothing live-out" []
+    (Bitset.elements lv.Liveness.live_out.(0))
+
+let test_loop_liveness () =
+  (* i is live around the loop; the loop-exit use keeps it live-out of the
+     body *)
+  let bld = Builder.create "loop" in
+  let i = Builder.new_vreg bld in
+  Builder.emit bld (Ir.Li (i, 0));
+  let head = Builder.new_block bld in
+  let body = Builder.new_block bld in
+  let exit = Builder.new_block bld in
+  Builder.terminate bld (Ir.Jump head);
+  Builder.switch_to bld head;
+  Builder.terminate bld (Ir.Cbranch (Ir.Lt, Ir.Reg i, Ir.Imm 10, body, exit));
+  Builder.switch_to bld body;
+  Builder.emit bld (Ir.Binop (Ir.Add, i, Ir.Reg i, Ir.Imm 1));
+  Builder.terminate bld (Ir.Jump head);
+  Builder.switch_to bld exit;
+  Builder.terminate bld (Ir.Ret (Some (Ir.Reg i)));
+  let p = Builder.finish bld in
+  let _, lv, lr = analyse p in
+  Alcotest.(check (list int)) "i live into head" [ i ]
+    (Bitset.elements lv.Liveness.live_in.(1));
+  Alcotest.(check (list int)) "i live out of body" [ i ]
+    (Bitset.elements lv.Liveness.live_out.(2));
+  let range = lr.Liverange.ranges.(i) in
+  Alcotest.(check int) "i spans all four blocks" 4 range.Liverange.span;
+  (* weighted refs: the body def+use sits at loop depth 1 (weight 10) *)
+  Alcotest.(check bool) "loop weighting applied" true
+    (range.Liverange.weighted_refs > 20.)
+
+let call_proc () =
+  (* x live across a call, y not *)
+  let bld = Builder.create "callp" in
+  let x = Builder.new_vreg bld in
+  let y = Builder.new_vreg bld in
+  let r = Builder.new_vreg bld in
+  Builder.emit bld (Ir.Li (x, 1));
+  Builder.emit bld (Ir.Li (y, 2));
+  Builder.emit bld
+    (Ir.Call { target = Ir.Direct "f"; args = [ Ir.Reg y ]; ret = Some r });
+  Builder.emit bld (Ir.Binop (Ir.Add, r, Ir.Reg r, Ir.Reg x));
+  Builder.terminate bld (Ir.Ret (Some (Ir.Reg r)));
+  (Builder.finish bld, x, y, r)
+
+let test_live_across_call () =
+  let p, x, y, r = call_proc () in
+  let _, _, lr = analyse p in
+  Alcotest.(check int) "one call site" 1
+    (Array.length lr.Liverange.call_sites);
+  let cs = lr.Liverange.call_sites.(0) in
+  Alcotest.(check (list int)) "x live across" [ x ]
+    (Bitset.elements cs.Liverange.cs_live_across);
+  Alcotest.(check (list int)) "x's calls_across" [ 0 ]
+    lr.Liverange.ranges.(x).Liverange.calls_across;
+  Alcotest.(check (list int)) "y not live across" []
+    lr.Liverange.ranges.(y).Liverange.calls_across;
+  Alcotest.(check (list int)) "ret vreg not live across" []
+    lr.Liverange.ranges.(r).Liverange.calls_across;
+  Alcotest.(check bool) "y recorded as argument 0" true
+    (List.mem (0, 0) lr.Liverange.ranges.(y).Liverange.arg_moves)
+
+let test_interference_basic () =
+  let p, x, y, r = call_proc () in
+  let cfg = Cfg.of_proc p in
+  ignore cfg;
+  let lv = Liveness.compute p (Cfg.of_proc p) in
+  let ig = Interference.build p lv in
+  Alcotest.(check bool) "x interferes with y" true (Interference.interfere ig x y);
+  Alcotest.(check bool) "x interferes with r" true (Interference.interfere ig x r);
+  Alcotest.(check bool) "y does not interfere with r" false
+    (Interference.interfere ig y r);
+  Alcotest.(check bool) "symmetric" true (Interference.interfere ig y x);
+  Alcotest.(check int) "degree of x" 2 (Interference.degree ig x)
+
+let test_mov_exemption () =
+  (* d <- s with s dead after: no edge, they may share a register *)
+  let bld = Builder.create "mov" in
+  let s = Builder.new_vreg bld in
+  let d = Builder.new_vreg bld in
+  Builder.emit bld (Ir.Li (s, 1));
+  Builder.emit bld (Ir.Mov (d, s));
+  Builder.terminate bld (Ir.Ret (Some (Ir.Reg d)));
+  let p = Builder.finish bld in
+  let lv = Liveness.compute p (Cfg.of_proc p) in
+  let ig = Interference.build p lv in
+  Alcotest.(check bool) "copy exemption" false (Interference.interfere ig s d)
+
+let test_params_interfere () =
+  let bld = Builder.create "params" in
+  let a = Builder.add_param bld "a" in
+  let b = Builder.add_param bld "b" in
+  let c = Builder.new_vreg bld in
+  Builder.emit bld (Ir.Binop (Ir.Add, c, Ir.Reg a, Ir.Reg b));
+  Builder.terminate bld (Ir.Ret (Some (Ir.Reg c)));
+  let p = Builder.finish bld in
+  let lv = Liveness.compute p (Cfg.of_proc p) in
+  let ig = Interference.build p lv in
+  Alcotest.(check bool) "parameters interfere" true
+    (Interference.interfere ig a b)
+
+(* property: a vreg's live-range block set contains every block where it is
+   referenced *)
+let prop_range_covers_refs =
+  QCheck.Test.make ~count:60 ~name:"live range covers all references"
+    (QCheck.make (QCheck.Gen.int_bound 10000)) (fun seed ->
+      let src = Genprog.generate ~seed () in
+      let ir = Chow_frontend.Lower.compile_unit src in
+      List.for_all
+        (fun p ->
+          let _, _, lr = analyse p in
+          let ok = ref true in
+          Array.iteri
+            (fun l b ->
+              let touch v =
+                if
+                  not
+                    (Bitset.mem lr.Liverange.ranges.(v).Liverange.blocks l)
+                then ok := false
+              in
+              List.iter
+                (fun i ->
+                  List.iter touch (Ir.inst_defs i);
+                  List.iter touch (Ir.inst_uses i))
+                b.Ir.insts;
+              List.iter touch (Ir.term_uses b.Ir.term))
+            p.Ir.blocks;
+          !ok)
+        ir.Ir.procs)
+
+let suite =
+  ( "liveness",
+    [
+      Alcotest.test_case "straight-line" `Quick test_straightline_liveness;
+      Alcotest.test_case "loop" `Quick test_loop_liveness;
+      Alcotest.test_case "live across call" `Quick test_live_across_call;
+      Alcotest.test_case "interference" `Quick test_interference_basic;
+      Alcotest.test_case "mov copy exemption" `Quick test_mov_exemption;
+      Alcotest.test_case "parameters interfere" `Quick test_params_interfere;
+      QCheck_alcotest.to_alcotest prop_range_covers_refs;
+    ] )

@@ -1,0 +1,123 @@
+(** Separate-compilation tests (§3, §7): units allocated independently,
+    cross-unit calls through [extern] declarations under the default
+    convention, linked at the assembly level. *)
+
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Ipra = Chow_core.Ipra
+module Callgraph = Chow_core.Callgraph
+module Sim = Chow_sim.Sim
+
+let unit_main =
+  {|
+extern proc square(x);
+extern proc cube(x);
+
+proc local_helper(a, b) { return a * b + square(a); }
+
+proc main() {
+  print(square(5));
+  print(cube(3));
+  print(local_helper(2, 6));
+}
+|}
+
+let unit_math =
+  {|
+export proc square(x) { return x * x; }
+export proc cube(x) { return x * square(x); }
+|}
+
+let test_two_units_run () =
+  let c = Pipeline.compile_modules Config.o3_sw [ unit_main; unit_math ] in
+  let o = Pipeline.run c in
+  Alcotest.(check (list int)) "output" [ 25; 27; 16 ] o.Sim.output
+
+let test_cross_unit_is_open () =
+  let c = Pipeline.compile_modules Config.o3_sw [ unit_main; unit_math ] in
+  (* within the math unit, [square] is exported hence open; within the main
+     unit, [local_helper] is closed despite calling an extern *)
+  let find_result name =
+    List.find_map
+      (fun (alloc : Ipra.t) -> Ipra.find alloc name)
+      c.Pipeline.allocs
+  in
+  (match find_result "square" with
+  | Some r -> Alcotest.(check bool) "square open" true r.Chow_core.Alloc_types.r_open
+  | None -> Alcotest.fail "square not allocated");
+  match find_result "local_helper" with
+  | Some r ->
+      Alcotest.(check bool) "local_helper closed" false
+        r.Chow_core.Alloc_types.r_open
+  | None -> Alcotest.fail "local_helper not allocated"
+
+let test_separate_equals_whole_program () =
+  (* the same program as one unit and as two must print the same thing *)
+  let whole =
+    {|
+proc square(x) { return x * x; }
+proc cube(x) { return x * square(x); }
+proc local_helper(a, b) { return a * b + square(a); }
+proc main() {
+  print(square(5));
+  print(cube(3));
+  print(local_helper(2, 6));
+}
+|}
+  in
+  let one = Pipeline.run (Pipeline.compile Config.o3_sw whole) in
+  let two =
+    Pipeline.run (Pipeline.compile_modules Config.o3_sw [ unit_main; unit_math ])
+  in
+  Alcotest.(check (list int))
+    "same behaviour" one.Sim.output two.Sim.output
+
+let test_missing_unit_fails () =
+  match Pipeline.compile_modules Config.baseline [ unit_main ] with
+  | _ -> Alcotest.fail "expected undefined procedure"
+  | exception Chow_codegen.Link.Undefined_procedure _ -> ()
+
+let test_workload_split_across_units () =
+  (* split the nim workload: helpers into a library unit, driver in main.
+     IPRA runs per unit; behaviour must match the whole-program build. *)
+  let lib =
+    {|
+export proc encode(a, b, c) {
+  return a * 256 + b * 16 + c;
+}
+export proc heap_of(pos, which) {
+  if (which == 0) { return pos / 256; }
+  if (which == 1) { return (pos / 16) % 16; }
+  return pos % 16;
+}
+|}
+  in
+  let main_unit =
+    {|
+extern proc encode(a, b, c);
+extern proc heap_of(pos, which);
+proc main() {
+  var pos = encode(3, 5, 7);
+  print(pos);
+  print(heap_of(pos, 0));
+  print(heap_of(pos, 1));
+  print(heap_of(pos, 2));
+}
+|}
+  in
+  let o = Pipeline.run (Pipeline.compile_modules Config.o3_sw [ main_unit; lib ]) in
+  Alcotest.(check (list int)) "split nim helpers" [ 3 * 256 + 5 * 16 + 7; 3; 5; 7 ]
+    o.Sim.output
+
+let suite =
+  ( "modules",
+    [
+      Alcotest.test_case "two units link and run" `Quick test_two_units_run;
+      Alcotest.test_case "cross-unit openness" `Quick test_cross_unit_is_open;
+      Alcotest.test_case "separate == whole program" `Quick
+        test_separate_equals_whole_program;
+      Alcotest.test_case "missing unit fails at link" `Quick
+        test_missing_unit_fails;
+      Alcotest.test_case "workload split across units" `Quick
+        test_workload_split_across_units;
+    ] )

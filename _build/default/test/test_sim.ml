@@ -1,0 +1,172 @@
+(** Tests for the simulator itself: counters, tags, and — critically — the
+    register-preservation contract checker, exercised with deliberately
+    broken assembly to prove the watchdog bites. *)
+
+module Machine = Chow_machine.Machine
+module Asm = Chow_codegen.Asm
+module Ir = Chow_ir.Ir
+module Sim = Chow_sim.Sim
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+
+(* hand-assembled program: main calls f; pc 0/1 is the startup stub *)
+let program ~f_body ~preserved =
+  let main_body =
+    [
+      Asm.Binopi (Ir.Sub, Machine.sp, Machine.sp, 1);
+      Asm.Sw (Machine.ra, Machine.sp, 0, Asm.Tsave);
+      Asm.Li (Machine.s0, 77);
+      Asm.Jal_pc (-1) (* patched below *);
+      Asm.Print (Machine.s0);
+      Asm.Lw (Machine.ra, Machine.sp, 0, Asm.Tsave);
+      Asm.Binopi (Ir.Add, Machine.sp, Machine.sp, 1);
+      Asm.Jr;
+    ]
+  in
+  let stub = [ Asm.Jal_pc 2; Asm.Halt ] in
+  let f_addr = 2 + List.length main_body in
+  let main_body =
+    List.map
+      (function Asm.Jal_pc n when n < 0 -> Asm.Jal_pc f_addr | i -> i)
+      main_body
+  in
+  let code = Array.of_list (stub @ main_body @ f_body) in
+  {
+    Asm.code;
+    entry = 0;
+    proc_addrs = [ ("main", 2); ("f", f_addr) ];
+    metas =
+      [
+        (2, { Asm.m_name = "main"; m_preserved = Machine.callee_saved });
+        (f_addr, { Asm.m_name = "f"; m_preserved = preserved });
+      ];
+    data_size = 0;
+    data_init = [];
+    block_pcs = [];
+  }
+
+let test_checker_catches_clobber () =
+  let prog =
+    program
+      ~f_body:[ Asm.Li (Machine.s0, 0); Asm.Jr ]
+      ~preserved:Machine.callee_saved
+  in
+  match Sim.run prog with
+  | _ -> Alcotest.fail "expected contract violation"
+  | exception Sim.Runtime_error msg ->
+      Alcotest.(check bool) "names the register" true
+        (String.length msg > 0
+        && String.index_opt msg '$' <> None)
+
+let test_checker_accepts_mask_exempt_clobber () =
+  (* same clobber, but f's published contract says s0 may be modified *)
+  let prog =
+    program
+      ~f_body:[ Asm.Li (Machine.s0, 0); Asm.Jr ]
+      ~preserved:(List.filter (fun r -> r <> Machine.s0) Machine.callee_saved)
+  in
+  let o = Sim.run prog in
+  Alcotest.(check (list int)) "runs, s0 clobbered visibly" [ 0 ] o.Sim.output
+
+let test_checker_catches_sp_imbalance () =
+  let prog =
+    program
+      ~f_body:
+        [ Asm.Binopi (Ir.Sub, Machine.sp, Machine.sp, 3); Asm.Jr ]
+      ~preserved:[]
+  in
+  match Sim.run prog with
+  | _ -> Alcotest.fail "expected sp violation"
+  | exception Sim.Runtime_error msg ->
+      Alcotest.(check bool) "mentions stack pointer" true
+        (String.length msg > 5)
+
+let test_checker_catches_wrong_return () =
+  let prog =
+    program
+      ~f_body:[ Asm.Li (Machine.ra, 1); Asm.Jr ]
+      ~preserved:[]
+  in
+  match Sim.run prog with
+  | _ -> Alcotest.fail "expected return-address violation"
+  | exception Sim.Runtime_error _ -> ()
+
+let test_counters () =
+  let src =
+    {|
+var g = 1;
+proc f(x) { g = g + x; return g; }
+proc main() { print(f(1)); print(f(2)); }
+|}
+  in
+  let c = Pipeline.compile Config.baseline src in
+  let o = Pipeline.run c in
+  Alcotest.(check (list int)) "output" [ 2; 4 ] o.Sim.output;
+  Alcotest.(check int) "three calls (main, f, f)" 3 o.Sim.calls;
+  (* g is a global: each f loads it for [g + x], stores it, and loads it
+     again for [return g] — globals are not promoted to registers *)
+  Alcotest.(check int) "data loads" 4 o.Sim.data_loads;
+  Alcotest.(check int) "data stores" 2 o.Sim.data_stores;
+  Alcotest.(check bool) "cycles counted" true (o.Sim.cycles > 10)
+
+let test_save_tags_attributed () =
+  (* a recursive function must save ra: save traffic appears under the save
+     tags, not under scalar-variable traffic *)
+  let src =
+    {|
+proc down(n) { if (n == 0) { return 0; } return down(n - 1) + 1; }
+proc main() { print(down(50)); }
+|}
+  in
+  let o = Pipeline.run (Pipeline.compile Config.baseline src) in
+  Alcotest.(check bool) "save loads > 40" true (o.Sim.save_loads > 40);
+  Alcotest.(check bool) "save traffic within scalar metric" true
+    (o.Sim.scalar_loads >= o.Sim.save_loads)
+
+let test_unlinked_instruction_rejected () =
+  let prog =
+    {
+      Asm.code = [| Asm.Jal "f" |];
+      entry = 0;
+      proc_addrs = [];
+      metas = [];
+      data_size = 0;
+      data_init = [];
+      block_pcs = [];
+    }
+  in
+  match Sim.run prog with
+  | _ -> Alcotest.fail "expected unlinked error"
+  | exception Sim.Runtime_error _ -> ()
+
+let test_stack_overflow_detected () =
+  let src =
+    {|
+proc forever(n) { return forever(n + 1); }
+proc main() { print(forever(0)); }
+|}
+  in
+  let c = Pipeline.compile Config.baseline src in
+  match Pipeline.run c with
+  | _ -> Alcotest.fail "expected stack overflow"
+  | exception Sim.Runtime_error msg ->
+      Alcotest.(check string) "stack overflow" "stack overflow" msg
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "checker: callee-saved clobber" `Quick
+        test_checker_catches_clobber;
+      Alcotest.test_case "checker: mask-exempt clobber ok" `Quick
+        test_checker_accepts_mask_exempt_clobber;
+      Alcotest.test_case "checker: sp imbalance" `Quick
+        test_checker_catches_sp_imbalance;
+      Alcotest.test_case "checker: wrong return" `Quick
+        test_checker_catches_wrong_return;
+      Alcotest.test_case "counters" `Quick test_counters;
+      Alcotest.test_case "save-tag attribution" `Quick
+        test_save_tags_attributed;
+      Alcotest.test_case "unlinked instruction" `Quick
+        test_unlinked_instruction_rejected;
+      Alcotest.test_case "stack overflow" `Quick test_stack_overflow_detected;
+    ] )

@@ -1,0 +1,117 @@
+(** Golden tests for the thirteen workload programs: each compiles under
+    the reference configuration, runs with the contract checker on, and
+    prints a stable output whose head we pin down, so a behavioural change
+    in any workload (or a miscompile) is caught immediately. *)
+
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Sim = Chow_sim.Sim
+module W = Chow_workloads.Workloads
+
+let run name =
+  match W.find name with
+  | None -> Alcotest.failf "workload %s missing" name
+  | Some w -> Pipeline.run (Pipeline.compile Config.baseline w.W.source)
+
+let head n xs = List.filteri (fun i _ -> i < n) xs
+
+(* nim: all 512 games agree with Grundy theory *)
+let test_nim () =
+  let o = run "nim" in
+  match o.Sim.output with
+  | [ games; agree; nodes; _best ] ->
+      Alcotest.(check int) "games" 512 games;
+      Alcotest.(check int) "theory agreement" 512 agree;
+      Alcotest.(check bool) "searched some nodes" true (nodes > 512)
+  | _ -> Alcotest.fail "nim output shape"
+
+let test_map () =
+  let o = run "map" in
+  match o.Sim.output with
+  | [ found; tries; solutions; checksum ] ->
+      Alcotest.(check int) "coloring found" 1 found;
+      Alcotest.(check int) "one solution reported" 1 solutions;
+      Alcotest.(check bool) "did real search" true (tries > 24);
+      Alcotest.(check bool) "checksum nonzero" true (checksum <> 0)
+  | _ -> Alcotest.fail "map output shape"
+
+let test_calcc () =
+  let o = run "calcc" in
+  match o.Sim.output with
+  | [ palindromes; _hash; ops ] ->
+      (* every generated even/odd combination is a palindrome, plus the
+         naturally palindromic n below 120: 1..9, 11, 22, .., 99, 101, 111 *)
+      Alcotest.(check int) "palindromes" (119 + 119 + 20) palindromes;
+      Alcotest.(check bool) "ops counted" true (ops > 500)
+  | _ -> Alcotest.fail "calcc output shape"
+
+let test_diff () =
+  let o = run "diff" in
+  match o.Sim.output with
+  | [ lcs_len; edits; common; _sig ] ->
+      Alcotest.(check bool) "lcs within file sizes" true
+        (lcs_len > 0 && lcs_len <= 160);
+      Alcotest.(check int) "walk consistent with lcs" lcs_len common;
+      Alcotest.(check bool) "some edits" true (edits > 0)
+  | _ -> Alcotest.fail "diff output shape"
+
+let test_stanford () =
+  let o = run "stanford" in
+  match o.Sim.output with
+  | [ perm; towers; queens; _intmm; quick; bubble; tree ] ->
+      (* permute(6) counts 1 + sum over calls: classic value for the
+         4-repetition driver *)
+      Alcotest.(check bool) "perm count" true (perm > 1000);
+      (* towers of 14 discs: 2^14 - 1 moves, no errors *)
+      Alcotest.(check int) "towers moves" 16383 towers;
+      Alcotest.(check bool) "queens solved every time" true (queens > 0);
+      Alcotest.(check bool) "quick sorted" true (quick > 0);
+      Alcotest.(check bool) "bubble sorted" true (bubble > 0);
+      (* 401 inserted values: count*100 + depth *)
+      Alcotest.(check int) "tree count" 401 (tree / 100)
+  | _ -> Alcotest.fail "stanford output shape"
+
+let test_dhrystone () =
+  let o = run "dhrystone" in
+  Alcotest.(check int) "nine outputs" 9 (List.length o.Sim.output);
+  match o.Sim.output with
+  | int_glob :: bool_glob :: ch1 :: ch2 :: _ ->
+      Alcotest.(check int) "Int_Glob" 5 int_glob;
+      Alcotest.(check int) "Bool_Glob" 1 bool_glob;
+      Alcotest.(check int) "Ch_1_Glob" 67 ch1;
+      Alcotest.(check int) "Ch_2_Glob" 66 ch2
+  | _ -> Alcotest.fail "dhrystone output shape"
+
+let test_remaining_workloads_run () =
+  List.iter
+    (fun name ->
+      let o = run name in
+      Alcotest.(check bool)
+        (name ^ " prints something")
+        true
+        (List.length o.Sim.output > 0);
+      Alcotest.(check bool) (name ^ " is call-intensive") true (o.Sim.calls > 1000))
+    [ "pf"; "awk"; "tex"; "ccom"; "as1"; "upas"; "uopt" ]
+
+let test_outputs_are_deterministic () =
+  List.iter
+    (fun name ->
+      let a = run name and b = run name in
+      Alcotest.(check (list int)) (name ^ " deterministic")
+        (head 5 a.Sim.output) (head 5 b.Sim.output))
+    [ "nim"; "pf"; "uopt" ]
+
+let suite =
+  ( "workloads",
+    [
+      Alcotest.test_case "nim agrees with Grundy theory" `Quick test_nim;
+      Alcotest.test_case "map finds a 4-coloring" `Quick test_map;
+      Alcotest.test_case "calcc palindromes" `Quick test_calcc;
+      Alcotest.test_case "diff LCS consistency" `Quick test_diff;
+      Alcotest.test_case "stanford kernels" `Slow test_stanford;
+      Alcotest.test_case "dhrystone globals" `Quick test_dhrystone;
+      Alcotest.test_case "all workloads run" `Slow
+        test_remaining_workloads_run;
+      Alcotest.test_case "deterministic outputs" `Slow
+        test_outputs_are_deterministic;
+    ] )
