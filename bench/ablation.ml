@@ -96,7 +96,13 @@ proc main() {
 
 let measure machine src =
   let config =
-    { Config.name = "ablation"; ipra = true; shrinkwrap = true; machine }
+    {
+      Config.name = "ablation";
+      ipra = true;
+      shrinkwrap = true;
+      machine;
+      jobs = 1;
+    }
   in
   let o = Pipeline.run (Pipeline.compile config src) in
   (o.Sim.cycles, o.Sim.save_loads + o.Sim.save_stores)

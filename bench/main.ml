@@ -5,11 +5,13 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [all|table1|table2|fig1..fig4|figures|ablation|profile|promo|split|timing]";
+    "usage: main.exe [all|table1|table2|fig1..fig4|figures|ablation|profile|promo|split|timing] [--json]";
   exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
   let args = if args = [] then [ "all" ] else args in
   List.iter
     (fun arg ->
@@ -21,7 +23,7 @@ let () =
           Profile_fb.run ();
           Promo_bench.run ();
           Split_bench.run ();
-          Timing.run ()
+          Timing.run ~json ()
       | "table1" -> Tables.run_table1 ()
       | "table2" -> Tables.run_table2 ()
       | "tables" -> ignore (Tables.run ())
@@ -34,6 +36,6 @@ let () =
       | "profile" -> Profile_fb.run ()
       | "promo" -> Promo_bench.run ()
       | "split" -> Split_bench.run ()
-      | "timing" -> Timing.run ()
+      | "timing" -> Timing.run ~json ()
       | _ -> usage ())
     args

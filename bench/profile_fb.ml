@@ -60,7 +60,13 @@ proc main() {
 let machine = Machine.restrict ~n_caller:2 ~n_callee:1 ~n_param:2
 
 let config =
-  { Config.name = "-O3+sw/small"; ipra = true; shrinkwrap = true; machine }
+  {
+    Config.name = "-O3+sw/small";
+    ipra = true;
+    shrinkwrap = true;
+    machine;
+    jobs = 1;
+  }
 
 let run () =
   Format.printf "@.Profile feedback (the paper's §8 future work)@.";

@@ -61,6 +61,7 @@ let run () =
           ipra = true;
           shrinkwrap = true;
           machine = Machine.restrict ~n_caller:(min n 11) ~n_callee:0 ~n_param:0;
+          jobs = 1;
         }
       in
       let c = Pipeline.compile config src in

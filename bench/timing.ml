@@ -34,6 +34,12 @@ let tests () =
       compile_test ~name:"table2/nim-7callee" Config.seven_callee nim;
       (* the largest program, checking the one-pass property scales *)
       compile_test ~name:"table1/uopt-O3+sw" Config.o3_sw uopt;
+      (* sequential vs wave-parallel allocation of the same program: the
+         pair that tracks the domain-pool speedup across PRs *)
+      compile_test ~name:"table1/uopt-O3+sw-j1" (Config.with_jobs 1 Config.o3_sw)
+        uopt;
+      compile_test ~name:"table1/uopt-O3+sw-j4" (Config.with_jobs 4 Config.o3_sw)
+        uopt;
       (* figures *)
       compile_test ~name:"fig1/compile" Config.o3_sw Figures.fig1_src;
       compile_test ~name:"fig3/compile" Config.o2_sw (Figures.fig3_src 1 1);
@@ -41,7 +47,24 @@ let tests () =
         (Figures.fig4_src ~cold_r:true ~q_calls:40 ~r_calls:2);
     ]
 
-let run () =
+let json_path = "BENCH_timing.json"
+
+(* machine-readable perf trajectory: one [{name; ns_per_run}] row per test,
+   so successive PRs can diff compile-time cost without scraping stdout *)
+let write_json rows =
+  let oc = open_out json_path in
+  Printf.fprintf oc "[\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "  {\"name\": %S, \"ns_per_run\": %s}%s\n" name
+        (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
+        (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc "]\n";
+  close_out oc;
+  Format.printf "wrote %s (%d entries)@." json_path (List.length rows)
+
+let run ?(json = false) () =
   Format.printf "@.Compiler throughput (Bechamel, monotonic clock)@.";
   Format.printf "%s@." (String.make 60 '=');
   let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:None () in
@@ -62,4 +85,5 @@ let run () =
   List.iter
     (fun (name, ns) ->
       Format.printf "%-32s %12.1f us/compile@." name (ns /. 1000.))
-    rows
+    rows;
+  if json then write_json rows

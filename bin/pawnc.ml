@@ -63,13 +63,22 @@ let machine_arg =
           "Register file: $(b,full) (11 caller + 4 param + 9 callee), \
            $(b,7caller), or $(b,7callee) (the paper's Table 2 restrictions).")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Parallelism of the allocator pipeline: compilation units and \
+           call-graph waves are compiled on $(docv) domains.  The output \
+           is identical for every $(docv).")
+
 let promo_flag =
   Arg.(
     value & flag
     & info [ "promote-globals" ]
         ~doc:"Promote global scalars to registers within procedures.")
 
-let config_of ~o3 ~no_sw ~machine =
+let config_of ~o3 ~no_sw ~machine ~jobs =
   {
     Config.name =
       Printf.sprintf "%s%s"
@@ -78,6 +87,7 @@ let config_of ~o3 ~no_sw ~machine =
     ipra = o3;
     shrinkwrap = not no_sw;
     machine;
+    jobs;
   }
 
 let handle_errors f =
@@ -99,9 +109,9 @@ let handle_errors f =
 
 let run_cmd =
   let doc = "Compile a Pawn program and execute it in the simulator." in
-  let run file o3 no_sw machine counters global_promo =
+  let run file o3 no_sw machine jobs counters global_promo =
     handle_errors @@ fun () ->
-    let config = config_of ~o3 ~no_sw ~machine in
+    let config = config_of ~o3 ~no_sw ~machine ~jobs in
     let compiled = Pipeline.compile ~global_promo config (read_file file) in
     let o = Pipeline.run compiled in
     List.iter (fun v -> Printf.printf "%d\n" v) o.Sim.output;
@@ -126,16 +136,16 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc)
     Term.(
-      const run $ file_arg $ o3_flag $ no_sw_flag $ machine_arg $ counters
-      $ promo_flag)
+      const run $ file_arg $ o3_flag $ no_sw_flag $ machine_arg $ jobs_arg
+      $ counters $ promo_flag)
 
 (* ----- compile ----- *)
 
 let compile_cmd =
   let doc = "Compile and dump intermediate artifacts." in
-  let compile file o3 no_sw machine dump_ir dump_asm dump_alloc =
+  let compile file o3 no_sw machine jobs dump_ir dump_asm dump_alloc =
     handle_errors @@ fun () ->
-    let config = config_of ~o3 ~no_sw ~machine in
+    let config = config_of ~o3 ~no_sw ~machine ~jobs in
     let compiled = Pipeline.compile config (read_file file) in
     if dump_ir then Format.printf "%a@." Ir.pp_prog compiled.Pipeline.ir;
     if dump_alloc then
@@ -199,17 +209,18 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc)
     Term.(
-      const compile $ file_arg $ o3_flag $ no_sw_flag $ machine_arg $ dump_ir
-      $ dump_asm $ dump_alloc)
+      const compile $ file_arg $ o3_flag $ no_sw_flag $ machine_arg
+      $ jobs_arg $ dump_ir $ dump_asm $ dump_alloc)
 
 (* ----- stats ----- *)
 
 let stats_cmd =
   let doc = "Compare the six measurement configurations of the paper." in
-  let stats file =
+  let stats file jobs =
     handle_errors @@ fun () ->
     let src = read_file file in
-    let results = Pipeline.run_all_configs src in
+    let configs = List.map (Config.with_jobs jobs) Config.all in
+    let results = Pipeline.run_all_configs ~configs src in
     let base =
       match results with (_, o) :: _ -> o | [] -> assert false
     in
@@ -229,7 +240,7 @@ let stats_cmd =
              (o.Sim.scalar_loads + o.Sim.scalar_stores)))
       results
   in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(const stats $ file_arg)
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const stats $ file_arg $ jobs_arg)
 
 (* ----- callgraph ----- *)
 
@@ -238,9 +249,9 @@ let callgraph_cmd =
     "Show the depth-first processing order, the open/closed classification, \
      and the published register-usage masks."
   in
-  let callgraph file o3 no_sw machine =
+  let callgraph file o3 no_sw machine jobs =
     handle_errors @@ fun () ->
-    let config = config_of ~o3 ~no_sw ~machine in
+    let config = config_of ~o3 ~no_sw ~machine ~jobs in
     let compiled = Pipeline.compile config (read_file file) in
     List.iter
       (fun (alloc : Ipra.t) ->
@@ -261,7 +272,9 @@ let callgraph_cmd =
   in
   Cmd.v
     (Cmd.info "callgraph" ~doc)
-    Term.(const callgraph $ file_arg $ o3_flag $ no_sw_flag $ machine_arg)
+    Term.(
+      const callgraph $ file_arg $ o3_flag $ no_sw_flag $ machine_arg
+      $ jobs_arg)
 
 let main_cmd =
   let doc =

@@ -59,6 +59,7 @@ let config =
     ipra = true;
     shrinkwrap = true;
     machine = Machine.restrict ~n_caller:2 ~n_callee:1 ~n_param:2;
+    jobs = 1;
   }
 
 let location_of (c : Pipeline.compiled) proc var =

@@ -11,22 +11,50 @@ type t = {
   ipra : bool;  (** -O3: inter-procedural allocation *)
   shrinkwrap : bool;
   machine : Machine.config;
+  jobs : int;  (** allocator/pipeline parallelism; 1 = sequential *)
 }
 
+(** [with_jobs n config] is [config] compiling with parallelism [n]. *)
+let with_jobs jobs t = { t with jobs }
+
 let baseline =
-  { name = "-O2"; ipra = false; shrinkwrap = false; machine = Machine.full }
+  {
+    name = "-O2";
+    ipra = false;
+    shrinkwrap = false;
+    machine = Machine.full;
+    jobs = 1;
+  }
 
 (** Table 1 column A: -O2 with shrink-wrap enabled. *)
 let o2_sw =
-  { name = "-O2+sw"; ipra = false; shrinkwrap = true; machine = Machine.full }
+  {
+    name = "-O2+sw";
+    ipra = false;
+    shrinkwrap = true;
+    machine = Machine.full;
+    jobs = 1;
+  }
 
 (** Table 1 column B: -O3 with shrink-wrap disabled. *)
 let o3 =
-  { name = "-O3"; ipra = true; shrinkwrap = false; machine = Machine.full }
+  {
+    name = "-O3";
+    ipra = true;
+    shrinkwrap = false;
+    machine = Machine.full;
+    jobs = 1;
+  }
 
 (** Table 1 column C: -O3 with shrink-wrap enabled. *)
 let o3_sw =
-  { name = "-O3+sw"; ipra = true; shrinkwrap = true; machine = Machine.full }
+  {
+    name = "-O3+sw";
+    ipra = true;
+    shrinkwrap = true;
+    machine = Machine.full;
+    jobs = 1;
+  }
 
 (** Table 2 column D: as C but only 7 caller-saved registers. *)
 let seven_caller =
@@ -35,6 +63,7 @@ let seven_caller =
     ipra = true;
     shrinkwrap = true;
     machine = Machine.seven_caller_saved;
+    jobs = 1;
   }
 
 (** Table 2 column E: as C but only 7 callee-saved registers. *)
@@ -44,6 +73,7 @@ let seven_callee =
     ipra = true;
     shrinkwrap = true;
     machine = Machine.seven_callee_saved;
+    jobs = 1;
   }
 
 let all = [ baseline; o2_sw; o3; o3_sw; seven_caller; seven_callee ]

@@ -19,6 +19,7 @@ module Link = Chow_codegen.Link
 module Asm = Chow_codegen.Asm
 module Sim = Chow_sim.Sim
 module Bitset = Chow_support.Bitset
+module Pool = Chow_support.Pool
 
 type compiled = {
   config : Config.t;
@@ -41,15 +42,20 @@ let preserved_regs (alloc : Ipra.t) (res : Alloc_types.result) =
           conventional
     | None -> Machine.callee_saved
 
-let allocate_unit ?profile (config : Config.t) (unit_ir : Ir.prog) =
+let allocate_unit ?profile ?pool (config : Config.t) (unit_ir : Ir.prog) =
   Ipra.allocate_program ~ipra:config.Config.ipra
-    ~shrinkwrap:config.Config.shrinkwrap ?profile config.Config.machine
+    ~shrinkwrap:config.Config.shrinkwrap ?profile ?pool config.Config.machine
     unit_ir
 
 (** [compile_irs config units] allocates each unit independently and links
     the results into one executable image.  [global_promo] enables the
     promotion of global scalars to registers within procedures (§1), an
-    IR-level pass run per unit before allocation. *)
+    IR-level pass run per unit before allocation.
+
+    Units are independent until link, so they are compiled concurrently on
+    one domain pool of [config.jobs] lanes; the same pool is shared with
+    the per-unit wave allocation (nested [Pool.parallel_map] is safe), and
+    unit order — hence link order and the final image — is preserved. *)
 let compile_irs ?profile ?(global_promo = false) (config : Config.t)
     (units : Ir.prog list) : compiled =
   if global_promo then
@@ -62,7 +68,10 @@ let compile_irs ?profile ?(global_promo = false) (config : Config.t)
     }
   in
   let layout, data_size, data_init = Link.layout merged in
-  let allocs = List.map (allocate_unit ?profile config) units in
+  let allocs =
+    Pool.with_pool config.Config.jobs (fun pool ->
+        Pool.parallel_map pool units (allocate_unit ?profile ~pool config))
+  in
   let codes = ref [] in
   let metas = ref [] in
   List.iter

@@ -14,9 +14,17 @@ val build : Chow_ir.Ir.prog -> t
 
 val is_open : t -> string -> bool
 
-(** Processing order: callees before callers (Tarjan SCC emission order);
-    members of a cycle are adjacent. *)
+(** Processing order: callees before callers; members of a cycle are
+    adjacent.  Equals [List.concat (waves t)]. *)
 val processing_order : t -> string list
+
+(** The SCC condensation leveled into dependency waves: every
+    inter-component callee of a wave-[k] procedure lives in some wave
+    [< k], so the procedures of one wave can be allocated independently
+    once all earlier waves have published their usage summaries.
+    Members of a cycle share a wave (and are open, so they never read
+    each other's summaries). *)
+val waves : t -> string list list
 
 (** Direct callees defined in the same program, deduplicated. *)
 val direct_callees : t -> string -> string list

@@ -5,10 +5,20 @@
     register-usage summary into the shared table before any caller is
     allocated, so a single pass suffices.  With [ipra = false] every
     procedure is allocated with the default linkage convention, which is the
-    paper's [-O2] baseline. *)
+    paper's [-O2] baseline.
+
+    The pass order only requires callee summaries to exist before their
+    callers are colored, so the driver walks the call graph wave by wave
+    ([Callgraph.waves]) and colors the procedures of one wave concurrently
+    on a domain pool: per-procedure liveness, interference and coloring are
+    independent, and the usage table is read-only while a wave is in
+    flight.  Summaries are then published sequentially in processing
+    order, so [results], [usage] and [stats] are identical to the
+    sequential driver's whatever the pool size. *)
 
 module Ir = Chow_ir.Ir
 module Machine = Chow_machine.Machine
+module Pool = Chow_support.Pool
 
 type t = {
   results : (string * Alloc_types.result) list;  (** in processing order *)
@@ -22,27 +32,43 @@ let find t name = List.assoc_opt name t.results
 (** [allocate_program ?profile ...] optionally takes measured block
     frequencies per procedure (the paper's "feedback of profile data to the
     register allocator", §8 future work); procedures without a profile keep
-    the static loop-depth estimates. *)
+    the static loop-depth estimates.  [jobs] is the parallelism used for
+    each wave (a fresh pool, ignored when [pool] supplies a shared one). *)
 let allocate_program ?(ipra = false) ?(shrinkwrap = false)
-    ?(profile = fun (_ : string) -> (None : float array option))
-    (config : Machine.config) (prog : Ir.prog) =
+    ?(profile = fun (_ : string) -> (None : float array option)) ?(jobs = 1)
+    ?pool (config : Machine.config) (prog : Ir.prog) =
   let callgraph = Callgraph.build prog in
   let usage = Usage.create_table () in
   let results = ref [] in
   let stats = ref [] in
-  List.iter
-    (fun name ->
-      match Ir.find_proc prog name with
-      | None -> ()
-      | Some p ->
-          let is_open = (not ipra) || Callgraph.is_open callgraph name in
-          let mode = { Coloring.ipra; shrinkwrap; is_open; usage } in
-          let weights = profile name in
-          let result, info, st = Coloring.allocate ?weights config mode p in
-          results := (name, result) :: !results;
-          stats := (name, st) :: !stats;
-          Option.iter (Usage.publish usage name) info)
-    (Callgraph.processing_order callgraph);
+  let allocate_one name =
+    match Ir.find_proc prog name with
+    | None -> None
+    | Some p ->
+        let is_open = (not ipra) || Callgraph.is_open callgraph name in
+        let mode = { Coloring.ipra; shrinkwrap; is_open; usage } in
+        let weights = profile name in
+        let result, info, st = Coloring.allocate ?weights config mode p in
+        Some (name, result, info, st)
+  in
+  let run pool =
+    List.iter
+      (fun wave ->
+        let allocated = Pool.parallel_map pool wave allocate_one in
+        (* sequential publication, in processing order *)
+        List.iter
+          (function
+            | None -> ()
+            | Some (name, result, info, st) ->
+                results := (name, result) :: !results;
+                stats := (name, st) :: !stats;
+                Option.iter (Usage.publish usage name) info)
+          allocated)
+      (Callgraph.waves callgraph)
+  in
+  (match pool with
+  | Some p -> run p
+  | None -> Pool.with_pool jobs run);
   {
     results = List.rev !results;
     usage;

@@ -13,13 +13,20 @@ type t = {
 
 val find : t -> string -> Alloc_types.result option
 
-(** [allocate_program ?ipra ?shrinkwrap ?profile config prog].  [profile]
-    optionally supplies measured block frequencies per procedure (§8 future
-    work); procedures without one keep the static loop-depth estimates. *)
+(** [allocate_program ?ipra ?shrinkwrap ?profile ?jobs ?pool config prog].
+    [profile] optionally supplies measured block frequencies per procedure
+    (§8 future work); procedures without one keep the static loop-depth
+    estimates.  Each call-graph wave is colored concurrently: [jobs] sets
+    the parallelism of a pool created for this call (default 1 —
+    sequential), while [pool] supplies a shared pool instead (and [jobs]
+    is ignored).  The result is bit-for-bit independent of the
+    parallelism. *)
 val allocate_program :
   ?ipra:bool ->
   ?shrinkwrap:bool ->
   ?profile:(string -> float array option) ->
+  ?jobs:int ->
+  ?pool:Chow_support.Pool.t ->
   Chow_machine.Machine.config ->
   Chow_ir.Ir.prog ->
   t

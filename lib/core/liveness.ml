@@ -97,6 +97,7 @@ let interference_edges (p : Ir.proc) t =
   let entry_live = t.live_in.(Ir.entry_label) in
   List.iter
     (fun pa ->
-      Bitset.iter (fun v -> if Bitset.mem entry_live pa then add pa v) entry_live)
+      if Bitset.mem entry_live pa then
+        Bitset.iter (fun v -> add pa v) entry_live)
     p.params;
   !edges

@@ -24,6 +24,9 @@ let publish (table : table) name info = Hashtbl.replace table name info
 
 let find (table : table) name = Hashtbl.find_opt table name
 
+let fold f (table : table) init =
+  Hashtbl.fold (fun name info acc -> f name info acc) table init
+
 (** Clobber set under the default convention. *)
 let default_clobber () = Machine.Set.all_caller_saved_and_params ()
 

@@ -20,6 +20,10 @@ val create_table : unit -> table
 val publish : table -> string -> info -> unit
 val find : table -> string -> info option
 
+(** [fold f table init] folds over every published summary, in no
+    particular order. *)
+val fold : (string -> info -> 'a -> 'a) -> table -> 'a -> 'a
+
 (** All caller-saved and parameter registers: what an unknown callee may
     clobber. *)
 val default_clobber : unit -> Bitset.t

@@ -64,36 +64,60 @@ let solve (cfg : Cfg.t) spec =
   let order =
     match spec.direction with Forward -> cfg.rpo | Backward -> cfg.postorder
   in
+  (* Worklist refinement of the classic round-robin sweep: a FIFO seeded
+     with the reachable blocks in propagation order (RPO forward,
+     postorder backward), plus a block-indexed dirty bitmask to keep
+     entries unique.  A block is reprocessed only when the value it
+     consumes — a predecessor's out (forward) or a successor's in
+     (backward) — actually changed, so acyclic regions settle in one
+     visit and iteration is confined to the loops that need it.  The
+     framework is monotone over a finite lattice, so the fixpoint reached
+     is identical to the round-robin one.  Unreachable blocks stay at
+     their initial value, exactly as the sweep left them. *)
+  let reachable = Bitset.create n in
+  Array.iter (Bitset.set reachable) order;
+  let dirty = Bitset.create n in
+  let queue = Queue.create () in
+  Array.iter
+    (fun l ->
+      Bitset.set dirty l;
+      Queue.add l queue)
+    order;
+  let deps l =
+    match spec.direction with
+    | Forward -> Cfg.succs cfg l
+    | Backward -> Cfg.preds cfg l
+  in
   let tmp = Bitset.create spec.nbits in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Array.iter
-      (fun l ->
-        (* confluence *)
-        let conf_target, conf_sources =
-          match spec.direction with
-          | Forward -> (inb.(l), List.map (fun p -> outb.(p)) (Cfg.preds cfg l))
-          | Backward ->
-              (outb.(l), List.map (fun s -> inb.(s)) (Cfg.succs cfg l))
-        in
-        if is_boundary l && spec.direction = Backward then
-          (* exits have no successors; keep the boundary value *)
-          Bitset.assign conf_target spec.boundary
-        else if is_boundary l && spec.direction = Forward then
-          Bitset.assign conf_target spec.boundary
-        else meet_into conf_target conf_sources;
-        (* transfer *)
-        Bitset.assign tmp conf_target;
-        Bitset.diff_into tmp (spec.kill l);
-        Bitset.union_into tmp (spec.gen l);
-        let out_target =
-          match spec.direction with Forward -> outb.(l) | Backward -> inb.(l)
-        in
-        if not (Bitset.equal out_target tmp) then begin
-          Bitset.assign out_target tmp;
-          changed := true
-        end)
-      order
+  while not (Queue.is_empty queue) do
+    let l = Queue.pop queue in
+    Bitset.clear dirty l;
+    (* confluence *)
+    let conf_target, conf_sources =
+      match spec.direction with
+      | Forward -> (inb.(l), List.map (fun p -> outb.(p)) (Cfg.preds cfg l))
+      | Backward -> (outb.(l), List.map (fun s -> inb.(s)) (Cfg.succs cfg l))
+    in
+    if is_boundary l then
+      (* entry (forward) and [Ret] exits (backward) keep the boundary *)
+      Bitset.assign conf_target spec.boundary
+    else meet_into conf_target conf_sources;
+    (* transfer *)
+    Bitset.assign tmp conf_target;
+    Bitset.diff_into tmp (spec.kill l);
+    Bitset.union_into tmp (spec.gen l);
+    let out_target =
+      match spec.direction with Forward -> outb.(l) | Backward -> inb.(l)
+    in
+    if not (Bitset.equal out_target tmp) then begin
+      Bitset.assign out_target tmp;
+      List.iter
+        (fun d ->
+          if Bitset.mem reachable d && not (Bitset.mem dirty d) then begin
+            Bitset.set dirty d;
+            Queue.add d queue
+          end)
+        (deps l)
+    end
   done;
   { live_in = inb; live_out = outb }

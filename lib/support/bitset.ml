@@ -34,9 +34,17 @@ let is_empty s = Array.for_all (fun w -> w = 0) s.words
 let equal a b =
   a.len = b.len && Array.for_all2 (fun x y -> x = y) a.words b.words
 
-let popcount w =
-  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
-  go w 0
+(* branch-free SWAR popcount, split into 32-bit halves so every mask fits
+   OCaml's 63-bit immediate integers *)
+let popcount32 w =
+  let w = w - ((w lsr 1) land 0x55555555) in
+  let w = (w land 0x33333333) + ((w lsr 2) land 0x33333333) in
+  let w = (w + (w lsr 4)) land 0x0F0F0F0F in
+  (* the multiply carries byte sums past bit 31 in 63-bit arithmetic, so
+     mask the result down to the one byte that holds the total *)
+  ((w * 0x01010101) lsr 24) land 0xFF
+
+let popcount w = popcount32 (w land 0xFFFFFFFF) + popcount32 (w lsr 32)
 
 let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
 
@@ -66,10 +74,10 @@ let assign dst src =
 let clear_all s = Array.fill s.words 0 (Array.length s.words) 0
 
 let set_all s =
-  for i = 0 to s.len - 1 do
-    s.words.(i / bits_per_word) <-
-      s.words.(i / bits_per_word) lor (1 lsl (i mod bits_per_word))
-  done
+  let full = s.len / bits_per_word in
+  let rest = s.len mod bits_per_word in
+  Array.fill s.words 0 full (-1);
+  if rest > 0 then s.words.(full) <- s.words.(full) lor ((1 lsl rest) - 1)
 
 let disjoint a b =
   same_len a b;
@@ -85,10 +93,20 @@ let subset a b =
   in
   go 0
 
+(* number of trailing zeros of a one-bit word *)
+let ntz_pow2 b = popcount (b - 1)
+
 let iter f s =
-  for i = 0 to s.len - 1 do
-    if s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
-    then f i
+  for wi = 0 to Array.length s.words - 1 do
+    let w = ref s.words.(wi) in
+    if !w <> 0 then begin
+      let base = wi * bits_per_word in
+      while !w <> 0 do
+        let b = !w land - !w in
+        f (base + ntz_pow2 b);
+        w := !w land (!w - 1)
+      done
+    end
   done
 
 let fold f s init =

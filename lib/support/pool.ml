@@ -1,0 +1,129 @@
+(** Fixed-size domain pool.  See the interface for the contract.
+
+    One shared FIFO of thunks feeds the worker domains.  [parallel_map]
+    enqueues its batch and then has the calling domain help drain the
+    queue until the batch settles, so a task may itself call
+    [parallel_map] on the same pool without risking deadlock: every
+    waiter either executes queued work or waits on tasks that are
+    actively running on some domain. *)
+
+type t = {
+  size : int;  (** total parallelism, caller's lane included *)
+  mutex : Mutex.t;  (** protects [queue] and [stopping] *)
+  work : Condition.t;  (** queue grew, or shutdown began *)
+  queue : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.stopping do
+    Condition.wait t.work t.mutex
+  done;
+  match Queue.take_opt t.queue with
+  | None ->
+      (* stopping and drained *)
+      Mutex.unlock t.mutex
+  | Some task ->
+      Mutex.unlock t.mutex;
+      task ();
+      worker_loop t
+
+let create ?(force = false) n =
+  let sequential =
+    n <= 1 || ((not force) && Domain.recommended_domain_count () = 1)
+  in
+  let t =
+    {
+      size = (if sequential then 1 else n);
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      stopping = false;
+      workers = [];
+    }
+  in
+  if not sequential then
+    t.workers <- List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+let parallel_map t xs f =
+  if t.size <= 1 then List.map f xs
+  else
+    match xs with
+    | [] -> []
+    | [ x ] -> [ f x ]
+    | _ ->
+        let items = Array.of_list xs in
+        let n = Array.length items in
+        let results = Array.make n None in
+        (* batch-local completion state *)
+        let bm = Mutex.create () in
+        let settled = Condition.create () in
+        let remaining = ref n in
+        let error = ref None in
+        let run_task i () =
+          (try results.(i) <- Some (f items.(i))
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             Mutex.lock bm;
+             (match !error with
+             | Some (j, _, _) when j < i -> ()
+             | _ -> error := Some (i, e, bt));
+             Mutex.unlock bm);
+          Mutex.lock bm;
+          decr remaining;
+          if !remaining = 0 then Condition.broadcast settled;
+          Mutex.unlock bm
+        in
+        Mutex.lock t.mutex;
+        for i = 0 to n - 1 do
+          Queue.add (run_task i) t.queue
+        done;
+        Condition.broadcast t.work;
+        Mutex.unlock t.mutex;
+        (* the caller's lane: drain queued work (ours or anyone's) while the
+           batch is outstanding, then wait for the in-flight remainder *)
+        let rec help () =
+          Mutex.lock bm;
+          let done_ = !remaining = 0 in
+          Mutex.unlock bm;
+          if not done_ then begin
+            Mutex.lock t.mutex;
+            let task = Queue.take_opt t.queue in
+            Mutex.unlock t.mutex;
+            match task with
+            | Some task ->
+                task ();
+                help ()
+            | None ->
+                Mutex.lock bm;
+                while !remaining > 0 do
+                  Condition.wait settled bm
+                done;
+                Mutex.unlock bm
+          end
+        in
+        help ();
+        (match !error with
+        | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ());
+        Array.to_list
+          (Array.map
+             (function Some r -> r | None -> assert false)
+             results)
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ?force n f =
+  let t = create ?force n in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

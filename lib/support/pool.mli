@@ -1,0 +1,38 @@
+(** Fixed-size domain pool for data-parallel compiler passes.
+
+    A pool owns [size - 1] worker domains (the caller is the remaining
+    lane) that drain a shared task queue.  [parallel_map] preserves input
+    order, propagates the first (lowest-index) exception raised by a task,
+    and degrades to plain [List.map] when the pool is sequential —
+    requested size at most 1, or a single-core host (unless [force]d).
+
+    Nested use is safe: a task running on a worker may itself call
+    [parallel_map] on the same pool.  The nested caller helps drain the
+    queue instead of blocking, so the pool never deadlocks on its own
+    work. *)
+
+type t
+
+(** [create ?force n] is a pool of total parallelism [n] ([n - 1] worker
+    domains).  [n <= 1] or [Domain.recommended_domain_count () = 1] gives
+    a sequential pool with no workers; [~force:true] spawns the workers
+    regardless of the host's core count (used by tests to exercise the
+    concurrent path). *)
+val create : ?force:bool -> int -> t
+
+(** Total parallelism, including the caller's lane: [size t >= 1]. *)
+val size : t -> int
+
+(** [parallel_map t xs f] is [List.map f xs], evaluated by up to [size t]
+    domains.  Results arrive in input order.  If any [f x] raises, the
+    exception of the lowest-index failing element is re-raised in the
+    caller (with its backtrace) after the whole batch has settled. *)
+val parallel_map : t -> 'a list -> ('a -> 'b) -> 'b list
+
+(** [shutdown t] joins the worker domains.  Idempotent; the pool degrades
+    to sequential afterwards. *)
+val shutdown : t -> unit
+
+(** [with_pool ?force n f] runs [f] over a fresh pool and shuts it down,
+    also on exception. *)
+val with_pool : ?force:bool -> int -> (t -> 'a) -> 'a

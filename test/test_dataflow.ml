@@ -117,6 +117,205 @@ let test_fixpoint_property () =
   let p = diamond () in
   List.iter (check_av_fixpoint p) [ []; [ 0 ]; [ 1 ]; [ 1; 3 ]; [ 2 ]; [ 0; 2 ] ]
 
+(* ----- worklist solver vs. reference round-robin sweep ----- *)
+
+(* the pre-worklist solver, kept verbatim as an executable specification:
+   sweep the order until a full pass changes nothing *)
+let reference_solve (cfg : Cfg.t) (spec : Dataflow.spec) =
+  let n = cfg.Cfg.nblocks in
+  let mk_full () =
+    let s = Bitset.create spec.Dataflow.nbits in
+    Bitset.set_all s;
+    s
+  in
+  let init () =
+    match spec.Dataflow.meet with
+    | Dataflow.Inter -> mk_full ()
+    | Dataflow.Union -> Bitset.create spec.Dataflow.nbits
+  in
+  let inb = Array.init n (fun _ -> init ()) in
+  let outb = Array.init n (fun _ -> init ()) in
+  let meet_into acc sets =
+    match (spec.Dataflow.meet, sets) with
+    | _, [] -> Bitset.assign acc spec.Dataflow.boundary
+    | Dataflow.Union, _ ->
+        Bitset.clear_all acc;
+        List.iter (Bitset.union_into acc) sets
+    | Dataflow.Inter, first :: rest ->
+        Bitset.assign acc first;
+        List.iter (Bitset.inter_into acc) rest
+  in
+  let is_boundary l =
+    match spec.Dataflow.direction with
+    | Dataflow.Forward -> l = Ir.entry_label
+    | Dataflow.Backward -> List.mem l cfg.Cfg.exits
+  in
+  let order =
+    match spec.Dataflow.direction with
+    | Dataflow.Forward -> cfg.Cfg.rpo
+    | Dataflow.Backward -> cfg.Cfg.postorder
+  in
+  let tmp = Bitset.create spec.Dataflow.nbits in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun l ->
+        let conf_target, conf_sources =
+          match spec.Dataflow.direction with
+          | Dataflow.Forward ->
+              (inb.(l), List.map (fun p -> outb.(p)) (Cfg.preds cfg l))
+          | Dataflow.Backward ->
+              (outb.(l), List.map (fun s -> inb.(s)) (Cfg.succs cfg l))
+        in
+        if is_boundary l then Bitset.assign conf_target spec.Dataflow.boundary
+        else meet_into conf_target conf_sources;
+        Bitset.assign tmp conf_target;
+        Bitset.diff_into tmp (spec.Dataflow.kill l);
+        Bitset.union_into tmp (spec.Dataflow.gen l);
+        let out_target =
+          match spec.Dataflow.direction with
+          | Dataflow.Forward -> outb.(l)
+          | Dataflow.Backward -> inb.(l)
+        in
+        if not (Bitset.equal out_target tmp) then begin
+          Bitset.assign out_target tmp;
+          changed := true
+        end)
+      order
+  done;
+  { Dataflow.live_in = inb; live_out = outb }
+
+(* a random CFG as a bare [Cfg.t], so unreachable blocks survive (the
+   builder would prune them): block 0 is the entry, blocks with no
+   successors are the exits, and the DFS orders cover only what the entry
+   reaches *)
+let random_cfg rng n =
+  let succs =
+    Array.init n (fun _ ->
+        List.init (Random.State.int rng 3) (fun _ -> Random.State.int rng n)
+        |> List.sort_uniq compare)
+  in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun l ss -> List.iter (fun s -> preds.(s) <- l :: preds.(s)) ss)
+    succs;
+  let visited = Array.make n false in
+  let post = ref [] in
+  let rec dfs l =
+    if not visited.(l) then begin
+      visited.(l) <- true;
+      List.iter dfs succs.(l);
+      post := l :: !post
+    end
+  in
+  dfs 0;
+  let rpo = Array.of_list !post in
+  let postorder = Array.of_list (List.rev !post) in
+  let exits =
+    List.filter (fun l -> succs.(l) = []) (Array.to_list rpo)
+  in
+  { Cfg.nblocks = n; succs; preds; rpo; postorder; exits }
+
+let random_spec rng cfg direction meet =
+  let nbits = 1 + Random.State.int rng 8 in
+  let random_set () =
+    let s = Bitset.create nbits in
+    for b = 0 to nbits - 1 do
+      if Random.State.bool rng then Bitset.set s b
+    done;
+    s
+  in
+  let gens = Array.init cfg.Cfg.nblocks (fun _ -> random_set ()) in
+  let kills = Array.init cfg.Cfg.nblocks (fun _ -> random_set ()) in
+  {
+    Dataflow.nbits;
+    direction;
+    meet;
+    boundary = random_set ();
+    gen = (fun l -> gens.(l));
+    kill = (fun l -> kills.(l));
+  }
+
+let check_agreement name cfg spec =
+  let got = Dataflow.solve cfg spec in
+  let want = reference_solve cfg spec in
+  for l = 0 to cfg.Cfg.nblocks - 1 do
+    if not (Bitset.equal got.Dataflow.live_in.(l) want.Dataflow.live_in.(l))
+    then Alcotest.failf "%s: live_in differs at block %d" name l;
+    if not (Bitset.equal got.Dataflow.live_out.(l) want.Dataflow.live_out.(l))
+    then Alcotest.failf "%s: live_out differs at block %d" name l
+  done
+
+let all_variants =
+  [
+    (Dataflow.Forward, Dataflow.Union, "fwd/union");
+    (Dataflow.Forward, Dataflow.Inter, "fwd/inter");
+    (Dataflow.Backward, Dataflow.Union, "bwd/union");
+    (Dataflow.Backward, Dataflow.Inter, "bwd/inter");
+  ]
+
+let test_worklist_agrees_random () =
+  let rng = Random.State.make [| 0xC0FFEE |] in
+  for trial = 0 to 59 do
+    let n = 1 + Random.State.int rng 12 in
+    let cfg = random_cfg rng n in
+    List.iter
+      (fun (direction, meet, tag) ->
+        check_agreement
+          (Printf.sprintf "trial %d (%s, n=%d)" trial tag n)
+          cfg
+          (random_spec rng cfg direction meet))
+      all_variants
+  done
+
+let test_worklist_single_block () =
+  let rng = Random.State.make [| 7 |] in
+  let cfg = random_cfg rng 1 in
+  List.iter
+    (fun (direction, meet, tag) ->
+      check_agreement ("single block " ^ tag) cfg
+        (random_spec rng cfg direction meet))
+    all_variants
+
+let test_worklist_unreachable_blocks () =
+  let rng = Random.State.make [| 11 |] in
+  (* 0 -> 1 -> 2(exit); 3 and 4 unreachable, with edges into the live part
+     and into each other *)
+  let succs = [| [ 1 ]; [ 2 ]; []; [ 1; 4 ]; [ 3 ] |] in
+  let preds = Array.make 5 [] in
+  Array.iteri
+    (fun l ss -> List.iter (fun s -> preds.(s) <- l :: preds.(s)) ss)
+    succs;
+  let cfg =
+    {
+      Cfg.nblocks = 5;
+      succs;
+      preds;
+      rpo = [| 0; 1; 2 |];
+      postorder = [| 2; 1; 0 |];
+      exits = [ 2 ];
+    }
+  in
+  List.iter
+    (fun (direction, meet, tag) ->
+      let spec = random_spec rng cfg direction meet in
+      check_agreement ("unreachable " ^ tag) cfg spec;
+      (* unreachable blocks must keep their initial value *)
+      let r = Dataflow.solve cfg spec in
+      let init_is_full = meet = Dataflow.Inter in
+      List.iter
+        (fun l ->
+          let expected =
+            if init_is_full then Bitset.cardinal r.Dataflow.live_in.(l)
+                            = spec.Dataflow.nbits
+            else Bitset.is_empty r.Dataflow.live_in.(l)
+          in
+          if not expected then
+            Alcotest.failf "unreachable %s: block %d was touched" tag l)
+        [ 3; 4 ])
+    all_variants
+
 let test_machine_classes () =
   Alcotest.(check int) "11 caller-saved" 11 (List.length Machine.caller_saved);
   Alcotest.(check int) "9 callee-saved" 9 (List.length Machine.callee_saved);
@@ -159,5 +358,11 @@ let suite =
         test_anticipability_one_arm;
       Alcotest.test_case "equations are fixpoints" `Quick
         test_fixpoint_property;
+      Alcotest.test_case "worklist agrees with round-robin" `Quick
+        test_worklist_agrees_random;
+      Alcotest.test_case "worklist: single block" `Quick
+        test_worklist_single_block;
+      Alcotest.test_case "worklist: unreachable blocks" `Quick
+        test_worklist_unreachable_blocks;
       Alcotest.test_case "machine model" `Quick test_machine_classes;
     ] )

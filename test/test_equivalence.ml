@@ -41,18 +41,21 @@ let tiny_configs =
       ipra = true;
       shrinkwrap = true;
       machine = Machine.restrict ~n_caller:2 ~n_callee:0 ~n_param:2;
+      jobs = 1;
     };
     {
       Config.name = "tiny-1callee";
       ipra = true;
       shrinkwrap = true;
       machine = Machine.restrict ~n_caller:0 ~n_callee:1 ~n_param:0;
+      jobs = 1;
     };
     {
       Config.name = "tiny-1caller-nosw";
       ipra = false;
       shrinkwrap = false;
       machine = Machine.restrict ~n_caller:1 ~n_callee:1 ~n_param:1;
+      jobs = 1;
     };
   ]
 

@@ -25,4 +25,5 @@ let () =
       Test_globalpromo.suite;
       Test_split.suite;
       Test_equivalence.suite;
+      Test_parallel.suite;
     ]

@@ -93,6 +93,7 @@ let small_config =
     ipra = true;
     shrinkwrap = true;
     machine = Machine.restrict ~n_caller:2 ~n_callee:1 ~n_param:2;
+    jobs = 1;
   }
 
 let test_profile_preserves_behaviour () =

@@ -15,6 +15,7 @@ let config_with n =
     ipra = true;
     shrinkwrap = true;
     machine = Machine.restrict ~n_caller:(min n 11) ~n_callee:0 ~n_param:0;
+    jobs = 1;
   }
 
 let splits_of (c : Pipeline.compiled) name =
