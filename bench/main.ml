@@ -5,13 +5,14 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [all|table1|table2|fig1..fig4|figures|ablation|profile|promo|split|timing] [--json]";
+    "usage: main.exe [all|table1|table2|fig1..fig4|figures|ablation|profile|promo|split|timing] [--json] [--smoke]";
   exit 1
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let json = List.mem "--json" args in
-  let args = List.filter (fun a -> a <> "--json") args in
+  let smoke = List.mem "--smoke" args in
+  let args = List.filter (fun a -> a <> "--json" && a <> "--smoke") args in
   let args = if args = [] then [ "all" ] else args in
   List.iter
     (fun arg ->
@@ -23,7 +24,7 @@ let () =
           Profile_fb.run ();
           Promo_bench.run ();
           Split_bench.run ();
-          Timing.run ~json ()
+          Timing.run ~json ~smoke ()
       | "table1" -> Tables.run_table1 ()
       | "table2" -> Tables.run_table2 ()
       | "tables" -> ignore (Tables.run ())
@@ -36,6 +37,6 @@ let () =
       | "profile" -> Profile_fb.run ()
       | "promo" -> Promo_bench.run ()
       | "split" -> Split_bench.run ()
-      | "timing" -> Timing.run ~json ()
+      | "timing" -> Timing.run ~json ~smoke ()
       | _ -> usage ())
     args

@@ -9,6 +9,7 @@ open Bechamel
 open Toolkit
 module Config = Chow_compiler.Config
 module Pipeline = Chow_compiler.Pipeline
+module Sim = Chow_sim.Sim
 module W = Chow_workloads.Workloads
 
 let source_of name =
@@ -19,11 +20,54 @@ let source_of name =
 let compile_test ~name config src =
   Test.make ~name (Staged.stage (fun () -> ignore (Pipeline.compile config src)))
 
+(* Simulator throughput: one run of an already-compiled program.  The
+   decoded engine's pre-decode pass is part of every run (included and
+   amortized, not cached), so the pair below is an honest end-to-end
+   comparison of Sim.run against Sim.run_reference. *)
+let sim_test ~name ~engine config src =
+  let prog = (Pipeline.compile config src).Pipeline.program in
+  let run =
+    match engine with
+    | `Decoded -> fun () -> ignore (Sim.run prog)
+    | `Reference -> fun () -> ignore (Sim.run_reference prog)
+  in
+  Test.make ~name (Staged.stage run)
+
+let sim_tests () =
+  let uopt = source_of "uopt" in
+  [
+    (* interpreter speed on the largest workload, tracked across PRs:
+       decoded (the default engine) vs. the reference specification *)
+    sim_test ~name:"sim/uopt-O2-decoded" ~engine:`Decoded Config.baseline uopt;
+    sim_test ~name:"sim/uopt-O2-reference" ~engine:`Reference Config.baseline
+      uopt;
+    sim_test ~name:"sim/uopt-O3+sw-decoded" ~engine:`Decoded Config.o3_sw uopt;
+    sim_test ~name:"sim/uopt-O3+sw-reference" ~engine:`Reference Config.o3_sw
+      uopt;
+  ]
+
+(* the @ci smoke subset: three workloads' compiles plus one sim pair, small
+   enough to run on every continuous-integration build *)
+let smoke_tests () =
+  let nim = source_of "nim" in
+  let calcc = source_of "calcc" in
+  let dhrystone = source_of "dhrystone" in
+  Test.make_grouped ~name:"chow88"
+    [
+      compile_test ~name:"table1/nim-O3+sw" Config.o3_sw nim;
+      compile_test ~name:"table1/calcc-O3+sw" Config.o3_sw calcc;
+      compile_test ~name:"table1/dhrystone-O3+sw" Config.o3_sw dhrystone;
+      sim_test ~name:"sim/nim-O3+sw-decoded" ~engine:`Decoded Config.o3_sw nim;
+      sim_test ~name:"sim/nim-O3+sw-reference" ~engine:`Reference Config.o3_sw
+        nim;
+    ]
+
 let tests () =
   let nim = source_of "nim" in
   let uopt = source_of "uopt" in
   Test.make_grouped ~name:"chow88"
-    [
+    (sim_tests ()
+    @ [
       (* Table 1: the four configurations' compile pipelines *)
       compile_test ~name:"table1/nim-O2" Config.baseline nim;
       compile_test ~name:"table1/nim-O2+sw" Config.o2_sw nim;
@@ -45,7 +89,7 @@ let tests () =
       compile_test ~name:"fig3/compile" Config.o2_sw (Figures.fig3_src 1 1);
       compile_test ~name:"fig4/compile" Config.o3_sw
         (Figures.fig4_src ~cold_r:true ~q_calls:40 ~r_calls:2);
-    ]
+    ])
 
 let json_path = "BENCH_timing.json"
 
@@ -64,11 +108,13 @@ let write_json rows =
   close_out oc;
   Format.printf "wrote %s (%d entries)@." json_path (List.length rows)
 
-let run ?(json = false) () =
-  Format.printf "@.Compiler throughput (Bechamel, monotonic clock)@.";
+let run ?(json = false) ?(smoke = false) () =
+  Format.printf "@.Compiler throughput (Bechamel, monotonic clock)%s@."
+    (if smoke then " — smoke subset" else "");
   Format.printf "%s@." (String.make 60 '=');
   let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~kde:None () in
-  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (tests ()) in
+  let suite = if smoke then smoke_tests () else tests () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] suite in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -84,6 +130,6 @@ let run ?(json = false) () =
   in
   List.iter
     (fun (name, ns) ->
-      Format.printf "%-32s %12.1f us/compile@." name (ns /. 1000.))
+      Format.printf "%-36s %12.1f us/run@." name (ns /. 1000.))
     rows;
   if json then write_json rows

@@ -109,9 +109,15 @@ let compile_modules ?profile ?global_promo config srcs =
       in
       compile_irs ?profile ?global_promo config units
 
-(** [run c] simulates the compiled program with contract checking on. *)
+(** [run c] simulates the compiled program with contract checking on,
+    using the default pre-decoded engine. *)
 let run ?fuel ?check ?profile (c : compiled) =
   Sim.run ?fuel ?check ?profile c.program
+
+(** [run_reference c] is {!run} on the reference (specification) engine —
+    the slow path kept for differential testing and benchmarking. *)
+let run_reference ?fuel ?check ?profile (c : compiled) =
+  Sim.run_reference ?fuel ?check ?profile c.program
 
 (** Profile-guided compilation, the paper's §8 future work: compile once,
     execute under the block profiler, normalise the measured block

@@ -1,0 +1,520 @@
+(** Pre-decoded threaded execution engine: the fast path behind {!Sim.run}.
+
+    [decode] compiles a linked {!Asm.program} once into a flat
+    struct-of-arrays form — an int opcode per pc with the {!Ir.binop} /
+    {!Ir.relop} / {!Asm.tag} variant folded into the opcode number and all
+    operands pre-resolved into three int operand arrays — plus a per-pc
+    procedure-meta index replacing the metas hashtable.  [execute] then
+    interprets that form in a tight loop whose dispatch is a single dense
+    integer match (a jump table), with no per-cycle variant walking and no
+    hashing on the call path.
+
+    The dynamic contract checker is allocation-free: the shadow stack is a
+    set of parallel int arrays (return pc, sp at entry, meta index, snapshot
+    base) and the per-call register snapshots live in one flat int buffer
+    indexed by frame; both grow geometrically and are reused across the
+    run.  The decoded engine is behaviourally identical to
+    {!Sim.run_reference} — same outcomes, counters, block profiles and
+    [Runtime_error] messages — which the differential test suite enforces
+    on every workload and on random programs.
+
+    Decode is total on linked programs: the only {!Asm.inst} constructors
+    it cannot specialize ([Jal], [Lproc]) are pre-link artifacts, decoded
+    to a poison opcode that traps exactly like the reference engine does,
+    and only if actually executed. *)
+
+module Machine = Chow_machine.Machine
+module Asm = Chow_codegen.Asm
+module Ir = Chow_ir.Ir
+
+exception Runtime_error of string
+
+let error fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+
+let tag_index = function
+  | Asm.Tdata -> 0
+  | Asm.Tscalar -> 1
+  | Asm.Tsave -> 2
+  | Asm.Tstackarg -> 3
+
+type outcome = {
+  output : int list;
+  cycles : int;
+  calls : int;
+  data_loads : int;
+  data_stores : int;
+  scalar_loads : int;  (** scalar + save/restore + stack-arg loads *)
+  scalar_stores : int;
+  save_loads : int;  (** the save/restore component alone *)
+  save_stores : int;
+  block_counts : ((string * Ir.label) * int) list;
+      (** execution count of each basic block, when run with
+          [profile = true]; empty otherwise *)
+}
+
+(* Opcode numbering: dense from 0 so the dispatch match compiles to a jump
+   table.  Variant sub-codes (binop, relop, tag) are folded in as offsets:
+   [k_add + binop], [k_beq + relop], [k_lw + tag]. *)
+let k_halt = 0
+let k_li = 1 (* a=dst  b=imm *)
+let k_move = 2 (* a=dst  b=src *)
+let k_neg = 3
+let k_not = 4
+let k_add = 5 (* +0..9 = add sub mul div rem and or xor shl shr; a,b,c regs *)
+let k_addi = 15 (* same, c = immediate *)
+let k_cmp = 25 (* +0..5 = eq ne lt le gt ge; a=dst b,c regs *)
+let k_cmpi = 31 (* same, c = immediate *)
+let k_lw = 37 (* +tag; a=dst b=base c=offset *)
+let k_sw = 41 (* +tag; a=src b=base c=offset *)
+let k_b = 45 (* +relop; a,b regs, c=target *)
+let k_j = 51 (* a=target *)
+let k_jal = 52 (* a=target *)
+let k_jalr = 53 (* a=reg *)
+let k_jr = 54
+let k_print = 55 (* a=reg *)
+let k_unlinked = 56
+
+let binop_code = function
+  | Ir.Add -> 0
+  | Ir.Sub -> 1
+  | Ir.Mul -> 2
+  | Ir.Div -> 3
+  | Ir.Rem -> 4
+  | Ir.And -> 5
+  | Ir.Or -> 6
+  | Ir.Xor -> 7
+  | Ir.Shl -> 8
+  | Ir.Shr -> 9
+
+let relop_code = function
+  | Ir.Eq -> 0
+  | Ir.Ne -> 1
+  | Ir.Lt -> 2
+  | Ir.Le -> 3
+  | Ir.Gt -> 4
+  | Ir.Ge -> 5
+
+type t = {
+  ops : int array;
+  fa : int array;
+  fb : int array;
+  fc : int array;
+  prog : Asm.program;  (** retained for data layout and block pcs *)
+  entries : int array;  (** procedure entries sorted by address *)
+  names : string array;
+  meta_of_pc : int array;  (** pc -> index into the meta arrays, or -1 *)
+  meta_name : string array;  (** last slot is the "<unknown>" sentinel *)
+  meta_preserved : int array array;
+  unknown_meta : int;
+  has_metas : bool;
+}
+
+(* Writes to the hardwired zero register are discarded by redirecting them
+   to a dump slot one past the real register file; reads then never need a
+   zero check because regs.(0) is never written. *)
+let dst r = if r = Machine.zero then Machine.nregs else r
+
+let decode (prog : Asm.program) : t =
+  let code = prog.Asm.code in
+  let n = Array.length code in
+  let ops = Array.make n 0 in
+  let fa = Array.make n 0 in
+  let fb = Array.make n 0 in
+  let fc = Array.make n 0 in
+  for i = 0 to n - 1 do
+    let op, a, b, c =
+      match code.(i) with
+      | Asm.Halt -> (k_halt, 0, 0, 0)
+      | Asm.Li (r, imm) -> (k_li, dst r, imm, 0)
+      | Asm.Lproc _ | Asm.Jal _ -> (k_unlinked, 0, 0, 0)
+      | Asm.Move (d, s) -> (k_move, dst d, s, 0)
+      | Asm.Neg (d, s) -> (k_neg, dst d, s, 0)
+      | Asm.Not (d, s) -> (k_not, dst d, s, 0)
+      | Asm.Binop (op, d, a, b) -> (k_add + binop_code op, dst d, a, b)
+      | Asm.Binopi (op, d, a, imm) -> (k_addi + binop_code op, dst d, a, imm)
+      | Asm.Cmp (op, d, a, b) -> (k_cmp + relop_code op, dst d, a, b)
+      | Asm.Cmpi (op, d, a, imm) -> (k_cmpi + relop_code op, dst d, a, imm)
+      | Asm.Lw (d, b, off, tag) -> (k_lw + tag_index tag, dst d, b, off)
+      | Asm.Sw (s, b, off, tag) -> (k_sw + tag_index tag, s, b, off)
+      | Asm.B (op, a, b, l) -> (k_b + relop_code op, a, b, l)
+      | Asm.J l -> (k_j, l, 0, 0)
+      | Asm.Jal_pc t -> (k_jal, t, 0, 0)
+      | Asm.Jalr r -> (k_jalr, r, 0, 0)
+      | Asm.Jr -> (k_jr, 0, 0, 0)
+      | Asm.Print r -> (k_print, r, 0, 0)
+    in
+    ops.(i) <- op;
+    fa.(i) <- a;
+    fb.(i) <- b;
+    fc.(i) <- c
+  done;
+  let entries, names = Asm.proc_table prog in
+  let meta_of_pc, metas = Asm.meta_table prog in
+  let nmetas = Array.length metas in
+  let meta_name = Array.make (nmetas + 1) "<unknown>" in
+  let meta_preserved = Array.make (nmetas + 1) [||] in
+  Array.iteri
+    (fun i (m : Asm.meta) ->
+      meta_name.(i) <- m.Asm.m_name;
+      meta_preserved.(i) <- Array.of_list m.Asm.m_preserved)
+    metas;
+  {
+    ops;
+    fa;
+    fb;
+    fc;
+    prog;
+    entries;
+    names;
+    meta_of_pc;
+    meta_name;
+    meta_preserved;
+    unknown_meta = nmetas;
+    has_metas = nmetas > 0;
+  }
+
+(** Which procedure the given pc belongs to: the nearest entry at or below
+    it.  Used only on error paths, to give traps a source context. *)
+let attribute_pc (entries : int array) (names : string array) pc =
+  let n = Array.length entries in
+  if n = 0 then "<unknown>"
+  else if pc < entries.(0) then "<stub>"
+  else begin
+    (* binary search for the greatest entry <= pc *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if entries.(mid) <= pc then lo := mid else hi := mid - 1
+    done;
+    names.(!lo)
+  end
+
+let proc_name_of (prog : Asm.program) pc =
+  let entries, names = Asm.proc_table prog in
+  attribute_pc entries names pc
+
+let execute ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
+    ?(profile = false) (t : t) : outcome =
+  let prog = t.prog in
+  let ops = t.ops and fa = t.fa and fb = t.fb and fc = t.fc in
+  let ncode = Array.length ops in
+  let pc_counts = if profile then Array.make ncode 0 else [||] in
+  let mem = Array.make mem_words 0 in
+  List.iter (fun (addr, v) -> mem.(addr) <- v) prog.Asm.data_init;
+  (* one extra slot past the register file: the dump target for writes to
+     the zero register (see [dst]) *)
+  let regs = Array.make (Machine.nregs + 1) 0 in
+  regs.(Machine.sp) <- mem_words;
+  let cycles = ref 0 and calls = ref 0 in
+  let loads = Array.make 4 0 and stores = Array.make 4 0 in
+  let output = ref [] in
+  (* contract-checker shadow stack: parallel int arrays, no allocation per
+     call — frames and register snapshots are written into preallocated
+     buffers that grow geometrically and are reused for the whole run *)
+  let frame_cap = ref 64 in
+  let fr_ret = ref (Array.make !frame_cap 0) in
+  let fr_sp = ref (Array.make !frame_cap 0) in
+  let fr_meta = ref (Array.make !frame_cap 0) in
+  let fr_base = ref (Array.make !frame_cap 0) in
+  let depth = ref 0 in
+  let snap_cap = ref 256 in
+  let snap = ref (Array.make !snap_cap 0) in
+  let snap_top = ref 0 in
+  let grow_frames () =
+    let c = !frame_cap * 2 in
+    let g a =
+      let n = Array.make c 0 in
+      Array.blit !a 0 n 0 !frame_cap;
+      a := n
+    in
+    g fr_ret;
+    g fr_sp;
+    g fr_meta;
+    g fr_base;
+    frame_cap := c
+  in
+  let grow_snap need =
+    let c = ref (!snap_cap * 2) in
+    while !c < need do
+      c := !c * 2
+    done;
+    let n = Array.make !c 0 in
+    Array.blit !snap 0 n 0 !snap_top;
+    snap := n;
+    snap_cap := !c
+  in
+  let overflow_limit = prog.Asm.data_size + 64 in
+  let pc = ref prog.Asm.entry in
+  let oob addr =
+    error "memory access out of bounds: %d (pc %d, in %s)" addr !pc
+      (attribute_pc t.entries t.names !pc)
+  in
+  let do_call target return_pc =
+    incr calls;
+    if regs.(Machine.sp) <= overflow_limit then error "stack overflow";
+    if target < 0 || target >= ncode then
+      error "call to invalid address %d" target;
+    regs.(Machine.ra) <- return_pc;
+    if check then begin
+      let m =
+        let m = t.meta_of_pc.(target) in
+        if m >= 0 then m
+        else if t.has_metas then
+          error "call to %d, which is not a procedure entry" target
+        else t.unknown_meta
+      in
+      if !depth = !frame_cap then grow_frames ();
+      let d = !depth in
+      !fr_ret.(d) <- return_pc;
+      !fr_sp.(d) <- regs.(Machine.sp);
+      !fr_meta.(d) <- m;
+      !fr_base.(d) <- !snap_top;
+      depth := d + 1;
+      let pres = t.meta_preserved.(m) in
+      let n = Array.length pres in
+      if !snap_top + n > !snap_cap then grow_snap (!snap_top + n);
+      let sn = !snap and top = !snap_top in
+      for k = 0 to n - 1 do
+        sn.(top + k) <- regs.(pres.(k))
+      done;
+      snap_top := top + n
+    end;
+    target
+  in
+  let do_return () =
+    let target = regs.(Machine.ra) in
+    if check then begin
+      if !depth = 0 then error "return with empty call stack";
+      let d = !depth - 1 in
+      depth := d;
+      let m = !fr_meta.(d) in
+      let callee = t.meta_name.(m) in
+      if target <> !fr_ret.(d) then
+        error "%s: returned to %d, expected %d" callee target !fr_ret.(d);
+      if regs.(Machine.sp) <> !fr_sp.(d) then
+        error "%s: stack pointer not restored (%d <> %d)" callee
+          regs.(Machine.sp) !fr_sp.(d);
+      let pres = t.meta_preserved.(m) in
+      let base = !fr_base.(d) in
+      let sn = !snap in
+      for k = 0 to Array.length pres - 1 do
+        let r = pres.(k) in
+        if regs.(r) <> sn.(base + k) then
+          error "%s: clobbered preserved register %s (%d <> %d)" callee
+            (Machine.name r) regs.(r)
+            sn.(base + k)
+      done;
+      snap_top := base
+    end;
+    target
+  in
+  let running = ref true in
+  while !running do
+    if !cycles >= fuel then
+      error "out of fuel after %d cycles (pc %d, in %s)" fuel !pc
+        (attribute_pc t.entries t.names !pc);
+    let i = !pc in
+    if i < 0 || i >= ncode then error "pc out of range: %d" i;
+    if profile then pc_counts.(i) <- pc_counts.(i) + 1;
+    incr cycles;
+    let next = i + 1 in
+    let a = Array.unsafe_get fa i
+    and b = Array.unsafe_get fb i
+    and c = Array.unsafe_get fc i in
+    match Array.unsafe_get ops i with
+    | 0 (* halt *) -> running := false
+    | 1 (* li *) ->
+        regs.(a) <- b;
+        pc := next
+    | 2 (* move *) ->
+        regs.(a) <- regs.(b);
+        pc := next
+    | 3 (* neg *) ->
+        regs.(a) <- -regs.(b);
+        pc := next
+    | 4 (* not *) ->
+        regs.(a) <- (if regs.(b) = 0 then 1 else 0);
+        pc := next
+    | 5 (* add *) ->
+        regs.(a) <- regs.(b) + regs.(c);
+        pc := next
+    | 6 (* sub *) ->
+        regs.(a) <- regs.(b) - regs.(c);
+        pc := next
+    | 7 (* mul *) ->
+        regs.(a) <- regs.(b) * regs.(c);
+        pc := next
+    | 8 (* div *) ->
+        let d = regs.(c) in
+        if d = 0 then error "division by zero";
+        regs.(a) <- regs.(b) / d;
+        pc := next
+    | 9 (* rem *) ->
+        let d = regs.(c) in
+        if d = 0 then error "remainder by zero";
+        regs.(a) <- regs.(b) mod d;
+        pc := next
+    | 10 (* and *) ->
+        regs.(a) <- regs.(b) land regs.(c);
+        pc := next
+    | 11 (* or *) ->
+        regs.(a) <- regs.(b) lor regs.(c);
+        pc := next
+    | 12 (* xor *) ->
+        regs.(a) <- regs.(b) lxor regs.(c);
+        pc := next
+    | 13 (* shl *) ->
+        regs.(a) <- regs.(b) lsl regs.(c);
+        pc := next
+    | 14 (* shr *) ->
+        regs.(a) <- regs.(b) asr regs.(c);
+        pc := next
+    | 15 (* addi *) ->
+        regs.(a) <- regs.(b) + c;
+        pc := next
+    | 16 (* subi *) ->
+        regs.(a) <- regs.(b) - c;
+        pc := next
+    | 17 (* muli *) ->
+        regs.(a) <- regs.(b) * c;
+        pc := next
+    | 18 (* divi *) ->
+        if c = 0 then error "division by zero";
+        regs.(a) <- regs.(b) / c;
+        pc := next
+    | 19 (* remi *) ->
+        if c = 0 then error "remainder by zero";
+        regs.(a) <- regs.(b) mod c;
+        pc := next
+    | 20 (* andi *) ->
+        regs.(a) <- regs.(b) land c;
+        pc := next
+    | 21 (* ori *) ->
+        regs.(a) <- regs.(b) lor c;
+        pc := next
+    | 22 (* xori *) ->
+        regs.(a) <- regs.(b) lxor c;
+        pc := next
+    | 23 (* shli *) ->
+        regs.(a) <- regs.(b) lsl c;
+        pc := next
+    | 24 (* shri *) ->
+        regs.(a) <- regs.(b) asr c;
+        pc := next
+    | 25 (* cmp eq *) ->
+        regs.(a) <- (if regs.(b) = regs.(c) then 1 else 0);
+        pc := next
+    | 26 (* cmp ne *) ->
+        regs.(a) <- (if regs.(b) <> regs.(c) then 1 else 0);
+        pc := next
+    | 27 (* cmp lt *) ->
+        regs.(a) <- (if regs.(b) < regs.(c) then 1 else 0);
+        pc := next
+    | 28 (* cmp le *) ->
+        regs.(a) <- (if regs.(b) <= regs.(c) then 1 else 0);
+        pc := next
+    | 29 (* cmp gt *) ->
+        regs.(a) <- (if regs.(b) > regs.(c) then 1 else 0);
+        pc := next
+    | 30 (* cmp ge *) ->
+        regs.(a) <- (if regs.(b) >= regs.(c) then 1 else 0);
+        pc := next
+    | 31 (* cmpi eq *) ->
+        regs.(a) <- (if regs.(b) = c then 1 else 0);
+        pc := next
+    | 32 (* cmpi ne *) ->
+        regs.(a) <- (if regs.(b) <> c then 1 else 0);
+        pc := next
+    | 33 (* cmpi lt *) ->
+        regs.(a) <- (if regs.(b) < c then 1 else 0);
+        pc := next
+    | 34 (* cmpi le *) ->
+        regs.(a) <- (if regs.(b) <= c then 1 else 0);
+        pc := next
+    | 35 (* cmpi gt *) ->
+        regs.(a) <- (if regs.(b) > c then 1 else 0);
+        pc := next
+    | 36 (* cmpi ge *) ->
+        regs.(a) <- (if regs.(b) >= c then 1 else 0);
+        pc := next
+    | 37 (* lw data *) ->
+        let addr = regs.(b) + c in
+        if addr < 0 || addr >= mem_words then oob addr;
+        regs.(a) <- Array.unsafe_get mem addr;
+        loads.(0) <- loads.(0) + 1;
+        pc := next
+    | 38 (* lw scalar *) ->
+        let addr = regs.(b) + c in
+        if addr < 0 || addr >= mem_words then oob addr;
+        regs.(a) <- Array.unsafe_get mem addr;
+        loads.(1) <- loads.(1) + 1;
+        pc := next
+    | 39 (* lw save *) ->
+        let addr = regs.(b) + c in
+        if addr < 0 || addr >= mem_words then oob addr;
+        regs.(a) <- Array.unsafe_get mem addr;
+        loads.(2) <- loads.(2) + 1;
+        pc := next
+    | 40 (* lw stackarg *) ->
+        let addr = regs.(b) + c in
+        if addr < 0 || addr >= mem_words then oob addr;
+        regs.(a) <- Array.unsafe_get mem addr;
+        loads.(3) <- loads.(3) + 1;
+        pc := next
+    | 41 (* sw data *) ->
+        let addr = regs.(b) + c in
+        if addr < 0 || addr >= mem_words then oob addr;
+        Array.unsafe_set mem addr regs.(a);
+        stores.(0) <- stores.(0) + 1;
+        pc := next
+    | 42 (* sw scalar *) ->
+        let addr = regs.(b) + c in
+        if addr < 0 || addr >= mem_words then oob addr;
+        Array.unsafe_set mem addr regs.(a);
+        stores.(1) <- stores.(1) + 1;
+        pc := next
+    | 43 (* sw save *) ->
+        let addr = regs.(b) + c in
+        if addr < 0 || addr >= mem_words then oob addr;
+        Array.unsafe_set mem addr regs.(a);
+        stores.(2) <- stores.(2) + 1;
+        pc := next
+    | 44 (* sw stackarg *) ->
+        let addr = regs.(b) + c in
+        if addr < 0 || addr >= mem_words then oob addr;
+        Array.unsafe_set mem addr regs.(a);
+        stores.(3) <- stores.(3) + 1;
+        pc := next
+    | 45 (* b eq *) -> pc := (if regs.(a) = regs.(b) then c else next)
+    | 46 (* b ne *) -> pc := (if regs.(a) <> regs.(b) then c else next)
+    | 47 (* b lt *) -> pc := (if regs.(a) < regs.(b) then c else next)
+    | 48 (* b le *) -> pc := (if regs.(a) <= regs.(b) then c else next)
+    | 49 (* b gt *) -> pc := (if regs.(a) > regs.(b) then c else next)
+    | 50 (* b ge *) -> pc := (if regs.(a) >= regs.(b) then c else next)
+    | 51 (* j *) -> pc := a
+    | 52 (* jal *) -> pc := do_call a next
+    | 53 (* jalr *) -> pc := do_call regs.(a) next
+    | 54 (* jr *) -> pc := do_return ()
+    | 55 (* print *) ->
+        output := regs.(a) :: !output;
+        pc := next
+    | 56 (* unlinked Jal/Lproc *) -> error "unlinked instruction at %d" i
+    | _ -> assert false
+  done;
+  let block_counts =
+    if profile then
+      List.map (fun (pc, key) -> (key, pc_counts.(pc))) prog.Asm.block_pcs
+    else []
+  in
+  {
+    output = List.rev !output;
+    cycles = !cycles;
+    calls = !calls;
+    data_loads = loads.(0);
+    data_stores = stores.(0);
+    scalar_loads = loads.(1) + loads.(2) + loads.(3);
+    scalar_stores = stores.(1) + stores.(2) + stores.(3);
+    save_loads = loads.(2);
+    save_stores = stores.(2);
+    block_counts;
+  }

@@ -1,0 +1,49 @@
+(** Pre-decoded threaded execution engine behind {!Sim.run}.
+
+    [decode] compiles a linked program once into a flat struct-of-arrays
+    form (int opcodes with the binop/relop/tag variant folded in, operands
+    pre-resolved, per-pc procedure-meta indices); [execute] interprets it
+    with a jump-table dispatch loop and an allocation-free contract
+    checker.  Behaviourally identical to {!Sim.run_reference}, which the
+    differential test suite enforces. *)
+
+exception Runtime_error of string
+
+val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Runtime_error} with a formatted message. *)
+
+val tag_index : Chow_codegen.Asm.tag -> int
+(** Dense numbering of the traffic tags: data, scalar, save, stackarg. *)
+
+type outcome = {
+  output : int list;
+  cycles : int;
+  calls : int;
+  data_loads : int;
+  data_stores : int;
+  scalar_loads : int;  (** scalar + save/restore + stack-arg loads *)
+  scalar_stores : int;
+  save_loads : int;  (** the save/restore component alone *)
+  save_stores : int;
+  block_counts : ((string * Chow_ir.Ir.label) * int) list;
+      (** execution count of each basic block, when run with
+          [profile = true]; empty otherwise *)
+}
+
+type t
+(** A program decoded for execution.  Decoding is total on linked
+    programs; pre-link instructions ([Jal], [Lproc]) decode to a poison
+    opcode that traps only if executed, matching the reference engine. *)
+
+val decode : Chow_codegen.Asm.program -> t
+
+val execute :
+  ?fuel:int -> ?mem_words:int -> ?check:bool -> ?profile:bool -> t -> outcome
+(** Interpret a decoded program; parameters and semantics exactly as
+    {!Sim.run}. *)
+
+val proc_name_of : Chow_codegen.Asm.program -> int -> string
+(** The procedure containing the given pc (nearest entry at or below it),
+    ["<stub>"] for the startup stub, ["<unknown>"] when the program
+    publishes no procedure addresses.  Error-path helper shared by both
+    engines so trap messages agree. *)

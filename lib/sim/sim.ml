@@ -15,15 +15,25 @@
     callee-saved set for open procedures, everything outside the published
     usage mask for closed ones — still holds its value from entry.  This is
     the dynamic proof that IPRA, shrink-wrapping and the around-call saves
-    compose correctly. *)
+    compose correctly.
+
+    Two engines implement the same semantics.  {!run} is the pre-decoded
+    threaded engine ({!Decode}): a one-time pass specializes the program
+    into flat int-coded arrays interpreted by a tight jump-table loop with
+    an allocation-free contract checker.  {!run_reference} is the original
+    direct interpreter over {!Asm.inst} variants, retained as the
+    executable specification; the differential test suite holds the two to
+    identical outcomes — outputs, cycle counts, per-tag traffic, block
+    profiles and [Runtime_error] messages — on every workload and on
+    random programs. *)
 
 module Machine = Chow_machine.Machine
 module Asm = Chow_codegen.Asm
 module Ir = Chow_ir.Ir
 
-exception Runtime_error of string
+exception Runtime_error = Decode.Runtime_error
 
-let error fmt = Format.kasprintf (fun m -> raise (Runtime_error m)) fmt
+let error = Decode.error
 
 type counters = {
   mutable cycles : int;
@@ -32,13 +42,9 @@ type counters = {
   stores : int array;
 }
 
-let tag_index = function
-  | Asm.Tdata -> 0
-  | Asm.Tscalar -> 1
-  | Asm.Tsave -> 2
-  | Asm.Tstackarg -> 3
+let tag_index = Decode.tag_index
 
-type outcome = {
+type outcome = Decode.outcome = {
   output : int list;
   cycles : int;
   calls : int;
@@ -54,7 +60,8 @@ type outcome = {
           profile-feedback extension (§8 "future work"). *)
 }
 
-(** Pending activation for the contract checker. *)
+(** Pending activation for the contract checker (reference engine; the
+    decoded engine keeps the same state in flat int arrays). *)
 type activation = {
   return_pc : int;
   sp_at_entry : int;
@@ -84,8 +91,11 @@ let eval_relop op a b =
   | Ir.Gt -> a > b
   | Ir.Ge -> a >= b
 
-let run ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
-    ?(profile = false) (prog : Asm.program) : outcome =
+(** The original engine: direct interpretation of {!Asm.inst} variants.
+    Kept as the executable specification the decoded engine is
+    differentially tested against. *)
+let run_reference ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20)
+    ?(check = true) ?(profile = false) (prog : Asm.program) : outcome =
   let code = prog.Asm.code in
   let ncode = Array.length code in
   let pc_counts = if profile then Array.make ncode 0 else [||] in
@@ -102,8 +112,11 @@ let run ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
   let metas = Hashtbl.create 16 in
   List.iter (fun (pc, m) -> Hashtbl.replace metas pc m) prog.Asm.metas;
   let stack : activation list ref = ref [] in
+  let pc = ref prog.Asm.entry in
   let mem_access addr =
-    if addr < 0 || addr >= mem_words then error "memory access out of bounds: %d" addr
+    if addr < 0 || addr >= mem_words then
+      error "memory access out of bounds: %d (pc %d, in %s)" addr !pc
+        (Decode.proc_name_of prog !pc)
   in
   let do_call target_pc return_pc =
     counters.calls <- counters.calls + 1;
@@ -154,10 +167,11 @@ let run ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
     end;
     target
   in
-  let pc = ref prog.Asm.entry in
   let running = ref true in
   while !running do
-    if counters.cycles >= fuel then error "out of fuel after %d cycles" fuel;
+    if counters.cycles >= fuel then
+      error "out of fuel after %d cycles (pc %d, in %s)" fuel !pc
+        (Decode.proc_name_of prog !pc);
     if !pc < 0 || !pc >= ncode then error "pc out of range: %d" !pc;
     if profile then pc_counts.(!pc) <- pc_counts.(!pc) + 1;
     counters.cycles <- counters.cycles + 1;
@@ -219,3 +233,9 @@ let run ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
     save_stores = s.(2);
     block_counts;
   }
+
+(** The default engine: pre-decode once, then interpret the specialized
+    form.  The decode cost is linear in code size and amortized over the
+    run (it is included in every [run] call, not cached). *)
+let run ?fuel ?mem_words ?check ?profile (prog : Asm.program) : outcome =
+  Decode.execute ?fuel ?mem_words ?check ?profile (Decode.decode prog)

@@ -6,7 +6,7 @@
 
 exception Runtime_error of string
 
-type outcome = {
+type outcome = Decode.outcome = {
   output : int list;  (** the values printed, in order *)
   cycles : int;
   calls : int;
@@ -34,8 +34,27 @@ type outcome = {
     - [fuel] bounds executed instructions; [mem_words] sizes memory.
 
     Raises {!Runtime_error} on traps, contract violations, or exhausted
-    fuel. *)
+    fuel.
+
+    This is the pre-decoded threaded engine ({!Decode}): the program is
+    specialized once into flat int-coded arrays and interpreted by a
+    jump-table dispatch loop with an allocation-free contract checker.
+    The decode pass runs on every call and is amortized over the
+    execution. *)
 val run :
+  ?fuel:int ->
+  ?mem_words:int ->
+  ?check:bool ->
+  ?profile:bool ->
+  Chow_codegen.Asm.program ->
+  outcome
+
+(** The original direct interpreter over {!Chow_codegen.Asm.inst}
+    variants, retained as the executable specification.  Same parameters,
+    semantics, counters and error messages as {!run}; the differential
+    test suite holds the two engines to identical outcomes on every
+    workload and on random programs. *)
+val run_reference :
   ?fuel:int ->
   ?mem_words:int ->
   ?check:bool ->

@@ -152,6 +152,143 @@ proc main() { print(forever(0)); }
   | exception Sim.Runtime_error msg ->
       Alcotest.(check string) "stack overflow" "stack overflow" msg
 
+(* ---- differential testing: decoded engine vs. reference engine ------- *)
+
+let capture f = try Ok (f ()) with Sim.Runtime_error m -> Error m
+
+(** Run both engines on the same program and insist on identical outcomes:
+    output, cycles, calls, per-tag traffic, block profiles — or the very
+    same [Runtime_error] message. *)
+let check_engines_agree ?fuel ?profile name prog =
+  let decoded = capture (fun () -> Sim.run ?fuel ?profile prog) in
+  let reference = capture (fun () -> Sim.run_reference ?fuel ?profile prog) in
+  match (decoded, reference) with
+  | Ok d, Ok r ->
+      Alcotest.(check (list int)) (name ^ ": output") r.Sim.output d.Sim.output;
+      Alcotest.(check int) (name ^ ": cycles") r.Sim.cycles d.Sim.cycles;
+      Alcotest.(check int) (name ^ ": calls") r.Sim.calls d.Sim.calls;
+      Alcotest.(check int) (name ^ ": data loads") r.Sim.data_loads
+        d.Sim.data_loads;
+      Alcotest.(check int) (name ^ ": data stores") r.Sim.data_stores
+        d.Sim.data_stores;
+      Alcotest.(check int) (name ^ ": scalar loads") r.Sim.scalar_loads
+        d.Sim.scalar_loads;
+      Alcotest.(check int) (name ^ ": scalar stores") r.Sim.scalar_stores
+        d.Sim.scalar_stores;
+      Alcotest.(check int) (name ^ ": save loads") r.Sim.save_loads
+        d.Sim.save_loads;
+      Alcotest.(check int) (name ^ ": save stores") r.Sim.save_stores
+        d.Sim.save_stores;
+      Alcotest.(check bool) (name ^ ": block counts") true
+        (d.Sim.block_counts = r.Sim.block_counts)
+  | Error d, Error r -> Alcotest.(check string) (name ^ ": error") r d
+  | Ok _, Error r ->
+      Alcotest.failf "%s: decoded succeeded, reference trapped: %s" name r
+  | Error d, Ok _ ->
+      Alcotest.failf "%s: decoded trapped (%s), reference succeeded" name d
+
+let test_diff_fuel_exhaustion () =
+  let src = "proc main() { var x = 1; while (x == 1) { x = 1; } }" in
+  let prog = (Pipeline.compile Config.baseline src).Pipeline.program in
+  check_engines_agree ~fuel:100 "fuel" prog;
+  match capture (fun () -> Sim.run ~fuel:100 prog) with
+  | Ok _ -> Alcotest.fail "expected fuel exhaustion"
+  | Error msg ->
+      (* satellite fix: the message now names the executing procedure and pc *)
+      let has s = Str.string_match (Str.regexp (".*" ^ Str.quote s)) msg 0 in
+      Alcotest.(check bool) "names pc and procedure" true
+        (has "out of fuel" && has "pc " && has "in main")
+
+let test_diff_oob_context () =
+  let prog =
+    program ~f_body:[ Asm.Lw (Machine.t0, Machine.zero, -1, Asm.Tdata) ]
+      ~preserved:[]
+  in
+  check_engines_agree "oob" prog;
+  match capture (fun () -> Sim.run prog) with
+  | Ok _ -> Alcotest.fail "expected out-of-bounds trap"
+  | Error msg ->
+      let has s = Str.string_match (Str.regexp (".*" ^ Str.quote s)) msg 0 in
+      Alcotest.(check bool) "names pc and procedure" true
+        (has "out of bounds" && has "pc " && has "in f")
+
+let test_diff_wild_call () =
+  (* pc 3 is mid-main, not a procedure entry: both engines must call it a
+     wild call with the same message *)
+  let prog =
+    program
+      ~f_body:[ Asm.Li (Machine.t0, 3); Asm.Jalr Machine.t0; Asm.Jr ]
+      ~preserved:[]
+  in
+  check_engines_agree "wild call" prog
+
+let test_diff_division_by_zero () =
+  let prog =
+    program
+      ~f_body:
+        [
+          Asm.Li (Machine.t0, 0);
+          Asm.Binop (Ir.Div, Machine.t0, Machine.t0, Machine.t0);
+          Asm.Jr;
+        ]
+      ~preserved:[]
+  in
+  check_engines_agree "division by zero" prog
+
+let test_diff_profile_counts () =
+  (* unit check that the decoded engine's profile = true block counts equal
+     the reference's, on a real workload *)
+  let w = Option.get (Chow_workloads.Workloads.find "nim") in
+  let prog =
+    (Pipeline.compile Config.o3_sw w.Chow_workloads.Workloads.source)
+      .Pipeline.program
+  in
+  let d = Sim.run ~profile:true prog in
+  let r = Sim.run_reference ~profile:true prog in
+  Alcotest.(check bool) "profiles nonempty" true (d.Sim.block_counts <> []);
+  Alcotest.(check bool) "profiles equal" true
+    (d.Sim.block_counts = r.Sim.block_counts)
+
+(* Random differential testing: compile a random Genprog program, run both
+   engines on it, then mutate one instruction of the linked image into a
+   trap (division by zero, out-of-bounds access, or a wild call) and insist
+   the engines still agree — including on the exact error message. *)
+
+let mutate rng (prog : Asm.program) =
+  let code = Array.copy prog.Asm.code in
+  let n = Array.length code in
+  let pc = 2 + Random.State.int rng (max 1 (n - 2)) in
+  let kind, inst =
+    match Random.State.int rng 3 with
+    | 0 -> ("divzero", Asm.Binopi (Ir.Div, Machine.t0, Machine.t0, 0))
+    | 1 ->
+        ( "oob",
+          Asm.Lw
+            (Machine.t0, Machine.zero, -1 - Random.State.int rng 7, Asm.Tdata)
+        )
+    | _ -> ("wildcall", Asm.Jal_pc (Random.State.int rng (n + 8)))
+  in
+  code.(pc) <- inst;
+  (Printf.sprintf "%s@%d" kind pc, { prog with Asm.code = code })
+
+let prop_differential =
+  QCheck.Test.make ~count:60
+    ~name:"decoded and reference engines agree on random programs"
+    (QCheck.make (QCheck.Gen.int_bound 1_000_000) ~print:(fun seed ->
+         Printf.sprintf "seed %d:\n%s" seed (Genprog.generate ~seed ())))
+    (fun seed ->
+      let src = Genprog.generate ~seed () in
+      let rng = Random.State.make [| seed; 0xd1ff |] in
+      let config = if seed mod 2 = 0 then Config.o3_sw else Config.baseline in
+      let prog = (Pipeline.compile config src).Pipeline.program in
+      check_engines_agree ~profile:true (Printf.sprintf "seed %d" seed) prog;
+      (* bounded fuel: a mutation can loop or recurse without limit *)
+      let mname, mutated = mutate rng prog in
+      check_engines_agree ~profile:true ~fuel:200_000
+        (Printf.sprintf "seed %d %s" seed mname)
+        mutated;
+      true)
+
 let suite =
   ( "sim",
     [
@@ -169,4 +306,13 @@ let suite =
       Alcotest.test_case "unlinked instruction" `Quick
         test_unlinked_instruction_rejected;
       Alcotest.test_case "stack overflow" `Quick test_stack_overflow_detected;
+      Alcotest.test_case "diff: fuel exhaustion context" `Quick
+        test_diff_fuel_exhaustion;
+      Alcotest.test_case "diff: oob context" `Quick test_diff_oob_context;
+      Alcotest.test_case "diff: wild call" `Quick test_diff_wild_call;
+      Alcotest.test_case "diff: division by zero" `Quick
+        test_diff_division_by_zero;
+      Alcotest.test_case "diff: profile block counts" `Quick
+        test_diff_profile_counts;
+      QCheck_alcotest.to_alcotest prop_differential;
     ] )
