@@ -5,11 +5,25 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [all|table1|table2|fig1..fig4|figures|ablation|profile|promo|split|timing] [--json] [--smoke]";
+    "usage: main.exe \
+     [all|table1|table2|fig1..fig4|figures|ablation|profile|promo|split|timing] \
+     [--json] [--smoke] [--trace FILE]";
   exit 1
+
+(* pull the [--trace FILE] pair out of the argument list *)
+let rec extract_trace = function
+  | [] -> (None, [])
+  | [ "--trace" ] -> usage ()
+  | "--trace" :: path :: rest ->
+      let _, rest = extract_trace rest in
+      (Some path, rest)
+  | x :: rest ->
+      let t, rest = extract_trace rest in
+      (t, x :: rest)
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let trace, args = extract_trace args in
   let json = List.mem "--json" args in
   let smoke = List.mem "--smoke" args in
   let args = List.filter (fun a -> a <> "--json" && a <> "--smoke") args in
@@ -24,7 +38,7 @@ let () =
           Profile_fb.run ();
           Promo_bench.run ();
           Split_bench.run ();
-          Timing.run ~json ~smoke ()
+          Timing.run ~json ~smoke ?trace ()
       | "table1" -> Tables.run_table1 ()
       | "table2" -> Tables.run_table2 ()
       | "tables" -> ignore (Tables.run ())
@@ -37,6 +51,6 @@ let () =
       | "profile" -> Profile_fb.run ()
       | "promo" -> Promo_bench.run ()
       | "split" -> Split_bench.run ()
-      | "timing" -> Timing.run ~json ~smoke ()
+      | "timing" -> Timing.run ~json ~smoke ?trace ()
       | _ -> usage ())
     args

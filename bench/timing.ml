@@ -11,6 +11,8 @@ module Config = Chow_compiler.Config
 module Pipeline = Chow_compiler.Pipeline
 module Sim = Chow_sim.Sim
 module W = Chow_workloads.Workloads
+module Trace = Chow_obs.Trace
+module Metrics = Chow_obs.Metrics
 
 let source_of name =
   match W.find name with
@@ -93,22 +95,68 @@ let tests () =
 
 let json_path = "BENCH_timing.json"
 
-(* machine-readable perf trajectory: one [{name; ns_per_run}] row per test,
-   so successive PRs can diff compile-time cost without scraping stdout *)
-let write_json rows =
+(* Per-config counter snapshot: compile one workload (and simulate it under
+   the two headline configurations) with the metrics registry armed, one
+   row per counter.  Registered in BENCH_timing.json next to the timings,
+   so successive PRs can diff work counts (ranges colored, worklist pops,
+   shrink-wrap rounds, sim cycles...) as well as wall time. *)
+let metrics_rows ~smoke () =
+  let workload = if smoke then "nim" else "uopt" in
+  let src = source_of workload in
+  List.concat_map
+    (fun (config : Config.t) ->
+      Metrics.reset ();
+      Metrics.enable ();
+      let compiled = Pipeline.compile config src in
+      if config.Config.name = "-O2" || config.Config.name = "-O3+sw" then
+        ignore (Sim.run compiled.Pipeline.program);
+      Metrics.disable ();
+      List.map
+        (fun (metric, v) ->
+          ( Printf.sprintf "metrics/%s%s/%s" workload config.Config.name
+              metric,
+            v ))
+        (Metrics.dump ()))
+    Config.all
+
+(* machine-readable perf trajectory: one [{name; ns_per_run}] row per test
+   plus one [{name; value}] row per metric, so successive PRs can diff
+   compile-time cost without scraping stdout *)
+let write_json rows metrics =
   let oc = open_out json_path in
+  let total = List.length rows + List.length metrics in
+  let sep i = if i < total - 1 then "," else "" in
   Printf.fprintf oc "[\n";
   List.iteri
     (fun i (name, ns) ->
       Printf.fprintf oc "  {\"name\": %S, \"ns_per_run\": %s}%s\n" name
         (if Float.is_nan ns then "null" else Printf.sprintf "%.1f" ns)
-        (if i < List.length rows - 1 then "," else ""))
+        (sep i))
     rows;
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "  {\"name\": %S, \"value\": %d}%s\n" name v
+        (sep (List.length rows + i)))
+    metrics;
   Printf.fprintf oc "]\n";
   close_out oc;
-  Format.printf "wrote %s (%d entries)@." json_path (List.length rows)
+  Format.printf "wrote %s (%d entries)@." json_path total
 
-let run ?(json = false) ?(smoke = false) () =
+(** One traced compile-and-run of the largest workload under the headline
+    configuration at [-j4] — the Chrome-loadable timeline showing the
+    wave-parallel allocation spans next to the simulator counters. *)
+let write_trace path =
+  Trace.reset ();
+  Trace.enable ();
+  let compiled =
+    Pipeline.compile (Config.with_jobs 4 Config.o3_sw) (source_of "uopt")
+  in
+  ignore (Sim.run compiled.Pipeline.program);
+  Trace.disable ();
+  Trace.write_file path;
+  Format.printf "wrote %s@." path
+
+let run ?(json = false) ?(smoke = false) ?trace () =
   Format.printf "@.Compiler throughput (Bechamel, monotonic clock)%s@."
     (if smoke then " — smoke subset" else "");
   Format.printf "%s@." (String.make 60 '=');
@@ -132,4 +180,5 @@ let run ?(json = false) ?(smoke = false) () =
     (fun (name, ns) ->
       Format.printf "%-36s %12.1f us/run@." name (ns /. 1000.))
     rows;
-  if json then write_json rows
+  if json then write_json rows (metrics_rows ~smoke ());
+  Option.iter write_trace trace

@@ -18,7 +18,10 @@ module Ipra = Chow_core.Ipra
 module Usage = Chow_core.Usage
 module Callgraph = Chow_core.Callgraph
 module Alloc = Chow_core.Alloc_types
+module Coloring = Chow_core.Coloring
 module Sim = Chow_sim.Sim
+module Trace = Chow_obs.Trace
+module Metrics = Chow_obs.Metrics
 
 let read_file path =
   let ic = open_in_bin path in
@@ -78,6 +81,60 @@ let promo_flag =
     & info [ "promote-globals" ]
         ~doc:"Promote global scalars to registers within procedures.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of the compilation (and \
+           execution) to $(docv); load it in chrome://tracing or Perfetto.")
+
+let stats_flag =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print per-procedure allocator diagnostics and the metrics \
+           registry.")
+
+(** Arm tracing/metrics around [f] per the [--trace]/[--stats] flags; the
+    trace file is written even when [f] exits through an exception, so a
+    failing compile still leaves its partial timeline. *)
+let with_obs ~trace ~stats f =
+  if trace <> None then Trace.enable ();
+  if stats then Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter
+        (fun path ->
+          Trace.disable ();
+          Trace.write_file path;
+          Printf.eprintf "trace written to %s\n%!" path)
+        trace)
+    f
+
+(** The per-procedure allocator diagnostics (satellite of §2: splits,
+    shrink-wrap iterations and register diversity were already computed —
+    this surfaces them). *)
+let print_alloc_stats (compiled : Pipeline.compiled) =
+  Printf.printf "%-16s %7s %9s %9s %9s %7s\n" "procedure" "ranges" "allocated"
+    "distinct" "sw-iters" "splits";
+  List.iter
+    (fun (alloc : Ipra.t) ->
+      List.iter
+        (fun (name, (st : Coloring.stats)) ->
+          Printf.printf "%-16s %7d %9d %9d %9d %7d\n" name st.Coloring.s_nranges
+            st.Coloring.s_allocated st.Coloring.s_distinct_regs
+            st.Coloring.s_sw_iterations st.Coloring.s_splits)
+        alloc.Ipra.stats)
+    compiled.Pipeline.allocs
+
+let print_stats compiled =
+  print_alloc_stats compiled;
+  print_newline ();
+  Format.printf "%a@?" Metrics.pp_table ()
+
 let config_of ~o3 ~no_sw ~machine ~jobs =
   {
     Config.name =
@@ -109,12 +166,14 @@ let handle_errors f =
 
 let run_cmd =
   let doc = "Compile a Pawn program and execute it in the simulator." in
-  let run file o3 no_sw machine jobs counters global_promo =
+  let run file o3 no_sw machine jobs counters global_promo trace stats =
     handle_errors @@ fun () ->
+    with_obs ~trace ~stats @@ fun () ->
     let config = config_of ~o3 ~no_sw ~machine ~jobs in
     let compiled = Pipeline.compile ~global_promo config (read_file file) in
     let o = Pipeline.run compiled in
     List.iter (fun v -> Printf.printf "%d\n" v) o.Sim.output;
+    if stats then print_stats compiled;
     if counters then begin
       Printf.printf "--- %s ---\n" config.Config.name;
       Printf.printf "cycles:          %d\n" o.Sim.cycles;
@@ -137,16 +196,36 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ file_arg $ o3_flag $ no_sw_flag $ machine_arg $ jobs_arg
-      $ counters $ promo_flag)
+      $ counters $ promo_flag $ trace_arg $ stats_flag)
 
 (* ----- compile ----- *)
 
 let compile_cmd =
   let doc = "Compile and dump intermediate artifacts." in
-  let compile file o3 no_sw machine jobs dump_ir dump_asm dump_alloc =
+  let compile file o3 no_sw machine jobs dump_ir dump_asm dump_alloc trace
+      stats explain =
     handle_errors @@ fun () ->
+    with_obs ~trace ~stats @@ fun () ->
     let config = config_of ~o3 ~no_sw ~machine ~jobs in
-    let compiled = Pipeline.compile config (read_file file) in
+    let explain_buf = Option.map (fun name -> (name, ref [])) explain in
+    let compiled =
+      Pipeline.compile ?explain:explain_buf config (read_file file)
+    in
+    (match explain_buf with
+    | None -> ()
+    | Some (name, buf) ->
+        if
+          not
+            (List.exists
+               (fun (p : Ir.proc) -> p.Ir.pname = name)
+               compiled.Pipeline.ir.Ir.procs)
+        then begin
+          Printf.eprintf "error: no procedure named %s\n" name;
+          exit 1
+        end;
+        Format.printf "=== %s under %s ===@.%a" name config.Config.name
+          Coloring.pp_explanation !buf);
+    if stats then print_stats compiled;
     if dump_ir then Format.printf "%a@." Ir.pp_prog compiled.Pipeline.ir;
     if dump_alloc then
       List.iter
@@ -190,11 +269,25 @@ let compile_cmd =
             alloc.Ipra.results)
         compiled.Pipeline.allocs
     end;
-    if not (dump_ir || dump_asm || dump_alloc) then
+    if not (dump_ir || dump_asm || dump_alloc || stats || explain <> None)
+    then
       Printf.printf
         "compiled %d procedures under %s (use --dump-ir/--dump-asm/--dump-alloc)\n"
         (List.length compiled.Pipeline.ir.Ir.procs)
         config.Config.name
+  in
+  let explain_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"PROC"
+          ~doc:
+            "Explain the allocator's decisions for procedure $(docv): each \
+             live range's priority, the best candidate of every register \
+             class with its save/restore penalties and argument bonuses, \
+             the granted register or the denial reason, and (under \
+             $(b,--O3)) the callee usage masks that freed caller-saved \
+             registers across calls.")
   in
   let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"Print the IR.") in
   let dump_asm =
@@ -210,7 +303,8 @@ let compile_cmd =
     (Cmd.info "compile" ~doc)
     Term.(
       const compile $ file_arg $ o3_flag $ no_sw_flag $ machine_arg
-      $ jobs_arg $ dump_ir $ dump_asm $ dump_alloc)
+      $ jobs_arg $ dump_ir $ dump_asm $ dump_alloc $ trace_arg $ stats_flag
+      $ explain_arg)
 
 (* ----- stats ----- *)
 

@@ -1,0 +1,84 @@
+(** CI smoke validator: [trace_check TRACE.json STATS.txt] checks that a
+    [pawnc run --stats --trace] invocation produced (1) a trace file that
+    parses as a JSON array of Chrome trace events, each with the required
+    fields and a known phase, containing the key pipeline spans; and (2) a
+    stats dump naming the load-bearing counters.  Exits nonzero with a
+    diagnostic on the first violation. *)
+
+module Json = Chow_obs.Json
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let required_spans = [ "lex"; "parse"; "lower"; "allocate"; "color"; "sim" ]
+
+let required_counters =
+  [ "color.ranges"; "dataflow.worklist_pops"; "sim.cycles" ]
+
+let check_trace path =
+  let events =
+    match Json.parse (read_file path) with
+    | Error msg -> fail "%s: JSON does not parse: %s" path msg
+    | Ok (Json.Arr events) -> events
+    | Ok _ -> fail "%s: top-level JSON value is not an array" path
+  in
+  let span_names =
+    List.filter_map
+      (fun ev ->
+        let str k =
+          match Json.member k ev with
+          | Some (Json.Str s) -> s
+          | _ -> fail "%s: event lacks string field %S" path k
+        in
+        let num k =
+          match Json.member k ev with
+          | Some (Json.Num f) -> f
+          | _ -> fail "%s: event lacks numeric field %S" path k
+        in
+        let name = str "name" in
+        ignore (num "ts");
+        ignore (num "tid");
+        match str "ph" with
+        | "X" ->
+            if num "dur" < 0. then fail "%s: span %s has negative dur" path name;
+            Some name
+        | "C" -> None
+        | ph -> fail "%s: event %s has unknown phase %S" path name ph)
+      events
+  in
+  List.iter
+    (fun name ->
+      if not (List.mem name span_names) then
+        fail "%s: required span %S missing" path name)
+    required_spans;
+  Printf.printf "%s: %d events, %d spans ok\n" path (List.length events)
+    (List.length span_names)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_stats path =
+  let txt = read_file path in
+  List.iter
+    (fun counter ->
+      if not (contains ~needle:counter txt) then
+        fail "%s: required counter %S missing from stats output" path counter)
+    required_counters;
+  Printf.printf "%s: required counters present\n" path
+
+let () =
+  match Sys.argv with
+  | [| _; trace; stats |] ->
+      check_trace trace;
+      check_stats stats
+  | _ ->
+      prerr_endline "usage: trace_check TRACE.json STATS.txt";
+      exit 2

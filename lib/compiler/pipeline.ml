@@ -20,6 +20,11 @@ module Asm = Chow_codegen.Asm
 module Sim = Chow_sim.Sim
 module Bitset = Chow_support.Bitset
 module Pool = Chow_support.Pool
+module Trace = Chow_obs.Trace
+module Metrics = Chow_obs.Metrics
+
+let m_units = Metrics.counter "pipeline.units"
+let m_code_words = Metrics.counter "pipeline.code_words"
 
 type compiled = {
   config : Config.t;
@@ -42,10 +47,16 @@ let preserved_regs (alloc : Ipra.t) (res : Alloc_types.result) =
           conventional
     | None -> Machine.callee_saved
 
-let allocate_unit ?profile ?pool (config : Config.t) (unit_ir : Ir.prog) =
-  Ipra.allocate_program ~ipra:config.Config.ipra
-    ~shrinkwrap:config.Config.shrinkwrap ?profile ?pool config.Config.machine
-    unit_ir
+let allocate_unit ?profile ?pool ?explain (config : Config.t) ~unit_idx
+    (unit_ir : Ir.prog) =
+  let alloc () =
+    Ipra.allocate_program ~ipra:config.Config.ipra
+      ~shrinkwrap:config.Config.shrinkwrap ?profile ?pool ?explain
+      config.Config.machine unit_ir
+  in
+  if Trace.is_on () then
+    Trace.span ~args:[ ("unit", Trace.Int unit_idx) ] "allocate-unit" alloc
+  else alloc ()
 
 (** [compile_irs config units] allocates each unit independently and links
     the results into one executable image.  [global_promo] enables the
@@ -56,10 +67,11 @@ let allocate_unit ?profile ?pool (config : Config.t) (unit_ir : Ir.prog) =
     one domain pool of [config.jobs] lanes; the same pool is shared with
     the per-unit wave allocation (nested [Pool.parallel_map] is safe), and
     unit order — hence link order and the final image — is preserved. *)
-let compile_irs ?profile ?(global_promo = false) (config : Config.t)
+let compile_irs ?profile ?(global_promo = false) ?explain (config : Config.t)
     (units : Ir.prog list) : compiled =
   if global_promo then
-    List.iter (fun u -> ignore (Chow_core.Globalpromo.transform u)) units;
+    Trace.span "promo" (fun () ->
+        List.iter (fun u -> ignore (Chow_core.Globalpromo.transform u)) units);
   let merged =
     {
       Ir.procs = List.concat_map (fun u -> u.Ir.procs) units;
@@ -67,39 +79,53 @@ let compile_irs ?profile ?(global_promo = false) (config : Config.t)
       externs = [];
     }
   in
-  let layout, data_size, data_init = Link.layout merged in
+  let layout, data_size, data_init =
+    Trace.span "layout" (fun () -> Link.layout merged)
+  in
+  let indexed = List.mapi (fun i u -> (i, u)) units in
   let allocs =
-    Pool.with_pool config.Config.jobs (fun pool ->
-        Pool.parallel_map pool units (allocate_unit ?profile ~pool config))
+    Trace.span "allocate" (fun () ->
+        Pool.with_pool config.Config.jobs (fun pool ->
+            Pool.parallel_map pool indexed (fun (unit_idx, u) ->
+                allocate_unit ?profile ~pool ?explain config ~unit_idx u)))
   in
   let codes = ref [] in
   let metas = ref [] in
-  List.iter
-    (fun (alloc : Ipra.t) ->
+  Trace.span "emit" (fun () ->
       List.iter
-        (fun (name, res) ->
-          let frame = Frame.build res in
-          codes := Emit.emit_proc ~layout res frame :: !codes;
-          metas :=
-            (name, { Asm.m_name = name; m_preserved = preserved_regs alloc res })
-            :: !metas)
-        alloc.Ipra.results)
-    allocs;
+        (fun (alloc : Ipra.t) ->
+          List.iter
+            (fun (name, res) ->
+              let frame = Frame.build res in
+              codes := Emit.emit_proc ~layout res frame :: !codes;
+              metas :=
+                ( name,
+                  { Asm.m_name = name; m_preserved = preserved_regs alloc res }
+                )
+                :: !metas)
+            alloc.Ipra.results)
+        allocs);
   let program =
-    Link.link ~metas:(List.rev !metas) (List.rev !codes) ~data_size ~data_init
+    Trace.span "link" (fun () ->
+        Link.link ~metas:(List.rev !metas) (List.rev !codes) ~data_size
+          ~data_init)
   in
+  if Metrics.is_on () then begin
+    Metrics.add m_units (List.length units);
+    Metrics.add m_code_words (Array.length program.Asm.code)
+  end;
   { config; ir = merged; allocs; program }
 
-let compile_ir ?profile ?global_promo config ir =
-  compile_irs ?profile ?global_promo config [ ir ]
+let compile_ir ?profile ?global_promo ?explain config ir =
+  compile_irs ?profile ?global_promo ?explain config [ ir ]
 
 (** Whole-program compilation of one Pawn source. *)
-let compile ?profile ?global_promo config src =
-  compile_ir ?profile ?global_promo config (Lower.compile_unit src)
+let compile ?profile ?global_promo ?explain config src =
+  compile_ir ?profile ?global_promo ?explain config (Lower.compile_unit src)
 
 (** Separate compilation: the unit containing [main] comes first; others
     must not require one. *)
-let compile_modules ?profile ?global_promo config srcs =
+let compile_modules ?profile ?global_promo ?explain config srcs =
   match srcs with
   | [] -> invalid_arg "compile_modules: no units"
   | first :: rest ->
@@ -107,7 +133,7 @@ let compile_modules ?profile ?global_promo config srcs =
         Lower.compile_unit ~require_main:true first
         :: List.map (Lower.compile_unit ~require_main:false) rest
       in
-      compile_irs ?profile ?global_promo config units
+      compile_irs ?profile ?global_promo ?explain config units
 
 (** [run c] simulates the compiled program with contract checking on,
     using the default pre-decoded engine. *)

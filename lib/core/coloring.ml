@@ -30,7 +30,20 @@ module Cfg = Chow_ir.Cfg
 module Dom = Chow_ir.Dom
 module Loops = Chow_ir.Loops
 module Machine = Chow_machine.Machine
+module Trace = Chow_obs.Trace
+module Metrics = Chow_obs.Metrics
 open Alloc_types
+
+let m_procs = Metrics.counter "color.procs"
+let m_ranges = Metrics.counter "color.ranges"
+let m_allocated = Metrics.counter "color.allocated"
+let m_spilled = Metrics.counter "color.spilled"
+let m_splits = Metrics.counter "color.splits"
+let m_sw_iterations = Metrics.counter "color.sw_iterations"
+let m_reg_caller = Metrics.counter "color.reg_caller_saved"
+let m_reg_callee = Metrics.counter "color.reg_callee_saved"
+let m_reg_param = Metrics.counter "color.reg_param"
+let h_ranges_per_proc = Metrics.histogram "color.ranges_per_proc"
 
 type mode = {
   ipra : bool;
@@ -53,7 +66,43 @@ type stats = {
 
 let save_restore_cost = float_of_int (Machine.load_cost + Machine.store_cost)
 
-let allocate_once ?weights (config : Machine.config) (mode : mode)
+(** The §2 decision audit trail behind [pawnc compile --explain]: for one
+    live range, the priority each candidate register scored and the
+    save/restore penalties and move bonuses that produced it. *)
+type reg_explain = {
+  x_reg : Machine.reg;
+  x_forbidden : bool;  (** blocked by an interfering neighbour's color *)
+  x_score : float;
+  x_call_penalty : float;  (** around-call save/restores (caller-saved) *)
+  x_entry_penalty : float;  (** entry/exit save-restore (callee-saved) *)
+  x_arg_bonus : float;  (** argument already in the callee's register (§4) *)
+  x_arrival_bonus : float;  (** parameter kept in its arrival register *)
+}
+
+type range_explain = {
+  x_vreg : Ir.vreg;
+  x_name : string;  (** source-level name, or ["_"] for temporaries *)
+  x_rank : float;  (** ordering priority: weighted refs per block of span *)
+  x_refs : float;
+  x_span : int;
+  x_ncalls : int;  (** call sites the range spans *)
+  x_regs : reg_explain list;  (** every allocatable register, in order *)
+  x_chosen : Machine.reg option;
+  x_denied : string option;  (** reason when no register was granted *)
+  x_freed : (string * Machine.reg list) list;
+      (** spanned closed callees whose published mask leaves the listed
+          default-clobbered registers free across the call (IPRA only) *)
+}
+
+type explanation = range_explain list ref
+
+let vreg_name (p : Ir.proc) v =
+  match p.Ir.vreg_kinds.(v) with
+  | Ir.Vlocal n -> n
+  | Ir.Vparam (n, _) -> n ^ " (param)"
+  | Ir.Vtemp -> "_"
+
+let allocate_once ?weights ?explain (config : Machine.config) (mode : mode)
     (p : Ir.proc) =
   (* splitting appends blocks, so a measured-profile weight vector may be
      shorter than the current block count; new blocks weigh 1 *)
@@ -69,9 +118,12 @@ let allocate_once ?weights (config : Machine.config) (mode : mode)
   let cfg = Cfg.of_proc p in
   let dom = Dom.compute cfg in
   let loops = Loops.compute cfg dom in
-  let lv = Liveness.compute p cfg in
-  let lr = Liverange.compute ?weights p cfg loops lv in
-  let ig = Interference.build p lv in
+  let lv = Trace.span "liveness" (fun () -> Liveness.compute p cfg) in
+  let lr =
+    Trace.span "ranges" (fun () -> Liverange.compute ?weights p cfg loops lv)
+  in
+  let ig = Trace.span "interference" (fun () -> Interference.build p lv) in
+  let explained = ref [] in
   let honor_contract = (not mode.ipra) || mode.is_open in
   let usage = if mode.ipra then mode.usage else Usage.create_table () in
   let site_clobber =
@@ -129,88 +181,159 @@ let allocate_once ?weights (config : Machine.config) (mode : mode)
     List.iteri (fun i r -> Hashtbl.replace tbl r i) config.Machine.allocatable;
     tbl
   in
-  List.iter
-    (fun v ->
-      let range = lr.Liverange.ranges.(v) in
-      let forbidden = Machine.Set.empty () in
-      Bitset.iter
-        (fun u ->
-          match assignment.(u) with
-          | Lreg r -> Bitset.set forbidden r
-          | Lstack -> ())
-        (Interference.neighbors ig v);
-      let score r =
-        let around_calls =
-          List.fold_left
-            (fun acc cs_id ->
-              if Bitset.mem site_clobber.(cs_id) r then
-                acc
-                +. (save_restore_cost
-                   *. lr.Liverange.call_sites.(cs_id).Liverange.cs_weight)
-              else acc)
-            0. range.Liverange.calls_across
-        in
-        let contract =
-          if
-            honor_contract
-            && Machine.class_of r = Machine.Callee_saved
-            && (not (Bitset.mem callee_saved_in_use r))
-            && not (Bitset.mem callee_clobbers r)
-          then save_restore_cost
-          else 0.
-        in
-        let arg_bonus =
-          List.fold_left
-            (fun acc (cs_id, pos) ->
-              match List.nth_opt site_arg_locs.(cs_id) pos with
-              | Some (Preg pr) when pr = r ->
-                  acc
-                  +. (float_of_int Machine.move_cost
-                     *. lr.Liverange.call_sites.(cs_id).Liverange.cs_weight)
-              | Some (Preg _ | Pstack) | None -> acc)
-            0. range.Liverange.arg_moves
-        in
-        let arrival_bonus =
-          match Hashtbl.find_opt default_arrival v with
-          | Some ar when ar = r -> float_of_int Machine.move_cost
-          | Some _ | None -> 0.
-        in
-        range.Liverange.weighted_refs +. arg_bonus +. arrival_bonus
-        -. around_calls -. contract
+  let color_one v =
+    let range = lr.Liverange.ranges.(v) in
+    let forbidden = Machine.Set.empty () in
+    Bitset.iter
+      (fun u ->
+        match assignment.(u) with
+        | Lreg r -> Bitset.set forbidden r
+        | Lstack -> ())
+      (Interference.neighbors ig v);
+    (* the four cost-model components of the §2/§4 per-register priority,
+       exposed separately so the --explain report can attribute the final
+       score; [score] composes them on the selection path *)
+    let around_calls_of r =
+      List.fold_left
+        (fun acc cs_id ->
+          if Bitset.mem site_clobber.(cs_id) r then
+            acc
+            +. (save_restore_cost
+               *. lr.Liverange.call_sites.(cs_id).Liverange.cs_weight)
+          else acc)
+        0. range.Liverange.calls_across
+    in
+    let contract_of r =
+      if
+        honor_contract
+        && Machine.class_of r = Machine.Callee_saved
+        && (not (Bitset.mem callee_saved_in_use r))
+        && not (Bitset.mem callee_clobbers r)
+      then save_restore_cost
+      else 0.
+    in
+    let arg_bonus_of r =
+      List.fold_left
+        (fun acc (cs_id, pos) ->
+          match List.nth_opt site_arg_locs.(cs_id) pos with
+          | Some (Preg pr) when pr = r ->
+              acc
+              +. (float_of_int Machine.move_cost
+                 *. lr.Liverange.call_sites.(cs_id).Liverange.cs_weight)
+          | Some (Preg _ | Pstack) | None -> acc)
+        0. range.Liverange.arg_moves
+    in
+    let arrival_bonus_of r =
+      match Hashtbl.find_opt default_arrival v with
+      | Some ar when ar = r -> float_of_int Machine.move_cost
+      | Some _ | None -> 0.
+    in
+    let score r =
+      range.Liverange.weighted_refs +. arg_bonus_of r +. arrival_bonus_of r
+      -. around_calls_of r -. contract_of r
+    in
+    let best =
+      List.fold_left
+        (fun best r ->
+          if Bitset.mem forbidden r then best
+          else
+            let s = score r in
+            let better =
+              match best with
+              | None -> true
+              | Some (_, bs, btree, bpos) ->
+                  let tree = Bitset.mem tree_used r in
+                  let pos = Hashtbl.find pos_in_allocatable r in
+                  s > bs
+                  || (s = bs && tree && not btree)
+                  || (s = bs && tree = btree && pos < bpos)
+            in
+            if better then
+              Some
+                ( r,
+                  s,
+                  Bitset.mem tree_used r,
+                  Hashtbl.find pos_in_allocatable r )
+            else best)
+        None config.Machine.allocatable
+    in
+    (* the audit record is taken before the assignment mutates the
+       tie-break and contract state, so the recorded scores are exactly
+       the ones the decision just ranked *)
+    if explain <> None then begin
+      let regs =
+        List.map
+          (fun r ->
+            {
+              x_reg = r;
+              x_forbidden = Bitset.mem forbidden r;
+              x_score = score r;
+              x_call_penalty = around_calls_of r;
+              x_entry_penalty = contract_of r;
+              x_arg_bonus = arg_bonus_of r;
+              x_arrival_bonus = arrival_bonus_of r;
+            })
+          config.Machine.allocatable
       in
-      let best =
-        List.fold_left
-          (fun best r ->
-            if Bitset.mem forbidden r then best
-            else
-              let s = score r in
-              let better =
-                match best with
-                | None -> true
-                | Some (_, bs, btree, bpos) ->
-                    let tree = Bitset.mem tree_used r in
-                    let pos = Hashtbl.find pos_in_allocatable r in
-                    s > bs
-                    || (s = bs && tree && not btree)
-                    || (s = bs && tree = btree && pos < bpos)
-              in
-              if better then
-                Some
-                  ( r,
-                    s,
-                    Bitset.mem tree_used r,
-                    Hashtbl.find pos_in_allocatable r )
-              else best)
-          None config.Machine.allocatable
+      let chosen, denied =
+        match best with
+        | Some (r, s, _, _) when s > 0. -> (Some r, None)
+        | Some (r, s, _, _) ->
+            ( None,
+              Some
+                (Printf.sprintf
+                   "best candidate %s has non-positive priority %.1f"
+                   (Machine.name r) s) )
+        | None ->
+            ( None,
+              Some
+                "every allocatable register is blocked by an interfering \
+                 neighbour" )
       in
-      match best with
-      | Some (r, s, _, _) when s > 0. ->
-          assignment.(v) <- Lreg r;
-          Bitset.set tree_used r;
-          if Machine.class_of r = Machine.Callee_saved then
-            Bitset.set callee_saved_in_use r
-      | Some _ | None -> ())
-    order;
+      let freed =
+        List.filter_map
+          (fun cs_id ->
+            match lr.Liverange.call_sites.(cs_id).Liverange.cs_target with
+            | Ir.Direct f -> (
+                match Usage.find usage f with
+                | Some info ->
+                    Some
+                      ( f,
+                        List.filter
+                          (fun r -> not (Bitset.mem info.Usage.mask r))
+                          (Machine.caller_saved @ Machine.param_regs) )
+                | None -> None)
+            | Ir.Indirect _ -> None)
+          range.Liverange.calls_across
+        |> List.sort_uniq compare
+      in
+      explained :=
+        {
+          x_vreg = v;
+          x_name = vreg_name p v;
+          x_rank =
+            (range.Liverange.weighted_refs
+            /. float_of_int (max 1 range.Liverange.span));
+          x_refs = range.Liverange.weighted_refs;
+          x_span = range.Liverange.span;
+          x_ncalls = List.length range.Liverange.calls_across;
+          x_regs = regs;
+          x_chosen = chosen;
+          x_denied = denied;
+          x_freed = freed;
+        }
+        :: !explained
+    end;
+    match best with
+    | Some (r, s, _, _) when s > 0. ->
+        assignment.(v) <- Lreg r;
+        Bitset.set tree_used r;
+        if Machine.class_of r = Machine.Callee_saved then
+          Bitset.set callee_saved_in_use r
+    | Some _ | None -> ()
+  in
+  Trace.span "color" (fun () -> List.iter color_one order);
+  Option.iter (fun b -> b := List.rev !explained) explain;
 
   (* ----- contract registers and save/restore placement ----- *)
   let own_assigned = Machine.Set.empty () in
@@ -249,8 +372,9 @@ let allocate_once ?weights (config : Machine.config) (mode : mode)
     (if has_calls then [ Machine.ra ] else []) @ candidates
   in
   let placement =
-    if mode.shrinkwrap then Shrinkwrap.compute cfg loops ~app sw_candidates
-    else Shrinkwrap.entry_exit_placement cfg sw_candidates
+    Trace.span "shrinkwrap" (fun () ->
+        if mode.shrinkwrap then Shrinkwrap.compute cfg loops ~app sw_candidates
+        else Shrinkwrap.entry_exit_placement cfg sw_candidates)
   in
   (* §6 combining rule: closed procedures propagate a register's
      save/restore to their parents exactly when the save would sit at the
@@ -380,12 +504,32 @@ let spill_cost (lr : Liverange.t) (assignment : location array) =
     A split is kept only when the new range actually receives a register;
     otherwise the procedure is rolled back, so splitting can never make
     the code worse. *)
-let allocate ?weights (config : Machine.config) (mode : mode) (p : Ir.proc) :
-    result * Usage.info option * stats =
+let publish_metrics (result : result) (stats : stats) =
+  if Metrics.is_on () then begin
+    Metrics.incr m_procs;
+    Metrics.add m_ranges stats.s_nranges;
+    Metrics.add m_allocated stats.s_allocated;
+    Metrics.add m_spilled (stats.s_nranges - stats.s_allocated);
+    Metrics.add m_splits stats.s_splits;
+    Metrics.add m_sw_iterations stats.s_sw_iterations;
+    Metrics.observe h_ranges_per_proc stats.s_nranges;
+    Array.iter
+      (function
+        | Lreg r -> (
+            match Machine.class_of r with
+            | Machine.Caller_saved -> Metrics.incr m_reg_caller
+            | Machine.Callee_saved -> Metrics.incr m_reg_callee
+            | Machine.Param -> Metrics.incr m_reg_param)
+        | Lstack -> ())
+      result.r_assignment
+  end
+
+let allocate ?weights ?explain (config : Machine.config) (mode : mode)
+    (p : Ir.proc) : result * Usage.info option * stats =
   let attempted = Hashtbl.create 8 in
   let rec go ~attempts ~kept =
     let result, info, stats, loops, lr =
-      allocate_once ?weights config mode p
+      allocate_once ?weights ?explain config mode p
     in
     if attempts >= max_split_attempts || kept >= max_splits_kept then
       (result, info, stats, kept)
@@ -399,6 +543,9 @@ let allocate ?weights (config : Machine.config) (mode : mode) (p : Ir.proc) :
           let snap = Split.snapshot p in
           let v' = Split.apply p v loop in
           Hashtbl.replace attempted (v', loop.Chow_ir.Loops.header) ();
+          (* trials never record an explanation: the audit trail always
+             reflects the allocation that is actually returned, which comes
+             from the [allocate_once] at the top of the final iteration *)
           let trial, _, _, _, trial_lr =
             allocate_once ?weights config mode p
           in
@@ -413,4 +560,69 @@ let allocate ?weights (config : Machine.config) (mode : mode) (p : Ir.proc) :
           else go ~attempts:(attempts + 1) ~kept:(kept + 1)
   in
   let result, info, stats, kept = go ~attempts:0 ~kept:0 in
-  (result, info, { stats with s_splits = kept })
+  let stats = { stats with s_splits = kept } in
+  publish_metrics result stats;
+  (result, info, stats)
+
+(* ----- the --explain report ----- *)
+
+let class_label = function
+  | Machine.Caller_saved -> "caller-saved"
+  | Machine.Callee_saved -> "callee-saved"
+  | Machine.Param -> "param"
+
+let pp_reg_list ppf regs =
+  Format.fprintf ppf "{%a}"
+    (Chow_support.Pp.list
+       ~sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Machine.pp)
+    regs
+
+(** Render one procedure's decisions, in the priority order the allocator
+    considered them.  For each live range: the ranking priority, the best
+    candidate of each register class with the §2 penalties and §4 bonuses
+    behind its score, the granted register (or the denial reason), and the
+    callee masks that freed caller-saved registers across spanned calls. *)
+let pp_explanation ppf (ds : range_explain list) =
+  let pp_range (d : range_explain) =
+    Format.fprintf ppf "%%%d %s: priority %.1f (refs %.1f, span %d), spans %d call site%s@."
+      d.x_vreg d.x_name d.x_rank d.x_refs d.x_span d.x_ncalls
+      (if d.x_ncalls = 1 then "" else "s");
+    List.iter
+      (fun cls ->
+        let of_class =
+          List.filter (fun x -> Machine.class_of x.x_reg = cls) d.x_regs
+        in
+        let candidates = List.filter (fun x -> not x.x_forbidden) of_class in
+        match (of_class, candidates) with
+        | [], _ -> ()  (* class not allocatable under this machine config *)
+        | _ :: _, [] ->
+            Format.fprintf ppf "  %-12s all registers blocked by interference@."
+              (class_label cls)
+        | _, first :: rest ->
+            let best =
+              List.fold_left
+                (fun b x -> if x.x_score > b.x_score then x else b)
+                first rest
+            in
+            Format.fprintf ppf
+              "  %-12s best %-4s score %.1f  (call penalty %.1f, entry \
+               penalty %.1f, arg bonus %.1f, arrival bonus %.1f)@."
+              (class_label cls)
+              (Machine.name best.x_reg)
+              best.x_score best.x_call_penalty best.x_entry_penalty
+              best.x_arg_bonus best.x_arrival_bonus)
+      [ Machine.Caller_saved; Machine.Param; Machine.Callee_saved ];
+    (match (d.x_chosen, d.x_denied) with
+    | Some r, _ -> Format.fprintf ppf "  => %s@." (Machine.name r)
+    | None, Some why -> Format.fprintf ppf "  => memory (%s)@." why
+    | None, None -> Format.fprintf ppf "  => memory@.");
+    List.iter
+      (fun (callee, regs) ->
+        Format.fprintf ppf "  mask of %s frees %a across its calls@." callee
+          pp_reg_list regs)
+      d.x_freed
+  in
+  match ds with
+  | [] -> Format.fprintf ppf "no live ranges with references@."
+  | ds -> List.iter pp_range ds

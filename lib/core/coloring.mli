@@ -25,12 +25,49 @@ type stats = {
   s_splits : int;  (** live-range splits performed *)
 }
 
-(** [allocate ?weights config mode p] colors one procedure.  [weights]
-    overrides the static [10^loop-depth] block frequencies (profile
-    feedback).  Returns the allocation, the usage summary to publish when
-    the procedure is closed, and diagnostics. *)
+(** {2 Allocation explanation (--explain)}
+
+    When an {!explanation} buffer is supplied, {!allocate} records, for the
+    final (post-splitting) run, one {!range_explain} per live range in the
+    order the priority queue granted them. *)
+
+type reg_explain = {
+  x_reg : Machine.reg;
+  x_forbidden : bool;  (** blocked by an interfering neighbour *)
+  x_score : float;  (** the §2 per-register priority, [-inf] if forbidden *)
+  x_call_penalty : float;  (** caller-saved save/restore around calls *)
+  x_entry_penalty : float;  (** callee-saved save/restore at entry/exit *)
+  x_arg_bonus : float;  (** §4 argument-register affinity *)
+  x_arrival_bonus : float;  (** §4 incoming-parameter affinity *)
+}
+
+type range_explain = {
+  x_vreg : Chow_ir.Ir.vreg;
+  x_name : string;  (** source name, or ["_"] for compiler temporaries *)
+  x_rank : float;  (** ranking priority: weighted refs / span *)
+  x_refs : float;  (** frequency-weighted reference count *)
+  x_span : int;  (** live blocks *)
+  x_ncalls : int;  (** call sites the range spans *)
+  x_regs : reg_explain list;  (** every allocatable register's score *)
+  x_chosen : Machine.reg option;
+  x_denied : string option;  (** why the range went to memory *)
+  x_freed : (string * Machine.reg list) list;
+      (** under IPRA: callee name -> caller-saved registers its published
+          mask leaves untouched across the spanned calls *)
+}
+
+type explanation = range_explain list ref
+
+val pp_explanation : Format.formatter -> range_explain list -> unit
+
+(** [allocate ?weights ?explain config mode p] colors one procedure.
+    [weights] overrides the static [10^loop-depth] block frequencies
+    (profile feedback); [explain], when given, receives the decision trail
+    of the final run.  Returns the allocation, the usage summary to publish
+    when the procedure is closed, and diagnostics. *)
 val allocate :
   ?weights:float array ->
+  ?explain:explanation ->
   Machine.config ->
   mode ->
   Chow_ir.Ir.proc ->

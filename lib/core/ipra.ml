@@ -19,6 +19,11 @@
 module Ir = Chow_ir.Ir
 module Machine = Chow_machine.Machine
 module Pool = Chow_support.Pool
+module Trace = Chow_obs.Trace
+module Metrics = Chow_obs.Metrics
+
+let m_waves = Metrics.counter "ipra.waves"
+let m_masks = Metrics.counter "ipra.masks_published"
 
 type t = {
   results : (string * Alloc_types.result) list;  (** in processing order *)
@@ -36,34 +41,70 @@ let find t name = List.assoc_opt name t.results
     each wave (a fresh pool, ignored when [pool] supplies a shared one). *)
 let allocate_program ?(ipra = false) ?(shrinkwrap = false)
     ?(profile = fun (_ : string) -> (None : float array option)) ?(jobs = 1)
-    ?pool (config : Machine.config) (prog : Ir.prog) =
+    ?pool ?explain (config : Machine.config) (prog : Ir.prog) =
   let callgraph = Callgraph.build prog in
   let usage = Usage.create_table () in
   let results = ref [] in
   let stats = ref [] in
-  let allocate_one name =
+  let allocate_one ~wave_idx name =
     match Ir.find_proc prog name with
     | None -> None
     | Some p ->
         let is_open = (not ipra) || Callgraph.is_open callgraph name in
         let mode = { Coloring.ipra; shrinkwrap; is_open; usage } in
         let weights = profile name in
-        let result, info, st = Coloring.allocate ?weights config mode p in
+        let explain =
+          match explain with
+          | Some (target, buf) when target = name -> Some buf
+          | _ -> None
+        in
+        let result, info, st =
+          (* the span name and args are built only when tracing is armed:
+             the disabled path must not allocate per procedure *)
+          if Trace.is_on () then
+            Trace.span
+              ~args:
+                [
+                  ("wave", Trace.Int wave_idx);
+                  ("open", Trace.Str (if is_open then "yes" else "no"));
+                ]
+              ("alloc:" ^ name)
+              (fun () -> Coloring.allocate ?weights ?explain config mode p)
+          else Coloring.allocate ?weights ?explain config mode p
+        in
         Some (name, result, info, st)
   in
   let run pool =
-    List.iter
-      (fun wave ->
-        let allocated = Pool.parallel_map pool wave allocate_one in
-        (* sequential publication, in processing order *)
-        List.iter
-          (function
-            | None -> ()
-            | Some (name, result, info, st) ->
-                results := (name, result) :: !results;
-                stats := (name, st) :: !stats;
-                Option.iter (Usage.publish usage name) info)
-          allocated)
+    List.iteri
+      (fun wave_idx wave ->
+        Metrics.incr m_waves;
+        let do_wave () =
+          let allocated =
+            Pool.parallel_map pool wave (allocate_one ~wave_idx)
+          in
+          (* sequential publication, in processing order *)
+          List.iter
+            (function
+              | None -> ()
+              | Some (name, result, info, st) ->
+                  results := (name, result) :: !results;
+                  stats := (name, st) :: !stats;
+                  Option.iter
+                    (fun i ->
+                      Usage.publish usage name i;
+                      Metrics.incr m_masks)
+                    info)
+            allocated
+        in
+        if Trace.is_on () then
+          Trace.span
+            ~args:
+              [
+                ("wave", Trace.Int wave_idx);
+                ("procs", Trace.Int (List.length wave));
+              ]
+            "wave" do_wave
+        else do_wave ())
       (Callgraph.waves callgraph)
   in
   (match pool with

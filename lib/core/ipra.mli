@@ -20,13 +20,15 @@ val find : t -> string -> Alloc_types.result option
     the parallelism of a pool created for this call (default 1 —
     sequential), while [pool] supplies a shared pool instead (and [jobs]
     is ignored).  The result is bit-for-bit independent of the
-    parallelism. *)
+    parallelism.  [explain] names one procedure whose allocation decisions
+    are recorded into the supplied {!Coloring.explanation} buffer. *)
 val allocate_program :
   ?ipra:bool ->
   ?shrinkwrap:bool ->
   ?profile:(string -> float array option) ->
   ?jobs:int ->
   ?pool:Chow_support.Pool.t ->
+  ?explain:string * Coloring.explanation ->
   Chow_machine.Machine.config ->
   Chow_ir.Ir.prog ->
   t

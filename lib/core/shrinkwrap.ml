@@ -41,6 +41,11 @@ module Cfg = Chow_ir.Cfg
 module Loops = Chow_ir.Loops
 module Dataflow = Chow_ir.Dataflow
 module Machine = Chow_machine.Machine
+module Metrics = Chow_obs.Metrics
+
+let m_placements = Metrics.counter "shrinkwrap.placements"
+let m_rounds = Metrics.counter "shrinkwrap.rounds"
+let m_fallback_regs = Metrics.counter "shrinkwrap.fallback_regs"
 
 type placement = {
   save_at : (Ir.label * Machine.reg) list;  (** save at entry of block *)
@@ -238,6 +243,9 @@ let compute cfg (loops : Loops.t) ~(app : Bitset.t array) candidates =
     remaining := bad;
     if !remaining = [] then finished := true
   done;
+  Metrics.incr m_placements;
+  Metrics.add m_rounds !rounds;
+  Metrics.add m_fallback_regs (List.length !remaining);
   (* sound fallback for anything still unbalanced *)
   let fallback = entry_exit_placement cfg !remaining in
   {

@@ -253,4 +253,5 @@ let lower_program ?(require_main = true) (prog : Ast.program) : Ir.prog =
 
 (** [compile_unit src] parses, checks and lowers Pawn source text. *)
 let compile_unit ?(require_main = true) src =
-  lower_program ~require_main (Parser.parse src)
+  let ast = Parser.parse src in
+  Chow_obs.Trace.span "lower" (fun () -> lower_program ~require_main ast)

@@ -310,8 +310,12 @@ let parse_top st : Ast.top =
 
 (** [parse src] lexes and parses a full compilation unit. *)
 let parse src : Ast.program =
-  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
-  let rec go acc =
-    if peek st = Token.EOF then List.rev acc else go (parse_top st :: acc)
+  let toks =
+    Chow_obs.Trace.span "lex" (fun () -> Array.of_list (Lexer.tokenize src))
   in
-  go []
+  Chow_obs.Trace.span "parse" (fun () ->
+      let st = { toks; pos = 0 } in
+      let rec go acc =
+        if peek st = Token.EOF then List.rev acc else go (parse_top st :: acc)
+      in
+      go [])

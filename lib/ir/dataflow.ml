@@ -13,6 +13,12 @@
     full set (the analysis lattice's top); for [`Union] to the empty set. *)
 
 module Bitset = Chow_support.Bitset
+module Metrics = Chow_obs.Metrics
+
+(* pops are counted into a local and published once per [solve], so the
+   worklist loop itself carries no metrics cost *)
+let m_solves = Metrics.counter "dataflow.solves"
+let m_pops = Metrics.counter "dataflow.worklist_pops"
 
 type direction = Forward | Backward
 type meet = Union | Inter
@@ -89,8 +95,10 @@ let solve (cfg : Cfg.t) spec =
     | Backward -> Cfg.preds cfg l
   in
   let tmp = Bitset.create spec.nbits in
+  let pops = ref 0 in
   while not (Queue.is_empty queue) do
     let l = Queue.pop queue in
+    incr pops;
     Bitset.clear dirty l;
     (* confluence *)
     let conf_target, conf_sources =
@@ -120,4 +128,6 @@ let solve (cfg : Cfg.t) spec =
         (deps l)
     end
   done;
+  Metrics.incr m_solves;
+  Metrics.add m_pops !pops;
   { live_in = inb; live_out = outb }

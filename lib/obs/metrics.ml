@@ -1,0 +1,101 @@
+(** See metrics.mli. *)
+
+type counter = { c_value : int Atomic.t }
+
+(* bucket [k] counts observations with 2^(k-1) < v <= 2^k (bucket 0: v <= 1) *)
+type histogram = { h_buckets : int Atomic.t array }
+
+let nbuckets = 62
+
+let enabled = Atomic.make false
+let lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let is_on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+
+let registered tbl name make =
+  Mutex.lock lock;
+  let m =
+    match Hashtbl.find_opt tbl name with
+    | Some m -> m
+    | None ->
+        let m = make () in
+        Hashtbl.replace tbl name m;
+        m
+  in
+  Mutex.unlock lock;
+  m
+
+let counter name =
+  registered counters name (fun () -> { c_value = Atomic.make 0 })
+
+let add c n =
+  if Atomic.get enabled && n <> 0 then
+    ignore (Atomic.fetch_and_add c.c_value n)
+
+let incr c = add c 1
+
+let histogram name =
+  registered histograms name (fun () ->
+      { h_buckets = Array.init nbuckets (fun _ -> Atomic.make 0) })
+
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let k = ref 0 and w = ref 1 in
+    while !w < v && !k < nbuckets - 1 do
+      w := !w * 2;
+      Stdlib.incr k
+    done;
+    !k
+  end
+
+let observe h v =
+  if Atomic.get enabled then
+    ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of v) 1)
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+  Hashtbl.iter
+    (fun _ h -> Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
+    histograms;
+  Mutex.unlock lock
+
+let dump () =
+  Mutex.lock lock;
+  let rows =
+    Hashtbl.fold
+      (fun name c acc -> (name, Atomic.get c.c_value) :: acc)
+      counters []
+  in
+  let rows =
+    Hashtbl.fold
+      (fun name h acc ->
+        let acc = ref acc in
+        Array.iteri
+          (fun k b ->
+            let n = Atomic.get b in
+            if n > 0 then
+              acc :=
+                (Printf.sprintf "%s.le_%d" name (1 lsl k), n) :: !acc)
+          h.h_buckets;
+        !acc)
+      histograms rows
+  in
+  Mutex.unlock lock;
+  List.sort compare rows
+
+let pp_table ppf () =
+  let rows = dump () in
+  let width =
+    List.fold_left (fun w (name, _) -> max w (String.length name)) 6 rows
+  in
+  Format.fprintf ppf "@[<v>%-*s %12s@," width "metric" "value";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "%-*s %12d@," width name v)
+    rows;
+  Format.fprintf ppf "@]"

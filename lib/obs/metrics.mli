@@ -1,0 +1,44 @@
+(** Global registry of named monotonic counters and histograms.
+
+    Handles are created once (typically at module initialisation) and are
+    cheap to update: an update is one enabled check plus one atomic add, and
+    it is a no-op while the registry is disabled.  Hot loops should count
+    into a local [int] and publish once per batch — the convention used by
+    the dataflow solver and the simulator — so the disabled cost on those
+    paths is literally zero.
+
+    Atomic addition commutes, so counter totals are bit-identical for any
+    parallel schedule as long as the work itself is deterministic, which the
+    wave-parallel allocator guarantees for every [-j]. *)
+
+type counter
+type histogram
+
+val is_on : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** [counter name] registers (or retrieves — the registry is keyed by name,
+    so independent call sites share one cell) the counter [name]. *)
+val counter : string -> counter
+
+val add : counter -> int -> unit
+val incr : counter -> unit
+
+(** [histogram name] registers or retrieves a power-of-two-bucket histogram:
+    an observation of [v] lands in the bucket with the smallest upper bound
+    [2^k >= v]. *)
+val histogram : string -> histogram
+
+val observe : histogram -> int -> unit
+
+(** Zero every registered value (registrations are kept). *)
+val reset : unit -> unit
+
+(** Snapshot of every registered metric, sorted by name: counters as
+    [(name, value)], histograms as one [("name.le_N", count)] entry per
+    non-empty bucket. *)
+val dump : unit -> (string * int) list
+
+(** The {!dump} snapshot as an aligned two-column table. *)
+val pp_table : Format.formatter -> unit -> unit

@@ -1,0 +1,41 @@
+(** Chrome trace-event tracing with per-domain buffering.
+
+    Disabled by default; every probe is a single atomic load followed by an
+    immediate return, so instrumented code pays nothing until {!enable} is
+    called (the zero-overhead-when-disabled contract).  When enabled, each
+    domain appends events to its own domain-local buffer — no cross-domain
+    synchronisation on the recording path, so tracing never perturbs the
+    wave-parallel allocator's schedule or its [-j] determinism — and
+    {!write} merges the buffers into one JSON array that Chrome's
+    [about:tracing] / Perfetto loads directly. *)
+
+(** Span / counter argument values, rendered into the event's ["args"]. *)
+type arg = Int of int | Str of string
+
+val is_on : unit -> bool
+
+(** [enable ()] arms recording; the first call fixes the trace epoch. *)
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+(** [reset ()] discards all buffered events (the epoch is kept). *)
+val reset : unit -> unit
+
+(** [span ?args name f] runs [f ()] inside a complete-event span ([ph:"X"])
+    named [name] on the calling domain's timeline.  The event is recorded
+    when [f] returns or raises; nested spans therefore appear before their
+    parent in the buffer, which Chrome accepts (events need not be
+    sorted). *)
+val span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+
+(** [counter name series] records a counter event ([ph:"C"]): one sample of
+    each named series at the current time. *)
+val counter : string -> (string * int) list -> unit
+
+(** Merge every domain's buffer and emit the JSON array.  Call only when no
+    domain is still recording. *)
+val write : out_channel -> unit
+
+val write_file : string -> unit
+val to_string : unit -> string

@@ -26,6 +26,8 @@
 module Machine = Chow_machine.Machine
 module Asm = Chow_codegen.Asm
 module Ir = Chow_ir.Ir
+module Trace = Chow_obs.Trace
+module Metrics = Chow_obs.Metrics
 
 exception Runtime_error of string
 
@@ -50,6 +52,10 @@ type outcome = {
   block_counts : ((string * Ir.label) * int) list;
       (** execution count of each basic block, when run with
           [profile = true]; empty otherwise *)
+  proc_cycles : (string * int) list;
+      (** cycles attributed to each procedure (in address order, with a
+          ["<stub>"] entry for startup code when it executed), when run
+          with [profile = true]; empty otherwise *)
 }
 
 (* Opcode numbering: dense from 0 so the dispatch match compiles to a jump
@@ -193,6 +199,64 @@ let proc_name_of (prog : Asm.program) pc =
   let entries, names = Asm.proc_table prog in
   attribute_pc entries names pc
 
+(** [attribute_cycles prog pc_counts] folds a per-pc execution profile into
+    per-procedure cycle totals, in address order.  Cycles spent before the
+    first procedure entry (the startup stub) are reported under
+    ["<stub>"] when nonzero. *)
+let attribute_cycles (prog : Asm.program) (pc_counts : int array) :
+    (string * int) list =
+  let entries, names = Asm.proc_table prog in
+  let n = Array.length entries in
+  if n = 0 then []
+  else begin
+    let ncode = Array.length pc_counts in
+    let sum lo hi =
+      let acc = ref 0 in
+      for pc = lo to min hi (ncode - 1) do
+        acc := !acc + pc_counts.(pc)
+      done;
+      !acc
+    in
+    let procs =
+      List.init n (fun i ->
+          let hi = if i + 1 < n then entries.(i + 1) - 1 else ncode - 1 in
+          (names.(i), sum entries.(i) hi))
+    in
+    let stub = sum 0 (entries.(0) - 1) in
+    if stub > 0 then ("<stub>", stub) :: procs else procs
+  end
+
+(* counter handles shared by both engines: same names, same totals *)
+let m_runs = Metrics.counter "sim.runs"
+let m_cycles = Metrics.counter "sim.cycles"
+let m_calls = Metrics.counter "sim.calls"
+let m_data_loads = Metrics.counter "sim.data_loads"
+let m_data_stores = Metrics.counter "sim.data_stores"
+let m_scalar_loads = Metrics.counter "sim.scalar_loads"
+let m_scalar_stores = Metrics.counter "sim.scalar_stores"
+let m_save_loads = Metrics.counter "sim.save_loads"
+let m_save_stores = Metrics.counter "sim.save_stores"
+
+(** Publish an outcome's counters into the metrics registry (used by both
+    engines after a completed run, so the totals match whichever engine
+    executed). *)
+let publish_metrics (o : outcome) =
+  if Metrics.is_on () then begin
+    Metrics.incr m_runs;
+    Metrics.add m_cycles o.cycles;
+    Metrics.add m_calls o.calls;
+    Metrics.add m_data_loads o.data_loads;
+    Metrics.add m_data_stores o.data_stores;
+    Metrics.add m_scalar_loads o.scalar_loads;
+    Metrics.add m_scalar_stores o.scalar_stores;
+    Metrics.add m_save_loads o.save_loads;
+    Metrics.add m_save_stores o.save_stores;
+    List.iter
+      (fun (name, c) ->
+        Metrics.add (Metrics.counter ("sim.proc_cycles/" ^ name)) c)
+      o.proc_cycles
+  end
+
 let execute ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
     ?(profile = false) (t : t) : outcome =
   let prog = t.prog in
@@ -249,8 +313,20 @@ let execute ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
     error "memory access out of bounds: %d (pc %d, in %s)" addr !pc
       (attribute_pc t.entries t.names !pc)
   in
+  (* tracing is sampled on the call path only (every 256th call), and the
+     enabled check is hoisted out of the loop: the hot path is untouched
+     when tracing is off *)
+  let tr = Trace.is_on () in
   let do_call target return_pc =
     incr calls;
+    if tr && !calls land 255 = 0 then
+      Trace.counter "sim.traffic"
+        [
+          ("cycles", !cycles);
+          ("calls", !calls);
+          ("scalar_loads", loads.(1) + loads.(2) + loads.(3));
+          ("scalar_stores", stores.(1) + stores.(2) + stores.(3));
+        ];
     if regs.(Machine.sp) <= overflow_limit then error "stack overflow";
     if target < 0 || target >= ncode then
       error "call to invalid address %d" target;
@@ -506,15 +582,23 @@ let execute ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
       List.map (fun (pc, key) -> (key, pc_counts.(pc))) prog.Asm.block_pcs
     else []
   in
-  {
-    output = List.rev !output;
-    cycles = !cycles;
-    calls = !calls;
-    data_loads = loads.(0);
-    data_stores = stores.(0);
-    scalar_loads = loads.(1) + loads.(2) + loads.(3);
-    scalar_stores = stores.(1) + stores.(2) + stores.(3);
-    save_loads = loads.(2);
-    save_stores = stores.(2);
-    block_counts;
-  }
+  let proc_cycles =
+    if profile then attribute_cycles prog pc_counts else []
+  in
+  let outcome =
+    {
+      output = List.rev !output;
+      cycles = !cycles;
+      calls = !calls;
+      data_loads = loads.(0);
+      data_stores = stores.(0);
+      scalar_loads = loads.(1) + loads.(2) + loads.(3);
+      scalar_stores = stores.(1) + stores.(2) + stores.(3);
+      save_loads = loads.(2);
+      save_stores = stores.(2);
+      block_counts;
+      proc_cycles;
+    }
+  in
+  publish_metrics outcome;
+  outcome

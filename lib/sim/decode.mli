@@ -28,6 +28,10 @@ type outcome = {
   block_counts : ((string * Chow_ir.Ir.label) * int) list;
       (** execution count of each basic block, when run with
           [profile = true]; empty otherwise *)
+  proc_cycles : (string * int) list;
+      (** cycles attributed to each procedure (in address order, with a
+          ["<stub>"] entry for startup code when it executed), when run
+          with [profile = true]; empty otherwise *)
 }
 
 type t
@@ -47,3 +51,14 @@ val proc_name_of : Chow_codegen.Asm.program -> int -> string
     ["<stub>"] for the startup stub, ["<unknown>"] when the program
     publishes no procedure addresses.  Error-path helper shared by both
     engines so trap messages agree. *)
+
+val attribute_cycles :
+  Chow_codegen.Asm.program -> int array -> (string * int) list
+(** Fold a per-pc execution profile into per-procedure cycle totals in
+    address order, a ["<stub>"] entry prepended when startup code ran.
+    Shared by both engines so their attributions agree exactly. *)
+
+val publish_metrics : outcome -> unit
+(** Publish a completed run's counters into {!Chow_obs.Metrics} (a no-op
+    while metrics are disabled).  Both engines call this with the same
+    counter names. *)

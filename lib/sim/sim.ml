@@ -58,6 +58,10 @@ type outcome = Decode.outcome = {
       (** execution count of each basic block, when run with
           [profile = true]; empty otherwise.  The raw material for the
           profile-feedback extension (§8 "future work"). *)
+  proc_cycles : (string * int) list;
+      (** cycles attributed to each procedure (address order, ["<stub>"]
+          first when startup code ran), when run with [profile = true];
+          empty otherwise *)
 }
 
 (** Pending activation for the contract checker (reference engine; the
@@ -96,6 +100,7 @@ let eval_relop op a b =
     differentially tested against. *)
 let run_reference ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20)
     ?(check = true) ?(profile = false) (prog : Asm.program) : outcome =
+  Chow_obs.Trace.span "sim-reference" @@ fun () ->
   let code = prog.Asm.code in
   let ncode = Array.length code in
   let pc_counts = if profile then Array.make ncode 0 else [||] in
@@ -221,21 +226,29 @@ let run_reference ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20)
     else []
   in
   let l = counters.loads and s = counters.stores in
-  {
-    output = List.rev !output;
-    cycles = counters.cycles;
-    calls = counters.calls;
-    data_loads = l.(0);
-    data_stores = s.(0);
-    scalar_loads = l.(1) + l.(2) + l.(3);
-    scalar_stores = s.(1) + s.(2) + s.(3);
-    save_loads = l.(2);
-    save_stores = s.(2);
-    block_counts;
-  }
+  let outcome =
+    {
+      output = List.rev !output;
+      cycles = counters.cycles;
+      calls = counters.calls;
+      data_loads = l.(0);
+      data_stores = s.(0);
+      scalar_loads = l.(1) + l.(2) + l.(3);
+      scalar_stores = s.(1) + s.(2) + s.(3);
+      save_loads = l.(2);
+      save_stores = s.(2);
+      block_counts;
+      proc_cycles =
+        (if profile then Decode.attribute_cycles prog pc_counts else []);
+    }
+  in
+  Decode.publish_metrics outcome;
+  outcome
 
 (** The default engine: pre-decode once, then interpret the specialized
     form.  The decode cost is linear in code size and amortized over the
     run (it is included in every [run] call, not cached). *)
 let run ?fuel ?mem_words ?check ?profile (prog : Asm.program) : outcome =
-  Decode.execute ?fuel ?mem_words ?check ?profile (Decode.decode prog)
+  let t = Chow_obs.Trace.span "decode" (fun () -> Decode.decode prog) in
+  Chow_obs.Trace.span "sim" (fun () ->
+      Decode.execute ?fuel ?mem_words ?check ?profile t)

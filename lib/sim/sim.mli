@@ -21,6 +21,10 @@ type outcome = Decode.outcome = {
   block_counts : ((string * Chow_ir.Ir.label) * int) list;
       (** per-block execution counts when run with [profile = true];
           empty otherwise *)
+  proc_cycles : (string * int) list;
+      (** cycles attributed to each procedure (address order, ["<stub>"]
+          first when startup code ran), when run with [profile = true];
+          empty otherwise.  Both engines attribute identically. *)
 }
 
 (** [run prog] executes until [halt].

@@ -26,4 +26,5 @@ let () =
       Test_split.suite;
       Test_equivalence.suite;
       Test_parallel.suite;
+      Test_obs.suite;
     ]

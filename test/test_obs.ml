@@ -1,0 +1,369 @@
+(** Observability suite: the Chrome trace writer (well-formed JSON, spans
+    properly nested per timeline, the expected pipeline phases present),
+    the metrics registry (disabled no-op, counter/histogram behaviour,
+    [-j] determinism of the dump), and the [--explain] report (golden
+    output for a §2-style program). *)
+
+module Trace = Chow_obs.Trace
+module Metrics = Chow_obs.Metrics
+module Json = Chow_obs.Json
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Coloring = Chow_core.Coloring
+module Sim = Chow_sim.Sim
+module W = Chow_workloads.Workloads
+
+let source_of name =
+  match W.find name with
+  | Some w -> w.W.source
+  | None -> Alcotest.failf "unknown workload %s" name
+
+(* ----- trace ----- *)
+
+type span = { s_name : string; s_tid : float; s_ts : float; s_end : float }
+
+let num name = function
+  | Some (Json.Num f) -> f
+  | _ -> Alcotest.failf "event field %s missing or not a number" name
+
+let str name = function
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.failf "event field %s missing or not a string" name
+
+(** Parse the trace JSON into its complete-event spans, failing the test on
+    malformed JSON or events. *)
+let spans_of_trace txt =
+  match Json.parse txt with
+  | Error msg -> Alcotest.failf "trace JSON does not parse: %s" msg
+  | Ok (Json.Arr events) ->
+      List.filter_map
+        (fun ev ->
+          match str "ph" (Json.member "ph" ev) with
+          | "X" ->
+              let ts = num "ts" (Json.member "ts" ev) in
+              Some
+                {
+                  s_name = str "name" (Json.member "name" ev);
+                  s_tid = num "tid" (Json.member "tid" ev);
+                  s_ts = ts;
+                  s_end = ts +. num "dur" (Json.member "dur" ev);
+                }
+          | "C" -> None
+          | ph -> Alcotest.failf "unexpected event phase %S" ph)
+        events
+  | Ok _ -> Alcotest.fail "trace JSON is not an array"
+
+(** Spans on one timeline must nest: sorted by start (ties: longest first),
+    each span either starts after the enclosing one ends or ends within
+    it.  [eps] absorbs the microsecond rounding of the writer. *)
+let check_nesting spans =
+  let eps = 0.002 in
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let l = try Hashtbl.find by_tid s.s_tid with Not_found -> [] in
+      Hashtbl.replace by_tid s.s_tid (s :: l))
+    spans;
+  Hashtbl.iter
+    (fun _tid l ->
+      let l =
+        List.sort
+          (fun a b ->
+            match compare a.s_ts b.s_ts with
+            | 0 -> compare b.s_end a.s_end
+            | c -> c)
+          l
+      in
+      let stack = ref [] in
+      List.iter
+        (fun s ->
+          while
+            match !stack with
+            | top :: rest when top.s_end <= s.s_ts +. eps ->
+                stack := rest;
+                true
+            | _ -> false
+          do
+            ()
+          done;
+          (match !stack with
+          | top :: _ when s.s_end > top.s_end +. eps ->
+              Alcotest.failf "span %s [%f,%f] overlaps %s [%f,%f]" s.s_name
+                s.s_ts s.s_end top.s_name top.s_ts top.s_end
+          | _ -> ());
+          stack := s :: !stack)
+        l)
+    by_tid
+
+let test_trace_pipeline () =
+  Trace.reset ();
+  Trace.enable ();
+  let compiled =
+    Pipeline.compile (Config.with_jobs 4 Config.o3_sw) (source_of "nim")
+  in
+  ignore (Sim.run compiled.Pipeline.program);
+  Trace.disable ();
+  let txt = Trace.to_string () in
+  Trace.reset ();
+  let spans = spans_of_trace txt in
+  check_nesting spans;
+  let names = List.map (fun s -> s.s_name) spans in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool)
+        (Printf.sprintf "phase %s present" phase)
+        true (List.mem phase names))
+    [
+      "lex";
+      "parse";
+      "lower";
+      "layout";
+      "allocate";
+      "allocate-unit";
+      "wave";
+      "liveness";
+      "ranges";
+      "interference";
+      "color";
+      "shrinkwrap";
+      "emit";
+      "link";
+      "decode";
+      "sim";
+    ];
+  (* per-procedure spans carry their wave tag *)
+  Alcotest.(check bool)
+    "a per-procedure alloc span exists" true
+    (List.exists
+       (fun s -> String.length s.s_name > 6 && String.sub s.s_name 0 6 = "alloc:")
+       spans)
+
+let test_trace_disabled_records_nothing () =
+  Trace.reset ();
+  Trace.span "should-not-appear" (fun () -> ());
+  let txt = Trace.to_string () in
+  let spans = spans_of_trace txt in
+  Alcotest.(check bool)
+    "no span recorded while disabled" true
+    (not (List.exists (fun s -> s.s_name = "should-not-appear") spans))
+
+let test_trace_exception_closes_span () =
+  Trace.reset ();
+  Trace.enable ();
+  (try Trace.span "raising" (fun () -> failwith "boom") with Failure _ -> ());
+  Trace.disable ();
+  let spans = spans_of_trace (Trace.to_string ()) in
+  Trace.reset ();
+  Alcotest.(check bool)
+    "span recorded despite the exception" true
+    (List.exists (fun s -> s.s_name = "raising") spans)
+
+let test_trace_multi_domain_merge () =
+  (* spans recorded on other domains must land in the merged trace, on
+     timelines of their own.  (Pipeline traces can legitimately be
+     single-tid — the pool's caller lane helps drain the queue and often
+     wins every task — so this drives the worker domains directly.) *)
+  Trace.reset ();
+  Trace.enable ();
+  let names = [ "merge:a"; "merge:b"; "merge:c" ] in
+  let domains =
+    List.map
+      (fun n -> Domain.spawn (fun () -> Trace.span n (fun () -> ())))
+      names
+  in
+  List.iter Domain.join domains;
+  Trace.span "merge:caller" (fun () -> ());
+  Trace.disable ();
+  let spans = spans_of_trace (Trace.to_string ()) in
+  Trace.reset ();
+  let find n = List.find_opt (fun s -> s.s_name = n) spans in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "span %s merged" n)
+        true
+        (find n <> None))
+    ("merge:caller" :: names);
+  let tid n = match find n with Some s -> s.s_tid | None -> -1.0 in
+  let worker_tids = List.sort_uniq compare (List.map tid names) in
+  Alcotest.(check int)
+    "worker spans on three distinct timelines" 3
+    (List.length worker_tids);
+  Alcotest.(check bool)
+    "worker timelines differ from the caller's" true
+    (not (List.mem (tid "merge:caller") worker_tids))
+
+(* ----- metrics ----- *)
+
+let test_metrics_disabled_noop () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.noop" in
+  Metrics.add c 7;
+  Alcotest.(check (option int))
+    "disabled add ignored" (Some 0)
+    (List.assoc_opt "test.noop" (Metrics.dump ()))
+
+let test_metrics_counter_and_histogram () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let c = Metrics.counter "test.counter" in
+  Metrics.incr c;
+  Metrics.add c 41;
+  let h = Metrics.histogram "test.hist" in
+  Metrics.observe h 1;
+  Metrics.observe h 5;
+  Metrics.observe h 5;
+  Metrics.disable ();
+  let dump = Metrics.dump () in
+  Metrics.reset ();
+  Alcotest.(check (option int))
+    "counter total" (Some 42)
+    (List.assoc_opt "test.counter" dump);
+  Alcotest.(check (option int))
+    "bucket le_1" (Some 1)
+    (List.assoc_opt "test.hist.le_1" dump);
+  Alcotest.(check (option int))
+    "bucket le_8" (Some 2)
+    (List.assoc_opt "test.hist.le_8" dump)
+
+(** Compile the same program at [-j1] and [-j4] with metrics armed: the
+    dumps must be bit-identical (atomic adds commute; the allocation work
+    itself is schedule-independent). *)
+let test_metrics_parallel_deterministic () =
+  let uopt = source_of "uopt" in
+  let dump_with jobs =
+    Metrics.reset ();
+    Metrics.enable ();
+    ignore (Pipeline.compile (Config.with_jobs jobs Config.o3_sw) uopt);
+    Metrics.disable ();
+    let d = Metrics.dump () in
+    Metrics.reset ();
+    d
+  in
+  let d1 = dump_with 1 in
+  let d4 = dump_with 4 in
+  Alcotest.(check (list (pair string int))) "-j1 = -j4 metrics" d1 d4
+
+let test_sim_metrics_match_outcome () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let compiled = Pipeline.compile Config.o3_sw (source_of "nim") in
+  let o = Sim.run ~profile:true compiled.Pipeline.program in
+  Metrics.disable ();
+  let dump = Metrics.dump () in
+  Metrics.reset ();
+  Alcotest.(check (option int))
+    "sim.cycles counter" (Some o.Sim.cycles)
+    (List.assoc_opt "sim.cycles" dump);
+  Alcotest.(check (option int))
+    "sim.calls counter" (Some o.Sim.calls)
+    (List.assoc_opt "sim.calls" dump);
+  (* per-procedure attribution surfaces under sim.proc_cycles/NAME *)
+  List.iter
+    (fun (name, c) ->
+      Alcotest.(check (option int))
+        ("sim.proc_cycles/" ^ name)
+        (Some c)
+        (List.assoc_opt ("sim.proc_cycles/" ^ name) dump))
+    o.Sim.proc_cycles
+
+(* ----- explain ----- *)
+
+(** A §2-shaped program: [leaf] is closed under -O3 and uses few registers,
+    so [driver]'s locals that span the calls can stay in caller-saved
+    registers its mask leaves free. *)
+let explain_src =
+  {|
+proc leaf(x) {
+  return x * 2 + 1;
+}
+
+proc driver(n) {
+  var acc = 0;
+  var i = 0;
+  while (i < n) {
+    acc = acc + leaf(i);
+    i = i + 1;
+  }
+  return acc;
+}
+
+proc main() {
+  print(driver(10));
+}
+|}
+
+let explain_for proc =
+  let buf = ref [] in
+  ignore (Pipeline.compile ~explain:(proc, buf) Config.o3_sw explain_src);
+  Format.asprintf "%a" Coloring.pp_explanation !buf
+
+let test_explain_golden () =
+  let got = explain_for "driver" in
+  let expected =
+    {|%3 _: priority 20.0 (refs 20.0, span 1), spans 0 call sites
+  caller-saved best $t0  score 20.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  param        best $a0  score 20.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  callee-saved best $s0  score 20.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  => $t0
+%4 _: priority 20.0 (refs 20.0, span 1), spans 0 call sites
+  caller-saved best $t0  score 20.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  param        best $a0  score 20.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  callee-saved best $s0  score 20.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  => $t0
+%5 _: priority 20.0 (refs 20.0, span 1), spans 0 call sites
+  caller-saved best $t0  score 20.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  param        best $a0  score 20.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  callee-saved best $s0  score 20.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  => $t0
+%2 i: priority 13.7 (refs 41.0, span 3), spans 1 call site
+  caller-saved best $t1  score 41.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  param        best $a0  score 41.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  callee-saved best $s0  score 41.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  => $t1
+  mask of leaf frees {$t1, $t2, $t3, $t4, $t5, $t6, $t7, $t8, $t9, $t10, $a0, $a1, $a2, $a3} across its calls
+%1 acc: priority 5.5 (refs 22.0, span 4), spans 1 call site
+  caller-saved best $t2  score 22.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  param        best $a0  score 22.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  callee-saved best $s0  score 22.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  => $t2
+  mask of leaf frees {$t1, $t2, $t3, $t4, $t5, $t6, $t7, $t8, $t9, $t10, $a0, $a1, $a2, $a3} across its calls
+%0 n (param): priority 3.3 (refs 10.0, span 3), spans 1 call site
+  caller-saved best $t3  score 10.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  param        best $a0  score 10.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  callee-saved best $s0  score 10.0  (call penalty 0.0, entry penalty 0.0, arg bonus 0.0, arrival bonus 0.0)
+  => $t3
+  mask of leaf frees {$t1, $t2, $t3, $t4, $t5, $t6, $t7, $t8, $t9, $t10, $a0, $a1, $a2, $a3} across its calls
+|}
+  in
+  Alcotest.(check string) "driver explanation" expected got
+
+let test_explain_unknown_proc_empty () =
+  let got = explain_for "nonexistent" in
+  Alcotest.(check string)
+    "unknown procedure yields the empty report"
+    "no live ranges with references\n" got
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "trace: pipeline spans well-formed and nested" `Quick
+        test_trace_pipeline;
+      Alcotest.test_case "trace: disabled records nothing" `Quick
+        test_trace_disabled_records_nothing;
+      Alcotest.test_case "trace: exception still closes span" `Quick
+        test_trace_exception_closes_span;
+      Alcotest.test_case "trace: spans from other domains are merged" `Quick
+        test_trace_multi_domain_merge;
+      Alcotest.test_case "metrics: disabled add is a no-op" `Quick
+        test_metrics_disabled_noop;
+      Alcotest.test_case "metrics: counter and histogram" `Quick
+        test_metrics_counter_and_histogram;
+      Alcotest.test_case "metrics: -j1 and -j4 dumps identical" `Quick
+        test_metrics_parallel_deterministic;
+      Alcotest.test_case "metrics: sim counters match outcome" `Quick
+        test_sim_metrics_match_outcome;
+      Alcotest.test_case "explain: golden report" `Quick test_explain_golden;
+      Alcotest.test_case "explain: unknown procedure" `Quick
+        test_explain_unknown_proc_empty;
+    ] )

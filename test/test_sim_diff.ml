@@ -30,7 +30,15 @@ let check_agree name (prog : Chow_codegen.Asm.program) =
   Alcotest.(check int) (name ^ ": save stores") r.Sim.save_stores
     d.Sim.save_stores;
   Alcotest.(check bool) (name ^ ": block counts equal") true
-    (d.Sim.block_counts = r.Sim.block_counts)
+    (d.Sim.block_counts = r.Sim.block_counts);
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": proc cycles")
+    r.Sim.proc_cycles d.Sim.proc_cycles;
+  (* attribution is complete: per-procedure cycles sum to the total *)
+  Alcotest.(check int)
+    (name ^ ": proc cycles sum")
+    d.Sim.cycles
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 d.Sim.proc_cycles)
 
 let test_workload (w : W.t) () =
   List.iter
