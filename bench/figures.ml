@@ -16,6 +16,7 @@ module Shrinkwrap = Chow_core.Shrinkwrap
 module Alloc_types = Chow_core.Alloc_types
 module Config = Chow_compiler.Config
 module Pipeline = Chow_compiler.Pipeline
+module Ipra = Chow_core.Ipra
 module Sim = Chow_sim.Sim
 
 let section title =
@@ -63,7 +64,7 @@ let fig1 () =
   let compiled = Pipeline.compile Config.o3_sw fig1_src in
   let assignments =
     List.concat_map
-      (fun (alloc : Pipeline.Ipra.t) ->
+      (fun (alloc : Ipra.t) ->
         List.concat_map
           (fun (pname, (res : Alloc_types.result)) ->
             List.filter_map
@@ -75,8 +76,8 @@ let fig1 () =
                     | Alloc_types.Lstack -> Some (pname, var, "<memory>"))
                 | None -> None)
               [ "a"; "b"; "c" ])
-          alloc.Pipeline.Ipra.results)
-      compiled.Pipeline.allocs
+          alloc.Ipra.results)
+      (Pipeline.allocs compiled)
   in
   List.iter
     (fun (pname, var, reg) ->

@@ -9,6 +9,7 @@
 module Machine = Chow_machine.Machine
 module Config = Chow_compiler.Config
 module Pipeline = Chow_compiler.Pipeline
+module Ipra = Chow_core.Ipra
 module Coloring = Chow_core.Coloring
 module Sim = Chow_sim.Sim
 
@@ -68,11 +69,11 @@ let run () =
       let o = Pipeline.run c in
       let splits =
         List.concat_map
-          (fun (a : Pipeline.Ipra.t) ->
+          (fun (a : Ipra.t) ->
             List.map
               (fun (_, (st : Coloring.stats)) -> st.Coloring.s_splits)
-              a.Pipeline.Ipra.stats)
-          c.Pipeline.allocs
+              a.Ipra.stats)
+          (Pipeline.allocs c)
         |> List.fold_left ( + ) 0
       in
       Format.printf "%6d | %10d %14d | %d@." n o.Sim.cycles

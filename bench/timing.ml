@@ -9,6 +9,7 @@ open Bechamel
 open Toolkit
 module Config = Chow_compiler.Config
 module Pipeline = Chow_compiler.Pipeline
+module Cache = Chow_compiler.Cache
 module Sim = Chow_sim.Sim
 module W = Chow_workloads.Workloads
 module Trace = Chow_obs.Trace
@@ -27,7 +28,7 @@ let compile_test ~name config src =
    amortized, not cached), so the pair below is an honest end-to-end
    comparison of Sim.run against Sim.run_reference. *)
 let sim_test ~name ~engine config src =
-  let prog = (Pipeline.compile config src).Pipeline.program in
+  let prog = Pipeline.program (Pipeline.compile config src) in
   let run =
     match engine with
     | `Decoded -> fun () -> ignore (Sim.run prog)
@@ -48,6 +49,76 @@ let sim_tests () =
       uopt;
   ]
 
+(* Incremental separate compilation: one main unit plus three library
+   units with compile-only bodies heavy enough that allocation dominates.
+   The cold row compiles all four from scratch; the warm row resolves all
+   four against a pre-seeded artifact cache, so the pair measures exactly
+   what the content-addressed store saves (front end + allocation +
+   emission, leaving only hashing and link). *)
+let incr_lib tag =
+  Printf.sprintf
+    {|
+export proc %s_inner(a, b) {
+  var acc = 0;
+  var i = 0;
+  while (i < a) {
+    var j = 0;
+    while (j < b) {
+      if ((i + j) / 2 * 2 == i + j) { acc = acc + i * j; }
+      else { acc = acc - j; }
+      j = j + 1;
+    }
+    i = i + 1;
+  }
+  return acc;
+}
+export proc %s_outer(n) {
+  var total = 0;
+  var k = 1;
+  while (k <= n) {
+    total = total + %s_inner(k, n - k);
+    k = k + 1;
+  }
+  return total;
+}
+|}
+    tag tag tag
+
+let incr_units =
+  [
+    {|
+extern proc alpha_outer(n);
+extern proc beta_outer(n);
+extern proc gamma_outer(n);
+proc main() {
+  print(alpha_outer(6) + beta_outer(5) + gamma_outer(4));
+}
+|};
+    incr_lib "alpha";
+    incr_lib "beta";
+    incr_lib "gamma";
+  ]
+
+let incr_tests () =
+  let compile ?cache () =
+    ignore
+      (Pipeline.compile_source ?cache Config.o3_sw (Pipeline.Srcs incr_units))
+  in
+  let warm_cache =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ()) "chow88-bench-cache"
+    in
+    let cache = Cache.create ~dir () in
+    Cache.clear cache;
+    compile ~cache ();
+    cache
+  in
+  [
+    Test.make ~name:"incr/4units-cold" (Staged.stage (fun () -> compile ()));
+    Test.make ~name:"incr/4units-warm"
+      (Staged.stage (fun () -> compile ~cache:warm_cache ()));
+  ]
+
 (* the @ci smoke subset: three workloads' compiles plus one sim pair, small
    enough to run on every continuous-integration build *)
 let smoke_tests () =
@@ -55,7 +126,7 @@ let smoke_tests () =
   let calcc = source_of "calcc" in
   let dhrystone = source_of "dhrystone" in
   Test.make_grouped ~name:"chow88"
-    [
+    ([
       compile_test ~name:"table1/nim-O3+sw" Config.o3_sw nim;
       compile_test ~name:"table1/calcc-O3+sw" Config.o3_sw calcc;
       compile_test ~name:"table1/dhrystone-O3+sw" Config.o3_sw dhrystone;
@@ -63,6 +134,7 @@ let smoke_tests () =
       sim_test ~name:"sim/nim-O3+sw-reference" ~engine:`Reference Config.o3_sw
         nim;
     ]
+    @ incr_tests ())
 
 let tests () =
   let nim = source_of "nim" in
@@ -91,7 +163,8 @@ let tests () =
       compile_test ~name:"fig3/compile" Config.o2_sw (Figures.fig3_src 1 1);
       compile_test ~name:"fig4/compile" Config.o3_sw
         (Figures.fig4_src ~cold_r:true ~q_calls:40 ~r_calls:2);
-    ])
+    ]
+    @ incr_tests ())
 
 let json_path = "BENCH_timing.json"
 
@@ -109,7 +182,7 @@ let metrics_rows ~smoke () =
       Metrics.enable ();
       let compiled = Pipeline.compile config src in
       if config.Config.name = "-O2" || config.Config.name = "-O3+sw" then
-        ignore (Sim.run compiled.Pipeline.program);
+        ignore (Sim.run (Pipeline.program compiled));
       Metrics.disable ();
       List.map
         (fun (metric, v) ->
@@ -151,7 +224,7 @@ let write_trace path =
   let compiled =
     Pipeline.compile (Config.with_jobs 4 Config.o3_sw) (source_of "uopt")
   in
-  ignore (Sim.run compiled.Pipeline.program);
+  ignore (Sim.run (Pipeline.program compiled));
   Trace.disable ();
   Trace.write_file path;
   Format.printf "wrote %s@." path

@@ -5,6 +5,11 @@
       the pixie-style counters;
     - [compile FILE]: show the compilation artifacts ([--dump-ir],
       [--dump-asm], [--dump-alloc]);
+    - [build FILES..]: separate compilation; incremental with
+      [--cache-dir], [-c] writes one [.pawno] artifact per unit instead
+      of linking;
+    - [link OBJS..]: link [.pawno] artifacts into an executable image,
+      optionally running it;
     - [stats FILE]: compare all six paper configurations on one program;
     - [callgraph FILE]: processing order, open/closed classification and
       published register-usage masks. *)
@@ -14,6 +19,10 @@ module Ir = Chow_ir.Ir
 module Machine = Chow_machine.Machine
 module Config = Chow_compiler.Config
 module Pipeline = Chow_compiler.Pipeline
+module Cache = Chow_compiler.Cache
+module Diag = Chow_frontend.Diag
+module Asm = Chow_codegen.Asm
+module Objfile = Chow_codegen.Objfile
 module Ipra = Chow_core.Ipra
 module Usage = Chow_core.Usage
 module Callgraph = Chow_core.Callgraph
@@ -128,7 +137,7 @@ let print_alloc_stats (compiled : Pipeline.compiled) =
             st.Coloring.s_allocated st.Coloring.s_distinct_regs
             st.Coloring.s_sw_iterations st.Coloring.s_splits)
         alloc.Ipra.stats)
-    compiled.Pipeline.allocs
+    (Pipeline.allocs compiled)
 
 let print_stats compiled =
   print_alloc_stats compiled;
@@ -149,18 +158,29 @@ let config_of ~o3 ~no_sw ~machine ~jobs =
 
 let handle_errors f =
   try f () with
-  | Chow_frontend.Lexer.Error (msg, line) ->
-      Printf.eprintf "lexical error at line %d: %s\n" line msg;
-      exit 1
-  | Chow_frontend.Parser.Error (msg, line) ->
-      Printf.eprintf "syntax error at line %d: %s\n" line msg;
-      exit 1
-  | Chow_frontend.Check.Error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      exit 1
   | Sim.Runtime_error msg ->
       Printf.eprintf "runtime error: %s\n" msg;
       exit 2
+  | Chow_codegen.Link.Undefined_procedure name ->
+      Printf.eprintf "link error: undefined procedure %s\n" name;
+      exit 1
+  | Objfile.Corrupt msg ->
+      Printf.eprintf "error: corrupt artifact: %s\n" msg;
+      exit 1
+  | e when Diag.of_exn e <> None ->
+      Printf.eprintf "%s\n" (Diag.to_string (Option.get (Diag.of_exn e)));
+      exit 1
+
+let print_counters name (o : Sim.outcome) =
+  Printf.printf "--- %s ---\n" name;
+  Printf.printf "cycles:          %d\n" o.Sim.cycles;
+  Printf.printf "calls:           %d\n" o.Sim.calls;
+  Printf.printf "cycles/call:     %d\n" (o.Sim.cycles / max 1 o.Sim.calls);
+  Printf.printf "scalar loads:    %d\n" o.Sim.scalar_loads;
+  Printf.printf "scalar stores:   %d\n" o.Sim.scalar_stores;
+  Printf.printf "save/restore:    %d loads, %d stores\n" o.Sim.save_loads
+    o.Sim.save_stores;
+  Printf.printf "data loads/st:   %d/%d\n" o.Sim.data_loads o.Sim.data_stores
 
 (* ----- run ----- *)
 
@@ -170,22 +190,14 @@ let run_cmd =
     handle_errors @@ fun () ->
     with_obs ~trace ~stats @@ fun () ->
     let config = config_of ~o3 ~no_sw ~machine ~jobs in
-    let compiled = Pipeline.compile ~global_promo config (read_file file) in
+    let compiled =
+      Pipeline.compile_source ~global_promo config
+        (Pipeline.Src (read_file file))
+    in
     let o = Pipeline.run compiled in
     List.iter (fun v -> Printf.printf "%d\n" v) o.Sim.output;
     if stats then print_stats compiled;
-    if counters then begin
-      Printf.printf "--- %s ---\n" config.Config.name;
-      Printf.printf "cycles:          %d\n" o.Sim.cycles;
-      Printf.printf "calls:           %d\n" o.Sim.calls;
-      Printf.printf "cycles/call:     %d\n" (o.Sim.cycles / max 1 o.Sim.calls);
-      Printf.printf "scalar loads:    %d\n" o.Sim.scalar_loads;
-      Printf.printf "scalar stores:   %d\n" o.Sim.scalar_stores;
-      Printf.printf "save/restore:    %d loads, %d stores\n" o.Sim.save_loads
-        o.Sim.save_stores;
-      Printf.printf "data loads/st:   %d/%d\n" o.Sim.data_loads
-        o.Sim.data_stores
-    end
+    if counters then print_counters config.Config.name o
   in
   let counters =
     Arg.(
@@ -209,7 +221,8 @@ let compile_cmd =
     let config = config_of ~o3 ~no_sw ~machine ~jobs in
     let explain_buf = Option.map (fun name -> (name, ref [])) explain in
     let compiled =
-      Pipeline.compile ?explain:explain_buf config (read_file file)
+      Pipeline.compile_source ?explain:explain_buf config
+        (Pipeline.Src (read_file file))
     in
     (match explain_buf with
     | None -> ()
@@ -218,7 +231,7 @@ let compile_cmd =
           not
             (List.exists
                (fun (p : Ir.proc) -> p.Ir.pname = name)
-               compiled.Pipeline.ir.Ir.procs)
+               (Pipeline.ir compiled).Ir.procs)
         then begin
           Printf.eprintf "error: no procedure named %s\n" name;
           exit 1
@@ -226,7 +239,7 @@ let compile_cmd =
         Format.printf "=== %s under %s ===@.%a" name config.Config.name
           Coloring.pp_explanation !buf);
     if stats then print_stats compiled;
-    if dump_ir then Format.printf "%a@." Ir.pp_prog compiled.Pipeline.ir;
+    if dump_ir then Format.printf "%a@." Ir.pp_prog (Pipeline.ir compiled);
     if dump_alloc then
       List.iter
         (fun (alloc : Ipra.t) ->
@@ -255,9 +268,9 @@ let compile_cmd =
               | None -> ());
               Format.printf "@]@.")
             alloc.Ipra.results)
-        compiled.Pipeline.allocs;
+        (Pipeline.allocs compiled);
     if dump_asm then begin
-      let layout, _, _ = Chow_codegen.Link.layout compiled.Pipeline.ir in
+      let layout, _, _ = Chow_codegen.Link.layout (Pipeline.ir compiled) in
       List.iter
         (fun (alloc : Ipra.t) ->
           List.iter
@@ -267,13 +280,13 @@ let compile_cmd =
                 Chow_codegen.Asm.pp_proc_code
                 (Chow_codegen.Emit.emit_proc ~layout res frame))
             alloc.Ipra.results)
-        compiled.Pipeline.allocs
+        (Pipeline.allocs compiled)
     end;
     if not (dump_ir || dump_asm || dump_alloc || stats || explain <> None)
     then
       Printf.printf
         "compiled %d procedures under %s (use --dump-ir/--dump-asm/--dump-alloc)\n"
-        (List.length compiled.Pipeline.ir.Ir.procs)
+        (List.length (Pipeline.ir compiled).Ir.procs)
         config.Config.name
   in
   let explain_arg =
@@ -346,7 +359,9 @@ let callgraph_cmd =
   let callgraph file o3 no_sw machine jobs =
     handle_errors @@ fun () ->
     let config = config_of ~o3 ~no_sw ~machine ~jobs in
-    let compiled = Pipeline.compile config (read_file file) in
+    let compiled =
+      Pipeline.compile_source config (Pipeline.Src (read_file file))
+    in
     List.iter
       (fun (alloc : Ipra.t) ->
         let cg = alloc.Ipra.callgraph in
@@ -362,13 +377,137 @@ let callgraph_cmd =
                 Format.printf "  mask: %a@." Machine.Set.pp info.Usage.mask
             | None -> ())
           (Callgraph.processing_order cg))
-      compiled.Pipeline.allocs
+      (Pipeline.allocs compiled)
   in
   Cmd.v
     (Cmd.info "callgraph" ~doc)
     Term.(
       const callgraph $ file_arg $ o3_flag $ no_sw_flag $ machine_arg
       $ jobs_arg)
+
+(* ----- build ----- *)
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Content-addressed artifact cache.  Units whose source, \
+           configuration and data base match a stored artifact are linked \
+           from the cache without recompiling; misses are stored for the \
+           next build.")
+
+let print_link_summary nunits (prog : Asm.program) =
+  Printf.printf "linked %d unit%s: %d instructions, %d data words\n" nunits
+    (if nunits = 1 then "" else "s")
+    (Array.length prog.Asm.code) prog.Asm.data_size
+
+let build_cmd =
+  let doc =
+    "Separate compilation: compile source units (the one defining main \
+     first) and link them, or with $(b,-c) write one .pawno artifact per \
+     unit."
+  in
+  let files_arg =
+    Arg.(
+      non_empty
+      & pos_all non_dir_file []
+      & info [] ~docv:"FILES" ~doc:"Pawn source files, in link order.")
+  in
+  let c_flag =
+    Arg.(
+      value & flag
+      & info [ "c" ]
+          ~doc:
+            "Compile only: write $(i,FILE).pawno next to each input \
+             instead of linking.  No unit is required to define main.")
+  in
+  let build files c_only o3 no_sw machine jobs global_promo cache_dir trace
+      stats =
+    handle_errors @@ fun () ->
+    with_obs ~trace ~stats @@ fun () ->
+    let config = config_of ~o3 ~no_sw ~machine ~jobs in
+    let cache = Option.map (fun dir -> Cache.create ~dir ()) cache_dir in
+    let srcs = List.map read_file files in
+    if c_only then begin
+      let arts = Pipeline.compile_artifacts ~global_promo ?cache config srcs in
+      List.iter2
+        (fun file (art : Objfile.t) ->
+          let path = Filename.remove_extension file ^ ".pawno" in
+          Objfile.save ~path art;
+          Printf.printf "wrote %s: %d procedures, %d data words at base %d\n"
+            path
+            (List.length art.Objfile.o_procs)
+            art.Objfile.o_data_size art.Objfile.o_data_base)
+        files arts;
+      if stats then Format.printf "@.%a@?" Metrics.pp_table ()
+    end
+    else begin
+      let compiled =
+        Pipeline.compile_source ~global_promo ?cache config
+          (Pipeline.Srcs srcs)
+      in
+      print_link_summary
+        (List.length (Pipeline.artifacts compiled))
+        (Pipeline.program compiled);
+      if stats then print_stats compiled
+    end
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc)
+    Term.(
+      const build $ files_arg $ c_flag $ o3_flag $ no_sw_flag $ machine_arg
+      $ jobs_arg $ promo_flag $ cache_dir_arg $ trace_arg $ stats_flag)
+
+(* ----- link ----- *)
+
+let link_cmd =
+  let doc =
+    "Link .pawno unit artifacts (from $(b,pawnc build -c)) into an \
+     executable image; every artifact's preservation contracts are \
+     re-derived from its recorded usage masks before linking."
+  in
+  let objs_arg =
+    Arg.(
+      non_empty
+      & pos_all non_dir_file []
+      & info [] ~docv:"OBJS"
+          ~doc:".pawno artifacts, the unit defining main first.")
+  in
+  let run_flag =
+    Arg.(
+      value & flag
+      & info [ "run" ] ~doc:"Execute the linked program in the simulator.")
+  in
+  let counters_flag =
+    Arg.(
+      value & flag
+      & info [ "counters" ] ~doc:"With $(b,--run), print the pixie counters.")
+  in
+  let link objs run_it counters trace stats =
+    handle_errors @@ fun () ->
+    with_obs ~trace ~stats @@ fun () ->
+    let arts = List.map Objfile.load objs in
+    let prog =
+      try Pipeline.link_units arts
+      with Invalid_argument msg ->
+        Printf.eprintf "link error: %s\n" msg;
+        exit 1
+    in
+    print_link_summary (List.length arts) prog;
+    if stats then Format.printf "@.%a@?" Metrics.pp_table ();
+    if run_it then begin
+      let o = Sim.run prog in
+      List.iter (fun v -> Printf.printf "%d\n" v) o.Sim.output;
+      if counters then print_counters "linked" o
+    end
+  in
+  Cmd.v
+    (Cmd.info "link" ~doc)
+    Term.(
+      const link $ objs_arg $ run_flag $ counters_flag $ trace_arg
+      $ stats_flag)
 
 let main_cmd =
   let doc =
@@ -377,6 +516,6 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "pawnc" ~version:"1.0.0" ~doc)
-    [ run_cmd; compile_cmd; stats_cmd; callgraph_cmd ]
+    [ run_cmd; compile_cmd; build_cmd; link_cmd; stats_cmd; callgraph_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -2,8 +2,14 @@
     [pawnc run --stats --trace] invocation produced (1) a trace file that
     parses as a JSON array of Chrome trace events, each with the required
     fields and a known phase, containing the key pipeline spans; and (2) a
-    stats dump naming the load-bearing counters.  Exits nonzero with a
-    diagnostic on the first violation. *)
+    stats dump naming the load-bearing counters.
+
+    [trace_check --cache-smoke STATS.txt N] instead checks the stats dump
+    of a warm [pawnc build --cache-dir] rebuild: every one of the [N]
+    units must have come from the artifact cache ([cache.hit] = N,
+    [cache.miss] = 0 — the zero-recompilation contract of the
+    content-addressed store).  Exits nonzero with a diagnostic on the
+    first violation. *)
 
 module Json = Chow_obs.Json
 
@@ -74,11 +80,53 @@ let check_stats path =
     required_counters;
   Printf.printf "%s: required counters present\n" path
 
+(** The warm-rebuild contract: a stats dump whose [cache.hit] row equals
+    the unit count and whose [cache.miss] row is zero. *)
+let check_cache_smoke path expected_hits =
+  let counter name =
+    let txt = read_file path in
+    let rec find = function
+      | [] -> fail "%s: counter %S missing from stats output" path name
+      | line :: rest -> (
+          match String.split_on_char ' ' (String.trim line) with
+          | first :: _ when first = name -> (
+              let fields =
+                List.filter
+                  (fun f -> f <> "")
+                  (String.split_on_char ' ' (String.trim line))
+              in
+              match List.rev fields with
+              | last :: _ -> (
+                  match int_of_string_opt last with
+                  | Some v -> v
+                  | None -> fail "%s: counter %S has non-numeric value" path name)
+              | [] -> find rest)
+          | _ -> find rest)
+    in
+    find (String.split_on_char '\n' txt)
+  in
+  let hits = counter "cache.hit" and misses = counter "cache.miss" in
+  if hits <> expected_hits then
+    fail "%s: warm rebuild expected cache.hit = %d, got %d" path expected_hits
+      hits;
+  if misses <> 0 then
+    fail "%s: warm rebuild expected cache.miss = 0, got %d" path misses;
+  Printf.printf "%s: warm rebuild served all %d units from the cache\n" path
+    hits
+
 let () =
   match Sys.argv with
   | [| _; trace; stats |] ->
       check_trace trace;
       check_stats stats
+  | [| _; "--cache-smoke"; stats; n |] -> (
+      match int_of_string_opt n with
+      | Some n -> check_cache_smoke stats n
+      | None ->
+          prerr_endline "usage: trace_check --cache-smoke STATS.txt N";
+          exit 2)
   | _ ->
-      prerr_endline "usage: trace_check TRACE.json STATS.txt";
+      prerr_endline
+        "usage: trace_check TRACE.json STATS.txt\n\
+        \       trace_check --cache-smoke STATS.txt N";
       exit 2

@@ -96,7 +96,7 @@ let () =
                  (List.map Machine.name res.Alloc.r_contract_saves));
           Format.printf "@]@.")
         alloc.Ipra.results)
-    compiled.Pipeline.allocs;
+    (Pipeline.allocs compiled);
   Format.printf
     "Note how the helpers publish small masks, letting every caller keep@.\
      values in the untouched registers across the calls, while fib, hook@.\

@@ -15,6 +15,7 @@ module Ir = Chow_ir.Ir
 module Machine = Chow_machine.Machine
 module Config = Chow_compiler.Config
 module Pipeline = Chow_compiler.Pipeline
+module Ipra = Chow_core.Ipra
 module Alloc = Chow_core.Alloc_types
 module Sim = Chow_sim.Sim
 
@@ -64,8 +65,8 @@ let config =
 
 let location_of (c : Pipeline.compiled) proc var =
   List.find_map
-    (fun (alloc : Pipeline.Ipra.t) ->
-      match Pipeline.Ipra.find alloc proc with
+    (fun (alloc : Ipra.t) ->
+      match Ipra.find alloc proc with
       | None -> None
       | Some res ->
           let found = ref None in
@@ -79,7 +80,7 @@ let location_of (c : Pipeline.compiled) proc var =
               | Ir.Vlocal _ | Ir.Vparam _ | Ir.Vtemp -> ())
             res.Alloc.r_proc.Ir.vreg_kinds;
           !found)
-    c.Pipeline.allocs
+    (Pipeline.allocs c)
   |> Option.value ~default:"?"
 
 let show label (c : Pipeline.compiled) (o : Sim.outcome) =

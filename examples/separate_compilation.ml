@@ -8,6 +8,7 @@
 
 module Config = Chow_compiler.Config
 module Pipeline = Chow_compiler.Pipeline
+module Ipra = Chow_core.Ipra
 module Sim = Chow_sim.Sim
 
 (* the "library" unit: a small string-less formatting core *)
@@ -64,17 +65,17 @@ let () =
        Format.pp_print_int)
     o.Sim.output;
   List.iteri
-    (fun i (alloc : Pipeline.Ipra.t) ->
+    (fun i (alloc : Ipra.t) ->
       Format.printf "unit %d call graph:@." (i + 1);
       List.iter
         (fun name ->
           Format.printf "  %-14s %s@." name
-            (if Chow_core.Callgraph.is_open alloc.Pipeline.Ipra.callgraph name
+            (if Chow_core.Callgraph.is_open alloc.Ipra.callgraph name
              then "open (visible across units or recursive)"
              else "closed (full IPRA treatment)"))
         (Chow_core.Callgraph.processing_order
-           alloc.Pipeline.Ipra.callgraph))
-    compiled.Pipeline.allocs;
+           alloc.Ipra.callgraph))
+    (Pipeline.allocs compiled);
   Format.printf
     "@.gcd and lcm are exported, so they are open: their callers in the@.\
      other unit use the default convention.  gcd_step and sum_of_gcds stay@.\

@@ -48,7 +48,7 @@ proc main() {
 
 let dump_process (config : Config.t) =
   let compiled = Pipeline.compile config source in
-  let layout, _, _ = Chow_codegen.Link.layout compiled.Pipeline.ir in
+  let layout, _, _ = Chow_codegen.Link.layout (Pipeline.ir compiled) in
   List.iter
     (fun (alloc : Ipra.t) ->
       List.iter
@@ -60,7 +60,7 @@ let dump_process (config : Config.t) =
               config.Config.name Chow_codegen.Asm.pp_proc_code code
           end)
         alloc.Ipra.results)
-    compiled.Pipeline.allocs;
+    (Pipeline.allocs compiled);
   Pipeline.run compiled
 
 let () =

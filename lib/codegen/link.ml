@@ -10,9 +10,9 @@
 module Ir = Chow_ir.Ir
 module Machine = Chow_machine.Machine
 
-let layout (prog : Ir.prog) =
+let layout ?(base = 0) (prog : Ir.prog) =
   let table = Hashtbl.create 16 in
-  let next = ref 0 in
+  let next = ref base in
   let init = ref [] in
   List.iter
     (fun (g, def) ->

@@ -2,10 +2,16 @@
 
 exception Undefined_procedure of string
 
-(** [layout prog] assigns every global a base address; returns the address
-    table, the data-segment size, and the non-zero initialisation list. *)
+(** [layout ?base prog] assigns every global a base address starting at
+    [base] (default 0); returns the address table, the end offset of the
+    data segment (so the unit's own contribution is [end - base]), and the
+    non-zero initialisation list at absolute addresses.  [base] is how
+    separate compilation places each unit's globals after its
+    predecessors' without seeing their IR. *)
 val layout :
-  Chow_ir.Ir.prog -> (string, int) Hashtbl.t * int * (int * int) list
+  ?base:int ->
+  Chow_ir.Ir.prog ->
+  (string, int) Hashtbl.t * int * (int * int) list
 
 (** [link ~metas procs ~data_size ~data_init] concatenates a startup stub
     ([jal main; halt]) with the emitted procedures, resolves block labels

@@ -1,0 +1,114 @@
+(** Content-addressed artifact store; see the interface for the contract.
+
+    Layout on disk: one [<key>.pawno] file per artifact, directly under
+    the cache directory.  The key already is a cryptographic digest of the
+    artifact's full provenance, so the store never needs to compare
+    sources — existence is correctness, and the artifact's own checksum
+    (plus {!Objfile.contract_check}) guards the bytes themselves. *)
+
+module Objfile = Chow_codegen.Objfile
+module Metrics = Chow_obs.Metrics
+
+let m_hit = Metrics.counter "cache.hit"
+let m_miss = Metrics.counter "cache.miss"
+let m_evict = Metrics.counter "cache.evict"
+let m_corrupt = Metrics.counter "cache.corrupt"
+
+type t = {
+  dir : string;
+  max_entries : int option;
+  evict_lock : Mutex.t;  (** serializes the readdir/unlink eviction scan *)
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let create ?max_entries ~dir () =
+  mkdir_p dir;
+  { dir; max_entries; evict_lock = Mutex.create () }
+
+let dir t = t.dir
+
+let key ~config_fp ~source ~data_base =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "objfile-v%d\x00%s\x00base=%d\x00%s"
+          Objfile.format_version config_fp data_base source))
+
+let path_of t key = Filename.concat t.dir (key ^ ".pawno")
+
+let entries t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> [||]
+  | names ->
+      Array.of_list
+        (List.filter
+           (fun n -> Filename.check_suffix n ".pawno")
+           (Array.to_list names))
+
+let find t key =
+  let path = path_of t key in
+  if not (Sys.file_exists path) then begin
+    Metrics.incr m_miss;
+    None
+  end
+  else
+    match Objfile.load path with
+    | art -> (
+        match Objfile.contract_check art with
+        | Ok () ->
+            Metrics.incr m_hit;
+            Some art
+        | Error _ ->
+            (* decoded fine but violates the mask contract: stale logic or
+               tampering — drop it and recompile *)
+            Metrics.incr m_corrupt;
+            Metrics.incr m_miss;
+            (try Sys.remove path with Sys_error _ -> ());
+            None)
+    | exception (Objfile.Corrupt _ | Sys_error _) ->
+        Metrics.incr m_corrupt;
+        Metrics.incr m_miss;
+        (try Sys.remove path with Sys_error _ -> ());
+        None
+
+let evict t =
+  match t.max_entries with
+  | None -> ()
+  | Some max_entries ->
+      Mutex.protect t.evict_lock (fun () ->
+          let names = entries t in
+          let over = Array.length names - max_entries in
+          if over > 0 then begin
+            let aged =
+              Array.map
+                (fun n ->
+                  let p = Filename.concat t.dir n in
+                  let mtime =
+                    try (Unix.stat p).Unix.st_mtime with Unix.Unix_error _ -> 0.
+                  in
+                  (mtime, p))
+                names
+            in
+            Array.sort compare aged;
+            Array.iteri
+              (fun i (_, p) ->
+                if i < over then begin
+                  (try Sys.remove p with Sys_error _ -> ());
+                  Metrics.incr m_evict
+                end)
+              aged
+          end)
+
+let store t key art =
+  Objfile.save ~path:(path_of t key) art;
+  evict t
+
+let clear t =
+  Array.iter
+    (fun n -> try Sys.remove (Filename.concat t.dir n) with Sys_error _ -> ())
+    (entries t)

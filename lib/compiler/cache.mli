@@ -1,0 +1,49 @@
+(** Content-addressed store of compilation-unit artifacts.
+
+    The cache maps a {!key} — the MD5 of the unit's source text, the
+    configuration {!Config.fingerprint}, the data-segment base the unit is
+    laid out at, and the artifact {!Objfile.format_version} — to a
+    serialized {!Objfile.t} under [dir].  Because the key covers
+    everything that determines the generated code, a hit can be linked
+    without re-running any compilation phase, and a relink of unchanged
+    sources is byte-identical to a cold build.
+
+    Robustness: a stored artifact that fails to load ({!Objfile.Corrupt},
+    a failed {!Objfile.contract_check}, or an I/O error) is deleted and
+    reported as a miss, so corruption silently degrades to recompilation,
+    never to a mis-link.
+
+    Observability: [cache.hit], [cache.miss], [cache.evict] and
+    [cache.corrupt] counters in the {!Chow_obs.Metrics} registry.
+
+    Concurrency: lookups and stores are safe from parallel domains (stores
+    are atomic rename; the eviction scan is serialized by a mutex). *)
+
+module Objfile := Chow_codegen.Objfile
+
+type t
+
+(** [create ?max_entries ~dir ()] opens (creating [dir] if needed) a cache.
+    [max_entries] bounds the number of stored artifacts; beyond it, the
+    oldest entries (by modification time) are evicted on store.  Default:
+    unbounded. *)
+val create : ?max_entries:int -> dir:string -> unit -> t
+
+val dir : t -> string
+
+(** [key ~config_fp ~source ~data_base] is the content address (an MD5 hex
+    string) of a unit compiled from [source] under the configuration
+    fingerprinted as [config_fp] with its globals laid out at
+    [data_base]. *)
+val key : config_fp:string -> source:string -> data_base:int -> string
+
+(** [find t key] loads the artifact stored under [key], or [None] (also on
+    corruption, after deleting the offender). *)
+val find : t -> string -> Objfile.t option
+
+(** [store t key art] persists [art] under [key], then enforces
+    [max_entries]. *)
+val store : t -> string -> Objfile.t -> unit
+
+(** [clear t] removes every stored artifact (not counted as eviction). *)
+val clear : t -> unit

@@ -17,6 +17,18 @@ type t = {
 (** [with_jobs n config] is [config] compiling with parallelism [n]. *)
 let with_jobs jobs t = { t with jobs }
 
+(** [fingerprint t] is a stable string identifying every field of [t] that
+    can change generated code: the optimisation switches and the machine
+    model.  [name] is presentation and [jobs] is scheduling — the
+    wave-parallel allocator is bit-identical for every [-j] — so neither
+    participates.  The incremental cache keys unit artifacts on this, so
+    two configurations share cache entries exactly when they provably
+    produce the same code. *)
+let fingerprint t =
+  Printf.sprintf "ipra=%b;sw=%b;nparam=%d;regs=%s" t.ipra t.shrinkwrap
+    t.machine.Machine.n_param_regs
+    (String.concat "," (List.map string_of_int t.machine.Machine.allocatable))
+
 let baseline =
   {
     name = "-O2";

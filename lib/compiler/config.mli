@@ -1,0 +1,37 @@
+(** Compilation configurations matching the paper's measurement setup (§8).
+
+    This interface is the supported surface of the compiler library's
+    configuration: the record itself (construction by literal is the
+    intended API, as [bin/pawnc.ml] does), the six named configurations of
+    Tables 1 and 2, and the {!fingerprint} that keys the incremental
+    cache. *)
+
+module Machine := Chow_machine.Machine
+
+type t = {
+  name : string;
+  ipra : bool;  (** -O3: inter-procedural allocation *)
+  shrinkwrap : bool;
+  machine : Machine.config;
+  jobs : int;  (** allocator/pipeline parallelism; 1 = sequential *)
+}
+
+(** [with_jobs n config] is [config] compiling with parallelism [n]. *)
+val with_jobs : int -> t -> t
+
+(** The paper's six measurement configurations.  [baseline] is [-O2]
+    without shrink-wrap; [all] lists them in table order. *)
+
+val baseline : t
+val o2_sw : t
+val o3 : t
+val o3_sw : t
+val seven_caller : t
+val seven_callee : t
+val all : t list
+
+(** [fingerprint t] is a stable string over every code-affecting field —
+    optimisation switches and machine model, excluding [name] and [jobs]
+    (allocation is bit-identical for every [-j]).  Part of the incremental
+    cache key. *)
+val fingerprint : t -> string

@@ -1,15 +1,26 @@
 (** End-to-end compilation: Pawn source (or IR) through allocation, code
     generation, linking, and simulation.
 
-    [compile_modules] reproduces the paper's separate-compilation setting
-    (§3, §7): each unit is allocated on its own call graph, cross-unit
-    calls go through [extern] declarations under the default convention,
-    and the units are linked at the assembly level.  [compile] is the
-    single-unit (whole-program Ucode) case. *)
+    The pipeline is built around per-unit {!Chow_codegen.Objfile}
+    artifacts, reproducing the paper's separate-compilation setting (§3,
+    §7): each unit is laid out at its own data base, allocated on its own
+    call graph (cross-unit calls go through [extern] declarations under
+    the default convention), emitted into an artifact carrying its code,
+    contracts and register-usage summaries, and the artifacts are linked
+    at the assembly level.  Whole-program compilation is the one-unit
+    case of the same path.
+
+    With a {!Cache} attached, source units resolve against the
+    content-addressed store first: a hit skips lexing, allocation and
+    emission entirely and goes straight to link, and {!link_units}
+    re-derives every artifact's preservation contract from its recorded
+    usage mask — the proof that the IPRA mask contract survived
+    serialization. *)
 
 module Ir = Chow_ir.Ir
 module Machine = Chow_machine.Machine
 module Lower = Chow_frontend.Lower
+module Diag = Chow_frontend.Diag
 module Ipra = Chow_core.Ipra
 module Usage = Chow_core.Usage
 module Alloc_types = Chow_core.Alloc_types
@@ -17,6 +28,7 @@ module Frame = Chow_codegen.Frame
 module Emit = Chow_codegen.Emit
 module Link = Chow_codegen.Link
 module Asm = Chow_codegen.Asm
+module Objfile = Chow_codegen.Objfile
 module Sim = Chow_sim.Sim
 module Bitset = Chow_support.Bitset
 module Pool = Chow_support.Pool
@@ -27,24 +39,32 @@ let m_units = Metrics.counter "pipeline.units"
 let m_code_words = Metrics.counter "pipeline.code_words"
 
 type compiled = {
-  config : Config.t;
-  ir : Ir.prog;
-  allocs : Ipra.t list;  (** one per compilation unit *)
-  program : Asm.program;
+  c_config : Config.t;
+  c_ir : Ir.prog option;  (** [None] when any unit came from the cache *)
+  c_allocs : Ipra.t list;  (** freshly allocated units only *)
+  c_program : Asm.program;
+  c_units : Objfile.t list;  (** one artifact per compilation unit *)
 }
+
+let config c = c.c_config
+let program c = c.c_program
+let allocs c = c.c_allocs
+let artifacts c = c.c_units
+
+let ir c =
+  match c.c_ir with
+  | Some ir -> ir
+  | None ->
+      invalid_arg
+        "Pipeline.ir: IR not retained (units were linked from cached \
+         artifacts)"
 
 (* the registers a caller may assume survive a call to this procedure *)
 let preserved_regs (alloc : Ipra.t) (res : Alloc_types.result) =
-  let conventional =
-    Machine.caller_saved @ Machine.param_regs @ Machine.callee_saved
-  in
   if res.r_open then Machine.callee_saved
   else
     match Usage.find alloc.Ipra.usage res.r_proc.Ir.pname with
-    | Some info ->
-        List.filter
-          (fun r -> not (Bitset.mem info.Usage.mask r))
-          conventional
+    | Some info -> Usage.preserved_of_mask info.Usage.mask
     | None -> Machine.callee_saved
 
 let allocate_unit ?profile ?pool ?explain (config : Config.t) ~unit_idx
@@ -58,20 +78,130 @@ let allocate_unit ?profile ?pool ?explain (config : Config.t) ~unit_idx
     Trace.span ~args:[ ("unit", Trace.Int unit_idx) ] "allocate-unit" alloc
   else alloc ()
 
-(** [compile_irs config units] allocates each unit independently and links
-    the results into one executable image.  [global_promo] enables the
-    promotion of global scalars to registers within procedures (§1), an
-    IR-level pass run per unit before allocation.
+(** Lay every unit out after its predecessors; returns per-unit
+    [(address table, base, size, init)].  Units only reference their own
+    globals, so the concatenation of the per-unit layouts is exactly the
+    whole-program layout. *)
+let unit_layouts (units : Ir.prog list) =
+  let base = ref 0 in
+  List.map
+    (fun u ->
+      let b = !base in
+      let table, end_, init = Link.layout ~base:b u in
+      base := end_;
+      (table, b, end_ - b, init))
+    units
 
-    Units are independent until link, so they are compiled concurrently on
-    one domain pool of [config.jobs] lanes; the same pool is shared with
-    the per-unit wave allocation (nested [Pool.parallel_map] is safe), and
-    unit order — hence link order and the final image — is preserved. *)
+(** Emit one allocated unit into its persistent artifact. *)
+let emit_unit_art ~layout ~base ~size ~init (alloc : Ipra.t) : Objfile.t =
+  let procs =
+    List.map
+      (fun (name, (res : Alloc_types.result)) ->
+        let frame = Frame.build res in
+        {
+          Objfile.pa_code = Emit.emit_proc ~layout res frame;
+          pa_open = res.Alloc_types.r_open;
+          pa_preserved = preserved_regs alloc res;
+          pa_usage =
+            (if res.Alloc_types.r_open then None
+             else Usage.find alloc.Ipra.usage name);
+        })
+      alloc.Ipra.results
+  in
+  {
+    Objfile.o_procs = procs;
+    o_data_base = base;
+    o_data_size = size;
+    o_data_init = init;
+    o_externs =
+      Objfile.externs_of_procs
+        (List.map (fun p -> p.Objfile.pa_code) procs);
+  }
+
+(** [link_units arts] links unit artifacts into one executable image.
+
+    Before linking, every artifact is cross-checked: its recorded
+    preservation contracts must re-derive from its recorded usage masks
+    ({!Objfile.contract_check}), and its data base must equal the sum of
+    its predecessors' data sizes (artifacts are position-dependent in
+    data).  Raises [Invalid_argument] on either mismatch and
+    {!Link.Undefined_procedure} for unresolved externs. *)
+let link_units (arts : Objfile.t list) : Asm.program =
+  let base = ref 0 in
+  List.iteri
+    (fun i (a : Objfile.t) ->
+      (match Objfile.contract_check a with
+      | Ok () -> ()
+      | Error msg ->
+          invalid_arg (Printf.sprintf "Pipeline.link_units: unit %d: %s" i msg));
+      if a.Objfile.o_data_base <> !base then
+        invalid_arg
+          (Printf.sprintf
+             "Pipeline.link_units: unit %d laid out at data base %d where \
+              the link order expects %d"
+             i a.Objfile.o_data_base !base);
+      base := a.Objfile.o_data_base + a.Objfile.o_data_size)
+    arts;
+  let codes =
+    List.concat_map
+      (fun (a : Objfile.t) ->
+        List.map (fun p -> p.Objfile.pa_code) a.Objfile.o_procs)
+      arts
+  in
+  let metas =
+    List.concat_map
+      (fun (a : Objfile.t) ->
+        List.map
+          (fun (p : Objfile.proc_art) ->
+            ( p.Objfile.pa_code.Asm.pc_name,
+              {
+                Asm.m_name = p.Objfile.pa_code.Asm.pc_name;
+                m_preserved = p.Objfile.pa_preserved;
+              } ))
+          a.Objfile.o_procs)
+      arts
+  in
+  let data_init = List.concat_map (fun a -> a.Objfile.o_data_init) arts in
+  let program = Link.link ~metas codes ~data_size:!base ~data_init in
+  if Metrics.is_on () then begin
+    Metrics.add m_units (List.length arts);
+    Metrics.add m_code_words (Array.length program.Asm.code)
+  end;
+  program
+
+(** Lay out, allocate and emit each unit at its link-order data base; no
+    link.  Units are independent until link, so they are compiled
+    concurrently on one domain pool of [config.jobs] lanes; the same pool
+    is shared with the per-unit wave allocation (nested
+    [Pool.parallel_map] is safe), and unit order is preserved. *)
+let fresh_unit_arts ?profile ?explain (config : Config.t)
+    (units : Ir.prog list) =
+  let layouts = Trace.span "layout" (fun () -> unit_layouts units) in
+  let indexed =
+    List.mapi (fun i (u, l) -> (i, u, l)) (List.combine units layouts)
+  in
+  let allocs =
+    Trace.span "allocate" (fun () ->
+        Pool.with_pool config.Config.jobs (fun pool ->
+            Pool.parallel_map pool indexed (fun (unit_idx, u, _) ->
+                allocate_unit ?profile ~pool ?explain config ~unit_idx u)))
+  in
+  let arts =
+    Trace.span "emit" (fun () ->
+        List.map2
+          (fun (layout, base, size, init) alloc ->
+            emit_unit_art ~layout ~base ~size ~init alloc)
+          layouts allocs)
+  in
+  (arts, allocs)
+
+let promo_units units =
+  Trace.span "promo" (fun () ->
+      List.iter (fun u -> ignore (Chow_core.Globalpromo.transform u)) units)
+
 let compile_irs ?profile ?(global_promo = false) ?explain (config : Config.t)
     (units : Ir.prog list) : compiled =
-  if global_promo then
-    Trace.span "promo" (fun () ->
-        List.iter (fun u -> ignore (Chow_core.Globalpromo.transform u)) units);
+  if global_promo then promo_units units;
   let merged =
     {
       Ir.procs = List.concat_map (fun u -> u.Ir.procs) units;
@@ -79,71 +209,147 @@ let compile_irs ?profile ?(global_promo = false) ?explain (config : Config.t)
       externs = [];
     }
   in
-  let layout, data_size, data_init =
-    Trace.span "layout" (fun () -> Link.layout merged)
-  in
-  let indexed = List.mapi (fun i u -> (i, u)) units in
-  let allocs =
-    Trace.span "allocate" (fun () ->
-        Pool.with_pool config.Config.jobs (fun pool ->
-            Pool.parallel_map pool indexed (fun (unit_idx, u) ->
-                allocate_unit ?profile ~pool ?explain config ~unit_idx u)))
-  in
-  let codes = ref [] in
-  let metas = ref [] in
-  Trace.span "emit" (fun () ->
-      List.iter
-        (fun (alloc : Ipra.t) ->
-          List.iter
-            (fun (name, res) ->
-              let frame = Frame.build res in
-              codes := Emit.emit_proc ~layout res frame :: !codes;
-              metas :=
-                ( name,
-                  { Asm.m_name = name; m_preserved = preserved_regs alloc res }
-                )
-                :: !metas)
-            alloc.Ipra.results)
-        allocs);
-  let program =
-    Trace.span "link" (fun () ->
-        Link.link ~metas:(List.rev !metas) (List.rev !codes) ~data_size
-          ~data_init)
-  in
-  if Metrics.is_on () then begin
-    Metrics.add m_units (List.length units);
-    Metrics.add m_code_words (Array.length program.Asm.code)
-  end;
-  { config; ir = merged; allocs; program }
+  let arts, allocs = fresh_unit_arts ?profile ?explain config units in
+  let program = Trace.span "link" (fun () -> link_units arts) in
+  {
+    c_config = config;
+    c_ir = Some merged;
+    c_allocs = allocs;
+    c_program = program;
+    c_units = arts;
+  }
 
-let compile_ir ?profile ?global_promo ?explain config ir =
-  compile_irs ?profile ?global_promo ?explain config [ ir ]
+(** Incremental separate compilation: each source unit is resolved against
+    the content-addressed cache at the data base the link order gives it;
+    hits skip the front end, the allocator and emission entirely, misses
+    compile as usual and are stored for next time.  The warm rebuild of an
+    unchanged program therefore allocates no procedure at all and links a
+    byte-identical image. *)
+let resolve_cached ?(global_promo = false) ~cache ~require_main_first
+    (config : Config.t) (srcs : string list) =
+  let fp =
+    Config.fingerprint config ^ if global_promo then ";gp=true" else ""
+  in
+  let slots =
+    Trace.span "cache-resolve" (fun () ->
+        let base = ref 0 in
+        List.mapi
+          (fun i src ->
+            let key = Cache.key ~config_fp:fp ~source:src ~data_base:!base in
+            match Cache.find cache key with
+            | Some art ->
+                base := !base + art.Objfile.o_data_size;
+                `Hit art
+            | None ->
+                let unit_ir =
+                  Lower.compile_unit
+                    ~require_main:(require_main_first && i = 0)
+                    src
+                in
+                if global_promo then
+                  ignore (Chow_core.Globalpromo.transform unit_ir);
+                let b = !base in
+                let layout, end_, init = Link.layout ~base:b unit_ir in
+                base := end_;
+                `Miss (key, i, unit_ir, layout, b, end_ - b, init))
+          srcs)
+  in
+  Trace.span "compile-units" (fun () ->
+      Pool.with_pool config.Config.jobs (fun pool ->
+          Pool.parallel_map pool slots (function
+            | `Hit art -> (art, None)
+            | `Miss (key, unit_idx, unit_ir, layout, base, size, init) ->
+                let alloc = allocate_unit ~pool config ~unit_idx unit_ir in
+                let art = emit_unit_art ~layout ~base ~size ~init alloc in
+                Cache.store cache key art;
+                (art, Some alloc))))
 
-(** Whole-program compilation of one Pawn source. *)
-let compile ?profile ?global_promo ?explain config src =
-  compile_ir ?profile ?global_promo ?explain config (Lower.compile_unit src)
+let compile_srcs_cached ?global_promo ~cache (config : Config.t)
+    (srcs : string list) : compiled =
+  let pairs =
+    resolve_cached ?global_promo ~cache ~require_main_first:true config srcs
+  in
+  let arts = List.map fst pairs in
+  let program = Trace.span "link" (fun () -> link_units arts) in
+  {
+    c_config = config;
+    c_ir = None;
+    c_allocs = List.filter_map snd pairs;
+    c_program = program;
+    c_units = arts;
+  }
 
-(** Separate compilation: the unit containing [main] comes first; others
-    must not require one. *)
-let compile_modules ?profile ?global_promo ?explain config srcs =
-  match srcs with
-  | [] -> invalid_arg "compile_modules: no units"
+type source = Src of string | Srcs of string list | Ir of Ir.prog | Units of Ir.prog list
+
+let no_units () =
+  Diag.raise_legacy (Diag.error ~phase:Diag.Check "no compilation units")
+
+(** Separate compilation from source: the unit containing [main] comes
+    first; others must not require one. *)
+let units_of_srcs = function
+  | [] -> no_units ()
   | first :: rest ->
-      let units =
-        Lower.compile_unit ~require_main:true first
-        :: List.map (Lower.compile_unit ~require_main:false) rest
-      in
-      compile_irs ?profile ?global_promo ?explain config units
+      Lower.compile_unit ~require_main:true first
+      :: List.map (Lower.compile_unit ~require_main:false) rest
+
+let compile_source ?profile ?global_promo ?explain ?cache (config : Config.t)
+    (source : source) : compiled =
+  match source with
+  | Ir unit_ir -> compile_irs ?profile ?global_promo ?explain config [ unit_ir ]
+  | Units [] -> no_units ()
+  | Units units -> compile_irs ?profile ?global_promo ?explain config units
+  | (Src _ | Srcs _) as s -> (
+      let srcs = match s with Src x -> [ x ] | Srcs xs -> xs | _ -> [] in
+      if srcs = [] then no_units ();
+      match cache with
+      | Some cache when profile = None && explain = None ->
+          compile_srcs_cached ?global_promo ~cache config srcs
+      | _ ->
+          compile_irs ?profile ?global_promo ?explain config
+            (units_of_srcs srcs))
+
+(** [compile_artifacts config srcs] compiles each source unit to its
+    persistent artifact at the data base the argument order gives it,
+    without linking — the [pawnc build -c] path.  No unit is required to
+    define [main]; cross-unit calls stay extern references in the
+    artifacts. *)
+let compile_artifacts ?global_promo ?cache (config : Config.t)
+    (srcs : string list) : Objfile.t list =
+  if srcs = [] then no_units ();
+  match cache with
+  | Some cache ->
+      List.map fst
+        (resolve_cached ?global_promo ~cache ~require_main_first:false config
+           srcs)
+  | None ->
+      let units = List.map (Lower.compile_unit ~require_main:false) srcs in
+      if global_promo = Some true then promo_units units;
+      fst (fresh_unit_arts config units)
+
+let compile_result ?profile ?global_promo ?explain ?cache config source =
+  Diag.catch (fun () ->
+      compile_source ?profile ?global_promo ?explain ?cache config source)
+
+(** {2 Deprecated aliases} — one-liners over {!compile_source}. *)
+
+let compile ?profile ?global_promo ?explain config src =
+  compile_source ?profile ?global_promo ?explain config (Src src)
+
+let compile_ir ?profile ?global_promo ?explain config unit_ir =
+  compile_source ?profile ?global_promo ?explain config (Ir unit_ir)
+
+let compile_modules ?profile ?global_promo ?explain ?cache config srcs =
+  compile_source ?profile ?global_promo ?explain ?cache config (Srcs srcs)
 
 (** [run c] simulates the compiled program with contract checking on,
     using the default pre-decoded engine. *)
 let run ?fuel ?check ?profile (c : compiled) =
-  Sim.run ?fuel ?check ?profile c.program
+  Sim.run ?fuel ?check ?profile c.c_program
 
 (** [run_reference c] is {!run} on the reference (specification) engine —
     the slow path kept for differential testing and benchmarking. *)
 let run_reference ?fuel ?check ?profile (c : compiled) =
-  Sim.run_reference ?fuel ?check ?profile c.program
+  Sim.run_reference ?fuel ?check ?profile c.c_program
 
 (** Profile-guided compilation, the paper's §8 future work: compile once,
     execute under the block profiler, normalise the measured block
@@ -151,15 +357,15 @@ let run_reference ?fuel ?check ?profile (c : compiled) =
     measured weights replacing the static loop-depth estimates.  Returns
     the recompiled program and the training run's outcome. *)
 let compile_with_profile ?fuel (config : Config.t) src =
-  let ir = Lower.compile_unit src in
-  let training = compile_ir config ir in
-  let outcome = Sim.run ?fuel ~profile:true training.program in
+  let unit_ir = Lower.compile_unit src in
+  let training = compile_ir config unit_ir in
+  let outcome = Sim.run ?fuel ~profile:true training.c_program in
   let counts : (string, float array) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun p ->
       Hashtbl.replace counts p.Ir.pname
         (Array.make (Ir.nblocks p) 0.))
-    ir.Ir.procs;
+    unit_ir.Ir.procs;
   List.iter
     (fun ((pname, l), n) ->
       match Hashtbl.find_opt counts pname with
@@ -170,7 +376,7 @@ let compile_with_profile ?fuel (config : Config.t) src =
     Option.map Chow_core.Liverange.weights_of_profile
       (Hashtbl.find_opt counts name)
   in
-  (compile_ir ~profile config ir, outcome)
+  (compile_ir ~profile config unit_ir, outcome)
 
 (** Compile and run under every configuration, returning
     [(config, outcome)] pairs — the harness behind every table. *)

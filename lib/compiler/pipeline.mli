@@ -1,0 +1,174 @@
+(** The sealed compiler pipeline: Pawn source (or IR) through allocation,
+    code generation, unit artifacts, linking, and simulation.
+
+    This interface is the supported surface of the compiler library.
+    A {!compiled} value is abstract; consumers read it through the
+    accessors.  Compilation takes one {!source} describing what is being
+    compiled; the historical entry points remain as thin aliases.
+    Attaching a {!Cache.t} turns separate compilation incremental: unit
+    artifacts ({!Chow_codegen.Objfile}) are resolved against the
+    content-addressed store, and a warm rebuild of unchanged sources
+    links a byte-identical image without allocating a single procedure. *)
+
+module Ir := Chow_ir.Ir
+module Asm := Chow_codegen.Asm
+module Objfile := Chow_codegen.Objfile
+module Ipra := Chow_core.Ipra
+module Coloring := Chow_core.Coloring
+module Sim := Chow_sim.Sim
+module Diag := Chow_frontend.Diag
+
+type compiled
+
+(** {2 Accessors} *)
+
+val config : compiled -> Config.t
+
+(** The linked executable image. *)
+val program : compiled -> Asm.program
+
+(** One {!Objfile.t} per compilation unit, in link order — what the
+    incremental cache stores and [pawnc build -c] writes to disk. *)
+val artifacts : compiled -> Objfile.t list
+
+(** Per-unit allocation results, in unit order.  Units that were linked
+    from cached artifacts are absent (nothing was allocated for them). *)
+val allocs : compiled -> Ipra.t list
+
+(** The merged IR of a fresh build.  Raises [Invalid_argument] when the
+    build linked cached artifacts, whose IR never existed in this
+    process. *)
+val ir : compiled -> Ir.prog
+
+(** {2 Compilation} *)
+
+(** What to compile: one source text, source units in link order (the
+    unit containing [main] first), one IR unit, or IR units. *)
+type source =
+  | Src of string
+  | Srcs of string list
+  | Ir of Ir.prog
+  | Units of Ir.prog list
+
+(** [compile_source config source] runs the full pipeline.
+
+    - [profile] supplies measured block frequencies per procedure (§8
+      future work); procedures without one keep static loop-depth
+      estimates.
+    - [global_promo] promotes global scalars to registers within
+      procedures (§1) before allocation.
+    - [explain] names one procedure whose allocation decisions are
+      recorded into the supplied {!Coloring.explanation} buffer.
+    - [cache] makes [Src]/[Srcs] compilation incremental.  Ignored when
+      [profile] or [explain] is supplied (their effects are not part of
+      the cache key) and for IR sources (no source text to address by).
+
+    Raises the legacy front-end exceptions on malformed source — use
+    {!compile_result} for a result-returning surface — and
+    {!Chow_codegen.Link.Undefined_procedure} at link time. *)
+val compile_source :
+  ?profile:(string -> float array option) ->
+  ?global_promo:bool ->
+  ?explain:string * Coloring.explanation ->
+  ?cache:Cache.t ->
+  Config.t ->
+  source ->
+  compiled
+
+(** [compile_result config source] is {!compile_source} with the three
+    front-end failure modes (and the empty-source-list case) reified as
+    a {!Diag.error} instead of an exception. *)
+val compile_result :
+  ?profile:(string -> float array option) ->
+  ?global_promo:bool ->
+  ?explain:string * Coloring.explanation ->
+  ?cache:Cache.t ->
+  Config.t ->
+  source ->
+  (compiled, Diag.error) result
+
+(** [compile_artifacts config srcs] compiles each source unit to its
+    persistent artifact at the data base the argument order gives it,
+    without linking — the [pawnc build -c] path.  No unit is required to
+    define [main]; cross-unit calls stay extern references in the
+    artifacts.  With [cache], units resolve against the store exactly as
+    in {!compile_source}. *)
+val compile_artifacts :
+  ?global_promo:bool ->
+  ?cache:Cache.t ->
+  Config.t ->
+  string list ->
+  Objfile.t list
+
+(** [link_units arts] links unit artifacts (from {!artifacts},
+    {!Cache.find} or {!Objfile.load}) into one executable image.  Before
+    linking it asserts, per artifact, that the recorded preservation
+    contracts re-derive from the recorded usage masks
+    ({!Objfile.contract_check}) and that the recorded data bases agree
+    with the link order; raises [Invalid_argument] on mismatch and
+    {!Chow_codegen.Link.Undefined_procedure} for unresolved externs. *)
+val link_units : Objfile.t list -> Asm.program
+
+(** {2 Deprecated aliases}
+
+    Thin wrappers over {!compile_source}, kept for existing callers.
+    [compile src] is [Src], [compile_ir] is [Ir], [compile_irs] is
+    [Units], [compile_modules] is [Srcs]. *)
+
+val compile :
+  ?profile:(string -> float array option) ->
+  ?global_promo:bool ->
+  ?explain:string * Coloring.explanation ->
+  Config.t ->
+  string ->
+  compiled
+
+val compile_ir :
+  ?profile:(string -> float array option) ->
+  ?global_promo:bool ->
+  ?explain:string * Coloring.explanation ->
+  Config.t ->
+  Ir.prog ->
+  compiled
+
+val compile_irs :
+  ?profile:(string -> float array option) ->
+  ?global_promo:bool ->
+  ?explain:string * Coloring.explanation ->
+  Config.t ->
+  Ir.prog list ->
+  compiled
+
+val compile_modules :
+  ?profile:(string -> float array option) ->
+  ?global_promo:bool ->
+  ?explain:string * Coloring.explanation ->
+  ?cache:Cache.t ->
+  Config.t ->
+  string list ->
+  compiled
+
+(** {2 Execution} *)
+
+(** [run c] simulates the compiled program on the pre-decoded engine with
+    contract checking on by default. *)
+val run :
+  ?fuel:int -> ?check:bool -> ?profile:bool -> compiled -> Sim.outcome
+
+(** [run_reference c] is {!run} on the reference (specification) engine. *)
+val run_reference :
+  ?fuel:int -> ?check:bool -> ?profile:bool -> compiled -> Sim.outcome
+
+(** Profile-guided compilation (§8 future work): compile, run under the
+    block profiler, recompile with measured weights.  Returns the
+    recompiled program and the training run's outcome. *)
+val compile_with_profile :
+  ?fuel:int -> Config.t -> string -> compiled * Sim.outcome
+
+(** Compile and run under every configuration (default: all six of the
+    paper), returning [(config, outcome)] pairs. *)
+val run_all_configs :
+  ?fuel:int ->
+  ?configs:Config.t list ->
+  string ->
+  (Config.t * Sim.outcome) list

@@ -30,6 +30,17 @@ let fold f (table : table) init =
 (** Clobber set under the default convention. *)
 let default_clobber () = Machine.Set.all_caller_saved_and_params ()
 
+(** [preserved_of_mask mask] is the registers a caller may assume survive a
+    call to a procedure publishing [mask]: every conventional register the
+    mask does not claim.  This is the single derivation of the
+    save/restore contract from a usage summary; the pipeline's link-time
+    cross-check re-runs it against the contract recorded in a unit
+    artifact to prove the mask survived serialization. *)
+let preserved_of_mask (mask : Bitset.t) : Machine.reg list =
+  List.filter
+    (fun r -> not (Bitset.mem mask r))
+    (Machine.caller_saved @ Machine.param_regs @ Machine.callee_saved)
+
 (** [clobber_of_call table target] is the set of allocatable registers a
     call may modify, as seen by the caller. *)
 let clobber_of_call (table : table) (target : Ir.call_target) =

@@ -28,6 +28,13 @@ val fold : (string -> info -> 'a -> 'a) -> table -> 'a -> 'a
     clobber. *)
 val default_clobber : unit -> Bitset.t
 
+(** [preserved_of_mask mask] is the registers a caller may assume survive a
+    call to a procedure publishing [mask]: the conventional registers
+    (caller-saved, parameter, callee-saved, in that order) minus the
+    mask.  The canonical mask-to-contract derivation, shared by the
+    pipeline and the unit-artifact cross-check. *)
+val preserved_of_mask : Bitset.t -> Machine.reg list
+
 (** The allocatable registers a call may modify, as seen by the caller:
     the callee's published mask, or {!default_clobber} when unknown. *)
 val clobber_of_call : table -> Chow_ir.Ir.call_target -> Bitset.t

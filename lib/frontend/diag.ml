@@ -1,0 +1,37 @@
+(** Unified front-end diagnostics; see the interface for the contract. *)
+
+type phase = Lex | Parse | Check
+
+type error = { phase : phase; message : string; line : int }
+
+let phase_name = function
+  | Lex -> "lexical"
+  | Parse -> "syntax"
+  | Check -> "semantic"
+
+let error ~phase ?(line = 0) message = { phase; message; line }
+
+let to_string e =
+  if e.line > 0 then
+    Printf.sprintf "%s error at line %d: %s" (phase_name e.phase) e.line
+      e.message
+  else Printf.sprintf "%s error: %s" (phase_name e.phase) e.message
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let of_exn = function
+  | Lexer.Error (message, line) -> Some { phase = Lex; message; line }
+  | Parser.Error (message, line) -> Some { phase = Parse; message; line }
+  | Check.Error message -> Some { phase = Check; message; line = 0 }
+  | _ -> None
+
+let catch f =
+  match f () with
+  | v -> Ok v
+  | exception e -> ( match of_exn e with Some d -> Error d | None -> raise e)
+
+let raise_legacy e =
+  match e.phase with
+  | Lex -> raise (Lexer.Error (e.message, e.line))
+  | Parse -> raise (Parser.Error (e.message, e.line))
+  | Check -> raise (Check.Error e.message)

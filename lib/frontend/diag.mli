@@ -1,0 +1,40 @@
+(** Unified front-end diagnostics.
+
+    The three front-end phases historically reported failure through three
+    unrelated exceptions ([Lexer.Error], [Parser.Error], [Check.Error]).
+    This module gives them one value representation so result-returning
+    entry points ([Pipeline.compile_result]) and callers that want to
+    render an error uniformly need exactly one case.  The legacy
+    exceptions remain the raising surface — {!catch} converts them to a
+    {!error}, {!raise_legacy} converts back — so existing
+    exception-matching code keeps compiling unchanged. *)
+
+type phase = Lex | Parse | Check
+
+type error = {
+  phase : phase;
+  message : string;
+  line : int;  (** 1-based source line; [0] when the phase has no location *)
+}
+
+val phase_name : phase -> string
+
+(** [error ~phase ?line message] builds an error ([line] defaults to 0). *)
+val error : phase:phase -> ?line:int -> string -> error
+
+(** Render as ["<phase> error[ at line N]: <message>"]. *)
+val to_string : error -> string
+
+val pp : Format.formatter -> error -> unit
+
+(** [of_exn e] is the diagnostic corresponding to a front-end exception,
+    or [None] for any other exception. *)
+val of_exn : exn -> error option
+
+(** [catch f] runs [f ()], mapping the three legacy front-end exceptions
+    to [Error _]; every other exception passes through. *)
+val catch : (unit -> 'a) -> ('a, error) result
+
+(** [raise_legacy e] re-raises [e] as the legacy exception of its phase:
+    {!Lexer.Error}, {!Parser.Error} or {!Check.Error}. *)
+val raise_legacy : error -> 'a

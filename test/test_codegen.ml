@@ -116,9 +116,9 @@ let frame_of src proc_name =
   in
   let res =
     List.find_map
-      (fun (alloc : Chow_compiler.Pipeline.Ipra.t) ->
-        Chow_compiler.Pipeline.Ipra.find alloc proc_name)
-      compiled.Chow_compiler.Pipeline.allocs
+      (fun (alloc : Chow_core.Ipra.t) ->
+        Chow_core.Ipra.find alloc proc_name)
+      (Chow_compiler.Pipeline.allocs compiled)
     |> Option.get
   in
   (Chow_codegen.Frame.build res, res)
@@ -168,7 +168,7 @@ proc f(x) { return x * g; }
 proc main() { var p = &f; print(p(10)); print(f(1)); }
 |}
   in
-  let prog = compiled.Chow_compiler.Pipeline.program in
+  let prog = (Chow_compiler.Pipeline.program compiled) in
   Array.iteri
     (fun pc i ->
       match i with

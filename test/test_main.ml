@@ -27,4 +27,5 @@ let () =
       Test_equivalence.suite;
       Test_parallel.suite;
       Test_obs.suite;
+      Test_objfile.suite;
     ]

@@ -40,7 +40,7 @@ let test_cross_unit_is_open () =
   let find_result name =
     List.find_map
       (fun (alloc : Ipra.t) -> Ipra.find alloc name)
-      c.Pipeline.allocs
+      (Pipeline.allocs c)
   in
   (match find_result "square" with
   | Some r -> Alcotest.(check bool) "square open" true r.Chow_core.Alloc_types.r_open

@@ -1,0 +1,360 @@
+(** Unit-artifact and incremental-cache tests: the binary format
+    round-trips bit-exactly and rejects damage; the content-addressed
+    cache serves warm rebuilds without a single allocation yet degrades
+    silently to recompilation on corruption; the result-returning
+    [compile_result] reifies the three front-end failure modes as one
+    {!Chow_frontend.Diag.error}. *)
+
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Cache = Chow_compiler.Cache
+module Objfile = Chow_codegen.Objfile
+module Machine = Chow_machine.Machine
+module Diag = Chow_frontend.Diag
+module Sim = Chow_sim.Sim
+module Trace = Chow_obs.Trace
+module Metrics = Chow_obs.Metrics
+
+let unit_main =
+  {|
+extern proc square(x);
+extern proc cube(x);
+var seed = 7;
+proc main() {
+  print(square(5) + seed);
+  print(cube(3));
+}
+|}
+
+let unit_math =
+  {|
+var scale = 2;
+export proc square(x) { return x * x * scale / 2; }
+export proc cube(x) { return x * square(x); }
+|}
+
+let two_units = [ unit_main; unit_math ]
+
+(* a fresh empty cache in a unique directory under the system temp dir,
+   so runs never collide and nothing is left in the source tree *)
+let fresh_cache ?max_entries name =
+  let marker = Filename.temp_file ("chow88-" ^ name) ".cache" in
+  Sys.remove marker;
+  let cache = Cache.create ?max_entries ~dir:marker () in
+  Cache.clear cache;
+  cache
+
+let counter_value name =
+  match List.assoc_opt name (Metrics.dump ()) with Some v -> v | None -> 0
+
+(** Run [f] with the metrics registry armed and reset, returning [f ()]
+    paired with a lookup into the counters it produced. *)
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.enable ();
+  Fun.protect ~finally:Metrics.disable f
+
+(* ----- binary format ----- *)
+
+let test_roundtrip_fuzz () =
+  for seed = 0 to 11 do
+    let src = Genprog.generate ~seed () in
+    let c = Pipeline.compile_source Config.o3_sw (Pipeline.Src src) in
+    let arts = Pipeline.artifacts c in
+    let arts' = List.map (fun a -> Objfile.read (Objfile.write a)) arts in
+    if arts <> arts' then
+      Alcotest.failf "seed %d: artifact changed across write/read" seed;
+    if Pipeline.link_units arts' <> Pipeline.program c then
+      Alcotest.failf "seed %d: relinked program differs" seed
+  done
+
+let test_save_load_file () =
+  let c = Pipeline.compile_source Config.o3_sw (Pipeline.Srcs two_units) in
+  let art = List.nth (Pipeline.artifacts c) 1 in
+  let path = "roundtrip.pawno" in
+  Objfile.save ~path art;
+  let art' = Objfile.load path in
+  Sys.remove path;
+  Alcotest.(check bool) "file round-trip" true (art = art')
+
+let expect_corrupt what bytes =
+  match Objfile.read bytes with
+  | _ -> Alcotest.failf "%s: expected Corrupt" what
+  | exception Objfile.Corrupt _ -> ()
+
+let test_rejects_damage () =
+  let c = Pipeline.compile_source Config.o3_sw (Pipeline.Srcs two_units) in
+  let bytes = Objfile.write (List.hd (Pipeline.artifacts c)) in
+  let n = String.length bytes in
+  expect_corrupt "empty" "";
+  expect_corrupt "bad magic" ("XXXX" ^ String.sub bytes 4 (n - 4));
+  expect_corrupt "truncated header" (String.sub bytes 0 10);
+  expect_corrupt "truncated payload" (String.sub bytes 0 (n - 5));
+  expect_corrupt "trailing garbage" (bytes ^ "\x00");
+  (* flip one byte in the version word, the checksum, and the payload *)
+  List.iter
+    (fun pos ->
+      let b = Bytes.of_string bytes in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x41));
+      expect_corrupt (Printf.sprintf "bit flip at %d" pos) (Bytes.to_string b))
+    [ 5; 14; 30; n - 1 ]
+
+let test_tampered_contract_rejected () =
+  (* a non-exported, non-recursive helper is closed under IPRA, so its
+     artifact carries a usage mask for callers to consume *)
+  let src =
+    {|
+proc helper(a, b) { var t = a * b; return t + a; }
+proc main() { print(helper(3, 4)); }
+|}
+  in
+  let c = Pipeline.compile_source Config.o3_sw (Pipeline.Src src) in
+  let arts = Pipeline.artifacts c in
+  Alcotest.(check bool)
+    "workload has a closed procedure" true
+    (List.exists
+       (fun (a : Objfile.t) ->
+         List.exists (fun p -> p.Objfile.pa_usage <> None) a.Objfile.o_procs)
+       arts);
+  Alcotest.(check bool)
+    "honest artifacts pass" true
+    (List.for_all (fun a -> Objfile.contract_check a = Ok ()) arts);
+  (* lie about the preservation contract of a closed proc that publishes a
+     usage mask; the mask is authoritative, so the lie must be caught *)
+  let tampered =
+    List.map
+      (fun (a : Objfile.t) ->
+        {
+          a with
+          Objfile.o_procs =
+            List.map
+              (fun (p : Objfile.proc_art) ->
+                if p.Objfile.pa_usage = None then p
+                else
+                  {
+                    p with
+                    Objfile.pa_preserved =
+                      (if p.Objfile.pa_preserved = [] then
+                         [ List.hd Machine.callee_saved ]
+                       else []);
+                  })
+              a.Objfile.o_procs;
+        })
+      arts
+  in
+  Alcotest.(check bool)
+    "tampering detected" true
+    (List.exists
+       (fun a -> Result.is_error (Objfile.contract_check a))
+       tampered);
+  match Pipeline.link_units tampered with
+  | _ -> Alcotest.fail "link_units accepted a tampered contract"
+  | exception Invalid_argument _ -> ()
+
+(* ----- incremental cache ----- *)
+
+let test_warm_rebuild_identical_and_allocation_free () =
+  let cold = Pipeline.compile_source Config.o3_sw (Pipeline.Srcs two_units) in
+  let cache = fresh_cache "warm" in
+  let seed =
+    Pipeline.compile_source ~cache Config.o3_sw (Pipeline.Srcs two_units)
+  in
+  Alcotest.(check bool)
+    "cold cached build = cache-less build" true
+    (Pipeline.program seed = Pipeline.program cold);
+  Trace.reset ();
+  Trace.enable ();
+  let warm =
+    with_metrics (fun () ->
+        Pipeline.compile_source ~cache Config.o3_sw (Pipeline.Srcs two_units))
+  in
+  let hits = counter_value "cache.hit"
+  and misses = counter_value "cache.miss" in
+  Trace.disable ();
+  let trace = Trace.to_string () in
+  Trace.reset ();
+  Alcotest.(check bool)
+    "warm build byte-identical" true
+    (Pipeline.program warm = Pipeline.program cold);
+  Alcotest.(check int) "every unit a hit" (List.length two_units) hits;
+  Alcotest.(check int) "no misses" 0 misses;
+  Alcotest.(check (list Alcotest.reject)) "no procedure allocated" []
+    (Pipeline.allocs warm);
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i =
+      i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool)
+    "no allocate-unit span in the warm trace" false
+    (contains ~needle:"allocate-unit" trace);
+  Alcotest.(check bool)
+    "cache-resolve span present" true
+    (contains ~needle:"cache-resolve" trace)
+
+let test_config_fingerprint_misses () =
+  let cache = fresh_cache "fingerprint" in
+  ignore (Pipeline.compile_source ~cache Config.o3_sw (Pipeline.Srcs two_units));
+  let hits =
+    with_metrics (fun () ->
+        ignore
+          (Pipeline.compile_source ~cache Config.baseline
+             (Pipeline.Srcs two_units));
+        counter_value "cache.hit")
+  in
+  Alcotest.(check int) "other config never hits" 0 hits;
+  (* jobs is excluded from the fingerprint: allocation is bit-identical
+     for every -j, so a -j4 rebuild may reuse -j1 artifacts *)
+  let hits_j4 =
+    with_metrics (fun () ->
+        ignore
+          (Pipeline.compile_source ~cache
+             (Config.with_jobs 4 Config.o3_sw)
+             (Pipeline.Srcs two_units));
+        counter_value "cache.hit")
+  in
+  Alcotest.(check int) "-j4 reuses -j1 artifacts" 2 hits_j4
+
+let test_data_base_shift_misses () =
+  let cache = fresh_cache "baseshift" in
+  ignore (Pipeline.compile_source ~cache Config.o3_sw (Pipeline.Srcs two_units));
+  (* grow the first unit's data segment: the second unit's source is
+     unchanged but its globals move, and baked absolute addresses make the
+     artifact position-dependent — it must miss *)
+  let grown = {|
+var pad[8];
+|} ^ unit_main in
+  let hits, misses =
+    with_metrics (fun () ->
+        ignore
+          (Pipeline.compile_source ~cache Config.o3_sw
+             (Pipeline.Srcs [ grown; unit_math ]));
+        (counter_value "cache.hit", counter_value "cache.miss"))
+  in
+  Alcotest.(check int) "no unit hits" 0 hits;
+  Alcotest.(check int) "both units recompile" 2 misses
+
+let test_disk_corruption_recompiles () =
+  let cache = fresh_cache "corrupt" in
+  let cold =
+    Pipeline.compile_source ~cache Config.o3_sw (Pipeline.Srcs two_units)
+  in
+  (* clobber one stored artifact in place *)
+  let victim =
+    match
+      List.find_opt
+        (fun n -> Filename.check_suffix n ".pawno")
+        (Array.to_list (Sys.readdir (Cache.dir cache)))
+    with
+    | Some n -> Filename.concat (Cache.dir cache) n
+    | None -> Alcotest.fail "cache is empty after a cold build"
+  in
+  let oc = open_out_bin victim in
+  output_string oc "PWNO garbage";
+  close_out oc;
+  let rebuilt, (hits, misses, corrupt) =
+    with_metrics (fun () ->
+        let c =
+          Pipeline.compile_source ~cache Config.o3_sw (Pipeline.Srcs two_units)
+        in
+        ( c,
+          ( counter_value "cache.hit",
+            counter_value "cache.miss",
+            counter_value "cache.corrupt" ) ))
+  in
+  Alcotest.(check bool)
+    "corruption is invisible in the output" true
+    (Pipeline.program rebuilt = Pipeline.program cold);
+  Alcotest.(check int) "intact unit hits" 1 hits;
+  Alcotest.(check int) "clobbered unit recompiles" 1 misses;
+  Alcotest.(check int) "corruption counted" 1 corrupt;
+  Alcotest.(check bool)
+    "offender deleted and restored" true
+    (Sys.file_exists victim)
+
+let test_eviction () =
+  let cache = fresh_cache ~max_entries:2 "evict" in
+  let c = Pipeline.compile_source Config.o3_sw (Pipeline.Srcs two_units) in
+  let art = List.hd (Pipeline.artifacts c) in
+  let evicted =
+    with_metrics (fun () ->
+        List.iter
+          (fun key -> Cache.store cache key art)
+          [ "k1"; "k2"; "k3"; "k4" ];
+        counter_value "cache.evict")
+  in
+  let stored =
+    List.filter
+      (fun n -> Filename.check_suffix n ".pawno")
+      (Array.to_list (Sys.readdir (Cache.dir cache)))
+  in
+  Alcotest.(check int) "bounded store" 2 (List.length stored);
+  Alcotest.(check int) "evictions counted" 2 evicted
+
+(* ----- diagnostics ----- *)
+
+let check_error what expected_phase source =
+  match Pipeline.compile_result Config.baseline source with
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error (e : Diag.error) ->
+      if e.Diag.phase <> expected_phase then
+        Alcotest.failf "%s: wrong phase %s" what (Diag.phase_name e.Diag.phase)
+
+let test_compile_result_errors () =
+  check_error "stray character" Diag.Lex (Pipeline.Src "proc main() { ? }");
+  check_error "broken syntax" Diag.Parse (Pipeline.Src "proc main( {}");
+  check_error "undefined variable" Diag.Check
+    (Pipeline.Src "proc main() { return nope; }");
+  check_error "empty unit list" Diag.Check (Pipeline.Srcs []);
+  (match Pipeline.compile_result Config.baseline (Pipeline.Srcs []) with
+  | Error e ->
+      Alcotest.(check string)
+        "empty-list message" "no compilation units" e.Diag.message
+  | Ok _ -> Alcotest.fail "Srcs [] accepted");
+  match Pipeline.compile_result Config.baseline (Pipeline.Src "proc main() {}")
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "valid program rejected: %s" (Diag.to_string e)
+
+let test_legacy_aliases_still_raise () =
+  (match Pipeline.compile Config.baseline "proc main( {}" with
+  | _ -> Alcotest.fail "expected Parser.Error"
+  | exception Chow_frontend.Parser.Error _ -> ());
+  (match Pipeline.compile_modules Config.baseline [] with
+  | _ -> Alcotest.fail "expected Check.Error"
+  | exception Chow_frontend.Check.Error msg ->
+      Alcotest.(check string) "message" "no compilation units" msg);
+  (* the alias surface still compiles real programs *)
+  let o =
+    Pipeline.run (Pipeline.compile_modules Config.o3_sw two_units)
+  in
+  Alcotest.(check (list int)) "aliases still work" [ 32; 27 ] o.Sim.output
+
+let suite =
+  ( "objfile",
+    [
+      Alcotest.test_case "round-trip: fuzzed artifacts bit-exact" `Quick
+        test_roundtrip_fuzz;
+      Alcotest.test_case "round-trip: save/load file" `Quick
+        test_save_load_file;
+      Alcotest.test_case "format: damage rejected, never mis-linked" `Quick
+        test_rejects_damage;
+      Alcotest.test_case "format: tampered contract rejected" `Quick
+        test_tampered_contract_rejected;
+      Alcotest.test_case "cache: warm rebuild identical, allocation-free"
+        `Quick test_warm_rebuild_identical_and_allocation_free;
+      Alcotest.test_case "cache: config fingerprint keys the store" `Quick
+        test_config_fingerprint_misses;
+      Alcotest.test_case "cache: data-base shift forces a miss" `Quick
+        test_data_base_shift_misses;
+      Alcotest.test_case "cache: disk corruption degrades to recompile"
+        `Quick test_disk_corruption_recompiles;
+      Alcotest.test_case "cache: max_entries evicts oldest" `Quick
+        test_eviction;
+      Alcotest.test_case "diag: compile_result reifies front-end errors"
+        `Quick test_compile_result_errors;
+      Alcotest.test_case "diag: legacy aliases still raise" `Quick
+        test_legacy_aliases_still_raise;
+    ] )

@@ -101,7 +101,7 @@ let test_trace_pipeline () =
   let compiled =
     Pipeline.compile (Config.with_jobs 4 Config.o3_sw) (source_of "nim")
   in
-  ignore (Sim.run compiled.Pipeline.program);
+  ignore (Sim.run (Pipeline.program compiled));
   Trace.disable ();
   let txt = Trace.to_string () in
   Trace.reset ();
@@ -248,7 +248,7 @@ let test_sim_metrics_match_outcome () =
   Metrics.reset ();
   Metrics.enable ();
   let compiled = Pipeline.compile Config.o3_sw (source_of "nim") in
-  let o = Sim.run ~profile:true compiled.Pipeline.program in
+  let o = Sim.run ~profile:true (Pipeline.program compiled) in
   Metrics.disable ();
   let dump = Metrics.dump () in
   Metrics.reset ();

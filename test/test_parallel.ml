@@ -172,8 +172,8 @@ let test_alloc_deterministic_random () =
 
 let check_asm_identical name src =
   let compile jobs =
-    (Pipeline.compile (Config.with_jobs jobs Config.o3_sw) src)
-      .Pipeline.program
+    Pipeline.program
+      (Pipeline.compile (Config.with_jobs jobs Config.o3_sw) src)
   in
   if not (compile 1 = compile 4) then
     Alcotest.failf "%s: assembly differs between -j 1 and -j 4" name

@@ -189,7 +189,7 @@ let check_engines_agree ?fuel ?profile name prog =
 
 let test_diff_fuel_exhaustion () =
   let src = "proc main() { var x = 1; while (x == 1) { x = 1; } }" in
-  let prog = (Pipeline.compile Config.baseline src).Pipeline.program in
+  let prog = Pipeline.program (Pipeline.compile Config.baseline src) in
   check_engines_agree ~fuel:100 "fuel" prog;
   match capture (fun () -> Sim.run ~fuel:100 prog) with
   | Ok _ -> Alcotest.fail "expected fuel exhaustion"
@@ -240,8 +240,8 @@ let test_diff_profile_counts () =
      the reference's, on a real workload *)
   let w = Option.get (Chow_workloads.Workloads.find "nim") in
   let prog =
-    (Pipeline.compile Config.o3_sw w.Chow_workloads.Workloads.source)
-      .Pipeline.program
+    Pipeline.program
+      (Pipeline.compile Config.o3_sw w.Chow_workloads.Workloads.source)
   in
   let d = Sim.run ~profile:true prog in
   let r = Sim.run_reference ~profile:true prog in
@@ -280,7 +280,7 @@ let prop_differential =
       let src = Genprog.generate ~seed () in
       let rng = Random.State.make [| seed; 0xd1ff |] in
       let config = if seed mod 2 = 0 then Config.o3_sw else Config.baseline in
-      let prog = (Pipeline.compile config src).Pipeline.program in
+      let prog = Pipeline.program (Pipeline.compile config src) in
       check_engines_agree ~profile:true (Printf.sprintf "seed %d" seed) prog;
       (* bounded fuel: a mutation can loop or recurse without limit *)
       let mname, mutated = mutate rng prog in

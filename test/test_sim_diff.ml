@@ -46,7 +46,7 @@ let test_workload (w : W.t) () =
       let c = Pipeline.compile config w.W.source in
       check_agree
         (Printf.sprintf "%s/%s" w.W.name config.Config.name)
-        c.Pipeline.program)
+        (Pipeline.program c))
     [ Config.baseline; Config.o3_sw ]
 
 let () =

@@ -6,6 +6,7 @@ module Ir = Chow_ir.Ir
 module Machine = Chow_machine.Machine
 module Config = Chow_compiler.Config
 module Pipeline = Chow_compiler.Pipeline
+module Ipra = Chow_core.Ipra
 module Coloring = Chow_core.Coloring
 module Sim = Chow_sim.Sim
 
@@ -20,9 +21,9 @@ let config_with n =
 
 let splits_of (c : Pipeline.compiled) name =
   List.find_map
-    (fun (alloc : Pipeline.Ipra.t) ->
-      List.assoc_opt name alloc.Pipeline.Ipra.stats)
-    c.Pipeline.allocs
+    (fun (alloc : Ipra.t) ->
+      List.assoc_opt name alloc.Ipra.stats)
+    (Pipeline.allocs c)
   |> Option.map (fun (st : Coloring.stats) -> st.Coloring.s_splits)
   |> Option.value ~default:(-1)
 
@@ -65,7 +66,7 @@ let test_profitable_split_fires () =
   let c = Pipeline.compile (config_with 5) profitable_src in
   Alcotest.(check int) "one split kept in f" 1 (splits_of c "f");
   (* the rewrite shows up in the IR: a vreg named keep@split *)
-  let f = Option.get (Ir.find_proc c.Pipeline.ir "f") in
+  let f = Option.get (Ir.find_proc (Pipeline.ir c) "f") in
   let has_split_vreg =
     Array.exists
       (function Ir.Vlocal n -> n = "keep@split" | _ -> false)
@@ -114,7 +115,7 @@ let test_hopeless_splits_rolled_back () =
   let c = Pipeline.compile (config_with 3) pathological_src in
   Alcotest.(check int) "no split survives in hot" 0 (splits_of c "hot");
   (* the rollback leaves no trace in the IR *)
-  let hot = Option.get (Ir.find_proc c.Pipeline.ir "hot") in
+  let hot = Option.get (Ir.find_proc (Pipeline.ir c) "hot") in
   let has_split_vreg =
     Array.exists
       (function Ir.Vlocal n -> String.length n > 6
@@ -136,14 +137,14 @@ let test_full_machine_never_splits_workloads () =
       | Some w ->
           let c = Pipeline.compile Config.o3_sw w.Chow_workloads.Workloads.source in
           List.iter
-            (fun (alloc : Pipeline.Ipra.t) ->
+            (fun (alloc : Ipra.t) ->
               List.iter
                 (fun (pname, (st : Coloring.stats)) ->
                   Alcotest.(check int)
                     (name ^ "." ^ pname ^ " splits")
                     0 st.Coloring.s_splits)
-                alloc.Pipeline.Ipra.stats)
-            c.Pipeline.allocs)
+                alloc.Ipra.stats)
+            (Pipeline.allocs c))
     [ "nim"; "calcc" ]
 
 let test_workloads_equivalent_on_tiny_machines () =
