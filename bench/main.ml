@@ -7,7 +7,7 @@ let usage () =
   print_endline
     "usage: main.exe \
      [all|table1|table2|fig1..fig4|figures|ablation|profile|promo|split|timing] \
-     [--json] [--smoke] [--trace FILE]";
+     [--json] [--smoke] [--penalty] [--trace FILE]";
   exit 1
 
 (* pull the [--trace FILE] pair out of the argument list *)
@@ -26,7 +26,12 @@ let () =
   let trace, args = extract_trace args in
   let json = List.mem "--json" args in
   let smoke = List.mem "--smoke" args in
-  let args = List.filter (fun a -> a <> "--json" && a <> "--smoke") args in
+  let penalty = List.mem "--penalty" args in
+  let args =
+    List.filter
+      (fun a -> a <> "--json" && a <> "--smoke" && a <> "--penalty")
+      args
+  in
   let args = if args = [] then [ "all" ] else args in
   List.iter
     (fun arg ->
@@ -38,7 +43,7 @@ let () =
           Profile_fb.run ();
           Promo_bench.run ();
           Split_bench.run ();
-          Timing.run ~json ~smoke ?trace ()
+          Timing.run ~json ~smoke ~penalty ?trace ()
       | "table1" -> Tables.run_table1 ()
       | "table2" -> Tables.run_table2 ()
       | "tables" -> ignore (Tables.run ())
@@ -51,6 +56,6 @@ let () =
       | "profile" -> Profile_fb.run ()
       | "promo" -> Promo_bench.run ()
       | "split" -> Split_bench.run ()
-      | "timing" -> Timing.run ~json ~smoke ?trace ()
+      | "timing" -> Timing.run ~json ~smoke ~penalty ?trace ()
       | _ -> usage ())
     args

@@ -192,6 +192,49 @@ let metrics_rows ~smoke () =
         (Metrics.dump ()))
     Config.all
 
+(* Dynamic-penalty trajectory: the paper's headline metric as exact
+   integer rows.  For each workload and configuration, run once under the
+   penalty profiler and report the executed save/restore memory
+   operations plus the scalar memory operations removed relative to the
+   -O2 baseline.  Compilation and simulation are deterministic, so these
+   rows are bit-stable and the CI gate (trace_check --bench-compare)
+   demands exact equality. *)
+let penalty_rows ~smoke () =
+  let workloads = if smoke then [ "nim" ] else [ "nim"; "dhrystone"; "uopt" ] in
+  let configs = [ Config.baseline; Config.o2_sw; Config.o3; Config.o3_sw ] in
+  List.concat_map
+    (fun workload ->
+      let src = source_of workload in
+      let reports =
+        List.map
+          (fun (config : Config.t) ->
+            (config, Pipeline.profile_penalty (Pipeline.compile config src)))
+          configs
+      in
+      let scalar_ops (r : Chow_sim.Profile.report) =
+        r.Chow_sim.Profile.outcome.Chow_sim.Decode.scalar_loads
+        + r.Chow_sim.Profile.outcome.Chow_sim.Decode.scalar_stores
+      in
+      let base_ops =
+        match reports with (_, r) :: _ -> scalar_ops r | [] -> 0
+      in
+      List.concat_map
+        (fun ((config : Config.t), (r : Chow_sim.Profile.report)) ->
+          let c = r.Chow_sim.Profile.counters in
+          let row what v =
+            (Printf.sprintf "penalty/%s/%s/%s" workload config.Config.name what, v)
+          in
+          [
+            row "saves"
+              (c.Chow_sim.Profile.entry_saves + c.Chow_sim.Profile.call_saves);
+            row "restores"
+              (c.Chow_sim.Profile.exit_restores
+              + c.Chow_sim.Profile.call_restores);
+            row "memops_removed_vs_O2" (base_ops - scalar_ops r);
+          ])
+        reports)
+    workloads
+
 (* machine-readable perf trajectory: one [{name; ns_per_run}] row per test
    plus one [{name; value}] row per metric, so successive PRs can diff
    compile-time cost without scraping stdout *)
@@ -229,7 +272,7 @@ let write_trace path =
   Trace.write_file path;
   Format.printf "wrote %s@." path
 
-let run ?(json = false) ?(smoke = false) ?trace () =
+let run ?(json = false) ?(smoke = false) ?(penalty = false) ?trace () =
   Format.printf "@.Compiler throughput (Bechamel, monotonic clock)%s@."
     (if smoke then " — smoke subset" else "");
   Format.printf "%s@." (String.make 60 '=');
@@ -253,5 +296,8 @@ let run ?(json = false) ?(smoke = false) ?trace () =
     (fun (name, ns) ->
       Format.printf "%-36s %12.1f us/run@." name (ns /. 1000.))
     rows;
-  if json then write_json rows (metrics_rows ~smoke ());
+  if json then
+    write_json rows
+      (metrics_rows ~smoke ()
+      @ (if penalty then penalty_rows ~smoke () else []));
   Option.iter write_trace trace

@@ -11,6 +11,10 @@
     - [link OBJS..]: link [.pawno] artifacts into an executable image,
       optionally running it;
     - [stats FILE]: compare all six paper configurations on one program;
+    - [profile FILE]: execute under the dynamic penalty profiler —
+      per-call-site save/restore attribution ([--penalty-report]), the
+      call-path tree ([--calltree]) and simulated-time trace spans
+      ([--trace]);
     - [callgraph FILE]: processing order, open/closed classification and
       published register-usage masks. *)
 
@@ -29,6 +33,7 @@ module Callgraph = Chow_core.Callgraph
 module Alloc = Chow_core.Alloc_types
 module Coloring = Chow_core.Coloring
 module Sim = Chow_sim.Sim
+module Profile = Chow_sim.Profile
 module Trace = Chow_obs.Trace
 module Metrics = Chow_obs.Metrics
 
@@ -349,6 +354,68 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const stats $ file_arg $ jobs_arg)
 
+(* ----- profile ----- *)
+
+let profile_cmd =
+  let doc =
+    "Execute a program under the dynamic penalty profiler: classify every \
+     executed memory operation (entry save, exit restore, call-site \
+     save/restore, spill, stack argument, data), attribute it to the call \
+     site that forced it, and build the dynamic call tree."
+  in
+  let profile file o3 no_sw machine jobs global_promo penalty_report calltree
+      limit max_depth trace stats =
+    handle_errors @@ fun () ->
+    with_obs ~trace ~stats @@ fun () ->
+    let config = config_of ~o3 ~no_sw ~machine ~jobs in
+    let compiled =
+      Pipeline.compile_source ~global_promo config
+        (Pipeline.Src (read_file file))
+    in
+    let r = Pipeline.profile_penalty compiled in
+    if penalty_report || not calltree then
+      Format.printf "%a@." (Profile.pp_penalty_report ~limit) r;
+    if calltree then
+      Format.printf "%a@." (Profile.pp_calltree ?max_depth) r;
+    if stats then print_stats compiled
+  in
+  let penalty_report_flag =
+    Arg.(
+      value & flag
+      & info [ "penalty-report" ]
+          ~doc:
+            "Print the classification totals and the per-call-site \
+             save/restore table (the default when $(b,--calltree) is not \
+             given).")
+  in
+  let calltree_flag =
+    Arg.(
+      value & flag
+      & info [ "calltree" ]
+          ~doc:
+            "Print the dynamic call tree with per-path call counts, \
+             flat/cumulative cycles and penalty memory operations.")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Rows of the per-call-site table (default 20).")
+  in
+  let max_depth_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-depth" ] ~docv:"N"
+          ~doc:"Prune call-tree paths deeper than $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const profile $ file_arg $ o3_flag $ no_sw_flag $ machine_arg
+      $ jobs_arg $ promo_flag $ penalty_report_flag $ calltree_flag
+      $ limit_arg $ max_depth_arg $ trace_arg $ stats_flag)
+
 (* ----- callgraph ----- *)
 
 let callgraph_cmd =
@@ -516,6 +583,14 @@ let main_cmd =
   in
   Cmd.group
     (Cmd.info "pawnc" ~version:"1.0.0" ~doc)
-    [ run_cmd; compile_cmd; build_cmd; link_cmd; stats_cmd; callgraph_cmd ]
+    [
+      run_cmd;
+      compile_cmd;
+      build_cmd;
+      link_cmd;
+      stats_cmd;
+      profile_cmd;
+      callgraph_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

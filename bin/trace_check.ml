@@ -8,8 +8,18 @@
     of a warm [pawnc build --cache-dir] rebuild: every one of the [N]
     units must have come from the artifact cache ([cache.hit] = N,
     [cache.miss] = 0 — the zero-recompilation contract of the
-    content-addressed store).  Exits nonzero with a diagnostic on the
-    first violation. *)
+    content-addressed store).
+
+    [trace_check --bench-compare BASELINE.json CURRENT.json] is the
+    bench-regression gate over two [BENCH_timing.json] files: every
+    [chow88/*] timing present in both must not regress by more than 25%,
+    and every [penalty/*] row present in both must be exactly equal (the
+    dynamic penalty counts are deterministic, so any drift is a codegen
+    or simulator change that must be re-baselined deliberately).  Names
+    present in only one file are ignored, but at least one [penalty/*]
+    row must overlap — a gate comparing zero penalty rows is miswired.
+
+    Exits nonzero with a diagnostic on the first violation. *)
 
 module Json = Chow_obs.Json
 
@@ -114,8 +124,84 @@ let check_cache_smoke path expected_hits =
   Printf.printf "%s: warm rebuild served all %d units from the cache\n" path
     hits
 
+(* ----- bench-regression gate ----- *)
+
+let bench_rows path =
+  match Json.parse (read_file path) with
+  | Error msg -> fail "%s: JSON does not parse: %s" path msg
+  | Ok (Json.Arr rows) ->
+      List.filter_map
+        (fun row ->
+          match Json.member "name" row with
+          | Some (Json.Str name) ->
+              let num k =
+                match Json.member k row with
+                | Some (Json.Num f) -> Some f
+                | _ -> None
+              in
+              Some (name, (num "ns_per_run", num "value"))
+          | _ -> fail "%s: row lacks a \"name\" field" path)
+        rows
+  | Ok _ -> fail "%s: top-level JSON value is not an array" path
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let check_bench_compare baseline_path current_path =
+  let baseline = bench_rows baseline_path in
+  let current = bench_rows current_path in
+  let timing_checked = ref 0 and penalty_checked = ref 0 in
+  let failures = ref [] in
+  let flunk fmt =
+    Printf.ksprintf (fun m -> failures := m :: !failures) fmt
+  in
+  List.iter
+    (fun (name, (base_ns, base_v)) ->
+      match List.assoc_opt name current with
+      | None -> ()
+      | Some (cur_ns, cur_v) ->
+          if starts_with ~prefix:"chow88/" name then begin
+            match (base_ns, cur_ns) with
+            | Some b, Some c when b > 0. ->
+                incr timing_checked;
+                if c > b *. 1.25 then
+                  flunk
+                    "%s regressed: %.1f -> %.1f ns/run (+%.1f%%, limit 25%%)"
+                    name b c
+                    (100. *. (c -. b) /. b)
+            | _ -> ()
+          end
+          else if starts_with ~prefix:"penalty/" name then begin
+            match (base_v, cur_v) with
+            | Some b, Some c ->
+                incr penalty_checked;
+                if b <> c then
+                  flunk
+                    "%s changed: %.0f -> %.0f (penalty counts are exact; \
+                     re-baseline deliberately if intended)"
+                    name b c
+            | _ -> flunk "%s: penalty row lacks a \"value\" field" name
+          end)
+    baseline;
+  if !penalty_checked = 0 then
+    flunk
+      "no penalty/* rows overlap between %s and %s — the gate is comparing \
+       nothing (was the baseline generated with --penalty?)"
+      baseline_path current_path;
+  (match !failures with
+  | [] -> ()
+  | fs ->
+      List.iter prerr_endline (List.rev fs);
+      exit 1);
+  Printf.printf
+    "%s vs %s: %d timings within 25%%, %d penalty rows exact\n" current_path
+    baseline_path !timing_checked !penalty_checked
+
 let () =
   match Sys.argv with
+  | [| _; "--bench-compare"; baseline; current |] ->
+      check_bench_compare baseline current
   | [| _; trace; stats |] ->
       check_trace trace;
       check_stats stats
@@ -128,5 +214,6 @@ let () =
   | _ ->
       prerr_endline
         "usage: trace_check TRACE.json STATS.txt\n\
-        \       trace_check --cache-smoke STATS.txt N";
+        \       trace_check --cache-smoke STATS.txt N\n\
+        \       trace_check --bench-compare BASELINE.json CURRENT.json";
       exit 2

@@ -12,7 +12,12 @@ module Machine = Chow_machine.Machine
 type tag =
   | Tdata  (** globals and array elements: not removable by allocation *)
   | Tscalar  (** spill-home traffic of scalar locals and temporaries *)
-  | Tsave  (** register save/restore: contract, shrink-wrapped, around-call *)
+  | Tsave
+      (** contract save/restore: the shrink-wrapped entry/exit traffic a
+          callee pays to honour its preservation contract *)
+  | Tcallsave
+      (** around-call save/restore: caller-side protection of live
+          registers across one call site *)
   | Tstackarg  (** parameter passing through the stack *)
 
 type label = int
@@ -94,6 +99,7 @@ let pp_tag ppf t =
     | Tdata -> "data"
     | Tscalar -> "scalar"
     | Tsave -> "save"
+    | Tcallsave -> "callsave"
     | Tstackarg -> "stackarg")
 
 let pp_inst ppf = function

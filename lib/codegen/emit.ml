@@ -6,7 +6,8 @@
     [Tscalar].  Contract saves/restores are emitted at the block
     entries/exits chosen by shrink-wrapping (tag [Tsave]); around-call
     saves/restores go to per-register scratch slots at the call sites that
-    need them.  [$x2] carries indirect-call targets. *)
+    need them (tag [Tcallsave], so the penalty profiler can attribute them
+    to the forcing call site).  [$x2] carries indirect-call targets. *)
 
 module Ir = Chow_ir.Ir
 module Machine = Chow_machine.Machine
@@ -79,7 +80,7 @@ let emit_call ctx l idx target args ret =
   List.iter
     (fun r ->
       emit ctx
-        (Asm.Sw (r, Machine.sp, Frame.scratch_slot ctx.frame r, Asm.Tsave)))
+        (Asm.Sw (r, Machine.sp, Frame.scratch_slot ctx.frame r, Asm.Tcallsave)))
     plan.cp_saves;
   (* 2. indirect targets move to the call scratch before arguments do *)
   (match target with
@@ -113,7 +114,7 @@ let emit_call ctx l idx target args ret =
   List.iter
     (fun r ->
       emit ctx
-        (Asm.Lw (r, Machine.sp, Frame.scratch_slot ctx.frame r, Asm.Tsave)))
+        (Asm.Lw (r, Machine.sp, Frame.scratch_slot ctx.frame r, Asm.Tcallsave)))
     (List.rev plan.cp_saves);
   (* 7. land the return value *)
   match ret with

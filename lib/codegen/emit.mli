@@ -4,7 +4,8 @@
     through the reserved scratch registers around each use (tag
     [Tscalar]).  Contract saves/restores go at the block entries/exits
     chosen by shrink-wrapping (tag [Tsave]); around-call saves to
-    per-register scratch slots; [$x2] carries indirect-call targets. *)
+    per-register scratch slots (tag [Tcallsave]); [$x2] carries
+    indirect-call targets. *)
 
 (** [emit_proc ~layout res frame] generates one procedure's assembly.
     [layout] maps globals to data-segment base addresses. *)

@@ -18,7 +18,9 @@ exception Corrupt of string
 let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
 
 let magic = "PWNO"
-let format_version = 1
+(* version 2: the around-call save/restore tag [Tcallsave] split out of
+   [Tsave], shifting the tag enumeration *)
+let format_version = 2
 
 type proc_art = {
   pa_code : Asm.proc_code;
@@ -83,13 +85,15 @@ let int_of_tag : Asm.tag -> int = function
   | Asm.Tdata -> 0
   | Asm.Tscalar -> 1
   | Asm.Tsave -> 2
-  | Asm.Tstackarg -> 3
+  | Asm.Tcallsave -> 3
+  | Asm.Tstackarg -> 4
 
 let tag_of_int : int -> Asm.tag = function
   | 0 -> Asm.Tdata
   | 1 -> Asm.Tscalar
   | 2 -> Asm.Tsave
-  | 3 -> Asm.Tstackarg
+  | 3 -> Asm.Tcallsave
+  | 4 -> Asm.Tstackarg
   | n -> corrupt "unknown tag code %d" n
 
 (* ----- primitive writers ----- *)

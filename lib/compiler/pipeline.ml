@@ -351,6 +351,13 @@ let run ?fuel ?check ?profile (c : compiled) =
 let run_reference ?fuel ?check ?profile (c : compiled) =
   Sim.run_reference ?fuel ?check ?profile c.c_program
 
+(** [profile_penalty c] runs the program under the dynamic penalty
+    profiler: per-site save/restore attribution and a call-path tree. *)
+let profile_penalty ?fuel ?check ?trace ?trace_depth ?trace_limit
+    (c : compiled) =
+  Chow_sim.Profile.run ?fuel ?check ?trace ?trace_depth ?trace_limit
+    c.c_program
+
 (** Profile-guided compilation, the paper's §8 future work: compile once,
     execute under the block profiler, normalise the measured block
     frequencies per procedure (entry block = 1), and recompile with the

@@ -16,6 +16,7 @@ module Objfile := Chow_codegen.Objfile
 module Ipra := Chow_core.Ipra
 module Coloring := Chow_core.Coloring
 module Sim := Chow_sim.Sim
+module Profile := Chow_sim.Profile
 module Diag := Chow_frontend.Diag
 
 type compiled
@@ -158,6 +159,19 @@ val run :
 (** [run_reference c] is {!run} on the reference (specification) engine. *)
 val run_reference :
   ?fuel:int -> ?check:bool -> ?profile:bool -> compiled -> Sim.outcome
+
+(** [profile_penalty c] runs the compiled program under the dynamic
+    penalty profiler ({!Chow_sim.Profile}): save/restore attribution per
+    call site, a call-path tree, and optional simulated-time trace spans.
+    Raises {!Chow_sim.Sim.Runtime_error} exactly as {!run} would. *)
+val profile_penalty :
+  ?fuel:int ->
+  ?check:bool ->
+  ?trace:bool ->
+  ?trace_depth:int ->
+  ?trace_limit:int ->
+  compiled ->
+  Profile.report
 
 (** Profile-guided compilation (§8 future work): compile, run under the
     block profiler, recompile with measured weights.  Returns the

@@ -65,6 +65,28 @@ let reset () =
     histograms;
   Mutex.unlock lock
 
+(* Histogram buckets are named [<hist>.le_<threshold>]; a plain string
+   sort interleaves them (le_1, le_16, le_2, ...).  Split such names into
+   (prefix, threshold) and order the threshold numerically, so buckets of
+   one histogram list in ascending range order. *)
+let bucket_split name =
+  match String.rindex_opt name '_' with
+  | Some i
+    when i >= 3
+         && String.sub name (i - 3) 4 = ".le_"
+         && i + 1 < String.length name -> (
+      match int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) with
+      | Some n -> Some (String.sub name 0 (i - 3), n)
+      | None -> None)
+  | _ -> None
+
+let compare_names a b =
+  match (bucket_split a, bucket_split b) with
+  | Some (pa, na), Some (pb, nb) ->
+      let c = compare pa pb in
+      if c <> 0 then c else compare na nb
+  | _ -> compare a b
+
 let dump () =
   Mutex.lock lock;
   let rows =
@@ -87,7 +109,7 @@ let dump () =
       histograms rows
   in
   Mutex.unlock lock;
-  List.sort compare rows
+  List.sort (fun (a, _) (b, _) -> compare_names a b) rows
 
 let pp_table ppf () =
   let rows = dump () in

@@ -37,7 +37,8 @@ val reset : unit -> unit
 
 (** Snapshot of every registered metric, sorted by name: counters as
     [(name, value)], histograms as one [("name.le_N", count)] entry per
-    non-empty bucket. *)
+    non-empty bucket.  Bucket entries of one histogram sort by their
+    numeric threshold (le_1, le_2, ..., le_16), not lexicographically. *)
 val dump : unit -> (string * int) list
 
 (** The {!dump} snapshot as an aligned two-column table. *)

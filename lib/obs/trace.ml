@@ -138,6 +138,15 @@ let counter name series =
     push (buffer ()) ~name ~ts:(now_ns ()) ~dur:0 ~kind:k_counter
       ~args:(render_counts series)
 
+(* Synthetic-clock spans: the caller supplies ts/dur on its own timebase
+   (e.g. simulated cycles).  The epoch is added here so that [emit]'s
+   subtraction leaves the caller's timestamps intact. *)
+let span_at ?(args = []) ~ts_ns ~dur_ns name =
+  if Atomic.get enabled then
+    push (buffer ()) ~name
+      ~ts:(Atomic.get epoch + ts_ns)
+      ~dur:dur_ns ~kind:k_span ~args:(render_args args)
+
 (* Timestamps and durations are emitted in microseconds (the trace-event
    unit) with nanosecond precision kept as three decimals. *)
 let pp_us out ns =

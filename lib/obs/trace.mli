@@ -33,6 +33,14 @@ val span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
     each named series at the current time. *)
 val counter : string -> (string * int) list -> unit
 
+(** [span_at ~ts_ns ~dur_ns name] records a complete-event span whose
+    start and duration the caller supplies on its own timebase (relative
+    to the trace epoch) instead of the wall clock — how the simulator's
+    penalty profiler plots simulated-time call spans next to the compile's
+    wall-clock spans.  No-op while disabled. *)
+val span_at :
+  ?args:(string * arg) list -> ts_ns:int -> dur_ns:int -> string -> unit
+
 (** Merge every domain's buffer and emit the JSON array.  Call only when no
     domain is still recording. *)
 val write : out_channel -> unit

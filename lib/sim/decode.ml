@@ -37,7 +37,8 @@ let tag_index = function
   | Asm.Tdata -> 0
   | Asm.Tscalar -> 1
   | Asm.Tsave -> 2
-  | Asm.Tstackarg -> 3
+  | Asm.Tcallsave -> 3
+  | Asm.Tstackarg -> 4
 
 type outcome = {
   output : int list;
@@ -47,8 +48,10 @@ type outcome = {
   data_stores : int;
   scalar_loads : int;  (** scalar + save/restore + stack-arg loads *)
   scalar_stores : int;
-  save_loads : int;  (** the save/restore component alone *)
+  save_loads : int;  (** the save/restore component alone, both kinds *)
   save_stores : int;
+  call_save_loads : int;  (** the around-call subset of [save_loads] *)
+  call_save_stores : int;
   block_counts : ((string * Ir.label) * int) list;
       (** execution count of each basic block, when run with
           [profile = true]; empty otherwise *)
@@ -71,14 +74,14 @@ let k_addi = 15 (* same, c = immediate *)
 let k_cmp = 25 (* +0..5 = eq ne lt le gt ge; a=dst b,c regs *)
 let k_cmpi = 31 (* same, c = immediate *)
 let k_lw = 37 (* +tag; a=dst b=base c=offset *)
-let k_sw = 41 (* +tag; a=src b=base c=offset *)
-let k_b = 45 (* +relop; a,b regs, c=target *)
-let k_j = 51 (* a=target *)
-let k_jal = 52 (* a=target *)
-let k_jalr = 53 (* a=reg *)
-let k_jr = 54
-let k_print = 55 (* a=reg *)
-let k_unlinked = 56
+let k_sw = 42 (* +tag; a=src b=base c=offset *)
+let k_b = 47 (* +relop; a,b regs, c=target *)
+let k_j = 53 (* a=target *)
+let k_jal = 54 (* a=target *)
+let k_jalr = 55 (* a=reg *)
+let k_jr = 56
+let k_print = 57 (* a=reg *)
+let k_unlinked = 58
 
 let binop_code = function
   | Ir.Add -> 0
@@ -113,6 +116,31 @@ type t = {
   meta_preserved : int array array;
   unknown_meta : int;
   has_metas : bool;
+}
+
+(** Call-path probes, fired only on the call/return path (never per
+    instruction): the executing cycle count and the running save/restore
+    totals at the moment of the transfer, so a profiler can segment them
+    by activation.  [h_call]'s [site] is the pc of the call instruction;
+    both counters snapshots are taken after the transfer instruction
+    itself has been counted. *)
+type hooks = {
+  h_call :
+    site:int ->
+    target:int ->
+    cycles:int ->
+    contract_saves:int ->
+    contract_restores:int ->
+    call_saves:int ->
+    call_restores:int ->
+    unit;
+  h_return :
+    cycles:int ->
+    contract_saves:int ->
+    contract_restores:int ->
+    call_saves:int ->
+    call_restores:int ->
+    unit;
 }
 
 (* Writes to the hardwired zero register are discarded by redirecting them
@@ -236,6 +264,8 @@ let m_scalar_loads = Metrics.counter "sim.scalar_loads"
 let m_scalar_stores = Metrics.counter "sim.scalar_stores"
 let m_save_loads = Metrics.counter "sim.save_loads"
 let m_save_stores = Metrics.counter "sim.save_stores"
+let m_call_save_loads = Metrics.counter "sim.call_save_loads"
+let m_call_save_stores = Metrics.counter "sim.call_save_stores"
 
 (** Publish an outcome's counters into the metrics registry (used by both
     engines after a completed run, so the totals match whichever engine
@@ -251,6 +281,8 @@ let publish_metrics (o : outcome) =
     Metrics.add m_scalar_stores o.scalar_stores;
     Metrics.add m_save_loads o.save_loads;
     Metrics.add m_save_stores o.save_stores;
+    Metrics.add m_call_save_loads o.call_save_loads;
+    Metrics.add m_call_save_stores o.call_save_stores;
     List.iter
       (fun (name, c) ->
         Metrics.add (Metrics.counter ("sim.proc_cycles/" ^ name)) c)
@@ -258,11 +290,22 @@ let publish_metrics (o : outcome) =
   end
 
 let execute ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
-    ?(profile = false) (t : t) : outcome =
+    ?(profile = false) ?hooks ?pc_buf (t : t) : outcome =
   let prog = t.prog in
   let ops = t.ops and fa = t.fa and fb = t.fb and fc = t.fc in
   let ncode = Array.length ops in
-  let pc_counts = if profile then Array.make ncode 0 else [||] in
+  (* a caller-supplied buffer makes per-pc counts observable without
+     adding fields to the outcome; [profile] alone uses a private one *)
+  let count_pcs = profile || pc_buf <> None in
+  let pc_counts =
+    match pc_buf with
+    | Some a ->
+        if Array.length a < ncode then
+          invalid_arg "Decode.execute: pc_buf shorter than the code";
+        Array.fill a 0 (Array.length a) 0;
+        a
+    | None -> if profile then Array.make ncode 0 else [||]
+  in
   let mem = Array.make mem_words 0 in
   List.iter (fun (addr, v) -> mem.(addr) <- v) prog.Asm.data_init;
   (* one extra slot past the register file: the dump target for writes to
@@ -270,7 +313,7 @@ let execute ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
   let regs = Array.make (Machine.nregs + 1) 0 in
   regs.(Machine.sp) <- mem_words;
   let cycles = ref 0 and calls = ref 0 in
-  let loads = Array.make 4 0 and stores = Array.make 4 0 in
+  let loads = Array.make 5 0 and stores = Array.make 5 0 in
   let output = ref [] in
   (* contract-checker shadow stack: parallel int arrays, no allocation per
      call — frames and register snapshots are written into preallocated
@@ -324,19 +367,30 @@ let execute ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
         [
           ("cycles", !cycles);
           ("calls", !calls);
-          ("scalar_loads", loads.(1) + loads.(2) + loads.(3));
-          ("scalar_stores", stores.(1) + stores.(2) + stores.(3));
+          ("scalar_loads", loads.(1) + loads.(2) + loads.(3) + loads.(4));
+          ("scalar_stores", stores.(1) + stores.(2) + stores.(3) + stores.(4));
         ];
-    if regs.(Machine.sp) <= overflow_limit then error "stack overflow";
+    if regs.(Machine.sp) <= overflow_limit then
+      error "stack overflow (pc %d, in %s)" !pc
+        (attribute_pc t.entries t.names !pc);
     if target < 0 || target >= ncode then
-      error "call to invalid address %d" target;
+      error "call to invalid address %d (pc %d, in %s)" target !pc
+        (attribute_pc t.entries t.names !pc);
     regs.(Machine.ra) <- return_pc;
+    (match hooks with
+    | Some h ->
+        h.h_call ~site:(return_pc - 1) ~target ~cycles:!cycles
+          ~contract_saves:stores.(2) ~contract_restores:loads.(2)
+          ~call_saves:stores.(3) ~call_restores:loads.(3)
+    | None -> ());
     if check then begin
       let m =
         let m = t.meta_of_pc.(target) in
         if m >= 0 then m
         else if t.has_metas then
-          error "call to %d, which is not a procedure entry" target
+          error "call to %d, which is not a procedure entry (pc %d, in %s)"
+            target !pc
+            (attribute_pc t.entries t.names !pc)
         else t.unknown_meta
       in
       if !depth = !frame_cap then grow_frames ();
@@ -359,8 +413,16 @@ let execute ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
   in
   let do_return () =
     let target = regs.(Machine.ra) in
+    (match hooks with
+    | Some h ->
+        h.h_return ~cycles:!cycles ~contract_saves:stores.(2)
+          ~contract_restores:loads.(2) ~call_saves:stores.(3)
+          ~call_restores:loads.(3)
+    | None -> ());
     if check then begin
-      if !depth = 0 then error "return with empty call stack";
+      if !depth = 0 then
+        error "return with empty call stack (pc %d, in %s)" !pc
+          (attribute_pc t.entries t.names !pc);
       let d = !depth - 1 in
       depth := d;
       let m = !fr_meta.(d) in
@@ -391,7 +453,7 @@ let execute ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
         (attribute_pc t.entries t.names !pc);
     let i = !pc in
     if i < 0 || i >= ncode then error "pc out of range: %d" i;
-    if profile then pc_counts.(i) <- pc_counts.(i) + 1;
+    if count_pcs then pc_counts.(i) <- pc_counts.(i) + 1;
     incr cycles;
     let next = i + 1 in
     let a = Array.unsafe_get fa i
@@ -422,12 +484,16 @@ let execute ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
         pc := next
     | 8 (* div *) ->
         let d = regs.(c) in
-        if d = 0 then error "division by zero";
+        if d = 0 then
+          error "division by zero (pc %d, in %s)" i
+            (attribute_pc t.entries t.names i);
         regs.(a) <- regs.(b) / d;
         pc := next
     | 9 (* rem *) ->
         let d = regs.(c) in
-        if d = 0 then error "remainder by zero";
+        if d = 0 then
+          error "remainder by zero (pc %d, in %s)" i
+            (attribute_pc t.entries t.names i);
         regs.(a) <- regs.(b) mod d;
         pc := next
     | 10 (* and *) ->
@@ -455,11 +521,15 @@ let execute ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
         regs.(a) <- regs.(b) * c;
         pc := next
     | 18 (* divi *) ->
-        if c = 0 then error "division by zero";
+        if c = 0 then
+          error "division by zero (pc %d, in %s)" i
+            (attribute_pc t.entries t.names i);
         regs.(a) <- regs.(b) / c;
         pc := next
     | 19 (* remi *) ->
-        if c = 0 then error "remainder by zero";
+        if c = 0 then
+          error "remainder by zero (pc %d, in %s)" i
+            (attribute_pc t.entries t.names i);
         regs.(a) <- regs.(b) mod c;
         pc := next
     | 20 (* andi *) ->
@@ -531,50 +601,64 @@ let execute ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
         regs.(a) <- Array.unsafe_get mem addr;
         loads.(2) <- loads.(2) + 1;
         pc := next
-    | 40 (* lw stackarg *) ->
+    | 40 (* lw callsave *) ->
         let addr = regs.(b) + c in
         if addr < 0 || addr >= mem_words then oob addr;
         regs.(a) <- Array.unsafe_get mem addr;
         loads.(3) <- loads.(3) + 1;
         pc := next
-    | 41 (* sw data *) ->
+    | 41 (* lw stackarg *) ->
+        let addr = regs.(b) + c in
+        if addr < 0 || addr >= mem_words then oob addr;
+        regs.(a) <- Array.unsafe_get mem addr;
+        loads.(4) <- loads.(4) + 1;
+        pc := next
+    | 42 (* sw data *) ->
         let addr = regs.(b) + c in
         if addr < 0 || addr >= mem_words then oob addr;
         Array.unsafe_set mem addr regs.(a);
         stores.(0) <- stores.(0) + 1;
         pc := next
-    | 42 (* sw scalar *) ->
+    | 43 (* sw scalar *) ->
         let addr = regs.(b) + c in
         if addr < 0 || addr >= mem_words then oob addr;
         Array.unsafe_set mem addr regs.(a);
         stores.(1) <- stores.(1) + 1;
         pc := next
-    | 43 (* sw save *) ->
+    | 44 (* sw save *) ->
         let addr = regs.(b) + c in
         if addr < 0 || addr >= mem_words then oob addr;
         Array.unsafe_set mem addr regs.(a);
         stores.(2) <- stores.(2) + 1;
         pc := next
-    | 44 (* sw stackarg *) ->
+    | 45 (* sw callsave *) ->
         let addr = regs.(b) + c in
         if addr < 0 || addr >= mem_words then oob addr;
         Array.unsafe_set mem addr regs.(a);
         stores.(3) <- stores.(3) + 1;
         pc := next
-    | 45 (* b eq *) -> pc := (if regs.(a) = regs.(b) then c else next)
-    | 46 (* b ne *) -> pc := (if regs.(a) <> regs.(b) then c else next)
-    | 47 (* b lt *) -> pc := (if regs.(a) < regs.(b) then c else next)
-    | 48 (* b le *) -> pc := (if regs.(a) <= regs.(b) then c else next)
-    | 49 (* b gt *) -> pc := (if regs.(a) > regs.(b) then c else next)
-    | 50 (* b ge *) -> pc := (if regs.(a) >= regs.(b) then c else next)
-    | 51 (* j *) -> pc := a
-    | 52 (* jal *) -> pc := do_call a next
-    | 53 (* jalr *) -> pc := do_call regs.(a) next
-    | 54 (* jr *) -> pc := do_return ()
-    | 55 (* print *) ->
+    | 46 (* sw stackarg *) ->
+        let addr = regs.(b) + c in
+        if addr < 0 || addr >= mem_words then oob addr;
+        Array.unsafe_set mem addr regs.(a);
+        stores.(4) <- stores.(4) + 1;
+        pc := next
+    | 47 (* b eq *) -> pc := (if regs.(a) = regs.(b) then c else next)
+    | 48 (* b ne *) -> pc := (if regs.(a) <> regs.(b) then c else next)
+    | 49 (* b lt *) -> pc := (if regs.(a) < regs.(b) then c else next)
+    | 50 (* b le *) -> pc := (if regs.(a) <= regs.(b) then c else next)
+    | 51 (* b gt *) -> pc := (if regs.(a) > regs.(b) then c else next)
+    | 52 (* b ge *) -> pc := (if regs.(a) >= regs.(b) then c else next)
+    | 53 (* j *) -> pc := a
+    | 54 (* jal *) -> pc := do_call a next
+    | 55 (* jalr *) -> pc := do_call regs.(a) next
+    | 56 (* jr *) -> pc := do_return ()
+    | 57 (* print *) ->
         output := regs.(a) :: !output;
         pc := next
-    | 56 (* unlinked Jal/Lproc *) -> error "unlinked instruction at %d" i
+    | 58 (* unlinked Jal/Lproc *) ->
+        error "unlinked instruction at %d (in %s)" i
+          (attribute_pc t.entries t.names i)
     | _ -> assert false
   done;
   let block_counts =
@@ -592,10 +676,12 @@ let execute ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20) ?(check = true)
       calls = !calls;
       data_loads = loads.(0);
       data_stores = stores.(0);
-      scalar_loads = loads.(1) + loads.(2) + loads.(3);
-      scalar_stores = stores.(1) + stores.(2) + stores.(3);
-      save_loads = loads.(2);
-      save_stores = stores.(2);
+      scalar_loads = loads.(1) + loads.(2) + loads.(3) + loads.(4);
+      scalar_stores = stores.(1) + stores.(2) + stores.(3) + stores.(4);
+      save_loads = loads.(2) + loads.(3);
+      save_stores = stores.(2) + stores.(3);
+      call_save_loads = loads.(3);
+      call_save_stores = stores.(3);
       block_counts;
       proc_cycles;
     }

@@ -13,7 +13,8 @@ val error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** Raise {!Runtime_error} with a formatted message. *)
 
 val tag_index : Chow_codegen.Asm.tag -> int
-(** Dense numbering of the traffic tags: data, scalar, save, stackarg. *)
+(** Dense numbering of the traffic tags: data, scalar, save, callsave,
+    stackarg. *)
 
 type outcome = {
   output : int list;
@@ -23,8 +24,12 @@ type outcome = {
   data_stores : int;
   scalar_loads : int;  (** scalar + save/restore + stack-arg loads *)
   scalar_stores : int;
-  save_loads : int;  (** the save/restore component alone *)
+  save_loads : int;
+      (** the save/restore component alone: contract (entry/exit) plus
+          around-call restores *)
   save_stores : int;
+  call_save_loads : int;  (** the around-call subset of [save_loads] *)
+  call_save_stores : int;
   block_counts : ((string * Chow_ir.Ir.label) * int) list;
       (** execution count of each basic block, when run with
           [profile = true]; empty otherwise *)
@@ -39,12 +44,48 @@ type t
     programs; pre-link instructions ([Jal], [Lproc]) decode to a poison
     opcode that traps only if executed, matching the reference engine. *)
 
+(** Call-path probes for {!execute}: [h_call] fires once per call
+    transfer (with the call instruction's pc as [site] and the callee
+    entry as [target]), [h_return] once per return, each carrying the
+    executed-cycle count and the running contract / around-call
+    save-restore totals at that moment.  The hooks never fire on the
+    straight-line path, so execution without them is unchanged. *)
+type hooks = {
+  h_call :
+    site:int ->
+    target:int ->
+    cycles:int ->
+    contract_saves:int ->
+    contract_restores:int ->
+    call_saves:int ->
+    call_restores:int ->
+    unit;
+  h_return :
+    cycles:int ->
+    contract_saves:int ->
+    contract_restores:int ->
+    call_saves:int ->
+    call_restores:int ->
+    unit;
+}
+
 val decode : Chow_codegen.Asm.program -> t
 
 val execute :
-  ?fuel:int -> ?mem_words:int -> ?check:bool -> ?profile:bool -> t -> outcome
+  ?fuel:int ->
+  ?mem_words:int ->
+  ?check:bool ->
+  ?profile:bool ->
+  ?hooks:hooks ->
+  ?pc_buf:int array ->
+  t ->
+  outcome
 (** Interpret a decoded program; parameters and semantics exactly as
-    {!Sim.run}. *)
+    {!Sim.run}.  [hooks] installs the call-path probes above.  [pc_buf]
+    supplies a buffer (at least as long as the code) that receives the
+    per-pc execution counts — it is zeroed on entry and filled whether or
+    not [profile] is set, letting a profiler read the counts without the
+    outcome carrying them. *)
 
 val proc_name_of : Chow_codegen.Asm.program -> int -> string
 (** The procedure containing the given pc (nearest entry at or below it),

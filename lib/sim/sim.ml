@@ -5,8 +5,8 @@
     counts what pixie counted: executed cycles (one per instruction — pixie
     excludes cache and MMU effects), calls, and loads/stores broken down by
     the {!Asm.tag} assigned at code generation, from which the paper's
-    "scalar loads/stores" metric is the [Tscalar] + [Tsave] + [Tstackarg]
-    traffic.
+    "scalar loads/stores" metric is the [Tscalar] + [Tsave] + [Tcallsave]
+    + [Tstackarg] traffic.
 
     With [check = true] (the default) the simulator also enforces each
     procedure's register-preservation contract: at every return it verifies
@@ -52,8 +52,10 @@ type outcome = Decode.outcome = {
   data_stores : int;
   scalar_loads : int;  (** scalar + save/restore + stack-arg loads *)
   scalar_stores : int;
-  save_loads : int;  (** the save/restore component alone *)
+  save_loads : int;  (** the save/restore component alone, both kinds *)
   save_stores : int;
+  call_save_loads : int;  (** the around-call subset of [save_loads] *)
+  call_save_stores : int;
   block_counts : ((string * Ir.label) * int) list;
       (** execution count of each basic block, when run with
           [profile = true]; empty otherwise.  The raw material for the
@@ -73,13 +75,15 @@ type activation = {
   callee : string;
 }
 
-let eval_binop op a b =
+(* [trap] raises the runtime error with the executing-pc context appended,
+   so both engines word their arithmetic traps identically *)
+let eval_binop ~trap op a b =
   match op with
   | Ir.Add -> a + b
   | Ir.Sub -> a - b
   | Ir.Mul -> a * b
-  | Ir.Div -> if b = 0 then error "division by zero" else a / b
-  | Ir.Rem -> if b = 0 then error "remainder by zero" else a mod b
+  | Ir.Div -> if b = 0 then trap "division by zero" else a / b
+  | Ir.Rem -> if b = 0 then trap "remainder by zero" else a mod b
   | Ir.And -> a land b
   | Ir.Or -> a lor b
   | Ir.Xor -> a lxor b
@@ -111,7 +115,7 @@ let run_reference ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20)
   let get r = if r = Machine.zero then 0 else regs.(r) in
   let set r v = if r <> Machine.zero then regs.(r) <- v in
   let counters =
-    { cycles = 0; calls = 0; loads = Array.make 4 0; stores = Array.make 4 0 }
+    { cycles = 0; calls = 0; loads = Array.make 5 0; stores = Array.make 5 0 }
   in
   let output = ref [] in
   let metas = Hashtbl.create 16 in
@@ -123,11 +127,16 @@ let run_reference ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20)
       error "memory access out of bounds: %d (pc %d, in %s)" addr !pc
         (Decode.proc_name_of prog !pc)
   in
+  let trap what =
+    error "%s (pc %d, in %s)" what !pc (Decode.proc_name_of prog !pc)
+  in
   let do_call target_pc return_pc =
     counters.calls <- counters.calls + 1;
-    if regs.(Machine.sp) <= prog.Asm.data_size + 64 then error "stack overflow";
+    if regs.(Machine.sp) <= prog.Asm.data_size + 64 then
+      trap "stack overflow";
     if target_pc < 0 || target_pc >= ncode then
-      error "call to invalid address %d" target_pc;
+      error "call to invalid address %d (pc %d, in %s)" target_pc !pc
+        (Decode.proc_name_of prog !pc);
     set Machine.ra return_pc;
     if check then begin
       let callee, preserved =
@@ -136,7 +145,9 @@ let run_reference ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20)
         | None when Hashtbl.length metas > 0 ->
             (* every legitimate call lands on a procedure entry; an indirect
                jump through a non-procedure value is a wild call *)
-            error "call to %d, which is not a procedure entry" target_pc
+            error "call to %d, which is not a procedure entry (pc %d, in %s)"
+              target_pc !pc
+              (Decode.proc_name_of prog !pc)
         | None -> ("<unknown>", [])
       in
       stack :=
@@ -154,7 +165,7 @@ let run_reference ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20)
     let target = get Machine.ra in
     if check then begin
       match !stack with
-      | [] -> error "return with empty call stack"
+      | [] -> trap "return with empty call stack"
       | act :: rest ->
           stack := rest;
           if target <> act.return_pc then
@@ -183,15 +194,17 @@ let run_reference ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20)
     let next = !pc + 1 in
     (match code.(!pc) with
     | Asm.Li (r, n) -> set r n; pc := next
-    | Asm.Lproc _ | Asm.Jal _ -> error "unlinked instruction at %d" !pc
+    | Asm.Lproc _ | Asm.Jal _ ->
+        error "unlinked instruction at %d (in %s)" !pc
+          (Decode.proc_name_of prog !pc)
     | Asm.Move (d, s) -> set d (get s); pc := next
     | Asm.Neg (d, s) -> set d (-get s); pc := next
     | Asm.Not (d, s) -> set d (if get s = 0 then 1 else 0); pc := next
     | Asm.Binop (op, d, a, b) ->
-        set d (eval_binop op (get a) (get b));
+        set d (eval_binop ~trap op (get a) (get b));
         pc := next
     | Asm.Binopi (op, d, a, n) ->
-        set d (eval_binop op (get a) n);
+        set d (eval_binop ~trap op (get a) n);
         pc := next
     | Asm.Cmp (op, d, a, b) ->
         set d (if eval_relop op (get a) (get b) then 1 else 0);
@@ -233,10 +246,12 @@ let run_reference ?(fuel = 500_000_000) ?(mem_words = 1 lsl 20)
       calls = counters.calls;
       data_loads = l.(0);
       data_stores = s.(0);
-      scalar_loads = l.(1) + l.(2) + l.(3);
-      scalar_stores = s.(1) + s.(2) + s.(3);
-      save_loads = l.(2);
-      save_stores = s.(2);
+      scalar_loads = l.(1) + l.(2) + l.(3) + l.(4);
+      scalar_stores = s.(1) + s.(2) + s.(3) + s.(4);
+      save_loads = l.(2) + l.(3);
+      save_stores = s.(2) + s.(3);
+      call_save_loads = l.(3);
+      call_save_stores = s.(3);
       block_counts;
       proc_cycles =
         (if profile then Decode.attribute_cycles prog pc_counts else []);

@@ -16,8 +16,12 @@ type outcome = Decode.outcome = {
       (** the paper's metric: scalar variables + save/restore + stack
           arguments — removable by a perfect allocator *)
   scalar_stores : int;
-  save_loads : int;  (** the save/restore component alone *)
+  save_loads : int;
+      (** the save/restore component alone: contract (entry/exit) plus
+          around-call restores *)
   save_stores : int;
+  call_save_loads : int;  (** the around-call subset of [save_loads] *)
+  call_save_stores : int;
   block_counts : ((string * Chow_ir.Ir.label) * int) list;
       (** per-block execution counts when run with [profile = true];
           empty otherwise *)

@@ -22,6 +22,7 @@ let () =
       Test_workloads.suite;
       Test_golden.suite;
       Test_profile.suite;
+      Test_penalty.suite;
       Test_globalpromo.suite;
       Test_split.suite;
       Test_equivalence.suite;

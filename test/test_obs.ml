@@ -226,6 +226,28 @@ let test_metrics_counter_and_histogram () =
     "bucket le_8" (Some 2)
     (List.assoc_opt "test.hist.le_8" dump)
 
+(** Histogram buckets must dump in ascending numeric threshold order —
+    a plain string sort interleaves them (le_1, le_16, le_2, le_32...). *)
+let test_metrics_bucket_order () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let h = Metrics.histogram "test.order" in
+  List.iter (fun v -> Metrics.observe h v) [ 1; 2; 4; 16; 32; 4096 ];
+  Metrics.disable ();
+  let buckets =
+    List.filter_map
+      (fun (name, _) ->
+        let prefix = "test.order.le_" in
+        let pl = String.length prefix in
+        if String.length name > pl && String.sub name 0 pl = prefix then
+          int_of_string_opt (String.sub name pl (String.length name - pl))
+        else None)
+      (Metrics.dump ())
+  in
+  Metrics.reset ();
+  Alcotest.(check (list int))
+    "ascending thresholds" [ 1; 2; 4; 16; 32; 4096 ] buckets
+
 (** Compile the same program at [-j1] and [-j4] with metrics armed: the
     dumps must be bit-identical (atomic adds commute; the allocation work
     itself is schedule-independent). *)
@@ -359,6 +381,8 @@ let suite =
         test_metrics_disabled_noop;
       Alcotest.test_case "metrics: counter and histogram" `Quick
         test_metrics_counter_and_histogram;
+      Alcotest.test_case "metrics: numeric bucket order" `Quick
+        test_metrics_bucket_order;
       Alcotest.test_case "metrics: -j1 and -j4 dumps identical" `Quick
         test_metrics_parallel_deterministic;
       Alcotest.test_case "metrics: sim counters match outcome" `Quick

@@ -150,7 +150,12 @@ proc main() { print(forever(0)); }
   match Pipeline.run c with
   | _ -> Alcotest.fail "expected stack overflow"
   | exception Sim.Runtime_error msg ->
-      Alcotest.(check string) "stack overflow" "stack overflow" msg
+      (* the trap names the executing procedure and pc *)
+      let has s = Str.string_match (Str.regexp (".*" ^ Str.quote s)) msg 0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "names pc and procedure (%s)" msg)
+        true
+        (has "stack overflow" && has "pc " && has "in forever")
 
 (* ---- differential testing: decoded engine vs. reference engine ------- *)
 
@@ -179,6 +184,10 @@ let check_engines_agree ?fuel ?profile name prog =
         d.Sim.save_loads;
       Alcotest.(check int) (name ^ ": save stores") r.Sim.save_stores
         d.Sim.save_stores;
+      Alcotest.(check int) (name ^ ": call-save loads") r.Sim.call_save_loads
+        d.Sim.call_save_loads;
+      Alcotest.(check int) (name ^ ": call-save stores") r.Sim.call_save_stores
+        d.Sim.call_save_stores;
       Alcotest.(check bool) (name ^ ": block counts") true
         (d.Sim.block_counts = r.Sim.block_counts)
   | Error d, Error r -> Alcotest.(check string) (name ^ ": error") r d
