@@ -272,7 +272,8 @@ let write_trace path =
   Trace.write_file path;
   Format.printf "wrote %s@." path
 
-let run ?(json = false) ?(smoke = false) ?(penalty = false) ?trace () =
+let run ?(json = false) ?(smoke = false) ?(penalty = false) ?(serve = false)
+    ?trace () =
   Format.printf "@.Compiler throughput (Bechamel, monotonic clock)%s@."
     (if smoke then " — smoke subset" else "");
   Format.printf "%s@." (String.make 60 '=');
@@ -296,8 +297,20 @@ let run ?(json = false) ?(smoke = false) ?(penalty = false) ?trace () =
     (fun (name, ns) ->
       Format.printf "%-36s %12.1f us/run@." name (ns /. 1000.))
     rows;
+  (* the serve bench runs last: it spins up in-process daemons whose
+     worker domains would perturb the single-threaded timings above *)
+  let serve_ns, serve_values =
+    if serve then begin
+      Format.printf "@.Compile-server latency (%s)@."
+        (if smoke then "smoke subset" else "full load");
+      Format.printf "%s@." (String.make 60 '=');
+      Serve_bench.rows ~smoke ()
+    end
+    else ([], [])
+  in
   if json then
-    write_json rows
+    write_json (rows @ serve_ns)
       (metrics_rows ~smoke ()
-      @ (if penalty then penalty_rows ~smoke () else []));
+      @ (if penalty then penalty_rows ~smoke () else [])
+      @ serve_values);
   Option.iter write_trace trace

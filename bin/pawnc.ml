@@ -16,7 +16,15 @@
       call-path tree ([--calltree]) and simulated-time trace spans
       ([--trace]);
     - [callgraph FILE]: processing order, open/closed classification and
-      published register-usage masks. *)
+      published register-usage masks;
+    - [serve]: run the long-lived compile-server daemon on a unix socket;
+    - [request]: send one build/run/profile (or ping/stats/shutdown)
+      request to a running daemon.
+
+    Exit codes: 0 on success; 2 on any user error (malformed source,
+    link failure, corrupt artifact, runtime trap, unreadable file),
+    always with a rendered diagnostic and never a raw OCaml backtrace;
+    3 when a daemon answers [Busy] (transient — retry). *)
 
 open Cmdliner
 module Ir = Chow_ir.Ir
@@ -36,8 +44,13 @@ module Sim = Chow_sim.Sim
 module Profile = Chow_sim.Profile
 module Trace = Chow_obs.Trace
 module Metrics = Chow_obs.Metrics
+module Server = Chow_server.Server
+module Client = Chow_server.Client
+module Protocol = Chow_server.Protocol
 
 let read_file path =
+  if (try Sys.is_directory path with Sys_error _ -> false) then
+    raise (Sys_error (path ^ ": Is a directory"));
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
@@ -49,7 +62,7 @@ let read_file path =
 let file_arg =
   Arg.(
     required
-    & pos 0 (some non_dir_file) None
+    & pos 0 (some string) None
     & info [] ~docv:"FILE" ~doc:"Pawn source file.")
 
 let o3_flag =
@@ -161,6 +174,9 @@ let config_of ~o3 ~no_sw ~machine ~jobs =
     jobs;
   }
 
+(* Every user-facing failure renders a diagnostic and exits 2 — the one
+   exit code for user error across all subcommands; raw OCaml exceptions
+   (and their backtraces) never reach the terminal for malformed input. *)
 let handle_errors f =
   try f () with
   | Sim.Runtime_error msg ->
@@ -168,13 +184,16 @@ let handle_errors f =
       exit 2
   | Chow_codegen.Link.Undefined_procedure name ->
       Printf.eprintf "link error: undefined procedure %s\n" name;
-      exit 1
+      exit 2
   | Objfile.Corrupt msg ->
       Printf.eprintf "error: corrupt artifact: %s\n" msg;
-      exit 1
+      exit 2
+  | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
   | e when Diag.of_exn e <> None ->
       Printf.eprintf "%s\n" (Diag.to_string (Option.get (Diag.of_exn e)));
-      exit 1
+      exit 2
 
 let print_counters name (o : Sim.outcome) =
   Printf.printf "--- %s ---\n" name;
@@ -239,7 +258,7 @@ let compile_cmd =
                (Pipeline.ir compiled).Ir.procs)
         then begin
           Printf.eprintf "error: no procedure named %s\n" name;
-          exit 1
+          exit 2
         end;
         Format.printf "=== %s under %s ===@.%a" name config.Config.name
           Coloring.pp_explanation !buf);
@@ -479,7 +498,7 @@ let build_cmd =
   let files_arg =
     Arg.(
       non_empty
-      & pos_all non_dir_file []
+      & pos_all string []
       & info [] ~docv:"FILES" ~doc:"Pawn source files, in link order.")
   in
   let c_flag =
@@ -538,7 +557,7 @@ let link_cmd =
   let objs_arg =
     Arg.(
       non_empty
-      & pos_all non_dir_file []
+      & pos_all string []
       & info [] ~docv:"OBJS"
           ~doc:".pawno artifacts, the unit defining main first.")
   in
@@ -560,7 +579,7 @@ let link_cmd =
       try Pipeline.link_units arts
       with Invalid_argument msg ->
         Printf.eprintf "link error: %s\n" msg;
-        exit 1
+        exit 2
     in
     print_link_summary (List.length arts) prog;
     if stats then Format.printf "@.%a@?" Metrics.pp_table ();
@@ -575,6 +594,198 @@ let link_cmd =
     Term.(
       const link $ objs_arg $ run_flag $ counters_flag $ trace_arg
       $ stats_flag)
+
+(* ----- serve ----- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path of the daemon.")
+
+let serve_cmd =
+  let doc =
+    "Run the compile-server daemon: accept concurrent build/run/profile \
+     requests over a unix socket, schedule them across worker domains with \
+     per-request priorities and a bounded admission queue (overload \
+     answers $(b,Busy)), and serve warm units from the sharded \
+     content-addressed artifact cache.  Stops on a $(b,shutdown) request \
+     or SIGINT/SIGTERM, draining accepted work first."
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains executing requests (each compiles with -j1).")
+  in
+  let queue_bound_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:
+            "Admission-queue depth: requests beyond $(docv) waiting jobs \
+             receive an immediate $(b,Busy) reply, bounding the daemon's \
+             memory under overload.")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "Artifact-cache shards: independent locks by key prefix, so \
+             concurrent warm requests don't serialize on one mutex.")
+  in
+  let max_entries_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-entries" ] ~docv:"N"
+          ~doc:"Bound the artifact cache (LRU eviction); default unbounded.")
+  in
+  let serve socket workers queue_bound cache_dir shards max_entries trace
+      stats =
+    handle_errors @@ fun () ->
+    with_obs ~trace ~stats @@ fun () ->
+    let server =
+      Server.create ~workers ~queue_bound ?cache_dir ~cache_shards:shards
+        ?cache_max_entries:max_entries ~socket_path:socket ()
+    in
+    let stop _ = Server.request_stop server in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Printf.eprintf "pawnc serve: listening on %s (%d workers, queue %d)\n%!"
+      socket workers queue_bound;
+    Server.serve server;
+    Printf.eprintf "pawnc serve: shut down cleanly\n%!";
+    if stats then Format.printf "%a@?" Metrics.pp_table ()
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ socket_arg $ workers_arg $ queue_bound_arg
+      $ cache_dir_arg $ shards_arg $ max_entries_arg $ trace_arg $ stats_flag)
+
+(* ----- request ----- *)
+
+let request_cmd =
+  let doc =
+    "Send one request to a running $(b,pawnc serve) daemon: \
+     $(b,build)/$(b,run)/$(b,profile) source files, or \
+     $(b,ping)/$(b,stats)/$(b,shutdown) control requests."
+  in
+  let action_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (Arg.enum
+                [
+                  ("build", `Build);
+                  ("run", `Run);
+                  ("profile", `Profile);
+                  ("ping", `Ping);
+                  ("stats", `Stats);
+                  ("shutdown", `Shutdown);
+                ]))
+          None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "One of $(b,build), $(b,run), $(b,profile) (with FILES), \
+             $(b,ping), $(b,stats), $(b,shutdown).")
+  in
+  let files_arg =
+    Arg.(
+      value
+      & pos_right 0 string []
+      & info [] ~docv:"FILES"
+          ~doc:"Pawn source files, the unit defining main first.")
+  in
+  let priority_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "priority" ] ~docv:"N"
+          ~doc:"Scheduling priority: higher runs sooner (default 0).")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N" ~doc:"Simulation fuel for run/profile.")
+  in
+  let counters_flag =
+    Arg.(
+      value & flag
+      & info [ "counters" ]
+          ~doc:"Print the reply's per-request metric deltas.")
+  in
+  let request action files socket o3 no_sw global_promo fuel priority
+      counters =
+    handle_errors @@ fun () ->
+    let req =
+      match action with
+      | `Ping -> Protocol.Ping
+      | `Stats -> Protocol.Stats
+      | `Shutdown -> Protocol.Shutdown
+      | (`Build | `Run | `Profile) as a ->
+          if files = [] then begin
+            Printf.eprintf "error: %s needs at least one source file\n"
+              (match a with
+              | `Build -> "build"
+              | `Run -> "run"
+              | `Profile -> "profile");
+            exit 2
+          end;
+          Protocol.Compile
+            {
+              action =
+                (match a with
+                | `Build -> Protocol.Build
+                | `Run -> Protocol.Run
+                | `Profile -> Protocol.Profile);
+              srcs = List.map read_file files;
+              o3;
+              shrinkwrap = not no_sw;
+              global_promo;
+              fuel;
+              priority;
+            }
+    in
+    let reply =
+      try
+        Client.with_connection ~socket_path:socket (fun c ->
+            Client.request c req)
+      with
+      | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+          Printf.eprintf
+            "error: no compile server listening on %s (start one with \
+             `pawnc serve --socket %s`)\n"
+            socket socket;
+          exit 2
+      | Client.Server_gone ->
+          Printf.eprintf "error: server closed the connection\n";
+          exit 2
+    in
+    match reply with
+    | Protocol.Done { text; counters = deltas } ->
+        if text <> "" then print_endline text;
+        if counters then
+          List.iter (fun (n, v) -> Printf.printf "%-32s %12d\n" n v) deltas
+    | Protocol.Error { kind; message } ->
+        Printf.eprintf "%s error: %s\n" kind message;
+        exit 2
+    | Protocol.Busy ->
+        Printf.eprintf "server busy: admission queue full, retry later\n";
+        exit 3
+    | Protocol.Pong -> print_endline "pong"
+    | Protocol.Stats_reply rows ->
+        List.iter (fun (n, v) -> Printf.printf "%-32s %12d\n" n v) rows
+    | Protocol.Bye -> print_endline "server shutting down"
+  in
+  Cmd.v
+    (Cmd.info "request" ~doc)
+    Term.(
+      const request $ action_arg $ files_arg $ socket_arg $ o3_flag
+      $ no_sw_flag $ promo_flag $ fuel_arg $ priority_arg $ counters_flag)
 
 let main_cmd =
   let doc =
@@ -591,6 +802,13 @@ let main_cmd =
       stats_cmd;
       profile_cmd;
       callgraph_cmd;
+      serve_cmd;
+      request_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* a malformed command line is a user error like any other: fold
+   cmdliner's own CLI-error status into the uniform exit 2 *)
+let () =
+  match Cmd.eval main_cmd with
+  | c when c = Cmd.Exit.cli_error -> exit 2
+  | c -> exit c

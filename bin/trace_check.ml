@@ -18,6 +18,22 @@
     or simulator change that must be re-baselined deliberately).  Names
     present in only one file are ignored, but at least one [penalty/*]
     row must overlap — a gate comparing zero penalty rows is miswired.
+    [server/*] p50 latency rows may not regress by more than 50% against
+    the baseline (p99 rows get a 3x band — tails are noisy) and
+    [server/*/throughput] rows may not fall below half the baseline.  When the
+    current file carries server rows, two invariants internal to that
+    file are also enforced: the warm p50 must be at least 4x below the
+    cold p50, and — on hosts with at least 4 cores, per the
+    [server/meta/cores] row — the 4-shard warm throughput must be
+    strictly above the 1-shard one.
+
+    [trace_check --serve-smoke PAWNC SRC.pawn] is the daemon CI smoke:
+    it starts [PAWNC serve] on a fresh socket and cache, issues a cold
+    run request, a warm run request (asserting its per-request counter
+    delta shows [cache.hit] = 1), a malformed frame (expecting a
+    protocol [Error] reply, not a wedged or dead server), checks [Stats]
+    reports [server.completed] = 2 with [cache.hit] = 1, and shuts the
+    daemon down, requiring a clean exit 0.
 
     Exits nonzero with a diagnostic on the first violation. *)
 
@@ -148,10 +164,54 @@ let starts_with ~prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
+(** Invariants the compile-server rows must satisfy within one freshly
+    measured file: a warm request must be at least 4x faster than a cold
+    one at the median, and on a host with >= 4 cores the 4-shard cache
+    must sustain strictly more warm throughput than the 1-shard one
+    (the [server/meta/cores] row gates the latter so a starved CI
+    machine cannot flake it). *)
+let server_invariants ~flunk current =
+  let ns name =
+    match List.assoc_opt name current with Some (ns, _) -> ns | None -> None
+  in
+  let value name =
+    match List.assoc_opt name current with Some (_, v) -> v | None -> None
+  in
+  if List.exists (fun (name, _) -> starts_with ~prefix:"server/" name) current
+  then begin
+    (match (ns "server/warm/p50", ns "server/cold/p50") with
+    | Some warm, Some cold when warm > 0. ->
+        if warm *. 4. > cold then
+          flunk
+            (Printf.sprintf
+               "server warm p50 (%.1f us) is not at least 4x below cold p50 \
+                (%.1f us) — the artifact-cache hit path is not paying off"
+               (warm /. 1e3) (cold /. 1e3))
+    | _ -> flunk "server/warm/p50 or server/cold/p50 row missing");
+    match value "server/meta/cores" with
+    | Some cores when cores >= 4. -> (
+        match
+          ( value "server/warm-shard4/throughput",
+            value "server/warm-shard1/throughput" )
+        with
+        | Some t4, Some t1 ->
+            if not (t4 > t1) then
+              flunk
+                (Printf.sprintf
+                   "4-shard warm throughput (%.0f req/s) not above 1-shard \
+                    (%.0f req/s) on a %.0f-core host — cache sharding is not \
+                    relieving lock contention"
+                   t4 t1 cores)
+        | _ -> flunk "server warm-shard throughput rows missing")
+    | _ -> ()
+  end
+
 let check_bench_compare baseline_path current_path =
   let baseline = bench_rows baseline_path in
   let current = bench_rows current_path in
-  let timing_checked = ref 0 and penalty_checked = ref 0 in
+  let timing_checked = ref 0
+  and penalty_checked = ref 0
+  and server_checked = ref 0 in
   let failures = ref [] in
   let flunk fmt =
     Printf.ksprintf (fun m -> failures := m :: !failures) fmt
@@ -182,8 +242,41 @@ let check_bench_compare baseline_path current_path =
                      re-baseline deliberately if intended)"
                     name b c
             | _ -> flunk "%s: penalty row lacks a \"value\" field" name
+          end
+          else if starts_with ~prefix:"server/meta/" name then ()
+          else if starts_with ~prefix:"server/" name then begin
+            (* tail latencies are far noisier than medians, so p99 rows
+               get a 3x band where p50 gets 1.5x *)
+            let limit =
+              if
+                String.length name >= 4
+                && String.sub name (String.length name - 4) 4 = "/p99"
+              then 3.0
+              else 1.5
+            in
+            match (base_ns, cur_ns) with
+            | Some b, Some c when b > 0. ->
+                incr server_checked;
+                if c > b *. limit then
+                  flunk
+                    "%s regressed: %.1f -> %.1f ns/run (+%.1f%%, limit \
+                     %.0f%%)"
+                    name b c
+                    (100. *. (c -. b) /. b)
+                    (100. *. (limit -. 1.))
+            | _ -> (
+                match (base_v, cur_v) with
+                | Some b, Some c when b > 0. ->
+                    incr server_checked;
+                    if c < b *. 0.5 then
+                      flunk
+                        "%s throughput collapsed: %.0f -> %.0f req/s (below \
+                         half the baseline)"
+                        name b c
+                | _ -> ())
           end)
     baseline;
+  server_invariants ~flunk:(fun m -> failures := m :: !failures) current;
   if !penalty_checked = 0 then
     flunk
       "no penalty/* rows overlap between %s and %s — the gate is comparing \
@@ -195,13 +288,120 @@ let check_bench_compare baseline_path current_path =
       List.iter prerr_endline (List.rev fs);
       exit 1);
   Printf.printf
-    "%s vs %s: %d timings within 25%%, %d penalty rows exact\n" current_path
-    baseline_path !timing_checked !penalty_checked
+    "%s vs %s: %d timings within 25%%, %d penalty rows exact, %d server rows \
+     within band\n"
+    current_path baseline_path !timing_checked !penalty_checked !server_checked
+
+(* ----- daemon smoke ----- *)
+
+module Protocol = Chow_server.Protocol
+module Client = Chow_server.Client
+
+(** Cold + warm + malformed-frame round-trip against a freshly started
+    [pawnc serve] daemon; see the module doc for the exact contract. *)
+let check_serve_smoke pawnc src_path =
+  let dir = Filename.temp_file "chow88-smoke" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "s.sock" in
+  let pid =
+    Unix.create_process pawnc
+      [|
+        pawnc;
+        "serve";
+        "--socket";
+        sock;
+        "--workers";
+        "2";
+        "--cache-dir";
+        Filename.concat dir "cache";
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let server_done = ref false in
+  (* a failing check must not leave an orphan daemon behind in CI *)
+  at_exit (fun () ->
+      if not !server_done then ( try Unix.kill pid Sys.sigkill with _ -> ()));
+  if not (Client.wait_ready ~socket_path:sock ()) then
+    fail "serve smoke: daemon did not answer Ping within 10s";
+  let src = read_file src_path in
+  let compile_req =
+    Protocol.Compile
+      {
+        action = Protocol.Run;
+        srcs = [ src ];
+        o3 = true;
+        shrinkwrap = true;
+        global_promo = false;
+        fuel = None;
+        priority = 0;
+      }
+  in
+  let request req = Client.with_connection ~socket_path:sock (fun c -> Client.request c req) in
+  let delta counters name =
+    Option.value ~default:0 (List.assoc_opt name counters)
+  in
+  (* 1. cold: full compile, the cache only stores *)
+  (match request compile_req with
+  | Protocol.Done { counters; _ } ->
+      if delta counters "cache.miss" < 1 then
+        fail "serve smoke: cold request reported no cache.miss delta"
+  | reply -> fail "serve smoke: cold request failed (%s)"
+      (match reply with
+       | Protocol.Error { kind; message } -> kind ^ ": " ^ message
+       | Protocol.Busy -> "busy"
+       | _ -> "unexpected reply"));
+  (* 2. warm: same source, must be served from the artifact cache *)
+  (match request compile_req with
+  | Protocol.Done { counters; _ } ->
+      if delta counters "cache.hit" <> 1 then
+        fail "serve smoke: warm request's counter delta has cache.hit = %d, \
+              want 1"
+          (delta counters "cache.hit")
+  | _ -> fail "serve smoke: warm request failed");
+  (* 3. malformed frame: bad version byte — expect a protocol Error reply,
+     not a wedged or dead daemon *)
+  Client.with_connection ~socket_path:sock (fun c ->
+      Protocol.write_frame (Client.fd c) "\xff\x00garbage";
+      match Protocol.recv_reply (Client.fd c) with
+      | Some (Protocol.Error { kind = "protocol"; _ }) -> ()
+      | Some _ -> fail "serve smoke: malformed frame got a non-protocol reply"
+      | None -> fail "serve smoke: malformed frame got no reply"
+      | exception e ->
+          fail "serve smoke: malformed frame: %s" (Printexc.to_string e));
+  (* 4. the daemon's own books: exactly the two Done requests completed,
+     one of them a cache hit *)
+  (match request Protocol.Stats with
+  | Protocol.Stats_reply counters ->
+      let check name want =
+        let got = delta counters name in
+        if got <> want then
+          fail "serve smoke: stats report %s = %d, want %d" name got want
+      in
+      check "server.completed" 2;
+      check "cache.hit" 1;
+      check "cache.miss" 1;
+      check "server.protocol_error" 1;
+      check "server.busy" 0
+  | _ -> fail "serve smoke: Stats request failed");
+  (* 5. clean shutdown *)
+  (match request Protocol.Shutdown with
+  | Protocol.Bye -> ()
+  | _ -> fail "serve smoke: Shutdown did not answer Bye");
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> server_done := true
+  | _, Unix.WEXITED n -> fail "serve smoke: daemon exited %d, want 0" n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+      fail "serve smoke: daemon killed/stopped by signal %d" n);
+  print_endline
+    "serve smoke: cold + warm + malformed frame ok, server.completed = 2, \
+     cache.hit = 1, clean shutdown"
 
 let () =
   match Sys.argv with
   | [| _; "--bench-compare"; baseline; current |] ->
       check_bench_compare baseline current
+  | [| _; "--serve-smoke"; pawnc; src |] -> check_serve_smoke pawnc src
   | [| _; trace; stats |] ->
       check_trace trace;
       check_stats stats
@@ -215,5 +415,6 @@ let () =
       prerr_endline
         "usage: trace_check TRACE.json STATS.txt\n\
         \       trace_check --cache-smoke STATS.txt N\n\
-        \       trace_check --bench-compare BASELINE.json CURRENT.json";
+        \       trace_check --bench-compare BASELINE.json CURRENT.json\n\
+        \       trace_check --serve-smoke PAWNC SRC.pawn";
       exit 2

@@ -510,12 +510,16 @@ let read (bytes : string) : t =
   if Digest.string payload <> digest then corrupt "checksum mismatch";
   get_payload { buf = payload; pos = 0; limit = len }
 
-(* unique temp names keep concurrent saves (parallel unit compiles) from
+(* unique temp names keep concurrent saves — parallel unit compiles in
+   one process, or several processes sharing a cache directory — from
    clobbering each other's in-flight writes; rename is atomic either way *)
 let tmp_seq = Atomic.make 0
 
 let save ~path (t : t) =
-  let tmp = Printf.sprintf "%s.%d.tmp" path (Atomic.fetch_and_add tmp_seq 1) in
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
   let oc = open_out_bin tmp in
   output_string oc (write t);
   close_out oc;

@@ -4,7 +4,19 @@
     the cache directory.  The key already is a cryptographic digest of the
     artifact's full provenance, so the store never needs to compare
     sources — existence is correctness, and the artifact's own checksum
-    (plus {!Objfile.contract_check}) guards the bytes themselves. *)
+    (plus {!Objfile.contract_check}) guards the bytes themselves.
+
+    Sharding: the store is split into [shards] independent slices by key
+    prefix (the key's first hex digit modulo the shard count).  Each shard
+    has its own lock — held across a [find]'s load and a [store]'s
+    save-plus-eviction, so hit/miss/evict accounting is atomic per shard
+    and an eviction scan can never unlink an entry out from under a
+    concurrent hit in the same process — and its own share of the
+    [max_entries] budget.  Keys are uniformly distributed digests, so
+    concurrent warm lookups land on different shards with probability
+    [1 - 1/shards] and never serialize on one global mutex.  The disk
+    layout is shard-agnostic (one flat directory), so processes opening
+    the same directory with different shard counts interoperate. *)
 
 module Objfile = Chow_codegen.Objfile
 module Metrics = Chow_obs.Metrics
@@ -17,7 +29,7 @@ let m_corrupt = Metrics.counter "cache.corrupt"
 type t = {
   dir : string;
   max_entries : int option;
-  evict_lock : Mutex.t;  (** serializes the readdir/unlink eviction scan *)
+  locks : Mutex.t array;  (** one lock per shard; see the module comment *)
 }
 
 let rec mkdir_p dir =
@@ -27,17 +39,35 @@ let rec mkdir_p dir =
     with Sys_error _ when Sys.is_directory dir -> ()
   end
 
-let create ?max_entries ~dir () =
+let create ?max_entries ?(shards = 1) ~dir () =
+  if shards < 1 then invalid_arg "Cache.create: shards must be >= 1";
   mkdir_p dir;
-  { dir; max_entries; evict_lock = Mutex.create () }
+  { dir; max_entries; locks = Array.init shards (fun _ -> Mutex.create ()) }
 
 let dir t = t.dir
+let shards t = Array.length t.locks
 
 let key ~config_fp ~source ~data_base =
   Digest.to_hex
     (Digest.string
        (Printf.sprintf "objfile-v%d\x00%s\x00base=%d\x00%s"
           Objfile.format_version config_fp data_base source))
+
+(* keys are hex digests, so the first character's hex value is uniform
+   over 0..15; non-hex keys (tests, external callers) fall back to the
+   raw character code, which still routes deterministically *)
+let shard_index t key =
+  let n = Array.length t.locks in
+  if n = 1 || key = "" then 0
+  else
+    let c = Char.code key.[0] in
+    let v =
+      match key.[0] with
+      | '0' .. '9' -> c - Char.code '0'
+      | 'a' .. 'f' -> c - Char.code 'a' + 10
+      | _ -> c
+    in
+    v mod n
 
 let path_of t key = Filename.concat t.dir (key ^ ".pawno")
 
@@ -50,63 +80,88 @@ let entries t =
            (fun n -> Filename.check_suffix n ".pawno")
            (Array.to_list names))
 
+let shard_entries t idx =
+  Array.of_list
+    (List.filter
+       (fun n -> shard_index t (Filename.chop_suffix n ".pawno") = idx)
+       (Array.to_list (entries t)))
+
+(* the shard's share of the global entry budget, rounded up so the total
+   bound is never under-enforced by integer division *)
+let shard_quota t =
+  match t.max_entries with
+  | None -> None
+  | Some max_entries ->
+      let n = Array.length t.locks in
+      Some (max 1 ((max_entries + n - 1) / n))
+
 let find t key =
   let path = path_of t key in
-  if not (Sys.file_exists path) then begin
-    Metrics.incr m_miss;
-    None
-  end
-  else
-    match Objfile.load path with
-    | art -> (
-        match Objfile.contract_check art with
-        | Ok () ->
-            Metrics.incr m_hit;
-            Some art
-        | Error _ ->
-            (* decoded fine but violates the mask contract: stale logic or
-               tampering — drop it and recompile *)
+  let idx = shard_index t key in
+  Mutex.protect t.locks.(idx) (fun () ->
+      if not (Sys.file_exists path) then begin
+        Metrics.incr m_miss;
+        None
+      end
+      else
+        match Objfile.load path with
+        | art -> (
+            match Objfile.contract_check art with
+            | Ok () ->
+                Metrics.incr m_hit;
+                (* refresh the entry's age: eviction is least-recently-USED,
+                   not least-recently-stored *)
+                (try Unix.utimes path 0. 0. with Unix.Unix_error _ -> ());
+                Some art
+            | Error _ ->
+                (* decoded fine but violates the mask contract: stale logic
+                   or tampering — drop it and recompile *)
+                Metrics.incr m_corrupt;
+                Metrics.incr m_miss;
+                (try Sys.remove path with Sys_error _ -> ());
+                None)
+        | exception (Objfile.Corrupt _ | Sys_error _) ->
             Metrics.incr m_corrupt;
             Metrics.incr m_miss;
             (try Sys.remove path with Sys_error _ -> ());
             None)
-    | exception (Objfile.Corrupt _ | Sys_error _) ->
-        Metrics.incr m_corrupt;
-        Metrics.incr m_miss;
-        (try Sys.remove path with Sys_error _ -> ());
-        None
 
-let evict t =
-  match t.max_entries with
+(* Caller holds the shard lock.  Entries are aged by (mtime, key): mtime
+   has 1-second granularity on some filesystems, so entries stored within
+   the same second tie — the key breaks the tie, making eviction order
+   deterministic and reproducible across runs. *)
+let evict_locked t idx =
+  match shard_quota t with
   | None -> ()
-  | Some max_entries ->
-      Mutex.protect t.evict_lock (fun () ->
-          let names = entries t in
-          let over = Array.length names - max_entries in
-          if over > 0 then begin
-            let aged =
-              Array.map
-                (fun n ->
-                  let p = Filename.concat t.dir n in
-                  let mtime =
-                    try (Unix.stat p).Unix.st_mtime with Unix.Unix_error _ -> 0.
-                  in
-                  (mtime, p))
-                names
-            in
-            Array.sort compare aged;
-            Array.iteri
-              (fun i (_, p) ->
-                if i < over then begin
-                  (try Sys.remove p with Sys_error _ -> ());
-                  Metrics.incr m_evict
-                end)
-              aged
-          end)
+  | Some quota ->
+      let names = shard_entries t idx in
+      let over = Array.length names - quota in
+      if over > 0 then begin
+        let aged =
+          Array.map
+            (fun n ->
+              let p = Filename.concat t.dir n in
+              let mtime =
+                try (Unix.stat p).Unix.st_mtime with Unix.Unix_error _ -> 0.
+              in
+              (mtime, n, p))
+            names
+        in
+        Array.sort compare aged;
+        Array.iteri
+          (fun i (_, _, p) ->
+            if i < over then begin
+              (try Sys.remove p with Sys_error _ -> ());
+              Metrics.incr m_evict
+            end)
+          aged
+      end
 
 let store t key art =
-  Objfile.save ~path:(path_of t key) art;
-  evict t
+  let idx = shard_index t key in
+  Mutex.protect t.locks.(idx) (fun () ->
+      Objfile.save ~path:(path_of t key) art;
+      evict_locked t idx)
 
 let clear t =
   Array.iter

@@ -16,20 +16,36 @@
     Observability: [cache.hit], [cache.miss], [cache.evict] and
     [cache.corrupt] counters in the {!Chow_obs.Metrics} registry.
 
-    Concurrency: lookups and stores are safe from parallel domains (stores
-    are atomic rename; the eviction scan is serialized by a mutex). *)
+    Concurrency: the store is sharded by key prefix into [shards]
+    independent slices, each guarded by its own lock held across a whole
+    lookup or store — hit/miss/evict accounting is atomic per shard, and
+    concurrent warm lookups of distinct keys serialize only when they land
+    on the same shard.  Stores are atomic renames and the on-disk layout
+    is shard-agnostic, so multiple processes (even with different shard
+    counts) may share one cache directory: the worst cross-process race is
+    a duplicated compilation, never a corrupt entry.
+
+    Eviction: least-recently-used under [max_entries].  A hit refreshes
+    the entry's modification time; eviction removes the oldest entries by
+    [(mtime, key)] — the key tie-break makes the order deterministic even
+    on filesystems with 1-second mtime granularity. *)
 
 module Objfile := Chow_codegen.Objfile
 
 type t
 
-(** [create ?max_entries ~dir ()] opens (creating [dir] if needed) a cache.
-    [max_entries] bounds the number of stored artifacts; beyond it, the
-    oldest entries (by modification time) are evicted on store.  Default:
-    unbounded. *)
-val create : ?max_entries:int -> dir:string -> unit -> t
+(** [create ?max_entries ?shards ~dir ()] opens (creating [dir] if
+    needed) a cache.  [max_entries] bounds the number of stored artifacts;
+    beyond it, the least-recently-used entries are evicted on store.  The
+    bound is enforced per shard as [ceil (max_entries / shards)].
+    Default: unbounded, one shard.  Raises [Invalid_argument] when
+    [shards < 1]. *)
+val create : ?max_entries:int -> ?shards:int -> dir:string -> unit -> t
 
 val dir : t -> string
+
+(** Number of shards the store was opened with. *)
+val shards : t -> int
 
 (** [key ~config_fp ~source ~data_base] is the content address (an MD5 hex
     string) of a unit compiled from [source] under the configuration
@@ -37,12 +53,17 @@ val dir : t -> string
     [data_base]. *)
 val key : config_fp:string -> source:string -> data_base:int -> string
 
+(** The shard [key] routes to: the key's first hex digit modulo the shard
+    count (exposed for tests and load-distribution diagnostics). *)
+val shard_index : t -> string -> int
+
 (** [find t key] loads the artifact stored under [key], or [None] (also on
-    corruption, after deleting the offender). *)
+    corruption, after deleting the offender).  A hit refreshes the entry's
+    LRU age. *)
 val find : t -> string -> Objfile.t option
 
-(** [store t key art] persists [art] under [key], then enforces
-    [max_entries]. *)
+(** [store t key art] persists [art] under [key], then enforces the
+    shard's entry quota. *)
 val store : t -> string -> Objfile.t -> unit
 
 (** [clear t] removes every stored artifact (not counted as eviction). *)

@@ -111,6 +111,25 @@ let dump () =
   Mutex.unlock lock;
   List.sort (fun (a, _) (b, _) -> compare_names a b) rows
 
+type snapshot = (string * int) list
+
+let snapshot () = dump ()
+
+(* A daemon serving concurrent requests wants per-request counter deltas
+   without resetting the global registry mid-flight (a reset would tear
+   every other in-flight request's numbers).  [diff] subtracts two
+   snapshots name-wise instead: counters are monotonic, so the delta of a
+   request bracketed by two snapshots is exactly the work it (plus any
+   concurrent request — the registry is global) performed. *)
+let diff (before : snapshot) (after : snapshot) : snapshot =
+  let base = Hashtbl.create (List.length before) in
+  List.iter (fun (name, v) -> Hashtbl.replace base name v) before;
+  List.filter_map
+    (fun (name, v) ->
+      let d = v - Option.value ~default:0 (Hashtbl.find_opt base name) in
+      if d = 0 then None else Some (name, d))
+    after
+
 let pp_table ppf () =
   let rows = dump () in
   let width =

@@ -43,3 +43,22 @@ val dump : unit -> (string * int) list
 
 (** The {!dump} snapshot as an aligned two-column table. *)
 val pp_table : Format.formatter -> unit -> unit
+
+(** {2 Per-request deltas}
+
+    A long-lived process (the compile server) reports what one request
+    cost without resetting the global registry mid-flight: bracket the
+    request with two {!snapshot}s and {!diff} them. *)
+
+type snapshot = (string * int) list
+
+(** [snapshot ()] is {!dump}: the current value of every registered
+    metric, sorted by name. *)
+val snapshot : unit -> snapshot
+
+(** [diff before after] is the name-wise [after - before], dropping zero
+    deltas; names absent from [before] count from zero.  Under concurrent
+    requests the registry is shared, so a delta attributes to the
+    bracketed request plus whatever overlapped it — exact when requests
+    are serialized, an upper bound otherwise. *)
+val diff : snapshot -> snapshot -> snapshot

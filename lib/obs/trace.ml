@@ -141,6 +141,10 @@ let counter name series =
 (* Synthetic-clock spans: the caller supplies ts/dur on its own timebase
    (e.g. simulated cycles).  The epoch is added here so that [emit]'s
    subtraction leaves the caller's timestamps intact. *)
+let elapsed_ns () =
+  let e = Atomic.get epoch in
+  if e = 0 then 0 else now_ns () - e
+
 let span_at ?(args = []) ~ts_ns ~dur_ns name =
   if Atomic.get enabled then
     push (buffer ()) ~name

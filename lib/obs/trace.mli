@@ -33,6 +33,13 @@ val span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
     each named series at the current time. *)
 val counter : string -> (string * int) list -> unit
 
+(** [elapsed_ns ()] is the wall-clock time since the trace epoch (fixed by
+    the first {!enable}) in nanoseconds, or [0] while no epoch is set —
+    the timebase for {!span_at} callers that measure an interval across
+    threads (e.g. a request's queue wait, stamped at submit time and
+    recorded by the worker that dequeues it). *)
+val elapsed_ns : unit -> int
+
 (** [span_at ~ts_ns ~dur_ns name] records a complete-event span whose
     start and duration the caller supplies on its own timebase (relative
     to the trace epoch) instead of the wall clock — how the simulator's

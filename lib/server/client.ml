@@ -1,0 +1,44 @@
+(** See client.mli. *)
+
+type t = { fd : Unix.file_descr }
+
+exception Server_gone
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let request t req =
+  Protocol.send_request t.fd req;
+  match Protocol.recv_reply t.fd with
+  | Some reply -> reply
+  | None -> raise Server_gone
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let fd t = t.fd
+
+let with_connection ~socket_path f =
+  let t = connect ~socket_path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let wait_ready ?(timeout_s = 10.) ~socket_path () =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec poll () =
+    let ok =
+      match with_connection ~socket_path (fun t -> request t Protocol.Ping) with
+      | Protocol.Pong -> true
+      | _ -> false
+      | exception _ -> false
+    in
+    if ok then true
+    else if Unix.gettimeofday () > deadline then false
+    else begin
+      Unix.sleepf 0.05;
+      poll ()
+    end
+  in
+  poll ()

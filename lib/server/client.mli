@@ -1,0 +1,34 @@
+(** Client side of the compile-server protocol: connect to a serving
+    daemon's unix socket, exchange framed requests and replies. *)
+
+type t
+
+exception Server_gone
+(** The server closed the stream where a reply was expected. *)
+
+(** [connect ~socket_path] opens a connection.  Raises [Unix.Unix_error]
+    when no daemon is listening. *)
+val connect : socket_path:string -> t
+
+(** [request t req] sends [req] and waits for its reply.  One connection
+    carries any number of request/reply exchanges; replies to requests
+    issued from multiple threads over one connection are not matched to
+    their requests — use one connection per in-flight request for that.
+    Raises {!Server_gone} on clean close, {!Protocol.Malformed} on a
+    garbled reply. *)
+val request : t -> Protocol.request -> Protocol.reply
+
+val close : t -> unit
+
+(** The underlying descriptor — for tests and smoke checks that need to
+    speak raw (possibly malformed) frames on an established connection. *)
+val fd : t -> Unix.file_descr
+
+(** [with_connection ~socket_path f] connects, runs [f], closes (also on
+    exception). *)
+val with_connection : socket_path:string -> (t -> 'a) -> 'a
+
+(** [wait_ready ?timeout_s ~socket_path ()] polls until a daemon accepts
+    a connection and answers a ping, or fails after [timeout_s] (default
+    10).  For scripts that just spawned [pawnc serve]. *)
+val wait_ready : ?timeout_s:float -> socket_path:string -> unit -> bool

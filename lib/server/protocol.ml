@@ -1,0 +1,290 @@
+(** See protocol.mli for the wire contract. *)
+
+exception Malformed of string
+
+let version = 1
+let max_frame = 16 * 1024 * 1024
+
+let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+type action = Build | Run | Profile
+
+type request =
+  | Compile of {
+      action : action;
+      srcs : string list;
+      o3 : bool;
+      shrinkwrap : bool;
+      global_promo : bool;
+      fuel : int option;
+      priority : int;
+    }
+  | Ping
+  | Stats
+  | Shutdown
+
+type reply =
+  | Done of { text : string; counters : (string * int) list }
+  | Error of { kind : string; message : string }
+  | Busy
+  | Pong
+  | Stats_reply of (string * int) list
+  | Bye
+
+(* ----- payload primitives: LEB128 varints + length-prefixed strings ----- *)
+
+(* the raw LEB128 loop treats [n] as a 63-bit pattern: the shift is
+   logical, so zigzag values with the top bit set (from ints near
+   max_int/min_int) terminate in at most 9 bytes *)
+let put_raw b n =
+  let rec go n =
+    if n land lnot 0x7f = 0 then Buffer.add_char b (Char.chr n)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let put_uint b n =
+  if n < 0 then malformed "encode: negative length";
+  put_raw b n
+
+(* zigzag so small negative ints stay small on the wire *)
+let put_int b n = put_raw b ((n lsl 1) lxor (n asr 62))
+let put_bool b v = Buffer.add_char b (if v then '\001' else '\000')
+
+let put_string b s =
+  put_uint b (String.length s);
+  Buffer.add_string b s
+
+let put_list b put xs =
+  put_uint b (List.length xs);
+  List.iter (put b) xs
+
+type reader = { payload : string; mutable pos : int }
+
+let get_byte r =
+  if r.pos >= String.length r.payload then malformed "payload truncated";
+  let c = Char.code r.payload.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_raw r =
+  let rec go shift acc =
+    if shift > 62 then malformed "varint overflow";
+    let c = get_byte r in
+    let acc = acc lor ((c land 0x7f) lsl shift) in
+    if c land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+(* lengths and counts: a pattern with the sign bit set is garbage, and
+   must be rejected here, before it reaches String.sub or List.init *)
+let get_uint r =
+  let n = get_raw r in
+  if n < 0 then malformed "negative length varint";
+  n
+
+let get_int r =
+  let z = get_raw r in
+  (z lsr 1) lxor (-(z land 1))
+
+let get_bool r =
+  match get_byte r with
+  | 0 -> false
+  | 1 -> true
+  | c -> malformed "bad boolean byte %#x" c
+
+let get_string r =
+  let n = get_uint r in
+  if n > String.length r.payload - r.pos then
+    malformed "string length %d runs past the payload" n;
+  let s = String.sub r.payload r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_list r get =
+  let n = get_uint r in
+  (* an element is at least one byte, so a count beyond the remaining
+     payload is garbage — reject before allocating the list *)
+  if n > String.length r.payload - r.pos then
+    malformed "list count %d runs past the payload" n;
+  List.init n (fun _ -> get r)
+
+let get_option r get = if get_bool r then Some (get r) else None
+
+let put_option b put = function
+  | None -> put_bool b false
+  | Some v ->
+      put_bool b true;
+      put b v
+
+let reader_of payload tag_kind =
+  let r = { payload; pos = 0 } in
+  let v = get_byte r in
+  if v <> version then malformed "%s: protocol version %d, expected %d" tag_kind v version;
+  r
+
+let finish r what =
+  if r.pos <> String.length r.payload then
+    malformed "%s: %d trailing bytes after the message"
+      what
+      (String.length r.payload - r.pos)
+
+(* ----- requests ----- *)
+
+let action_byte = function Build -> 0 | Run -> 1 | Profile -> 2
+
+let action_of_byte = function
+  | 0 -> Build
+  | 1 -> Run
+  | 2 -> Profile
+  | b -> malformed "unknown action %#x" b
+
+let encode_request req =
+  let b = Buffer.create 256 in
+  Buffer.add_char b (Char.chr version);
+  (match req with
+  | Ping -> Buffer.add_char b '\000'
+  | Compile { action; srcs; o3; shrinkwrap; global_promo; fuel; priority } ->
+      Buffer.add_char b '\001';
+      Buffer.add_char b (Char.chr (action_byte action));
+      put_list b put_string srcs;
+      put_bool b o3;
+      put_bool b shrinkwrap;
+      put_bool b global_promo;
+      put_option b put_int fuel;
+      put_int b priority
+  | Stats -> Buffer.add_char b '\002'
+  | Shutdown -> Buffer.add_char b '\003');
+  Buffer.contents b
+
+let decode_request payload =
+  let r = reader_of payload "request" in
+  let req =
+    match get_byte r with
+    | 0 -> Ping
+    | 1 ->
+        let action = action_of_byte (get_byte r) in
+        let srcs = get_list r get_string in
+        let o3 = get_bool r in
+        let shrinkwrap = get_bool r in
+        let global_promo = get_bool r in
+        let fuel = get_option r get_int in
+        let priority = get_int r in
+        Compile { action; srcs; o3; shrinkwrap; global_promo; fuel; priority }
+    | 2 -> Stats
+    | 3 -> Shutdown
+    | t -> malformed "unknown request tag %#x" t
+  in
+  finish r "request";
+  req
+
+(* ----- replies ----- *)
+
+let put_counter b (name, v) =
+  put_string b name;
+  put_int b v
+
+let get_counter r =
+  let name = get_string r in
+  let v = get_int r in
+  (name, v)
+
+let encode_reply reply =
+  let b = Buffer.create 256 in
+  Buffer.add_char b (Char.chr version);
+  (match reply with
+  | Done { text; counters } ->
+      Buffer.add_char b '\000';
+      put_string b text;
+      put_list b put_counter counters
+  | Error { kind; message } ->
+      Buffer.add_char b '\001';
+      put_string b kind;
+      put_string b message
+  | Busy -> Buffer.add_char b '\002'
+  | Pong -> Buffer.add_char b '\003'
+  | Stats_reply counters ->
+      Buffer.add_char b '\004';
+      put_list b put_counter counters
+  | Bye -> Buffer.add_char b '\005');
+  Buffer.contents b
+
+let decode_reply payload =
+  let r = reader_of payload "reply" in
+  let reply =
+    match get_byte r with
+    | 0 ->
+        let text = get_string r in
+        let counters = get_list r get_counter in
+        Done { text; counters }
+    | 1 ->
+        let kind = get_string r in
+        let message = get_string r in
+        Error { kind; message }
+    | 2 -> Busy
+    | 3 -> Pong
+    | 4 -> Stats_reply (get_list r get_counter)
+    | 5 -> Bye
+    | t -> malformed "unknown reply tag %#x" t
+  in
+  finish r "reply";
+  reply
+
+(* ----- framing ----- *)
+
+let rec really_write fd buf ofs len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf ofs len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    really_write fd buf (ofs + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > max_frame then malformed "frame of %d bytes exceeds max %d" n max_frame;
+  let buf = Bytes.create (4 + n) in
+  Bytes.set buf 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set buf 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set buf 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set buf 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 buf 4 n;
+  really_write fd buf 0 (4 + n)
+
+(* [`Eof] only at offset 0 — a clean close between frames; mid-message
+   truncation is malformed *)
+let read_exact fd buf len =
+  let rec go ofs =
+    if ofs >= len then `Ok
+    else
+      match Unix.read fd buf ofs (len - ofs) with
+      | 0 -> if ofs = 0 then `Eof else malformed "stream truncated mid-frame"
+      | n -> go (ofs + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ofs
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+          if ofs = 0 then `Eof else malformed "connection reset mid-frame"
+  in
+  go 0
+
+let read_frame fd =
+  let header = Bytes.create 4 in
+  match read_exact fd header 4 with
+  | `Eof -> None
+  | `Ok ->
+      let b i = Char.code (Bytes.get header i) in
+      let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+      if n > max_frame then
+        malformed "frame claims %d bytes, max is %d" n max_frame;
+      let payload = Bytes.create n in
+      (match read_exact fd payload n with
+      | `Ok -> Some (Bytes.unsafe_to_string payload)
+      | `Eof -> if n = 0 then Some "" else malformed "stream truncated mid-frame")
+
+let send_request fd req = write_frame fd (encode_request req)
+let send_reply fd reply = write_frame fd (encode_reply reply)
+let recv_request fd = Option.map decode_request (read_frame fd)
+let recv_reply fd = Option.map decode_reply (read_frame fd)

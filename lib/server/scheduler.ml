@@ -1,0 +1,95 @@
+(** See scheduler.mli.  The queue is a sorted list keyed by
+    [(-priority, seq)] — bounded by [queue_bound], so insertion cost is
+    capped by the admission bound, and the head is always the next job to
+    run: highest priority first, FIFO within a priority. *)
+
+type job = { j_prio : int; j_seq : int; j_work : unit -> unit }
+
+type t = {
+  queue_bound : int;
+  on_error : exn -> unit;
+  lock : Mutex.t;
+  work : Condition.t;  (** queue grew or shutdown began *)
+  mutable queue : job list;  (** sorted: highest priority, then lowest seq *)
+  mutable npending : int;
+  mutable seq : int;
+  mutable stopping : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let before a b = a.j_prio > b.j_prio || (a.j_prio = b.j_prio && a.j_seq < b.j_seq)
+
+let rec insert job = function
+  | [] -> [ job ]
+  | hd :: _ as q when before job hd -> job :: q
+  | hd :: tl -> hd :: insert job tl
+
+let rec worker_loop t =
+  Mutex.lock t.lock;
+  while t.queue = [] && not t.stopping do
+    Condition.wait t.work t.lock
+  done;
+  match t.queue with
+  | [] ->
+      (* stopping and drained *)
+      Mutex.unlock t.lock
+  | job :: rest ->
+      t.queue <- rest;
+      t.npending <- t.npending - 1;
+      Mutex.unlock t.lock;
+      (try job.j_work () with e -> t.on_error e);
+      worker_loop t
+
+let create ?(on_error = fun _ -> ()) ~workers ~queue_bound () =
+  if workers < 1 then invalid_arg "Scheduler.create: workers must be >= 1";
+  if queue_bound < 1 then
+    invalid_arg "Scheduler.create: queue_bound must be >= 1";
+  let t =
+    {
+      queue_bound;
+      on_error;
+      lock = Mutex.create ();
+      work = Condition.create ();
+      queue = [];
+      npending = 0;
+      seq = 0;
+      stopping = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+type outcome = Accepted | Rejected
+
+let submit t ~priority work =
+  Mutex.lock t.lock;
+  let outcome =
+    if t.stopping || t.npending >= t.queue_bound then Rejected
+    else begin
+      let job = { j_prio = priority; j_seq = t.seq; j_work = work } in
+      t.seq <- t.seq + 1;
+      t.queue <- insert job t.queue;
+      t.npending <- t.npending + 1;
+      Condition.signal t.work;
+      Accepted
+    end
+  in
+  Mutex.unlock t.lock;
+  outcome
+
+let pending t =
+  Mutex.lock t.lock;
+  let n = t.npending in
+  Mutex.unlock t.lock;
+  n
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  let workers = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.lock;
+  List.iter Domain.join workers

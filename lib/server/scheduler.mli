@@ -1,0 +1,42 @@
+(** Bounded priority scheduler: the stage between admission (connection
+    threads framing requests) and execution (worker domains running
+    compiles).
+
+    Jobs wait in a priority queue of bounded depth.  {!submit} never
+    blocks: a full queue answers [Rejected] immediately, which the server
+    turns into a [Busy] reply — backpressure is explicit and the daemon's
+    memory stays bounded under overload.  Higher priorities run sooner;
+    equal priorities run in submission order (no starvation among
+    equals, but a saturating stream of high-priority work does starve
+    lower priorities — the policy is the caller's choice via the
+    priority it assigns).
+
+    Execution is [workers] dedicated domains, so compiles run truly in
+    parallel and never block admission: a connection thread can keep
+    reading frames while earlier requests of the same connection are
+    still compiling.  A job that raises is contained (the exception is
+    swallowed after an optional [on_error] callback); worker domains
+    never die with the job. *)
+
+type t
+
+type outcome = Accepted | Rejected
+
+(** [create ?on_error ~workers ~queue_bound ()] spawns [workers] (>= 1)
+    worker domains draining a queue of at most [queue_bound] (>= 1)
+    waiting jobs.  [on_error] observes exceptions escaping jobs (default:
+    ignore). *)
+val create :
+  ?on_error:(exn -> unit) -> workers:int -> queue_bound:int -> unit -> t
+
+(** [submit t ~priority job] enqueues [job], or answers [Rejected] without
+    enqueueing when [queue_bound] jobs are already waiting (running jobs
+    don't count against the bound). *)
+val submit : t -> priority:int -> (unit -> unit) -> outcome
+
+(** Jobs currently waiting (not yet picked up by a worker). *)
+val pending : t -> int
+
+(** [shutdown t] stops accepting work, lets the workers drain every
+    already-accepted job, and joins them.  Idempotent. *)
+val shutdown : t -> unit

@@ -1,0 +1,268 @@
+(** See server.mli for the architecture (admission / scheduling /
+    execution stages). *)
+
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Cache = Chow_compiler.Cache
+module Machine = Chow_machine.Machine
+module Diag = Chow_frontend.Diag
+module Link = Chow_codegen.Link
+module Objfile = Chow_codegen.Objfile
+module Sim = Chow_sim.Sim
+module Profile = Chow_sim.Profile
+module Trace = Chow_obs.Trace
+module Metrics = Chow_obs.Metrics
+
+let m_accepted = Metrics.counter "server.accepted"
+let m_busy = Metrics.counter "server.busy"
+let m_completed = Metrics.counter "server.completed"
+let m_failed = Metrics.counter "server.failed"
+let m_protocol_errors = Metrics.counter "server.protocol_error"
+let h_queue_wait = Metrics.histogram "server.queue_wait_us"
+let h_run = Metrics.histogram "server.run_us"
+
+type t = {
+  socket_path : string;
+  listen_fd : Unix.file_descr;
+  sched : Scheduler.t;
+  cache : Cache.t option;
+  bound : int;
+  stop : bool Atomic.t;
+  (* open client connections, so shutdown can unblock their reader
+     threads; threads register on entry and deregister (closing the fd)
+     on exit, both under [conn_lock] *)
+  conn_lock : Mutex.t;
+  conns : (int, Unix.file_descr) Hashtbl.t;
+  mutable conn_seq : int;
+  mutable threads : Thread.t list;
+}
+
+(* ----- request execution ----- *)
+
+let config_of ~o3 ~shrinkwrap =
+  {
+    Config.name =
+      Printf.sprintf "%s%s" (if o3 then "-O3" else "-O2")
+        (if shrinkwrap then "+sw" else "");
+    ipra = o3;
+    shrinkwrap;
+    machine = Machine.full;
+    (* worker parallelism is across requests; within one it is sequential *)
+    jobs = 1;
+  }
+
+let link_summary (compiled : Pipeline.compiled) =
+  let prog = Pipeline.program compiled in
+  Printf.sprintf "linked %d units: %d instructions, %d data words"
+    (List.length (Pipeline.artifacts compiled))
+    (Array.length prog.Chow_codegen.Asm.code)
+    prog.Chow_codegen.Asm.data_size
+
+(** Compile (and run / profile) one request; every failure mode crosses
+    the wire as an [Error] reply, rendered once, here. *)
+let exec ?cache ~action ~srcs ~o3 ~shrinkwrap ~global_promo ~fuel () =
+  let err kind fmt = Printf.ksprintf (fun m -> Protocol.Error { kind; message = m }) fmt in
+  try
+    let config = config_of ~o3 ~shrinkwrap in
+    match
+      Pipeline.compile_result ~global_promo ?cache config (Pipeline.Srcs srcs)
+    with
+    | Error diag -> Protocol.Error { kind = "compile"; message = Diag.to_string diag }
+    | Ok compiled -> (
+        match action with
+        | Protocol.Build ->
+            Protocol.Done { text = link_summary compiled; counters = [] }
+        | Protocol.Run ->
+            let o = Pipeline.run ?fuel compiled in
+            Protocol.Done
+              {
+                text =
+                  String.concat "\n"
+                    (List.map string_of_int o.Sim.output);
+                counters = [];
+              }
+        | Protocol.Profile ->
+            let r = Pipeline.profile_penalty ?fuel compiled in
+            Protocol.Done
+              {
+                text =
+                  Format.asprintf "%a" (Profile.pp_penalty_report ~limit:20) r;
+                counters = [];
+              })
+  with
+  | Sim.Runtime_error msg -> err "runtime" "%s" msg
+  | Link.Undefined_procedure name -> err "link" "undefined procedure %s" name
+  | Objfile.Corrupt msg -> err "artifact" "corrupt artifact: %s" msg
+  | Invalid_argument msg -> err "link" "%s" msg
+  | e -> err "internal" "%s" (Printexc.to_string e)
+
+(* ----- the worker side of a request ----- *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(** Runs on a worker domain: account the queue wait, execute, attach the
+    per-request metric deltas, and reply on the requesting connection.
+    [send] is the connection's serialized writer; it raises if the peer
+    vanished, which counts the request as failed, not completed. *)
+let run_job t ~send ~submit_ns ~submit_trace_ns ~action ~srcs ~o3 ~shrinkwrap
+    ~global_promo ~fuel () =
+  let wait_ns = max 0 (now_ns () - submit_ns) in
+  Metrics.observe h_queue_wait (wait_ns / 1000);
+  if Trace.is_on () then
+    Trace.span_at ~ts_ns:submit_trace_ns ~dur_ns:wait_ns "queue-wait";
+  let before = Metrics.snapshot () in
+  let t0 = now_ns () in
+  let reply =
+    Trace.span "request"
+      (exec ?cache:t.cache ~action ~srcs ~o3 ~shrinkwrap ~global_promo ~fuel)
+  in
+  Metrics.observe h_run ((now_ns () - t0) / 1000);
+  let reply =
+    match reply with
+    | Protocol.Done d ->
+        Protocol.Done { d with counters = Metrics.diff before (Metrics.snapshot ()) }
+    | other -> other
+  in
+  (* completed = executed and replied Done; an Error reply counts as
+     failed.  Account BEFORE sending: a client that reads the reply and
+     immediately asks for Stats must see itself counted.  A send to a
+     vanished peer is reclassified after the fact — no live client can
+     observe the window. *)
+  (match reply with
+  | Protocol.Done _ -> Metrics.incr m_completed
+  | _ -> Metrics.incr m_failed);
+  match Trace.span "reply" (fun () -> send reply) with
+  | () -> ()
+  | exception _ -> (
+      match reply with
+      | Protocol.Done _ ->
+          Metrics.add m_completed (-1);
+          Metrics.incr m_failed
+      | _ -> ())
+
+(* ----- admission: one thread per connection ----- *)
+
+let handle_connection t fd =
+  let wlock = Mutex.create () in
+  let send reply =
+    Mutex.protect wlock (fun () -> Protocol.send_reply fd reply)
+  in
+  let rec loop () =
+    match Protocol.recv_request fd with
+    | None -> ()
+    | exception Protocol.Malformed msg ->
+        Metrics.incr m_protocol_errors;
+        (* best-effort: the stream may already be gone *)
+        (try send (Protocol.Error { kind = "protocol"; message = msg })
+         with _ -> ());
+        ()
+    | exception Unix.Unix_error _ -> ()
+    | Some Protocol.Ping ->
+        send Protocol.Pong;
+        loop ()
+    | Some Protocol.Stats ->
+        send (Protocol.Stats_reply (Metrics.snapshot ()));
+        loop ()
+    | Some Protocol.Shutdown ->
+        send Protocol.Bye;
+        Atomic.set t.stop true
+        (* stop reading; serve's cleanup closes the connection *)
+    | Some
+        (Protocol.Compile
+           { action; srcs; o3; shrinkwrap; global_promo; fuel; priority }) ->
+        let submit_ns = now_ns () in
+        let submit_trace_ns = Trace.elapsed_ns () in
+        let job =
+          run_job t ~send ~submit_ns ~submit_trace_ns ~action ~srcs ~o3
+            ~shrinkwrap ~global_promo ~fuel
+        in
+        (match Scheduler.submit t.sched ~priority job with
+        | Scheduler.Accepted -> Metrics.incr m_accepted
+        | Scheduler.Rejected ->
+            Metrics.incr m_busy;
+            (try send Protocol.Busy with _ -> ()));
+        loop ()
+  in
+  (try loop () with _ -> ())
+
+(* ----- lifecycle ----- *)
+
+let create ?(workers = 4) ?(queue_bound = 64) ?cache_dir ?(cache_shards = 4)
+    ?cache_max_entries ~socket_path () =
+  if workers < 1 then invalid_arg "Server.create: workers must be >= 1";
+  (* replies to vanished clients must fail with EPIPE, not kill the daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  Metrics.enable ();
+  let cache =
+    Option.map
+      (fun dir ->
+        Cache.create ?max_entries:cache_max_entries ~shards:cache_shards ~dir ())
+      cache_dir
+  in
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen listen_fd 64;
+  {
+    socket_path;
+    listen_fd;
+    sched = Scheduler.create ~workers ~queue_bound ();
+    cache;
+    bound = queue_bound;
+    stop = Atomic.make false;
+    conn_lock = Mutex.create ();
+    conns = Hashtbl.create 16;
+    conn_seq = 0;
+    threads = [];
+  }
+
+let queue_bound t = t.bound
+let request_stop t = Atomic.set t.stop true
+
+let serve t =
+  let accept_one () =
+    (* wake up periodically to notice [stop] set by a connection thread,
+       another thread, or a signal handler *)
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ ->
+        let fd, _ = Unix.accept t.listen_fd in
+        let id =
+          Mutex.protect t.conn_lock (fun () ->
+              let id = t.conn_seq in
+              t.conn_seq <- id + 1;
+              Hashtbl.replace t.conns id fd;
+              id)
+        in
+        let th =
+          Thread.create
+            (fun () ->
+              Fun.protect
+                ~finally:(fun () ->
+                  Mutex.protect t.conn_lock (fun () ->
+                      if Hashtbl.mem t.conns id then begin
+                        Hashtbl.remove t.conns id;
+                        try Unix.close fd with Unix.Unix_error _ -> ()
+                      end))
+                (fun () -> handle_connection t fd))
+            ()
+        in
+        t.threads <- th :: t.threads
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  in
+  while not (Atomic.get t.stop) do
+    accept_one ()
+  done;
+  (* 1. no new connections *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* 2. drain every accepted job — pending replies still have live fds *)
+  Scheduler.shutdown t.sched;
+  (* 3. unblock reader threads still parked in [recv_request] *)
+  Mutex.protect t.conn_lock (fun () ->
+      Hashtbl.iter
+        (fun _ fd ->
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        t.conns);
+  List.iter Thread.join t.threads;
+  t.threads <- [];
+  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ())

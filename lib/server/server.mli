@@ -1,0 +1,59 @@
+(** The [pawnc serve] daemon: a long-lived compile server over a unix
+    socket.
+
+    The request path is three decoupled, independently measurable stages:
+
+    - {b admission} — one lightweight thread per connection reads
+      {!Protocol} frames and either answers directly (ping, stats,
+      shutdown, malformed-frame errors) or submits compile jobs;
+    - {b scheduling} — a {!Scheduler}: bounded priority queue; a full
+      queue answers [Busy] immediately, so overload produces explicit
+      backpressure instead of unbounded memory growth;
+    - {b execution} — worker domains compile against the shared
+      {!Chow_compiler.Cache} (sharded, so concurrent warm requests don't
+      serialize on one lock) and write the reply straight to the
+      requesting connection.
+
+    Observability: the metrics registry is enabled for the daemon's
+    lifetime ([server.accepted] / [server.busy] / [server.completed] /
+    [server.failed] counters, [server.queue_wait_us] / [server.run_us]
+    histograms, plus the cache and pipeline counters the work itself
+    publishes); when tracing is enabled each request contributes
+    queue-wait, request and reply spans.  A [Stats] request returns the
+    registry snapshot over the wire.
+
+    Shutdown: a [Shutdown] request (or {!request_stop}) stops admission,
+    drains every accepted job, answers stragglers, closes connections and
+    returns from {!serve}. *)
+
+type t
+
+(** [create ?workers ?queue_bound ?cache_dir ?cache_shards
+    ?cache_max_entries ~socket_path ()] binds and listens on
+    [socket_path] (an existing socket file is replaced).  Defaults:
+    4 workers, queue bound 64, no cache (every request compiles cold),
+    4 shards.  The compile configuration is per-request; worker
+    parallelism is across requests, so each request compiles with
+    [jobs = 1]. *)
+val create :
+  ?workers:int ->
+  ?queue_bound:int ->
+  ?cache_dir:string ->
+  ?cache_shards:int ->
+  ?cache_max_entries:int ->
+  socket_path:string ->
+  unit ->
+  t
+
+(** The admission queue bound the server was created with. *)
+val queue_bound : t -> int
+
+(** [serve t] runs the accept loop until a [Shutdown] request arrives or
+    {!request_stop} is called, then drains and cleans up (joins workers
+    and connection threads, unlinks the socket).  Blocking; run it on a
+    dedicated thread to serve in-process. *)
+val serve : t -> unit
+
+(** Ask a serving [t] to stop from another thread (or a signal handler);
+    returns immediately. *)
+val request_stop : t -> unit

@@ -29,4 +29,5 @@ let () =
       Test_parallel.suite;
       Test_obs.suite;
       Test_objfile.suite;
+      Test_server.suite;
     ]

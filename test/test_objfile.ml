@@ -37,10 +37,10 @@ let two_units = [ unit_main; unit_math ]
 
 (* a fresh empty cache in a unique directory under the system temp dir,
    so runs never collide and nothing is left in the source tree *)
-let fresh_cache ?max_entries name =
+let fresh_cache ?max_entries ?shards name =
   let marker = Filename.temp_file ("chow88-" ^ name) ".cache" in
   Sys.remove marker;
-  let cache = Cache.create ?max_entries ~dir:marker () in
+  let cache = Cache.create ?max_entries ?shards ~dir:marker () in
   Cache.clear cache;
   cache
 
@@ -293,6 +293,91 @@ let test_eviction () =
   Alcotest.(check int) "bounded store" 2 (List.length stored);
   Alcotest.(check int) "evictions counted" 2 evicted
 
+let sorted_entries cache =
+  List.sort compare
+    (List.filter
+       (fun n -> Filename.check_suffix n ".pawno")
+       (Array.to_list (Sys.readdir (Cache.dir cache))))
+
+(** Regression for eviction under mtime ties: filesystem mtimes have
+    1-second granularity on some systems, so entries stored within the
+    same second used to evict in readdir (i.e. arbitrary) order.  Aging
+    is by (mtime, key), so equal mtimes must break the tie by key —
+    deterministically, reproducibly across runs. *)
+let test_eviction_mtime_tie_break () =
+  let unbounded = fresh_cache "tie" in
+  let c = Pipeline.compile_source Config.o3_sw (Pipeline.Srcs two_units) in
+  let art = List.hd (Pipeline.artifacts c) in
+  List.iter (fun key -> Cache.store unbounded key art) [ "k1"; "k2"; "k3"; "k4" ];
+  (* force an exact four-way mtime tie, older than anything stored next *)
+  List.iter
+    (fun key ->
+      Unix.utimes (Filename.concat (Cache.dir unbounded) (key ^ ".pawno")) 5. 5.)
+    [ "k1"; "k2"; "k3"; "k4" ];
+  let bounded =
+    Cache.create ~max_entries:2 ~dir:(Cache.dir unbounded) ()
+  in
+  let evicted =
+    with_metrics (fun () ->
+        Cache.store bounded "k0" art;
+        counter_value "cache.evict")
+  in
+  (* five entries, quota two: the three tied-oldest go, and among the tie
+     the smallest KEYS go — k4 survives alongside the fresh k0 *)
+  Alcotest.(check (list string))
+    "tie broken by key" [ "k0.pawno"; "k4.pawno" ] (sorted_entries bounded);
+  Alcotest.(check int) "evictions counted" 3 evicted
+
+(* ----- concurrent access: one directory, many threads / processes ----- *)
+
+let conc_keys = List.init 16 (fun i -> Printf.sprintf "conc%02x" i)
+
+(** Two domains hammering one sharded cache value: every find of a
+    pre-stored key must hit with an intact artifact, nothing may be
+    flagged corrupt, and the atomic counters must sum exactly. *)
+let test_concurrent_domains () =
+  let cache = fresh_cache ~shards:4 "domains" in
+  let c = Pipeline.compile_source Config.o3_sw (Pipeline.Srcs two_units) in
+  let art = List.hd (Pipeline.artifacts c) in
+  List.iter (fun k -> Cache.store cache k art) conc_keys;
+  let rounds = 50 in
+  let worker tag () =
+    let intact = ref 0 in
+    for round = 1 to rounds do
+      List.iter
+        (fun k ->
+          (* re-store under contention, then find: rename is atomic, so a
+             racing reader sees a complete artifact either way *)
+          if round mod 5 = 0 then Cache.store cache k art;
+          match Cache.find cache k with
+          | Some a when a = art -> incr intact
+          | Some _ -> Alcotest.failf "%s: %s: artifact mangled" tag k
+          | None -> Alcotest.failf "%s: %s: pre-stored key missed" tag k)
+        conc_keys
+    done;
+    !intact
+  in
+  let hits, corrupt =
+    with_metrics (fun () ->
+        let d1 = Domain.spawn (worker "d1") in
+        let d2 = Domain.spawn (worker "d2") in
+        let i1 = Domain.join d1 and i2 = Domain.join d2 in
+        Alcotest.(check int)
+          "every find hit with an intact artifact"
+          (2 * rounds * List.length conc_keys)
+          (i1 + i2);
+        (counter_value "cache.hit", counter_value "cache.corrupt"))
+  in
+  Alcotest.(check int)
+    "hits sum exactly across domains"
+    (2 * rounds * List.length conc_keys)
+    hits;
+  Alcotest.(check int) "nothing corrupt" 0 corrupt
+
+(* the two-PROCESS counterpart of the test above lives in its own
+   executable, test_cache_procs.ml: Unix.fork is illegal once any domain
+   has been spawned, and earlier suites in this binary spawn domains *)
+
 (* ----- diagnostics ----- *)
 
 let check_error what expected_phase source =
@@ -353,6 +438,10 @@ let suite =
         `Quick test_disk_corruption_recompiles;
       Alcotest.test_case "cache: max_entries evicts oldest" `Quick
         test_eviction;
+      Alcotest.test_case "cache: eviction breaks mtime ties by key" `Quick
+        test_eviction_mtime_tie_break;
+      Alcotest.test_case "cache: two domains, one directory" `Quick
+        test_concurrent_domains;
       Alcotest.test_case "diag: compile_result reifies front-end errors"
         `Quick test_compile_result_errors;
       Alcotest.test_case "diag: legacy aliases still raise" `Quick

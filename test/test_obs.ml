@@ -226,6 +226,42 @@ let test_metrics_counter_and_histogram () =
     "bucket le_8" (Some 2)
     (List.assoc_opt "test.hist.le_8" dump)
 
+(** snapshot/diff: per-request deltas without resetting the global
+    registry — the daemon attaches these to every reply, so the deltas
+    must be exact for serialized work and must not disturb the running
+    totals. *)
+let test_metrics_snapshot_diff () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let a = Metrics.counter "test.diff.a" in
+  let b = Metrics.counter "test.diff.b" in
+  Metrics.add a 10;
+  Metrics.add b 3;
+  let before = Metrics.snapshot () in
+  Metrics.add a 5;
+  let fresh = Metrics.counter "test.diff.fresh" in
+  Metrics.incr fresh;
+  let delta = Metrics.diff before (Metrics.snapshot ()) in
+  Metrics.disable ();
+  Alcotest.(check (option int))
+    "changed counter's delta" (Some 5)
+    (List.assoc_opt "test.diff.a" delta);
+  Alcotest.(check (option int))
+    "counter born after the snapshot" (Some 1)
+    (List.assoc_opt "test.diff.fresh" delta);
+  Alcotest.(check (option int))
+    "unchanged counter omitted" None
+    (List.assoc_opt "test.diff.b" delta);
+  (* the global totals are untouched by taking snapshots *)
+  Alcotest.(check (option int))
+    "registry keeps the running total" (Some 15)
+    (List.assoc_opt "test.diff.a" (Metrics.dump ()));
+  (* diffing a snapshot against itself is empty *)
+  Alcotest.(check int)
+    "self-diff empty" 0
+    (List.length (Metrics.diff before before));
+  Metrics.reset ()
+
 (** Histogram buckets must dump in ascending numeric threshold order —
     a plain string sort interleaves them (le_1, le_16, le_2, le_32...). *)
 let test_metrics_bucket_order () =
@@ -381,6 +417,8 @@ let suite =
         test_metrics_disabled_noop;
       Alcotest.test_case "metrics: counter and histogram" `Quick
         test_metrics_counter_and_histogram;
+      Alcotest.test_case "metrics: snapshot/diff per-request deltas" `Quick
+        test_metrics_snapshot_diff;
       Alcotest.test_case "metrics: numeric bucket order" `Quick
         test_metrics_bucket_order;
       Alcotest.test_case "metrics: -j1 and -j4 dumps identical" `Quick

@@ -1,0 +1,400 @@
+(** Compile-server tests: the framed wire protocol round-trips and
+    rejects garbage without wedging; the bounded priority scheduler
+    orders, rejects and drains as specified; and a full in-process daemon
+    serves cold/warm/erroneous requests end-to-end, answering [Busy] —
+    not blocking, not dying — when the admission queue is full. *)
+
+module Protocol = Chow_server.Protocol
+module Scheduler = Chow_server.Scheduler
+module Server = Chow_server.Server
+module Client = Chow_server.Client
+module Cache = Chow_compiler.Cache
+module Metrics = Chow_obs.Metrics
+
+(* ----- protocol ----- *)
+
+let sample_requests =
+  [
+    Protocol.Ping;
+    Protocol.Stats;
+    Protocol.Shutdown;
+    Protocol.Compile
+      {
+        action = Protocol.Build;
+        srcs = [ "proc main() {}" ];
+        o3 = true;
+        shrinkwrap = false;
+        global_promo = true;
+        fuel = None;
+        priority = 0;
+      };
+    Protocol.Compile
+      {
+        action = Protocol.Run;
+        srcs = [ ""; "two\nunits"; String.make 10_000 'x' ];
+        o3 = false;
+        shrinkwrap = true;
+        global_promo = false;
+        fuel = Some 123_456_789;
+        priority = -7;
+      };
+    Protocol.Compile
+      {
+        action = Protocol.Profile;
+        srcs = [];
+        o3 = true;
+        shrinkwrap = true;
+        global_promo = false;
+        fuel = Some 0;
+        priority = max_int;
+      };
+  ]
+
+let sample_replies =
+  [
+    Protocol.Done { text = "linked"; counters = [] };
+    Protocol.Done
+      {
+        text = String.make 5000 '\xff';
+        counters = [ ("cache.hit", 2); ("sim.cycles", 144); ("neg", -3) ];
+      };
+    Protocol.Error { kind = "compile"; message = "3:1 parse error" };
+    Protocol.Busy;
+    Protocol.Pong;
+    Protocol.Stats_reply [ ("server.completed", 12) ];
+    Protocol.Bye;
+  ]
+
+let test_protocol_roundtrip () =
+  List.iter
+    (fun req ->
+      if Protocol.decode_request (Protocol.encode_request req) <> req then
+        Alcotest.fail "request changed across encode/decode")
+    sample_requests;
+  List.iter
+    (fun reply ->
+      if Protocol.decode_reply (Protocol.encode_reply reply) <> reply then
+        Alcotest.fail "reply changed across encode/decode")
+    sample_replies
+
+let expect_malformed what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Malformed" what
+  | exception Protocol.Malformed _ -> ()
+
+let test_protocol_rejects_garbage () =
+  expect_malformed "empty payload" (fun () -> Protocol.decode_request "");
+  expect_malformed "bad version" (fun () ->
+      Protocol.decode_request "\xff\x00");
+  expect_malformed "unknown tag" (fun () ->
+      Protocol.decode_request "\x01\x63");
+  expect_malformed "truncated fields" (fun () ->
+      (* a Compile tag with no fields behind it *)
+      Protocol.decode_request "\x01\x01");
+  expect_malformed "negative length varint" (fun () ->
+      (* Done reply whose text length has the sign bit set: 9-byte LEB128
+         pattern for a "negative length" — must be rejected as Malformed,
+         not escape as Invalid_argument from String.sub *)
+      Protocol.decode_reply
+        "\x01\x00\xff\xff\xff\xff\xff\xff\xff\xff\x7f");
+  expect_malformed "string past payload" (fun () ->
+      (* Done reply whose text claims 100 bytes but carries none *)
+      Protocol.decode_reply "\x01\x00\x64");
+  (* trailing garbage after a complete message is also a framing error *)
+  expect_malformed "trailing garbage" (fun () ->
+      Protocol.decode_request (Protocol.encode_request Protocol.Ping ^ "\x00"))
+
+let test_frame_size_bound () =
+  (* an over-long frame is refused before any allocation on the read
+     side, and refused outright on the write side *)
+  let fd_r, fd_w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close fd_r;
+      Unix.close fd_w)
+    (fun () ->
+      expect_malformed "oversized write" (fun () ->
+          Protocol.write_frame fd_w (String.make (Protocol.max_frame + 1) 'x'));
+      (* hand-craft a header claiming a 2 GiB payload *)
+      let header = Bytes.create 4 in
+      Bytes.set header 0 '\x7f';
+      Bytes.set header 1 '\xff';
+      Bytes.set header 2 '\xff';
+      Bytes.set header 3 '\xff';
+      ignore (Unix.write fd_w header 0 4);
+      expect_malformed "oversized read" (fun () -> Protocol.read_frame fd_r))
+
+(* ----- scheduler ----- *)
+
+(* park [sched]'s single worker behind a gate, WAITING until the worker
+   has actually picked the blocker up — submissions racing the pickup
+   would otherwise see one extra queue slot occupied *)
+let park_worker sched =
+  let gate = Mutex.create () and signal = Condition.create () in
+  let opened = ref false and started = ref false in
+  let blocker () =
+    Mutex.protect gate (fun () ->
+        started := true;
+        Condition.broadcast signal;
+        while not !opened do
+          Condition.wait signal gate
+        done)
+  in
+  let outcome = Scheduler.submit sched ~priority:0 blocker in
+  Alcotest.(check bool) "blocker accepted" true (outcome = Scheduler.Accepted);
+  Mutex.protect gate (fun () ->
+      while not !started do
+        Condition.wait signal gate
+      done);
+  fun () ->
+    Mutex.protect gate (fun () ->
+        opened := true;
+        Condition.broadcast signal)
+
+let test_scheduler_priority_order () =
+  let sched = Scheduler.create ~workers:1 ~queue_bound:16 () in
+  let order = Mutex.create () and ran = ref [] in
+  let release = park_worker sched in
+  List.iter
+    (fun p ->
+      let job () = Mutex.protect order (fun () -> ran := p :: !ran) in
+      Alcotest.(check bool)
+        "job accepted" true
+        (Scheduler.submit sched ~priority:p job = Scheduler.Accepted))
+    [ 0; 5; 1; 5; -3 ];
+  release ();
+  Scheduler.shutdown sched;
+  (* higher priority first; the two 5s in submission order *)
+  Alcotest.(check (list int))
+    "drained highest-first" [ 5; 5; 1; 0; -3 ] (List.rev !ran)
+
+let test_scheduler_bound_rejects () =
+  let sched = Scheduler.create ~workers:1 ~queue_bound:2 () in
+  let release = park_worker sched in
+  (* the worker holds the blocker; exactly queue_bound more fit *)
+  let outcomes =
+    List.init 4 (fun _ -> Scheduler.submit sched ~priority:0 (fun () -> ()))
+  in
+  Alcotest.(check (list bool))
+    "two queued, two rejected"
+    [ true; true; false; false ]
+    (List.map (fun o -> o = Scheduler.Accepted) outcomes);
+  Alcotest.(check int) "pending counts the queue" 2 (Scheduler.pending sched);
+  release ();
+  Scheduler.shutdown sched;
+  Alcotest.(check int) "drained" 0 (Scheduler.pending sched);
+  (* after shutdown everything is rejected *)
+  Alcotest.(check bool)
+    "post-shutdown rejected" true
+    (Scheduler.submit sched ~priority:9 (fun () -> ()) = Scheduler.Rejected)
+
+(* ----- the daemon end-to-end, in process ----- *)
+
+let fresh_dir name =
+  let d = Filename.temp_file ("chow88-" ^ name) ".d" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let with_server ?(workers = 2) ?(queue_bound = 16) name f =
+  (* the registry is global and other suites leave residues; the daemon
+     tests assert exact counter values, so start from zero *)
+  Metrics.reset ();
+  let dir = fresh_dir name in
+  let socket_path = Filename.concat dir "s.sock" in
+  let server =
+    Server.create ~workers ~queue_bound
+      ~cache_dir:(Filename.concat dir "cache")
+      ~socket_path ()
+  in
+  let th = Thread.create Server.serve server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop server;
+      Thread.join th)
+    (fun () ->
+      Alcotest.(check bool)
+        "server came up" true
+        (Client.wait_ready ~socket_path ());
+      f socket_path)
+
+let compile_req ?(action = Protocol.Run) ?(priority = 0) srcs =
+  Protocol.Compile
+    {
+      action;
+      srcs;
+      o3 = true;
+      shrinkwrap = true;
+      global_promo = false;
+      fuel = None;
+      priority;
+    }
+
+let good_src = "proc main() { print(6 * 7); }"
+
+let test_server_end_to_end () =
+  with_server "e2e" (fun socket_path ->
+      Client.with_connection ~socket_path (fun c ->
+          (* ping *)
+          Alcotest.(check bool)
+            "pong" true
+            (Client.request c Protocol.Ping = Protocol.Pong);
+          (* cold run: compiles, simulates, misses the cache *)
+          (match Client.request c (compile_req [ good_src ]) with
+          | Protocol.Done { text; counters } ->
+              Alcotest.(check string) "cold output" "42" text;
+              Alcotest.(check int)
+                "cold delta: one miss" 1
+                (Option.value ~default:0 (List.assoc_opt "cache.miss" counters))
+          | _ -> Alcotest.fail "cold request failed");
+          (* warm run: identical request served from the artifact cache *)
+          (match Client.request c (compile_req [ good_src ]) with
+          | Protocol.Done { counters; _ } ->
+              Alcotest.(check int)
+                "warm delta: one hit" 1
+                (Option.value ~default:0 (List.assoc_opt "cache.hit" counters))
+          | _ -> Alcotest.fail "warm request failed");
+          (* a front-end error crosses the wire as a rendered Error *)
+          (match Client.request c (compile_req [ "proc main( {}" ]) with
+          | Protocol.Error { kind = "compile"; message } ->
+              Alcotest.(check bool)
+                "diag message mentions parse" true
+                (let lower = String.lowercase_ascii message in
+                 let contains needle hay =
+                   let nl = String.length needle and hl = String.length hay in
+                   let rec go i =
+                     i + nl <= hl
+                     && (String.sub hay i nl = needle || go (i + 1))
+                   in
+                   go 0
+                 in
+                 contains "parse" lower || contains "syntax" lower)
+          | _ -> Alcotest.fail "bad source did not answer a compile Error");
+          (* the books: 2 Done, 1 failed (the Error), 1 hit, 1 miss *)
+          match Client.request c Protocol.Stats with
+          | Protocol.Stats_reply counters ->
+              let v name =
+                Option.value ~default:0 (List.assoc_opt name counters)
+              in
+              Alcotest.(check int) "completed" 2 (v "server.completed");
+              Alcotest.(check int) "failed" 1 (v "server.failed");
+              Alcotest.(check int) "hit" 1 (v "cache.hit");
+              Alcotest.(check int) "accepted" 3 (v "server.accepted")
+          | _ -> Alcotest.fail "Stats failed"))
+
+let test_server_busy_backpressure () =
+  (* one worker, a queue of one: a burst of pipelined requests must get
+     explicit Busy replies beyond the bound — and every frame gets SOME
+     reply *)
+  with_server ~workers:1 ~queue_bound:1 "busy" (fun socket_path ->
+      Client.with_connection ~socket_path (fun c ->
+          let burst = 16 in
+          for _ = 1 to burst do
+            Protocol.send_request (Client.fd c) (compile_req [ good_src ])
+          done;
+          let done_ = ref 0 and busy = ref 0 in
+          for _ = 1 to burst do
+            match Protocol.recv_reply (Client.fd c) with
+            | Some (Protocol.Done _) -> incr done_
+            | Some Protocol.Busy -> incr busy
+            | Some _ -> Alcotest.fail "unexpected reply under load"
+            | None -> Alcotest.fail "connection died under load"
+          done;
+          Alcotest.(check int) "every request answered" burst (!done_ + !busy);
+          Alcotest.(check bool) "some requests ran" true (!done_ >= 1);
+          Alcotest.(check bool)
+            "overload answered Busy, not blocking" true (!busy >= 1)))
+
+let test_server_malformed_frame () =
+  with_server "malformed" (fun socket_path ->
+      Client.with_connection ~socket_path (fun c ->
+          Protocol.write_frame (Client.fd c) "\xff\x00garbage";
+          (match Protocol.recv_reply (Client.fd c) with
+          | Some (Protocol.Error { kind = "protocol"; _ }) -> ()
+          | _ -> Alcotest.fail "malformed frame: want a protocol Error"));
+      (* the daemon survives and serves the next connection *)
+      Client.with_connection ~socket_path (fun c ->
+          Alcotest.(check bool)
+            "daemon alive after garbage" true
+            (Client.request c Protocol.Ping = Protocol.Pong)))
+
+let test_server_graceful_shutdown () =
+  with_server "bye" (fun socket_path ->
+      (match
+         Client.with_connection ~socket_path (fun c ->
+             Client.request c Protocol.Shutdown)
+       with
+      | Protocol.Bye -> ()
+      | _ -> Alcotest.fail "Shutdown did not answer Bye");
+      (* the listener goes away: within the timeout, connects fail *)
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec wait_down () =
+        let up =
+          match Client.connect ~socket_path with
+          | c ->
+              Client.close c;
+              true
+          | exception Unix.Unix_error _ -> false
+        in
+        if up then
+          if Unix.gettimeofday () > deadline then
+            Alcotest.fail "daemon still listening after Bye"
+          else begin
+            Thread.yield ();
+            Unix.sleepf 0.05;
+            wait_down ()
+          end
+      in
+      wait_down ())
+
+(* ----- shard routing ----- *)
+
+let test_shard_routing () =
+  let dir = fresh_dir "routing" in
+  let cache = Cache.create ~shards:4 ~dir () in
+  Alcotest.(check int) "shard count" 4 (Cache.shards cache);
+  let keys =
+    List.init 64 (fun i -> Digest.to_hex (Digest.string (string_of_int i)))
+  in
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun k ->
+      let idx = Cache.shard_index cache k in
+      if idx < 0 || idx >= 4 then Alcotest.failf "index %d out of range" idx;
+      if Cache.shard_index cache k <> idx then
+        Alcotest.fail "routing not deterministic";
+      Hashtbl.replace seen idx ())
+    keys;
+  Alcotest.(check int)
+    "digest keys spread across all shards" 4 (Hashtbl.length seen);
+  (* a 1-shard cache routes everything to 0 *)
+  let flat = Cache.create ~dir () in
+  List.iter
+    (fun k ->
+      Alcotest.(check int) "single shard" 0 (Cache.shard_index flat k))
+    keys
+
+let suite =
+  ( "server",
+    [
+      Alcotest.test_case "protocol: round-trips bit-exact" `Quick
+        test_protocol_roundtrip;
+      Alcotest.test_case "protocol: garbage rejected as Malformed" `Quick
+        test_protocol_rejects_garbage;
+      Alcotest.test_case "protocol: frame size bounded" `Quick
+        test_frame_size_bound;
+      Alcotest.test_case "scheduler: drains highest priority first" `Quick
+        test_scheduler_priority_order;
+      Alcotest.test_case "scheduler: bounded queue rejects overload" `Quick
+        test_scheduler_bound_rejects;
+      Alcotest.test_case "daemon: cold/warm/error round-trip" `Quick
+        test_server_end_to_end;
+      Alcotest.test_case "daemon: overload answers Busy" `Quick
+        test_server_busy_backpressure;
+      Alcotest.test_case "daemon: malformed frame contained" `Quick
+        test_server_malformed_frame;
+      Alcotest.test_case "daemon: graceful shutdown" `Quick
+        test_server_graceful_shutdown;
+      Alcotest.test_case "cache: shard routing deterministic and spread"
+        `Quick test_shard_routing;
+    ] )
