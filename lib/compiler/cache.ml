@@ -7,7 +7,10 @@
     (plus {!Objfile.contract_check}) guards the bytes themselves.
 
     Sharding: the store is split into [shards] independent slices by key
-    prefix (the key's first hex digit modulo the shard count).  Each shard
+    prefix (the key's first two hex digits — a uniform value in 0..255 —
+    modulo the shard count; shard counts are clamped to 256 so every
+    shard is reachable and the entry budget is never split across
+    slices that can't fill).  Each shard
     has its own lock — held across a [find]'s load and a [store]'s
     save-plus-eviction, so hit/miss/evict accounting is atomic per shard
     and an eviction scan can never unlink an entry out from under a
@@ -39,8 +42,14 @@ let rec mkdir_p dir =
     with Sys_error _ when Sys.is_directory dir -> ()
   end
 
+(* routing reads two hex digits, so at most 256 shards are addressable;
+   a larger count would leave shards permanently empty while still
+   claiming a slice of the entry budget *)
+let max_shards = 256
+
 let create ?max_entries ?(shards = 1) ~dir () =
   if shards < 1 then invalid_arg "Cache.create: shards must be >= 1";
+  let shards = min shards max_shards in
   mkdir_p dir;
   { dir; max_entries; locks = Array.init shards (fun _ -> Mutex.create ()) }
 
@@ -53,21 +62,24 @@ let key ~config_fp ~source ~data_base =
        (Printf.sprintf "objfile-v%d\x00%s\x00base=%d\x00%s"
           Objfile.format_version config_fp data_base source))
 
-(* keys are hex digests, so the first character's hex value is uniform
-   over 0..15; non-hex keys (tests, external callers) fall back to the
-   raw character code, which still routes deterministically *)
+(* keys are hex digests, so the first two characters' hex value is
+   uniform over 0..255 — enough distinct values to reach every shard up
+   to [max_shards]; non-hex characters (tests, external callers) fall
+   back to their low nibble, which still routes deterministically *)
 let shard_index t key =
   let n = Array.length t.locks in
   if n = 1 || key = "" then 0
   else
-    let c = Char.code key.[0] in
-    let v =
-      match key.[0] with
-      | '0' .. '9' -> c - Char.code '0'
-      | 'a' .. 'f' -> c - Char.code 'a' + 10
-      | _ -> c
+    let nibble c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+      | c -> Char.code c land 0xf
     in
-    v mod n
+    let hi = nibble key.[0] in
+    let lo = if String.length key > 1 then nibble key.[1] else 0 in
+    ((hi lsl 4) lor lo) mod n
 
 let path_of t key = Filename.concat t.dir (key ^ ".pawno")
 

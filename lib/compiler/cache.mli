@@ -39,7 +39,8 @@ type t
     beyond it, the least-recently-used entries are evicted on store.  The
     bound is enforced per shard as [ceil (max_entries / shards)].
     Default: unbounded, one shard.  Raises [Invalid_argument] when
-    [shards < 1]. *)
+    [shards < 1]; counts above 256 are clamped to 256 (the routing
+    prefix is two hex digits, so more shards could never be reached). *)
 val create : ?max_entries:int -> ?shards:int -> dir:string -> unit -> t
 
 val dir : t -> string
@@ -53,8 +54,9 @@ val shards : t -> int
     [data_base]. *)
 val key : config_fp:string -> source:string -> data_base:int -> string
 
-(** The shard [key] routes to: the key's first hex digit modulo the shard
-    count (exposed for tests and load-distribution diagnostics). *)
+(** The shard [key] routes to: the key's first two hex digits (0..255)
+    modulo the shard count (exposed for tests and load-distribution
+    diagnostics). *)
 val shard_index : t -> string -> int
 
 (** [find t key] loads the artifact stored under [key], or [None] (also on

@@ -21,6 +21,24 @@ let m_protocol_errors = Metrics.counter "server.protocol_error"
 let h_queue_wait = Metrics.histogram "server.queue_wait_us"
 let h_run = Metrics.histogram "server.run_us"
 
+(** One client connection.  The fd is shared between the reader thread
+    and any worker domains still holding reply closures for jobs
+    submitted on it, so its lifetime is refcounted: [c_inflight] counts
+    submitted-but-not-yet-replied jobs, [c_reader_done] is set when the
+    reader thread exits, and the fd is closed exactly once, when both
+    say the fd can have no further user.  Closing eagerly instead would
+    let the kernel reuse the descriptor number for a later [accept], and
+    a stale worker reply would then land in an unrelated client's
+    stream.  [c_lock] guards the state AND serializes reply writes, so a
+    frame is never interleaved with another. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_lock : Mutex.t;
+  mutable c_closed : bool;
+  mutable c_inflight : int;
+  mutable c_reader_done : bool;
+}
+
 type t = {
   socket_path : string;
   listen_fd : Unix.file_descr;
@@ -29,13 +47,47 @@ type t = {
   bound : int;
   stop : bool Atomic.t;
   (* open client connections, so shutdown can unblock their reader
-     threads; threads register on entry and deregister (closing the fd)
-     on exit, both under [conn_lock] *)
+     threads; registered on accept, deregistered when the refcounted
+     close runs, both under [conn_lock] *)
   conn_lock : Mutex.t;
-  conns : (int, Unix.file_descr) Hashtbl.t;
+  conns : (int, conn) Hashtbl.t;
   mutable conn_seq : int;
   mutable threads : Thread.t list;
 }
+
+(* a reply write to a peer that stopped reading fails after this long
+   (EAGAIN out of the send) instead of parking a worker domain forever —
+   and, transitively, instead of wedging shutdown's drain *)
+let send_timeout_s = 10.
+
+let conn_send conn reply =
+  Mutex.protect conn.c_lock (fun () ->
+      if conn.c_closed then
+        raise (Unix.Unix_error (Unix.EBADF, "send_reply", ""));
+      Protocol.send_reply conn.c_fd reply)
+
+(** Close the fd iff nobody can touch it again; idempotent. *)
+let conn_close_if_done t id conn =
+  let close_now =
+    Mutex.protect conn.c_lock (fun () ->
+        if conn.c_reader_done && conn.c_inflight = 0 && not conn.c_closed
+        then begin
+          conn.c_closed <- true;
+          (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+          true
+        end
+        else false)
+  in
+  if close_now then
+    Mutex.protect t.conn_lock (fun () -> Hashtbl.remove t.conns id)
+
+let conn_job_ref conn =
+  Mutex.protect conn.c_lock (fun () -> conn.c_inflight <- conn.c_inflight + 1)
+
+let conn_job_unref t id conn =
+  Mutex.protect conn.c_lock (fun () ->
+      conn.c_inflight <- conn.c_inflight - 1);
+  conn_close_if_done t id conn
 
 (* ----- request execution ----- *)
 
@@ -142,13 +194,10 @@ let run_job t ~send ~submit_ns ~submit_trace_ns ~action ~srcs ~o3 ~shrinkwrap
 
 (* ----- admission: one thread per connection ----- *)
 
-let handle_connection t fd =
-  let wlock = Mutex.create () in
-  let send reply =
-    Mutex.protect wlock (fun () -> Protocol.send_reply fd reply)
-  in
+let handle_connection t id conn =
+  let send = conn_send conn in
   let rec loop () =
-    match Protocol.recv_request fd with
+    match Protocol.recv_request conn.c_fd with
     | None -> ()
     | exception Protocol.Malformed msg ->
         Metrics.incr m_protocol_errors;
@@ -166,19 +215,28 @@ let handle_connection t fd =
     | Some Protocol.Shutdown ->
         send Protocol.Bye;
         Atomic.set t.stop true
-        (* stop reading; serve's cleanup closes the connection *)
+        (* stop reading; the refcounted close runs when the reader's
+           finally marks it done and any in-flight jobs have replied *)
     | Some
         (Protocol.Compile
            { action; srcs; o3; shrinkwrap; global_promo; fuel; priority }) ->
         let submit_ns = now_ns () in
         let submit_trace_ns = Trace.elapsed_ns () in
-        let job =
+        let work =
           run_job t ~send ~submit_ns ~submit_trace_ns ~action ~srcs ~o3
             ~shrinkwrap ~global_promo ~fuel
+        in
+        (* the job holds a reference on the connection from submission
+           until its reply is sent (or fails): the fd stays valid for the
+           worker's send even if this reader exits first *)
+        conn_job_ref conn;
+        let job () =
+          Fun.protect ~finally:(fun () -> conn_job_unref t id conn) work
         in
         (match Scheduler.submit t.sched ~priority job with
         | Scheduler.Accepted -> Metrics.incr m_accepted
         | Scheduler.Rejected ->
+            conn_job_unref t id conn;
             Metrics.incr m_busy;
             (try send Protocol.Busy with _ -> ()));
         loop ()
@@ -227,11 +285,24 @@ let serve t =
     | [], _, _ -> ()
     | _ :: _, _, _ ->
         let fd, _ = Unix.accept t.listen_fd in
+        (* bound reply writes; see [send_timeout_s].  Best-effort: not
+           every platform supports the option on unix sockets *)
+        (try Unix.setsockopt_float fd Unix.SO_SNDTIMEO send_timeout_s
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
+        let conn =
+          {
+            c_fd = fd;
+            c_lock = Mutex.create ();
+            c_closed = false;
+            c_inflight = 0;
+            c_reader_done = false;
+          }
+        in
         let id =
           Mutex.protect t.conn_lock (fun () ->
               let id = t.conn_seq in
               t.conn_seq <- id + 1;
-              Hashtbl.replace t.conns id fd;
+              Hashtbl.replace t.conns id conn;
               id)
         in
         let th =
@@ -239,12 +310,10 @@ let serve t =
             (fun () ->
               Fun.protect
                 ~finally:(fun () ->
-                  Mutex.protect t.conn_lock (fun () ->
-                      if Hashtbl.mem t.conns id then begin
-                        Hashtbl.remove t.conns id;
-                        try Unix.close fd with Unix.Unix_error _ -> ()
-                      end))
-                (fun () -> handle_connection t fd))
+                  Mutex.protect conn.c_lock (fun () ->
+                      conn.c_reader_done <- true);
+                  conn_close_if_done t id conn)
+                (fun () -> handle_connection t id conn))
             ()
         in
         t.threads <- th :: t.threads
@@ -255,14 +324,36 @@ let serve t =
   done;
   (* 1. no new connections *)
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  (* 2. drain every accepted job — pending replies still have live fds *)
+  (* 2. unblock reader threads still parked in [recv_request] — receive
+     side only, so replies already accepted can still be written out *)
+  let open_conns =
+    Mutex.protect t.conn_lock (fun () ->
+        Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+  in
+  List.iter
+    (fun c ->
+      Mutex.protect c.c_lock (fun () ->
+          if not c.c_closed then
+            try Unix.shutdown c.c_fd Unix.SHUTDOWN_RECEIVE
+            with Unix.Unix_error _ -> ()))
+    open_conns;
+  (* 3. drain every accepted job; a send to a non-reading peer fails
+     within [send_timeout_s], so the drain cannot wedge *)
   Scheduler.shutdown t.sched;
-  (* 3. unblock reader threads still parked in [recv_request] *)
-  Mutex.protect t.conn_lock (fun () ->
-      Hashtbl.iter
-        (fun _ fd ->
-          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-        t.conns);
+  (* 4. readers have no more frames and jobs have all replied, so every
+     connection's refcounted close has run (or runs as its reader
+     exits) *)
   List.iter Thread.join t.threads;
   t.threads <- [];
+  (* belt-and-braces: nothing should remain, but never leak an fd *)
+  Mutex.protect t.conn_lock (fun () ->
+      Hashtbl.iter
+        (fun _ c ->
+          Mutex.protect c.c_lock (fun () ->
+              if not c.c_closed then begin
+                c.c_closed <- true;
+                try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+              end))
+        t.conns;
+      Hashtbl.reset t.conns);
   (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ())

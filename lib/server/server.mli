@@ -22,9 +22,17 @@
     queue-wait, request and reply spans.  A [Stats] request returns the
     registry snapshot over the wire.
 
+    Connection lifetime: a connection's fd is shared between its reader
+    thread and any workers still holding reply closures, so it is
+    refcounted and closed only once both are done — a descriptor number
+    is never recycled while a stale reply could still be written to it.
+    Reply writes carry a send timeout, so a peer that stops reading
+    fails its own replies instead of parking a worker domain forever.
+
     Shutdown: a [Shutdown] request (or {!request_stop}) stops admission,
-    drains every accepted job, answers stragglers, closes connections and
-    returns from {!serve}. *)
+    unblocks readers (receive-side shutdown), drains every accepted job
+    — pending replies still go out, bounded by the send timeout — then
+    joins threads, closes connections and returns from {!serve}. *)
 
 type t
 

@@ -318,6 +318,47 @@ let test_server_malformed_frame () =
             "daemon alive after garbage" true
             (Client.request c Protocol.Ping = Protocol.Pong)))
 
+let test_server_client_vanishes () =
+  (* regression for the fd lifetime: a client that submits a request and
+     disconnects before the reply leaves its job in flight on a worker.
+     The connection fd is refcounted, so the worker's send hits the
+     still-open (peer-closed) socket and fails with EPIPE — it can never
+     write into a recycled descriptor number — and the books count the
+     request failed, never completed *)
+  with_server "vanish" (fun socket_path ->
+      let slow_src =
+        "proc main() { var i = 0; while (i < 100000) { i = i + 1; } \
+         print(i); }"
+      in
+      let c = Client.connect ~socket_path in
+      Protocol.send_request (Client.fd c)
+        (compile_req ~action:Protocol.Run [ slow_src ]);
+      Client.close c;
+      (* the daemon survives; poll Stats until the orphan is accounted *)
+      let deadline = Unix.gettimeofday () +. 10. in
+      let rec wait () =
+        let counters =
+          Client.with_connection ~socket_path (fun c ->
+              match Client.request c Protocol.Stats with
+              | Protocol.Stats_reply cs -> cs
+              | _ -> Alcotest.fail "Stats failed after client vanished")
+        in
+        let v name = Option.value ~default:0 (List.assoc_opt name counters) in
+        if v "server.completed" + v "server.failed" >= 1 then begin
+          Alcotest.(check int)
+            "orphaned request counted failed" 1 (v "server.failed");
+          Alcotest.(check int)
+            "not counted completed" 0 (v "server.completed")
+        end
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "orphaned request never accounted"
+        else begin
+          Unix.sleepf 0.02;
+          wait ()
+        end
+      in
+      wait ())
+
 let test_server_graceful_shutdown () =
   with_server "bye" (fun socket_path ->
       (match
@@ -372,7 +413,26 @@ let test_shard_routing () =
   List.iter
     (fun k ->
       Alcotest.(check int) "single shard" 0 (Cache.shard_index flat k))
-    keys
+    keys;
+  (* more than 16 shards: routing reads two hex digits (256 prefixes),
+     so every shard is reachable — no slice of the entry budget is
+     stranded on a shard no key can route to *)
+  let wide = Cache.create ~shards:32 ~dir () in
+  Alcotest.(check int) "wide shard count" 32 (Cache.shards wide);
+  let wide_seen = Hashtbl.create 32 in
+  for i = 0 to 255 do
+    let k = Printf.sprintf "%02x0123456789abcdef" i in
+    let idx = Cache.shard_index wide k in
+    if idx < 0 || idx >= 32 then Alcotest.failf "wide index %d out of range" idx;
+    Hashtbl.replace wide_seen idx ()
+  done;
+  Alcotest.(check int)
+    "all 32 shards reachable" 32 (Hashtbl.length wide_seen);
+  (* beyond the 256 addressable prefixes the count clamps instead of
+     silently shrinking effective capacity *)
+  Alcotest.(check int)
+    "shards clamp at 256" 256
+    (Cache.shards (Cache.create ~shards:1000 ~dir ()))
 
 let suite =
   ( "server",
@@ -393,6 +453,8 @@ let suite =
         test_server_busy_backpressure;
       Alcotest.test_case "daemon: malformed frame contained" `Quick
         test_server_malformed_frame;
+      Alcotest.test_case "daemon: vanished client counted failed" `Quick
+        test_server_client_vanishes;
       Alcotest.test_case "daemon: graceful shutdown" `Quick
         test_server_graceful_shutdown;
       Alcotest.test_case "cache: shard routing deterministic and spread"
