@@ -7,7 +7,7 @@ let usage () =
   print_endline
     "usage: main.exe \
      [all|table1|table2|fig1..fig4|figures|ablation|profile|promo|split|timing] \
-     [--json] [--smoke] [--penalty] [--serve] [--trace FILE]";
+     [--json] [--smoke] [--penalty] [--pgo] [--serve] [--trace FILE]";
   exit 1
 
 (* pull the [--trace FILE] pair out of the argument list *)
@@ -27,11 +27,13 @@ let () =
   let json = List.mem "--json" args in
   let smoke = List.mem "--smoke" args in
   let penalty = List.mem "--penalty" args in
+  let pgo = List.mem "--pgo" args in
   let serve = List.mem "--serve" args in
   let args =
     List.filter
       (fun a ->
-        a <> "--json" && a <> "--smoke" && a <> "--penalty" && a <> "--serve")
+        a <> "--json" && a <> "--smoke" && a <> "--penalty" && a <> "--pgo"
+        && a <> "--serve")
       args
   in
   let args = if args = [] then [ "all" ] else args in
@@ -45,7 +47,7 @@ let () =
           Profile_fb.run ();
           Promo_bench.run ();
           Split_bench.run ();
-          Timing.run ~json ~smoke ~penalty ~serve ?trace ()
+          Timing.run ~json ~smoke ~penalty ~pgo ~serve ?trace ()
       | "table1" -> Tables.run_table1 ()
       | "table2" -> Tables.run_table2 ()
       | "tables" -> ignore (Tables.run ())
@@ -58,6 +60,6 @@ let () =
       | "profile" -> Profile_fb.run ()
       | "promo" -> Promo_bench.run ()
       | "split" -> Split_bench.run ()
-      | "timing" -> Timing.run ~json ~smoke ~penalty ~serve ?trace ()
+      | "timing" -> Timing.run ~json ~smoke ~penalty ~pgo ~serve ?trace ()
       | _ -> usage ())
     args

@@ -200,7 +200,9 @@ let metrics_rows ~smoke () =
    rows are bit-stable and the CI gate (trace_check --bench-compare)
    demands exact equality. *)
 let penalty_rows ~smoke () =
-  let workloads = if smoke then [ "nim" ] else [ "nim"; "dhrystone"; "uopt" ] in
+  let workloads =
+    if smoke then [ "nim" ] else [ "nim"; "dhrystone"; "uopt"; "stanford" ]
+  in
   let configs = [ Config.baseline; Config.o2_sw; Config.o3; Config.o3_sw ] in
   List.concat_map
     (fun workload ->
@@ -233,6 +235,49 @@ let penalty_rows ~smoke () =
             row "memops_removed_vs_O2" (base_ops - scalar_ops r);
           ])
         reports)
+    workloads
+
+(* Profile-guided inlining trajectory: for each workload and headline
+   configuration, measure a penalty profile, rebuild under --pgo with the
+   default budget, and report the save/restore memory operations removed
+   relative to the plain build, the PGO build's cycle count, and its code
+   growth in instruction words.  Deterministic end to end, so the CI gate
+   demands exact equality — and memops_removed_vs_baseline must never go
+   negative (a PGO build may not pay more penalty than it started with). *)
+let pgo_rows ~smoke () =
+  let workloads = if smoke then [ "dhrystone" ] else [ "dhrystone"; "uopt" ] in
+  let configs = [ Config.baseline; Config.o3_sw ] in
+  List.concat_map
+    (fun workload ->
+      let src = source_of workload in
+      List.concat_map
+        (fun (config : Config.t) ->
+          let plain = Pipeline.compile config src in
+          let plain_r = Pipeline.profile_penalty plain in
+          let a =
+            Chow_sim.Profile.artifact
+              ~source_digest:(Pipeline.source_digest [ src ])
+              ~config_fp:(Config.fingerprint config)
+              (Pipeline.program plain) plain_r
+          in
+          let pgo = Pipeline.pgo ~config ~srcs:[ src ] a in
+          let pgo_c = Pipeline.compile_source ~pgo config (Pipeline.Src src) in
+          let pgo_r = Pipeline.profile_penalty pgo_c in
+          let penalty (r : Chow_sim.Profile.report) =
+            Chow_sim.Profile.penalty_total r.Chow_sim.Profile.counters
+          in
+          let code c =
+            Array.length (Pipeline.program c).Chow_codegen.Asm.code
+          in
+          let row what v =
+            (Printf.sprintf "pgo/%s/%s/%s" workload config.Config.name what, v)
+          in
+          [
+            row "memops_removed_vs_baseline" (penalty plain_r - penalty pgo_r);
+            row "cycles" pgo_r.Chow_sim.Profile.outcome.Chow_sim.Decode.cycles;
+            row "code_growth" (code pgo_c - code plain);
+          ])
+        configs)
     workloads
 
 (* machine-readable perf trajectory: one [{name; ns_per_run}] row per test
@@ -272,8 +317,8 @@ let write_trace path =
   Trace.write_file path;
   Format.printf "wrote %s@." path
 
-let run ?(json = false) ?(smoke = false) ?(penalty = false) ?(serve = false)
-    ?trace () =
+let run ?(json = false) ?(smoke = false) ?(penalty = false) ?(pgo = false)
+    ?(serve = false) ?trace () =
   Format.printf "@.Compiler throughput (Bechamel, monotonic clock)%s@."
     (if smoke then " — smoke subset" else "");
   Format.printf "%s@." (String.make 60 '=');
@@ -312,5 +357,6 @@ let run ?(json = false) ?(smoke = false) ?(penalty = false) ?(serve = false)
     write_json (rows @ serve_ns)
       (metrics_rows ~smoke ()
       @ (if penalty then penalty_rows ~smoke () else [])
+      @ (if pgo then pgo_rows ~smoke () else [])
       @ serve_values);
   Option.iter write_trace trace

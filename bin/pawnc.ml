@@ -7,14 +7,17 @@
       [--dump-asm], [--dump-alloc]);
     - [build FILES..]: separate compilation; incremental with
       [--cache-dir], [-c] writes one [.pawno] artifact per unit instead
-      of linking;
+      of linking; [--pgo PROFILE] inlines the highest-penalty call sites
+      recorded by [pawnc profile --emit] before allocation, under the
+      [--inline-budget] code-growth bound;
     - [link OBJS..]: link [.pawno] artifacts into an executable image,
       optionally running it;
     - [stats FILE]: compare all six paper configurations on one program;
     - [profile FILE]: execute under the dynamic penalty profiler —
       per-call-site save/restore attribution ([--penalty-report]), the
-      call-path tree ([--calltree]) and simulated-time trace spans
-      ([--trace]);
+      call-path tree ([--calltree]), simulated-time trace spans
+      ([--trace]), and the serialized profile artifact ([--emit]) that
+      [build --pgo] consumes;
     - [callgraph FILE]: processing order, open/closed classification and
       published register-usage masks;
     - [serve]: run the long-lived compile-server daemon on a unix socket;
@@ -125,6 +128,35 @@ let stats_flag =
           "Print per-procedure allocator diagnostics and the metrics \
            registry.")
 
+let pgo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "pgo" ] ~docv:"PROFILE"
+        ~doc:
+          "Profile-guided inlining: splice the highest-penalty closed call \
+           sites recorded in $(docv) (written by $(b,pawnc profile --emit)) \
+           into their callers before allocation.  The profile must have \
+           been measured over these sources under these flags; corrupt or \
+           stale profiles are rejected.")
+
+let inline_budget_arg =
+  Arg.(
+    value
+    & opt float Pipeline.default_inline_budget
+    & info [ "inline-budget" ] ~docv:"X"
+        ~doc:
+          "Code-growth bound for $(b,--pgo): stop inlining once a unit \
+           would exceed $(docv) times its original IR instruction count \
+           (default 1.25).")
+
+(** Resolve the [--pgo]/[--inline-budget] pair against the build's
+    sources and configuration; stale/corrupt profiles surface as
+    [Profile]-phase diagnostics through {!handle_errors}. *)
+let pgo_of ~config ~srcs ~budget = function
+  | None -> None
+  | Some path -> Some (Pipeline.load_pgo ~budget ~config ~srcs path)
+
 (** Arm tracing/metrics around [f] per the [--trace]/[--stats] flags; the
     trace file is written even when [f] exits through an exception, so a
     failing compile still leaves its partial timeline. *)
@@ -210,13 +242,15 @@ let print_counters name (o : Sim.outcome) =
 
 let run_cmd =
   let doc = "Compile a Pawn program and execute it in the simulator." in
-  let run file o3 no_sw machine jobs counters global_promo trace stats =
+  let run file o3 no_sw machine jobs counters global_promo pgo inline_budget
+      trace stats =
     handle_errors @@ fun () ->
     with_obs ~trace ~stats @@ fun () ->
     let config = config_of ~o3 ~no_sw ~machine ~jobs in
+    let src = read_file file in
+    let pgo = pgo_of ~config ~srcs:[ src ] ~budget:inline_budget pgo in
     let compiled =
-      Pipeline.compile_source ~global_promo config
-        (Pipeline.Src (read_file file))
+      Pipeline.compile_source ~global_promo ?pgo config (Pipeline.Src src)
     in
     let o = Pipeline.run compiled in
     List.iter (fun v -> Printf.printf "%d\n" v) o.Sim.output;
@@ -232,7 +266,8 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ file_arg $ o3_flag $ no_sw_flag $ machine_arg $ jobs_arg
-      $ counters $ promo_flag $ trace_arg $ stats_flag)
+      $ counters $ promo_flag $ pgo_arg $ inline_budget_arg $ trace_arg
+      $ stats_flag)
 
 (* ----- compile ----- *)
 
@@ -383,19 +418,31 @@ let profile_cmd =
      site that forced it, and build the dynamic call tree."
   in
   let profile file o3 no_sw machine jobs global_promo penalty_report calltree
-      limit max_depth trace stats =
+      limit max_depth emit trace stats =
     handle_errors @@ fun () ->
     with_obs ~trace ~stats @@ fun () ->
     let config = config_of ~o3 ~no_sw ~machine ~jobs in
+    let src = read_file file in
     let compiled =
-      Pipeline.compile_source ~global_promo config
-        (Pipeline.Src (read_file file))
+      Pipeline.compile_source ~global_promo config (Pipeline.Src src)
     in
     let r = Pipeline.profile_penalty compiled in
-    if penalty_report || not calltree then
+    if penalty_report || not (calltree || emit <> None) then
       Format.printf "%a@." (Profile.pp_penalty_report ~limit) r;
     if calltree then
       Format.printf "%a@." (Profile.pp_calltree ?max_depth) r;
+    (match emit with
+    | None -> ()
+    | Some path ->
+        let a =
+          Profile.artifact
+            ~source_digest:(Pipeline.source_digest [ src ])
+            ~config_fp:(Config.fingerprint config)
+            (Pipeline.program compiled) r
+        in
+        Profile.save_artifact ~path a;
+        Printf.printf "wrote %s: %d call-site rows\n" path
+          (List.length a.Profile.a_rows));
     if stats then print_stats compiled
   in
   let penalty_report_flag =
@@ -428,12 +475,23 @@ let profile_cmd =
       & info [ "max-depth" ] ~docv:"N"
           ~doc:"Prune call-tree paths deeper than $(docv).")
   in
+  let emit_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit" ] ~docv:"FILE"
+          ~doc:
+            "Write the measured per-call-site penalties to $(docv) as a \
+             profile artifact for $(b,pawnc build --pgo).  The artifact \
+             records this build's source digest and configuration \
+             fingerprint; a consuming build validates both.")
+  in
   Cmd.v
     (Cmd.info "profile" ~doc)
     Term.(
       const profile $ file_arg $ o3_flag $ no_sw_flag $ machine_arg
       $ jobs_arg $ promo_flag $ penalty_report_flag $ calltree_flag
-      $ limit_arg $ max_depth_arg $ trace_arg $ stats_flag)
+      $ limit_arg $ max_depth_arg $ emit_arg $ trace_arg $ stats_flag)
 
 (* ----- callgraph ----- *)
 
@@ -509,15 +567,18 @@ let build_cmd =
             "Compile only: write $(i,FILE).pawno next to each input \
              instead of linking.  No unit is required to define main.")
   in
-  let build files c_only o3 no_sw machine jobs global_promo cache_dir trace
-      stats =
+  let build files c_only o3 no_sw machine jobs global_promo cache_dir pgo
+      inline_budget trace stats =
     handle_errors @@ fun () ->
     with_obs ~trace ~stats @@ fun () ->
     let config = config_of ~o3 ~no_sw ~machine ~jobs in
     let cache = Option.map (fun dir -> Cache.create ~dir ()) cache_dir in
     let srcs = List.map read_file files in
+    let pgo = pgo_of ~config ~srcs ~budget:inline_budget pgo in
     if c_only then begin
-      let arts = Pipeline.compile_artifacts ~global_promo ?cache config srcs in
+      let arts =
+        Pipeline.compile_artifacts ~global_promo ?cache ?pgo config srcs
+      in
       List.iter2
         (fun file (art : Objfile.t) ->
           let path = Filename.remove_extension file ^ ".pawno" in
@@ -531,7 +592,7 @@ let build_cmd =
     end
     else begin
       let compiled =
-        Pipeline.compile_source ~global_promo ?cache config
+        Pipeline.compile_source ~global_promo ?cache ?pgo config
           (Pipeline.Srcs srcs)
       in
       print_link_summary
@@ -544,7 +605,8 @@ let build_cmd =
     (Cmd.info "build" ~doc)
     Term.(
       const build $ files_arg $ c_flag $ o3_flag $ no_sw_flag $ machine_arg
-      $ jobs_arg $ promo_flag $ cache_dir_arg $ trace_arg $ stats_flag)
+      $ jobs_arg $ promo_flag $ cache_dir_arg $ pgo_arg $ inline_budget_arg
+      $ trace_arg $ stats_flag)
 
 (* ----- link ----- *)
 

@@ -28,6 +28,19 @@
     more than 5% below the 1-shard one (a noise band, so a single-run
     tie can't flake the gate).
 
+    [pgo/*] rows (profile-guided inlining: memory operations removed,
+    cycles, code growth) are exact like [penalty/*] rows, and within the
+    current file every [pgo/*/memops_removed_vs_baseline] row must be
+    non-negative — a PGO build may never pay MORE save/restore penalty
+    than the plain build it started from.
+
+    [trace_check --pgo-smoke PAWNC SRC.pawn] is the profile-guided
+    inlining CI smoke: it profiles SRC with [PAWNC profile --emit],
+    re-runs the program plain and under [--pgo] (with a forcing
+    [--inline-budget 2]), and checks that both runs print the same
+    program output while the PGO run executes no more save/restore
+    memory operations than the plain one.
+
     [trace_check --serve-smoke PAWNC SRC.pawn] is the daemon CI smoke:
     it starts [PAWNC serve] on a fresh socket and cache, issues a cold
     run request, a warm run request (asserting its per-request counter
@@ -212,11 +225,39 @@ let server_invariants ~flunk current =
     | _ -> ()
   end
 
+(** Invariant internal to one freshly measured file: profile-guided
+    inlining must never *add* save/restore traffic.  The bench computes
+    [memops_removed_vs_baseline] as plain-build penalty minus PGO-build
+    penalty, so a negative row means the optimization hurt. *)
+let pgo_invariants ~flunk current =
+  let suffix = "/memops_removed_vs_baseline" in
+  let ends_with s =
+    String.length s >= String.length suffix
+    && String.sub s (String.length s - String.length suffix)
+         (String.length suffix)
+       = suffix
+  in
+  List.iter
+    (fun (name, (_, v)) ->
+      if starts_with ~prefix:"pgo/" name && ends_with name then
+        match v with
+        | Some v when v < 0. ->
+            flunk
+              (Printf.sprintf
+                 "%s is %.0f: the PGO build pays MORE save/restore penalty \
+                  than the plain build — inlining is hurting"
+                 name v)
+        | Some _ -> ()
+        | None ->
+            flunk (Printf.sprintf "%s: pgo row lacks a \"value\" field" name))
+    current
+
 let check_bench_compare baseline_path current_path =
   let baseline = bench_rows baseline_path in
   let current = bench_rows current_path in
   let timing_checked = ref 0
   and penalty_checked = ref 0
+  and pgo_checked = ref 0
   and server_checked = ref 0 in
   let failures = ref [] in
   let flunk fmt =
@@ -248,6 +289,17 @@ let check_bench_compare baseline_path current_path =
                      re-baseline deliberately if intended)"
                     name b c
             | _ -> flunk "%s: penalty row lacks a \"value\" field" name
+          end
+          else if starts_with ~prefix:"pgo/" name then begin
+            match (base_v, cur_v) with
+            | Some b, Some c ->
+                incr pgo_checked;
+                if b <> c then
+                  flunk
+                    "%s changed: %.0f -> %.0f (pgo rows are exact; \
+                     re-baseline deliberately if intended)"
+                    name b c
+            | _ -> flunk "%s: pgo row lacks a \"value\" field" name
           end
           else if starts_with ~prefix:"server/meta/" name then ()
           else if starts_with ~prefix:"server/" name then begin
@@ -283,6 +335,7 @@ let check_bench_compare baseline_path current_path =
           end)
     baseline;
   server_invariants ~flunk:(fun m -> failures := m :: !failures) current;
+  pgo_invariants ~flunk:(fun m -> failures := m :: !failures) current;
   if !penalty_checked = 0 then
     flunk
       "no penalty/* rows overlap between %s and %s — the gate is comparing \
@@ -294,9 +347,109 @@ let check_bench_compare baseline_path current_path =
       List.iter prerr_endline (List.rev fs);
       exit 1);
   Printf.printf
-    "%s vs %s: %d timings within 25%%, %d penalty rows exact, %d server rows \
-     within band\n"
-    current_path baseline_path !timing_checked !penalty_checked !server_checked
+    "%s vs %s: %d timings within 25%%, %d penalty rows exact, %d pgo rows \
+     exact, %d server rows within band\n"
+    current_path baseline_path !timing_checked !penalty_checked !pgo_checked
+    !server_checked
+
+(* ----- pgo smoke ----- *)
+
+(** Run [argv] with stdout captured, returning (exit code, output).
+    Stderr passes through so a failing step's diagnostic lands in the CI
+    log next to the smoke's own verdict. *)
+let run_capture argv =
+  let out_read, out_write = Unix.pipe () in
+  let pid =
+    Unix.create_process argv.(0) argv Unix.stdin out_write Unix.stderr
+  in
+  Unix.close out_write;
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    match Unix.read out_read chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        drain ()
+  in
+  drain ();
+  Unix.close out_read;
+  let _, status = Unix.waitpid [] pid in
+  let code =
+    match status with
+    | Unix.WEXITED n -> n
+    | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+  in
+  (code, Buffer.contents buf)
+
+(** The program's own output: everything before the counter block that
+    [--counters] appends (its header line starts with ["--- "]). *)
+let program_output text =
+  let rec take = function
+    | [] -> []
+    | line :: _ when starts_with ~prefix:"--- " line -> []
+    | line :: rest -> line :: take rest
+  in
+  String.concat "\n" (take (String.split_on_char '\n' text))
+
+(** Total save/restore memory operations from a [--counters] dump. *)
+let save_restore_total ~what text =
+  let rec find = function
+    | [] -> fail "pgo smoke: %s run printed no save/restore counter" what
+    | line :: rest -> (
+        match
+          Scanf.sscanf (String.trim line) "save/restore: %d loads, %d stores"
+            (fun l s -> (l, s))
+        with
+        | l, s -> l + s
+        | exception _ -> find rest)
+  in
+  find (String.split_on_char '\n' text)
+
+(** Profile, then run plain vs [--pgo]; see the module doc for the
+    contract.  [--inline-budget 2] forces inlining on any workload small
+    enough for CI, so the smoke exercises the splice itself, not the
+    budget's taste. *)
+let check_pgo_smoke pawnc src =
+  let dir = Filename.temp_file "chow88-pgo" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let prof = Filename.concat dir "smoke.pwnp" in
+  let code, out =
+    run_capture [| pawnc; "profile"; src; "--O3"; "--emit"; prof |]
+  in
+  if code <> 0 then fail "pgo smoke: profile --emit exited %d" code;
+  if not (contains ~needle:"call-site rows" out) then
+    fail "pgo smoke: profile --emit did not report the rows it wrote";
+  let plain_code, plain =
+    run_capture [| pawnc; "run"; src; "--O3"; "--counters" |]
+  in
+  if plain_code <> 0 then fail "pgo smoke: plain run exited %d" plain_code;
+  let pgo_code, pgo =
+    run_capture
+      [|
+        pawnc; "run"; src; "--O3"; "--pgo"; prof; "--inline-budget"; "2";
+        "--counters";
+      |]
+  in
+  if pgo_code <> 0 then fail "pgo smoke: --pgo run exited %d" pgo_code;
+  if program_output plain <> program_output pgo then
+    fail
+      "pgo smoke: program output differs between the plain and --pgo builds \
+       — inlining changed observable behavior:\n\
+       plain: %s\n\
+       pgo:   %s"
+      (program_output plain) (program_output pgo);
+  let plain_sr = save_restore_total ~what:"plain" plain
+  and pgo_sr = save_restore_total ~what:"--pgo" pgo in
+  if pgo_sr > plain_sr then
+    fail
+      "pgo smoke: --pgo build executed %d save/restore memory operations, \
+       plain build %d — inlining made the penalty worse"
+      pgo_sr plain_sr;
+  Printf.printf
+    "pgo smoke: identical output, save/restore memops %d -> %d (%d removed)\n"
+    plain_sr pgo_sr (plain_sr - pgo_sr)
 
 (* ----- daemon smoke ----- *)
 
@@ -408,6 +561,7 @@ let () =
   | [| _; "--bench-compare"; baseline; current |] ->
       check_bench_compare baseline current
   | [| _; "--serve-smoke"; pawnc; src |] -> check_serve_smoke pawnc src
+  | [| _; "--pgo-smoke"; pawnc; src |] -> check_pgo_smoke pawnc src
   | [| _; trace; stats |] ->
       check_trace trace;
       check_stats stats
@@ -422,5 +576,6 @@ let () =
         "usage: trace_check TRACE.json STATS.txt\n\
         \       trace_check --cache-smoke STATS.txt N\n\
         \       trace_check --bench-compare BASELINE.json CURRENT.json\n\
-        \       trace_check --serve-smoke PAWNC SRC.pawn";
+        \       trace_check --serve-smoke PAWNC SRC.pawn\n\
+        \       trace_check --pgo-smoke PAWNC SRC.pawn";
       exit 2

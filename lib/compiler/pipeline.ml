@@ -30,6 +30,9 @@ module Link = Chow_codegen.Link
 module Asm = Chow_codegen.Asm
 module Objfile = Chow_codegen.Objfile
 module Sim = Chow_sim.Sim
+module Profile = Chow_sim.Profile
+module Inline = Chow_ir.Inline
+module Callgraph = Chow_core.Callgraph
 module Bitset = Chow_support.Bitset
 module Pool = Chow_support.Pool
 module Trace = Chow_obs.Trace
@@ -37,6 +40,9 @@ module Metrics = Chow_obs.Metrics
 
 let m_units = Metrics.counter "pipeline.units"
 let m_code_words = Metrics.counter "pipeline.code_words"
+let m_pgo_inlined = Metrics.counter "pgo.sites_inlined"
+let m_pgo_refused = Metrics.counter "pgo.sites_refused"
+let m_pgo_budget_skipped = Metrics.counter "pgo.sites_budget_skipped"
 
 type compiled = {
   c_config : Config.t;
@@ -58,6 +64,179 @@ let ir c =
       invalid_arg
         "Pipeline.ir: IR not retained (units were linked from cached \
          artifacts)"
+
+(** {2 Profile-guided inlining}
+
+    The closed feedback loop: a penalty profile ({!Profile.artifact})
+    measured on one build ranks every closed direct call site by the
+    save/restore memory operations it dynamically paid, and the driver
+    below deletes the most expensive calls by inlining their callees —
+    the ultimate penalty minimization — before the unit re-enters the
+    normal IPRA/shrink-wrap path. *)
+
+type pgo = {
+  pgo_rows : Profile.site_row list;
+  pgo_budget : float;
+  pgo_digest : string;  (** MD5 of the serialized artifact, for cache keys *)
+}
+
+let default_inline_budget = 1.25
+
+let source_digest srcs = Digest.string (String.concat "\x00" srcs)
+
+let pgo_error fmt =
+  Printf.ksprintf
+    (fun m -> Diag.raise_legacy (Diag.error ~phase:Diag.Profile m))
+    fmt
+
+let pgo ?(budget = default_inline_budget) ~(config : Config.t) ~srcs
+    (a : Profile.artifact) : pgo =
+  if budget <= 0. then invalid_arg "Pipeline.pgo: budget must be positive";
+  let fp = Config.fingerprint config in
+  if a.Profile.a_config_fp <> fp then
+    pgo_error
+      "profile was measured under another configuration (%s; this build is \
+       %s) — re-profile with matching flags"
+      a.Profile.a_config_fp fp;
+  if a.Profile.a_source_digest <> source_digest srcs then
+    pgo_error
+      "stale profile: the source changed since it was measured — re-run \
+       pawnc profile --emit";
+  {
+    pgo_rows = a.Profile.a_rows;
+    pgo_budget = budget;
+    pgo_digest = Digest.string (Profile.write_artifact a);
+  }
+
+let load_pgo ?budget ~config ~srcs path : pgo =
+  let a =
+    try Profile.load_artifact path
+    with Profile.Corrupt msg ->
+      pgo_error "%s: corrupt profile artifact: %s" path msg
+  in
+  pgo ?budget ~config ~srcs a
+
+let proc_size (p : Ir.proc) =
+  Array.fold_left (fun acc b -> acc + List.length b.Ir.insts + 1) 0 p.Ir.blocks
+
+(** Inline the profile's highest-penalty call sites into this unit.
+    Candidates are direct sites whose caller and callee are defined here
+    and whose callee is closed (open procedures — exported, main,
+    address-taken, recursive — keep their calls).  Greedy by descending
+    measured penalty (then cycles, then site identity, so the pick is
+    deterministic) until the unit would outgrow [budget × original size];
+    each inline splices the callee's *original* body — one pass, no
+    iterative re-inlining.  Callees stay defined, so other callers and
+    the IPRA summaries are unaffected. *)
+let apply_pgo (pg : pgo) (unit_ir : Ir.prog) : Ir.prog =
+  Trace.span "pgo-inline" @@ fun () ->
+  let by_name = Hashtbl.create 16 in
+  List.iter (fun (p : Ir.proc) -> Hashtbl.replace by_name p.Ir.pname p)
+    unit_ir.Ir.procs;
+  let cg = Callgraph.build unit_ir in
+  let unit_size =
+    List.fold_left (fun acc p -> acc + proc_size p) 0 unit_ir.Ir.procs
+  in
+  let budget_max = int_of_float (pg.pgo_budget *. float_of_int unit_size) in
+  let candidates =
+    List.filter
+      (fun (r : Profile.site_row) ->
+        r.Profile.r_penalty > 0
+        && r.Profile.r_caller <> r.Profile.r_callee
+        && Hashtbl.mem by_name r.Profile.r_caller
+        && Hashtbl.mem by_name r.Profile.r_callee
+        && not (Callgraph.is_open cg r.Profile.r_callee))
+      pg.pgo_rows
+  in
+  (* artifact rows are already rank-ordered; re-sort defensively so the
+     greedy pick is deterministic whatever the artifact's provenance *)
+  let candidates =
+    List.sort
+      (fun (a : Profile.site_row) (b : Profile.site_row) ->
+        match compare b.Profile.r_penalty a.Profile.r_penalty with
+        | 0 -> (
+            match compare b.Profile.r_cycles a.Profile.r_cycles with
+            | 0 ->
+                compare
+                  ( a.Profile.r_caller,
+                    a.Profile.r_callee,
+                    a.Profile.r_ordinal )
+                  ( b.Profile.r_caller,
+                    b.Profile.r_callee,
+                    b.Profile.r_ordinal )
+            | c -> c)
+        | c -> c)
+      candidates
+  in
+  let grown = ref unit_size in
+  let selected =
+    List.filter
+      (fun (r : Profile.site_row) ->
+        let callee_size =
+          proc_size (Hashtbl.find by_name r.Profile.r_callee)
+        in
+        if !grown + callee_size <= budget_max then begin
+          grown := !grown + callee_size;
+          true
+        end
+        else begin
+          if Metrics.is_on () then Metrics.add m_pgo_budget_skipped 1;
+          false
+        end)
+      candidates
+  in
+  (* resolve every selected site in the ORIGINAL caller, then apply per
+     caller in descending (block, index) order: Inline.inline_at keeps
+     caller labels and pre-site indices stable, so positions resolved
+     once stay valid through the whole sequence *)
+  let sites_of : (string, ((int * int) * string) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (r : Profile.site_row) ->
+      let caller = Hashtbl.find by_name r.Profile.r_caller in
+      match
+        Inline.find_site caller ~callee:r.Profile.r_callee
+          ~ordinal:r.Profile.r_ordinal
+      with
+      | None -> if Metrics.is_on () then Metrics.add m_pgo_refused 1
+      | Some pos ->
+          let cell =
+            match Hashtbl.find_opt sites_of r.Profile.r_caller with
+            | Some c -> c
+            | None ->
+                let c = ref [] in
+                Hashtbl.add sites_of r.Profile.r_caller c;
+                c
+          in
+          cell := (pos, r.Profile.r_callee) :: !cell)
+    selected;
+  let inline_all caller sites =
+    let sites = List.sort (fun (p1, _) (p2, _) -> compare p2 p1) sites in
+    List.fold_left
+      (fun acc ((b, i), callee_name) ->
+        match
+          Inline.inline_at ~caller:acc
+            ~callee:(Hashtbl.find by_name callee_name)
+            ~block:b ~index:i
+        with
+        | Ok p ->
+            if Metrics.is_on () then Metrics.add m_pgo_inlined 1;
+            p
+        | Error _ ->
+            if Metrics.is_on () then Metrics.add m_pgo_refused 1;
+            acc)
+      caller sites
+  in
+  let procs =
+    List.map
+      (fun (p : Ir.proc) ->
+        match Hashtbl.find_opt sites_of p.Ir.pname with
+        | Some cell -> inline_all p !cell
+        | None -> p)
+      unit_ir.Ir.procs
+  in
+  { unit_ir with Ir.procs }
 
 (* the registers a caller may assume survive a call to this procedure *)
 let preserved_regs (alloc : Ipra.t) (res : Alloc_types.result) =
@@ -225,10 +404,22 @@ let compile_irs ?profile ?(global_promo = false) ?explain (config : Config.t)
     compile as usual and are stored for next time.  The warm rebuild of an
     unchanged program therefore allocates no procedure at all and links a
     byte-identical image. *)
-let resolve_cached ?(global_promo = false) ~cache ~require_main_first
+let resolve_cached ?(global_promo = false) ?pgo ~cache ~require_main_first
     (config : Config.t) (srcs : string list) =
+  (* the key must absorb everything that changes the generated code: the
+     profile's content digest and the growth budget, like global_promo,
+     extend the configuration fingerprint so a --pgo build can never
+     alias a plain one (nor a build under a different profile) *)
   let fp =
-    Config.fingerprint config ^ if global_promo then ";gp=true" else ""
+    Config.fingerprint config
+    ^ (if global_promo then ";gp=true" else "")
+    ^
+    match pgo with
+    | None -> ""
+    | Some pg ->
+        Printf.sprintf ";pgo=%s;budget=%g"
+          (Digest.to_hex pg.pgo_digest)
+          pg.pgo_budget
   in
   let slots =
     Trace.span "cache-resolve" (fun () ->
@@ -245,6 +436,11 @@ let resolve_cached ?(global_promo = false) ~cache ~require_main_first
                   Lower.compile_unit
                     ~require_main:(require_main_first && i = 0)
                     src
+                in
+                let unit_ir =
+                  match pgo with
+                  | Some pg -> apply_pgo pg unit_ir
+                  | None -> unit_ir
                 in
                 if global_promo then
                   ignore (Chow_core.Globalpromo.transform unit_ir);
@@ -264,10 +460,11 @@ let resolve_cached ?(global_promo = false) ~cache ~require_main_first
                 Cache.store cache key art;
                 (art, Some alloc))))
 
-let compile_srcs_cached ?global_promo ~cache (config : Config.t)
+let compile_srcs_cached ?global_promo ?pgo ~cache (config : Config.t)
     (srcs : string list) : compiled =
   let pairs =
-    resolve_cached ?global_promo ~cache ~require_main_first:true config srcs
+    resolve_cached ?global_promo ?pgo ~cache ~require_main_first:true config
+      srcs
   in
   let arts = List.map fst pairs in
   let program = Trace.span "link" (fun () -> link_units arts) in
@@ -292,43 +489,55 @@ let units_of_srcs = function
       Lower.compile_unit ~require_main:true first
       :: List.map (Lower.compile_unit ~require_main:false) rest
 
-let compile_source ?profile ?global_promo ?explain ?cache (config : Config.t)
-    (source : source) : compiled =
+let compile_source ?profile ?global_promo ?explain ?cache ?pgo
+    (config : Config.t) (source : source) : compiled =
+  let with_pgo units =
+    match pgo with
+    | None -> units
+    | Some pg -> List.map (apply_pgo pg) units
+  in
   match source with
-  | Ir unit_ir -> compile_irs ?profile ?global_promo ?explain config [ unit_ir ]
+  | Ir unit_ir ->
+      compile_irs ?profile ?global_promo ?explain config (with_pgo [ unit_ir ])
   | Units [] -> no_units ()
-  | Units units -> compile_irs ?profile ?global_promo ?explain config units
+  | Units units ->
+      compile_irs ?profile ?global_promo ?explain config (with_pgo units)
   | (Src _ | Srcs _) as s -> (
       let srcs = match s with Src x -> [ x ] | Srcs xs -> xs | _ -> [] in
       if srcs = [] then no_units ();
       match cache with
       | Some cache when profile = None && explain = None ->
-          compile_srcs_cached ?global_promo ~cache config srcs
+          compile_srcs_cached ?global_promo ?pgo ~cache config srcs
       | _ ->
           compile_irs ?profile ?global_promo ?explain config
-            (units_of_srcs srcs))
+            (with_pgo (units_of_srcs srcs)))
 
 (** [compile_artifacts config srcs] compiles each source unit to its
     persistent artifact at the data base the argument order gives it,
     without linking — the [pawnc build -c] path.  No unit is required to
     define [main]; cross-unit calls stay extern references in the
     artifacts. *)
-let compile_artifacts ?global_promo ?cache (config : Config.t)
+let compile_artifacts ?global_promo ?cache ?pgo (config : Config.t)
     (srcs : string list) : Objfile.t list =
   if srcs = [] then no_units ();
   match cache with
   | Some cache ->
       List.map fst
-        (resolve_cached ?global_promo ~cache ~require_main_first:false config
-           srcs)
+        (resolve_cached ?global_promo ?pgo ~cache ~require_main_first:false
+           config srcs)
   | None ->
       let units = List.map (Lower.compile_unit ~require_main:false) srcs in
+      let units =
+        match pgo with
+        | Some pg -> List.map (apply_pgo pg) units
+        | None -> units
+      in
       if global_promo = Some true then promo_units units;
       fst (fresh_unit_arts config units)
 
-let compile_result ?profile ?global_promo ?explain ?cache config source =
+let compile_result ?profile ?global_promo ?explain ?cache ?pgo config source =
   Diag.catch (fun () ->
-      compile_source ?profile ?global_promo ?explain ?cache config source)
+      compile_source ?profile ?global_promo ?explain ?cache ?pgo config source)
 
 (** {2 Deprecated aliases} — one-liners over {!compile_source}. *)
 

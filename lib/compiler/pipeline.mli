@@ -41,6 +41,46 @@ val allocs : compiled -> Ipra.t list
     process. *)
 val ir : compiled -> Ir.prog
 
+(** {2 Profile-guided inlining}
+
+    A validated penalty profile ({!Chow_sim.Profile.artifact}) plus a
+    code-growth budget — what [pawnc build --pgo] threads into the
+    pipeline.  Validation happens at construction: a profile measured
+    under another configuration or over different sources is rejected
+    with a [Profile]-phase {!Diag.error} (via {!Diag.Error}), never
+    silently mis-applied.  The inliner itself
+    ({!Chow_ir.Inline.inline_at}) runs on each unit's IR before
+    promotion and allocation, greedily splicing the highest-penalty
+    closed call sites until growing the unit past [budget] times its
+    original instruction count. *)
+type pgo
+
+(** The default code-growth budget: the post-inline unit may reach 1.25x
+    its original IR instruction count. *)
+val default_inline_budget : float
+
+(** The digest {!pgo} validates profiles against: MD5 over the source
+    unit texts in link order.  [pawnc profile --emit] stamps this into
+    the artifact. *)
+val source_digest : string list -> string
+
+(** [pgo a ~config ~srcs] validates [a] against the build about to run.
+    Raises [Invalid_argument] if [budget <= 0] and a [Profile]-phase
+    {!Diag.error} (as {!Diag.Error}) if [a] was measured under a
+    different {!Config.fingerprint} or different source texts. *)
+val pgo :
+  ?budget:float ->
+  config:Config.t ->
+  srcs:string list ->
+  Profile.artifact ->
+  pgo
+
+(** [load_pgo path ~config ~srcs] is {!pgo} over
+    {!Profile.load_artifact}, with {!Profile.Corrupt} also reified as a
+    [Profile]-phase {!Diag.error}.  Raises [Sys_error] on I/O failure. *)
+val load_pgo :
+  ?budget:float -> config:Config.t -> srcs:string list -> string -> pgo
+
 (** {2 Compilation} *)
 
 (** What to compile: one source text, source units in link order (the
@@ -63,6 +103,10 @@ type source =
     - [cache] makes [Src]/[Srcs] compilation incremental.  Ignored when
       [profile] or [explain] is supplied (their effects are not part of
       the cache key) and for IR sources (no source text to address by).
+    - [pgo] inlines the profile's highest-penalty call sites into each
+      unit before allocation.  Composes with [cache]: the profile digest
+      and budget are absorbed into the cache fingerprint, so PGO builds
+      never alias plain ones.
 
     Raises the legacy front-end exceptions on malformed source — use
     {!compile_result} for a result-returning surface — and
@@ -72,6 +116,7 @@ val compile_source :
   ?global_promo:bool ->
   ?explain:string * Coloring.explanation ->
   ?cache:Cache.t ->
+  ?pgo:pgo ->
   Config.t ->
   source ->
   compiled
@@ -84,6 +129,7 @@ val compile_result :
   ?global_promo:bool ->
   ?explain:string * Coloring.explanation ->
   ?cache:Cache.t ->
+  ?pgo:pgo ->
   Config.t ->
   source ->
   (compiled, Diag.error) result
@@ -97,6 +143,7 @@ val compile_result :
 val compile_artifacts :
   ?global_promo:bool ->
   ?cache:Cache.t ->
+  ?pgo:pgo ->
   Config.t ->
   string list ->
   Objfile.t list

@@ -1,13 +1,16 @@
 (** Unified front-end diagnostics; see the interface for the contract. *)
 
-type phase = Lex | Parse | Check
+type phase = Lex | Parse | Check | Profile
 
 type error = { phase : phase; message : string; line : int }
+
+exception Error of error
 
 let phase_name = function
   | Lex -> "lexical"
   | Parse -> "syntax"
   | Check -> "semantic"
+  | Profile -> "profile"
 
 let error ~phase ?(line = 0) message = { phase; message; line }
 
@@ -23,6 +26,7 @@ let of_exn = function
   | Lexer.Error (message, line) -> Some { phase = Lex; message; line }
   | Parser.Error (message, line) -> Some { phase = Parse; message; line }
   | Check.Error message -> Some { phase = Check; message; line = 0 }
+  | Error e -> Some e
   | _ -> None
 
 let catch f =
@@ -35,3 +39,4 @@ let raise_legacy e =
   | Lex -> raise (Lexer.Error (e.message, e.line))
   | Parse -> raise (Parser.Error (e.message, e.line))
   | Check -> raise (Check.Error e.message)
+  | Profile -> raise (Error e)

@@ -9,13 +9,17 @@
     {!error}, {!raise_legacy} converts back — so existing
     exception-matching code keeps compiling unchanged. *)
 
-type phase = Lex | Parse | Check
+type phase = Lex | Parse | Check | Profile
 
 type error = {
   phase : phase;
   message : string;
   line : int;  (** 1-based source line; [0] when the phase has no location *)
 }
+
+(** Carrier for phases without a historical exception of their own
+    ([Profile]: corrupt or stale profile artifacts). *)
+exception Error of error
 
 val phase_name : phase -> string
 
@@ -36,5 +40,6 @@ val of_exn : exn -> error option
 val catch : (unit -> 'a) -> ('a, error) result
 
 (** [raise_legacy e] re-raises [e] as the legacy exception of its phase:
-    {!Lexer.Error}, {!Parser.Error} or {!Check.Error}. *)
+    {!Lexer.Error}, {!Parser.Error}, {!Check.Error} — or {!Error} itself
+    for phases without a legacy exception. *)
 val raise_legacy : error -> 'a

@@ -1,0 +1,185 @@
+(** See the interface.  The construction keeps every caller label and
+    every pre-site instruction index stable: callee blocks are appended
+    after the caller's (label [l] becomes [nblocks caller + l]), the
+    continuation block comes last, and only the site block itself is
+    rewritten (truncated at the call, ending in a jump to the renamed
+    callee entry).  Callee vregs are renamed by a constant offset, so no
+    per-vreg substitution pass is needed. *)
+
+type refusal =
+  | Indirect
+  | Recursive
+  | Arity_mismatch
+  | Void_result
+  | Not_a_call
+
+let refusal_to_string = function
+  | Indirect -> "indirect call (no static callee body)"
+  | Recursive -> "recursive callee"
+  | Arity_mismatch -> "argument count differs from parameter count"
+  | Void_result -> "result-binding call to a callee with a value-less return"
+  | Not_a_call -> "no call to that callee at this position"
+
+let find_site (p : Ir.proc) ~callee ~ordinal =
+  let seen = ref 0 in
+  let found = ref None in
+  Array.iter
+    (fun (b : Ir.block) ->
+      if !found = None then
+        List.iteri
+          (fun i inst ->
+            match inst with
+            | Ir.Call { target = Ir.Direct f; _ }
+              when f = callee && !found = None ->
+                if !seen = ordinal then found := Some (b.Ir.id, i);
+                incr seen
+            | _ -> ())
+          b.Ir.insts)
+    p.blocks;
+  !found
+
+(* rename every vreg occurrence through [f] *)
+let map_operand f = function Ir.Reg v -> Ir.Reg (f v) | Ir.Imm _ as o -> o
+
+let map_mem f = function
+  | Ir.Global_word _ as m -> m
+  | Ir.Global_index (g, o) -> Ir.Global_index (g, map_operand f o)
+
+let map_inst f (inst : Ir.inst) : Ir.inst =
+  let o = map_operand f and m = map_mem f in
+  match inst with
+  | Ir.Li (d, n) -> Ir.Li (f d, n)
+  | Ir.Mov (d, s) -> Ir.Mov (f d, f s)
+  | Ir.Neg (d, x) -> Ir.Neg (f d, o x)
+  | Ir.Not (d, x) -> Ir.Not (f d, o x)
+  | Ir.Binop (op, d, a, b) -> Ir.Binop (op, f d, o a, o b)
+  | Ir.Cmp (op, d, a, b) -> Ir.Cmp (op, f d, o a, o b)
+  | Ir.Load (d, mm) -> Ir.Load (f d, m mm)
+  | Ir.Store (mm, x) -> Ir.Store (m mm, o x)
+  | Ir.Addr_of_proc (d, g) -> Ir.Addr_of_proc (f d, g)
+  | Ir.Call { target; args; ret } ->
+      let target =
+        match target with
+        | Ir.Direct _ -> target
+        | Ir.Indirect t -> Ir.Indirect (f t)
+      in
+      Ir.Call { target; args = List.map o args; ret = Option.map f ret }
+  | Ir.Print x -> Ir.Print (o x)
+
+(* [split_at i l] is [(first i elements, element i, rest)] *)
+let split_at i l =
+  let rec go acc i = function
+    | x :: rest when i = 0 -> (List.rev acc, x, rest)
+    | x :: rest -> go (x :: acc) (i - 1) rest
+    | [] -> invalid_arg "Inline.split_at"
+  in
+  go [] i l
+
+let has_void_exit (p : Ir.proc) =
+  Array.exists
+    (fun (b : Ir.block) ->
+      match b.Ir.term with
+      | Ir.Ret None -> true
+      | Ir.Ret (Some _) | Ir.Jump _ | Ir.Cbranch _ -> false)
+    p.blocks
+
+let inline_at ~(caller : Ir.proc) ~(callee : Ir.proc) ~block ~index :
+    (Ir.proc, refusal) result =
+  let nb = Ir.nblocks caller in
+  if block < 0 || block >= nb then Error Not_a_call
+  else begin
+    let site_block = caller.Ir.blocks.(block) in
+    if index < 0 || index >= List.length site_block.Ir.insts then
+      Error Not_a_call
+    else begin
+      let prefix, call, suffix = split_at index site_block.Ir.insts in
+      match call with
+      | Ir.Call { target = Ir.Indirect _; _ } -> Error Indirect
+      | Ir.Call { target = Ir.Direct f; _ } when f <> callee.Ir.pname ->
+          Error Not_a_call
+      | Ir.Call { target = Ir.Direct _; args; ret } ->
+          if
+            callee.Ir.pname = caller.Ir.pname
+            || List.mem callee.Ir.pname (Ir.direct_callees callee)
+          then Error Recursive
+          else if List.length args <> List.length callee.Ir.params then
+            Error Arity_mismatch
+          else if ret <> None && has_void_exit callee then Error Void_result
+          else begin
+            let nv = caller.Ir.nvregs in
+            let shift v = v + nv in
+            let ncb = Ir.nblocks callee in
+            let cont = nb + ncb in
+            (* arguments land in the renamed parameter vregs *)
+            let arg_moves =
+              List.map2
+                (fun pv arg ->
+                  match arg with
+                  | Ir.Reg r -> Ir.Mov (shift pv, r)
+                  | Ir.Imm n -> Ir.Li (shift pv, n))
+                callee.Ir.params args
+            in
+            let bind_ret o =
+              match (ret, o) with
+              | Some d, Some (Ir.Reg r) -> [ Ir.Mov (d, shift r) ]
+              | Some d, Some (Ir.Imm n) -> [ Ir.Li (d, n) ]
+              | Some _, None -> assert false (* Void_result above *)
+              | None, _ -> []
+            in
+            let blocks =
+              Array.init (nb + ncb + 1) (fun l ->
+                  if l = block then
+                    { Ir.id = l; insts = prefix @ arg_moves; term = Ir.Jump nb }
+                  else if l < nb then
+                    let b = caller.Ir.blocks.(l) in
+                    { Ir.id = l; insts = b.Ir.insts; term = b.Ir.term }
+                  else if l < cont then begin
+                    let b = callee.Ir.blocks.(l - nb) in
+                    let insts = List.map (map_inst shift) b.Ir.insts in
+                    match b.Ir.term with
+                    | Ir.Jump t -> { Ir.id = l; insts; term = Ir.Jump (nb + t) }
+                    | Ir.Cbranch (op, a, c, l1, l2) ->
+                        {
+                          Ir.id = l;
+                          insts;
+                          term =
+                            Ir.Cbranch
+                              ( op,
+                                map_operand shift a,
+                                map_operand shift c,
+                                nb + l1,
+                                nb + l2 );
+                        }
+                    | Ir.Ret o ->
+                        (* [bind_ret] shifts the returned vreg itself *)
+                        {
+                          Ir.id = l;
+                          insts = insts @ bind_ret o;
+                          term = Ir.Jump cont;
+                        }
+                  end
+                  else
+                    { Ir.id = l; insts = suffix; term = site_block.Ir.term })
+            in
+            let demote = function
+              | Ir.Vparam (n, _) -> Ir.Vlocal n
+              | (Ir.Vlocal _ | Ir.Vtemp) as k -> k
+            in
+            let merged =
+              {
+                Ir.pname = caller.Ir.pname;
+                params = caller.Ir.params;
+                blocks;
+                nvregs = nv + callee.Ir.nvregs;
+                vreg_kinds =
+                  Array.append caller.Ir.vreg_kinds
+                    (Array.map demote callee.Ir.vreg_kinds);
+                exported = caller.Ir.exported;
+              }
+            in
+            Verify.check_proc merged;
+            Ok merged
+          end
+      | _ -> Error Not_a_call
+    end
+  end

@@ -1,0 +1,60 @@
+(** Call-site inlining: splice a callee's CFG into a caller.
+
+    The transform the PGO driver applies to the call sites the dynamic
+    penalty profiler ranks highest: the whole save/restore penalty of a
+    call disappears when the call itself does.  {!inline_at} is pure —
+    the caller and callee procs are left untouched and a fresh caller is
+    returned — and *position-stable*: every caller block keeps its label
+    and every instruction before the inlined site keeps its (block,
+    index) position, so several sites of one caller can be inlined by
+    applying {!inline_at} repeatedly in descending (block, index) order
+    against positions resolved once in the original caller.
+
+    Sites a sound inliner must refuse are refused with a {!refusal}
+    rather than miscompiled: indirect calls (no static body), recursive
+    callees (splicing a procedure into itself never terminates), arity
+    mismatches, and callees with a value-less return path feeding a
+    result-binding call. *)
+
+(** Why a site was not inlined. *)
+type refusal =
+  | Indirect  (** the site calls through a register *)
+  | Recursive  (** the callee is the caller or directly calls itself *)
+  | Arity_mismatch  (** argument count differs from the parameter count *)
+  | Void_result
+      (** the call binds a result but some callee exit is a bare [ret] *)
+  | Not_a_call
+      (** no call to that callee at the given (block, index) position *)
+
+val refusal_to_string : refusal -> string
+
+(** [find_site caller ~callee ~ordinal] is the (block label, instruction
+    index) of the [ordinal]-th direct call to [callee] in [caller],
+    counting in block-label order then instruction order — the same order
+    {!Chow_codegen.Emit} lays call instructions out in, so an ordinal is
+    a stable key between a profile of the emitted code and the IR it was
+    emitted from. *)
+val find_site : Ir.proc -> callee:string -> ordinal:int -> (Ir.label * int) option
+
+(** [inline_at ~caller ~callee ~block ~index] splices [callee]'s CFG into
+    [caller] at the call instruction at position ([block], [index]):
+
+    - callee vregs are renamed above [caller.nvregs], callee labels above
+      the caller's block count (callee parameter kinds demote to locals —
+      the merged proc's calling convention is the caller's alone);
+    - arguments are wired by moves into the renamed parameter vregs at
+      the call block, which then jumps to the renamed callee entry;
+    - every callee [ret] becomes a move (or constant load) of the return
+      operand into the call's result vreg followed by a jump to a fresh
+      continuation block holding the call block's remaining instructions
+      and its original terminator.
+
+    The result is re-checked with {!Verify.check_proc} (an [Ill_formed]
+    escape here is an inliner bug, not a user error).  Returns
+    [Error refusal] for sites listed under {!refusal}. *)
+val inline_at :
+  caller:Ir.proc ->
+  callee:Ir.proc ->
+  block:Ir.label ->
+  index:int ->
+  (Ir.proc, refusal) result

@@ -58,6 +58,7 @@ type report = {
   counters : counters;
   sites : site list;
   calltree : node list;
+  tree_capped : int;
 }
 
 let penalty_total c =
@@ -109,6 +110,7 @@ let m_p_spill_loads = Metrics.counter "sim.penalty.spill_loads"
 let m_p_spill_stores = Metrics.counter "sim.penalty.spill_stores"
 let m_p_stackarg_loads = Metrics.counter "sim.penalty.stackarg_loads"
 let m_p_stackarg_stores = Metrics.counter "sim.penalty.stackarg_stores"
+let m_p_tree_capped = Metrics.counter "sim.penalty.tree_capped"
 
 let publish c =
   if Metrics.is_on () then begin
@@ -124,10 +126,11 @@ let publish c =
 
 (* every distinct call path is one tree node; beyond [max_nodes] new paths
    collapse into their parent so branching recursion cannot explode *)
-let max_nodes = 1 lsl 20
+let default_max_nodes = 1 lsl 20
 
 let run ?fuel ?mem_words ?check ?trace ?(trace_depth = 16)
-    ?(trace_limit = 100_000) (prog : Asm.program) : report =
+    ?(trace_limit = 100_000) ?(max_nodes = default_max_nodes)
+    (prog : Asm.program) : report =
   let code = prog.Asm.code in
   let ncode = Array.length code in
   let entries, names = Asm.proc_table prog in
@@ -150,6 +153,7 @@ let run ?fuel ?mem_words ?check ?trace ?(trace_depth = 16)
   let nd_flat_cyc = ref (Array.make !cap 0) in
   let nd_flat_pen = ref (Array.make !cap 0) in
   let n_nodes = ref 1 (* node 0: the root, "<program>" *) in
+  let capped = ref 0 (* distinct call paths collapsed into their parent *) in
   let node_tbl : (int * int * int, int) Hashtbl.t = Hashtbl.create 1024 in
   let grow_nodes () =
     let n = !n_nodes in
@@ -244,7 +248,11 @@ let run ?fuel ?mem_words ?check ?trace ?(trace_depth = 16)
           let node =
             match Hashtbl.find_opt node_tbl key with
             | Some id -> id
-            | None when !n_nodes >= max_nodes -> parent
+            | None when !n_nodes >= max_nodes ->
+                (* a new distinct path with no node left: its calls merge
+                   into the parent, and the report must say so *)
+                incr capped;
+                parent
             | None ->
                 let id = !n_nodes in
                 if id = !cap then grow_nodes ();
@@ -335,6 +343,7 @@ let run ?fuel ?mem_words ?check ?trace ?(trace_depth = 16)
     }
   in
   publish counters;
+  if Metrics.is_on () then Metrics.add m_p_tree_capped !capped;
   (* ----- per-site table ----- *)
   let sites = ref [] in
   for s = ncode - 1 downto 0 do
@@ -412,7 +421,7 @@ let run ?fuel ?mem_words ?check ?trace ?(trace_depth = 16)
         })
       !order
   in
-  { outcome; counters; sites; calltree }
+  { outcome; counters; sites; calltree; tree_capped = !capped }
 
 (* ----- renderers ----- *)
 
@@ -443,6 +452,10 @@ let pp_penalty_report ?(limit = 20) ppf r =
           s.s_caller s.s_callee s.s_calls s.s_entry_saves s.s_exit_restores
           s.s_call_saves s.s_call_restores)
     r.sites;
+  let omitted = List.length r.sites - shown in
+  if omitted > 0 then
+    Format.fprintf ppf "… %d more site%s omitted (raise --limit)@," omitted
+      (if omitted = 1 then "" else "s");
   Format.fprintf ppf "@]"
 
 let pp_calltree ?max_depth ppf r =
@@ -462,4 +475,246 @@ let pp_calltree ?max_depth ppf r =
           n.n_proc
           (if n.n_site >= 0 then Printf.sprintf " @%d" n.n_site else ""))
     r.calltree;
+  if r.tree_capped > 0 then
+    Format.fprintf ppf
+      "… %d call%s on new paths collapsed into parent nodes (node cap)@,"
+      r.tree_capped
+      (if r.tree_capped = 1 then "" else "s");
   Format.fprintf ppf "@]"
+
+(* ----- profile artifacts ("PWNP") -----
+
+   The container mirrors {!Chow_codegen.Objfile}'s "PWNO" format: magic,
+   little-endian u32 version and payload length, the payload's MD5
+   digest, then an LEB128 payload.  Every read is bounds-checked and any
+   damage — truncation, bit flips, version skew, trailing bytes — raises
+   {!Corrupt} instead of mis-decoding into a plausible-but-wrong
+   profile. *)
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+let magic = "PWNP"
+let artifact_version = 1
+
+type site_row = {
+  r_caller : string;
+  r_callee : string;
+  r_ordinal : int;
+  r_calls : int;
+  r_penalty : int;
+  r_cycles : int;
+}
+
+type artifact = {
+  a_source_digest : string;
+  a_config_fp : string;
+  a_rows : site_row list;
+}
+
+let artifact ~source_digest ~config_fp (prog : Asm.program) (r : report) :
+    artifact =
+  let code = prog.Asm.code in
+  let ncode = Array.length code in
+  let entries, names = Asm.proc_table prog in
+  (* call-site pc -> (caller, callee, ordinal).  The ordinal counts the
+     caller's direct calls to the same callee in ascending pc order; the
+     emitter lays blocks out in label order, so the same ordinal resolves
+     the same site in the caller's IR (Inline.find_site). *)
+  let site_tbl : (int, string * string * int) Hashtbl.t = Hashtbl.create 64 in
+  let nprocs = Array.length entries in
+  for i = 0 to nprocs - 1 do
+    let hi = if i + 1 < nprocs then entries.(i + 1) else ncode in
+    let ord : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    for pc = entries.(i) to hi - 1 do
+      match code.(pc) with
+      | Asm.Jal_pc t ->
+          let callee = lookup entries names t in
+          let o = Option.value ~default:0 (Hashtbl.find_opt ord callee) in
+          Hashtbl.replace ord callee (o + 1);
+          Hashtbl.replace site_tbl pc (names.(i), callee, o)
+      | _ -> ()
+    done
+  done;
+  (* cycles spent below each site, summed over the call-tree paths that
+     pass through it — the tie-breaking rank signal after penalty *)
+  let cyc : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      if n.n_site >= 0 then
+        Hashtbl.replace cyc n.n_site
+          (n.n_cum_cycles
+          + Option.value ~default:0 (Hashtbl.find_opt cyc n.n_site)))
+    r.calltree;
+  let rows =
+    List.filter_map
+      (fun s ->
+        (* stub and jalr sites have no (caller, callee, ordinal) identity *)
+        match Hashtbl.find_opt site_tbl s.s_site with
+        | None -> None
+        | Some (caller, callee, ordinal) ->
+            Some
+              {
+                r_caller = caller;
+                r_callee = callee;
+                r_ordinal = ordinal;
+                r_calls = s.s_calls;
+                r_penalty =
+                  s.s_entry_saves + s.s_exit_restores + s.s_call_saves
+                  + s.s_call_restores;
+                r_cycles =
+                  Option.value ~default:0 (Hashtbl.find_opt cyc s.s_site);
+              })
+      r.sites
+  in
+  let rows =
+    List.sort
+      (fun a b ->
+        match compare b.r_penalty a.r_penalty with
+        | 0 -> (
+            match compare b.r_cycles a.r_cycles with
+            | 0 ->
+                compare
+                  (a.r_caller, a.r_callee, a.r_ordinal)
+                  (b.r_caller, b.r_callee, b.r_ordinal)
+            | c -> c)
+        | c -> c)
+      rows
+  in
+  { a_source_digest = source_digest; a_config_fp = config_fp; a_rows = rows }
+
+(* primitive writers/readers, the Objfile idiom *)
+
+let put_uvarint buf n =
+  if n < 0 then invalid_arg "Profile: uvarint of negative";
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let put_string buf s =
+  put_uvarint buf (String.length s);
+  Buffer.add_string buf s
+
+let put_u32 buf n =
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff))
+
+type reader = { buf : string; mutable pos : int; limit : int }
+
+let byte r =
+  if r.pos >= r.limit then corrupt "truncated at offset %d" r.pos;
+  let b = Char.code r.buf.[r.pos] in
+  r.pos <- r.pos + 1;
+  b
+
+let get_uvarint r =
+  let rec go shift acc count =
+    if count > 9 then corrupt "varint too long at offset %d" r.pos;
+    let b = byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc (count + 1)
+  in
+  go 0 0 0
+
+let get_string r =
+  let n = get_uvarint r in
+  if n > r.limit - r.pos then corrupt "string overruns payload (len %d)" n;
+  let s = String.sub r.buf r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_count r =
+  let n = get_uvarint r in
+  if n > r.limit - r.pos then corrupt "count %d overruns payload" n;
+  n
+
+let put_row buf row =
+  put_string buf row.r_caller;
+  put_string buf row.r_callee;
+  put_uvarint buf row.r_ordinal;
+  put_uvarint buf row.r_calls;
+  put_uvarint buf row.r_penalty;
+  put_uvarint buf row.r_cycles
+
+let get_row r =
+  let r_caller = get_string r in
+  let r_callee = get_string r in
+  let r_ordinal = get_uvarint r in
+  let r_calls = get_uvarint r in
+  let r_penalty = get_uvarint r in
+  let r_cycles = get_uvarint r in
+  { r_caller; r_callee; r_ordinal; r_calls; r_penalty; r_cycles }
+
+let header_len = 4 + 4 + 4 + 16
+
+let write_artifact (a : artifact) : string =
+  let payload = Buffer.create 1024 in
+  put_string payload a.a_source_digest;
+  put_string payload a.a_config_fp;
+  put_uvarint payload (List.length a.a_rows);
+  List.iter (put_row payload) a.a_rows;
+  let payload = Buffer.contents payload in
+  let out = Buffer.create (header_len + String.length payload) in
+  Buffer.add_string out magic;
+  put_u32 out artifact_version;
+  put_u32 out (String.length payload);
+  Buffer.add_string out (Digest.string payload);
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+let read_artifact (bytes : string) : artifact =
+  if String.length bytes < header_len then corrupt "shorter than the header";
+  if String.sub bytes 0 4 <> magic then corrupt "bad magic";
+  let u32 off =
+    Char.code bytes.[off]
+    lor (Char.code bytes.[off + 1] lsl 8)
+    lor (Char.code bytes.[off + 2] lsl 16)
+    lor (Char.code bytes.[off + 3] lsl 24)
+  in
+  let version = u32 4 in
+  if version <> artifact_version then
+    corrupt "format version %d (this reader understands %d)" version
+      artifact_version;
+  let len = u32 8 in
+  if String.length bytes <> header_len + len then
+    corrupt "payload length %d does not match file size %d" len
+      (String.length bytes - header_len);
+  let digest = String.sub bytes 12 16 in
+  let payload = String.sub bytes header_len len in
+  if Digest.string payload <> digest then corrupt "checksum mismatch";
+  let r = { buf = payload; pos = 0; limit = len } in
+  let a_source_digest = get_string r in
+  let a_config_fp = get_string r in
+  let a_rows = List.init (get_count r) (fun _ -> get_row r) in
+  if r.pos <> r.limit then
+    corrupt "%d trailing payload bytes" (r.limit - r.pos);
+  { a_source_digest; a_config_fp; a_rows }
+
+let tmp_seq = Atomic.make 0
+
+let save_artifact ~path (a : artifact) =
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
+  let oc = open_out_bin tmp in
+  output_string oc (write_artifact a);
+  close_out oc;
+  Sys.rename tmp path
+
+let load_artifact path : artifact =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> read_artifact (really_input_string ic (in_channel_length ic)))

@@ -75,6 +75,9 @@ type report = {
   sites : site list;
       (** descending by save/restore operation count, then by site pc *)
   calltree : node list;  (** preorder; the root is first *)
+  tree_capped : int;
+      (** calls on new distinct paths that found the node table full and
+          collapsed into their parent; [0] means the tree is complete *)
 }
 
 (** [run prog] compiles [prog] through {!Decode} and executes it with the
@@ -83,7 +86,11 @@ type report = {
     call/return spans at depth <= [trace_depth] are pushed into
     {!Chow_obs.Trace} on the simulated timebase, at most [trace_limit] of
     them.  Publishes [sim.penalty.*] counters into {!Chow_obs.Metrics}
-    when armed.  Raises {!Sim.Runtime_error} exactly as {!Sim.run}
+    when armed (including [sim.penalty.tree_capped], the report's
+    [tree_capped] figure).  [max_nodes] bounds the call tree (default
+    2^20 distinct paths); beyond it new paths collapse into their
+    parent and are counted in [tree_capped] rather than dropped
+    silently.  Raises {!Sim.Runtime_error} exactly as {!Sim.run}
     would — a trapped program yields no report. *)
 val run :
   ?fuel:int ->
@@ -92,6 +99,7 @@ val run :
   ?trace:bool ->
   ?trace_depth:int ->
   ?trace_limit:int ->
+  ?max_nodes:int ->
   Chow_codegen.Asm.program ->
   report
 
@@ -101,10 +109,72 @@ val penalty_total : counters -> int
 
 (** The classification and per-site table, as printed by
     [pawnc profile --penalty-report].  [limit] bounds the per-site rows
-    (default 20). *)
+    (default 20); when rows are cut, a trailer line says how many were
+    omitted so truncated output is never mistaken for complete output. *)
 val pp_penalty_report : ?limit:int -> Format.formatter -> report -> unit
 
 (** The call tree, preorder with indentation, as printed by
     [pawnc profile --calltree].  [max_depth] prunes deep paths
-    (default: unbounded). *)
+    (default: unbounded).  A nonzero [tree_capped] is reported in a
+    trailer line. *)
 val pp_calltree : ?max_depth:int -> Format.formatter -> report -> unit
+
+(** {2 Profile artifacts}
+
+    The serialized form of a penalty profile — what [pawnc profile
+    --emit] writes and [pawnc build --pgo] consumes.  The container
+    mirrors {!Chow_codegen.Objfile}: magic ["PWNP"], a version word, the
+    payload length, the payload's MD5 digest, then an LEB128 payload.
+    Corruption of any kind (truncation, bit flips, version skew,
+    trailing bytes) raises {!Corrupt} on read — a damaged profile is
+    rejected, never mis-applied. *)
+
+exception Corrupt of string
+
+(** One closed-form call site's measured penalty: the [r_ordinal]-th
+    direct call from [r_caller] to [r_callee] (in block-label then
+    instruction order — the emitter's pc order, so the ordinal resolves
+    the same site in the caller's IR via {!Chow_ir.Inline.find_site}).
+    [r_penalty] is the site's dynamic save/restore memory operations
+    (contract + around-call); [r_cycles] the cycles spent below the site
+    summed over all call paths through it. *)
+type site_row = {
+  r_caller : string;
+  r_callee : string;
+  r_ordinal : int;
+  r_calls : int;
+  r_penalty : int;
+  r_cycles : int;
+}
+
+type artifact = {
+  a_source_digest : string;
+      (** MD5 of the source units the profiled program was built from *)
+  a_config_fp : string;  (** {!Chow_compiler.Config.fingerprint} *)
+  a_rows : site_row list;
+      (** descending [r_penalty], then [r_cycles], then site identity *)
+}
+
+(** [artifact ~source_digest ~config_fp prog report] distills a penalty
+    report of [prog] into its serializable rows: every direct ([jal])
+    call site attributable to a (caller, callee, ordinal) identity.
+    Stub and indirect sites carry no such identity and are dropped. *)
+val artifact :
+  source_digest:string ->
+  config_fp:string ->
+  Chow_codegen.Asm.program ->
+  report ->
+  artifact
+
+(** [write_artifact a] / [read_artifact bytes]: the serialized container.
+    [read_artifact] raises {!Corrupt} on any damage. *)
+val write_artifact : artifact -> string
+
+val read_artifact : string -> artifact
+
+(** [save_artifact ~path a] writes atomically (unique temp + rename). *)
+val save_artifact : path:string -> artifact -> unit
+
+(** [load_artifact path] reads back; raises {!Corrupt} on damage and
+    [Sys_error] on I/O failure. *)
+val load_artifact : string -> artifact

@@ -1,0 +1,246 @@
+(** Unit tests for the IR inliner (lib/ir/inline.ml): behavior
+    preservation when a callee is spliced into its caller, ordinal site
+    resolution, every refusal class, and the position-stability contract
+    that lets multiple sites of one caller be applied in descending
+    (block, index) order against positions resolved once. *)
+
+module Ir = Chow_ir.Ir
+module Inline = Chow_ir.Inline
+module Verify = Chow_ir.Verify
+module Lower = Chow_frontend.Lower
+module Config = Chow_compiler.Config
+module Pipeline = Chow_compiler.Pipeline
+module Sim = Chow_sim.Sim
+
+let lower src = Lower.compile_unit ~require_main:true src
+
+let proc_of unit_ir name =
+  match Ir.find_proc unit_ir name with
+  | Some p -> p
+  | None -> Alcotest.failf "no procedure %s" name
+
+let run_ir unit_ir =
+  (Pipeline.run (Pipeline.compile_ir Config.o3_sw unit_ir)).Sim.output
+
+(** Replace [name]'s body in the unit with [p]. *)
+let with_proc unit_ir name p =
+  {
+    unit_ir with
+    Ir.procs =
+      List.map
+        (fun (q : Ir.proc) -> if q.Ir.pname = name then p else q)
+        unit_ir.Ir.procs;
+  }
+
+let inline_exn ~caller ~callee ~block ~index =
+  match Inline.inline_at ~caller ~callee ~block ~index with
+  | Ok p -> p
+  | Error r -> Alcotest.failf "refused: %s" (Inline.refusal_to_string r)
+
+let loop_src =
+  {|
+var total;
+proc square(x) { return x * x; }
+proc sum_squares(n) {
+  var acc = 0;
+  var i = 1;
+  while (i <= n) { acc = acc + square(i); i = i + 1; }
+  return acc;
+}
+proc main() {
+  var k = 1;
+  while (k <= 5) { total = total + sum_squares(k); k = k + 1; }
+  print(total);
+}
+|}
+
+(** Inlining a real call site must not change the program's output — and
+    [inline_at] re-verifies the merged procedure itself, so a malformed
+    splice fails before it ever runs. *)
+let test_inline_preserves_behavior () =
+  let u = lower loop_src in
+  let base = run_ir u in
+  let main = proc_of u "main" and ss = proc_of u "sum_squares" in
+  let b, i =
+    match Inline.find_site main ~callee:"sum_squares" ~ordinal:0 with
+    | Some pos -> pos
+    | None -> Alcotest.fail "site not found"
+  in
+  let merged = inline_exn ~caller:main ~callee:ss ~block:b ~index:i in
+  Alcotest.(check (list int))
+    "output unchanged" base
+    (run_ir (with_proc u "main" merged));
+  (* the call is gone from the merged body *)
+  Alcotest.(check bool)
+    "no call to sum_squares remains" false
+    (List.mem "sum_squares" (Ir.direct_callees merged))
+
+let two_sites_src =
+  {|
+proc leaf(a, b) { return a * 10 + b; }
+proc main() {
+  var x = leaf(1, 2);
+  var y = leaf(3, 4);
+  print(x + y);
+}
+|}
+
+(** Ordinals number a caller's direct sites to one callee in (block,
+    instruction) order — the emitter's pc order. *)
+let test_find_site_ordinals () =
+  let u = lower two_sites_src in
+  let main = proc_of u "main" in
+  let s0 = Inline.find_site main ~callee:"leaf" ~ordinal:0 in
+  let s1 = Inline.find_site main ~callee:"leaf" ~ordinal:1 in
+  (match (s0, s1) with
+  | Some p0, Some p1 ->
+      Alcotest.(check bool) "ordinal 0 precedes ordinal 1" true (p0 < p1)
+  | _ -> Alcotest.fail "both sites must resolve");
+  Alcotest.(check bool)
+    "ordinal past the last site is None" true
+    (Inline.find_site main ~callee:"leaf" ~ordinal:2 = None);
+  Alcotest.(check bool)
+    "unknown callee is None" true
+    (Inline.find_site main ~callee:"ghost" ~ordinal:0 = None)
+
+(** Both sites of one block, applied in descending (block, index) order
+    against positions resolved once in the original caller — the
+    multi-site contract [apply_pgo] relies on. *)
+let test_multi_site_descending () =
+  let u = lower two_sites_src in
+  let base = run_ir u in
+  let main = proc_of u "main" and leaf = proc_of u "leaf" in
+  let sites =
+    List.filter_map
+      (fun ordinal -> Inline.find_site main ~callee:"leaf" ~ordinal)
+      [ 0; 1 ]
+  in
+  Alcotest.(check int) "two sites" 2 (List.length sites);
+  let sites = List.sort (fun a b -> compare b a) sites in
+  let merged =
+    List.fold_left
+      (fun acc (b, i) -> inline_exn ~caller:acc ~callee:leaf ~block:b ~index:i)
+      main sites
+  in
+  Alcotest.(check (list int))
+    "output unchanged after inlining both sites" base
+    (run_ir (with_proc u "main" merged));
+  Alcotest.(check bool)
+    "no call to leaf remains" false
+    (List.mem "leaf" (Ir.direct_callees merged))
+
+(* ----- refusals (hand-built IR, since the front end would reject most
+   of these shapes before they reach the inliner) ----- *)
+
+let mk_proc ?(params = []) ?(exported = false) name nvregs blocks =
+  {
+    Ir.pname = name;
+    params;
+    blocks = Array.of_list blocks;
+    nvregs;
+    vreg_kinds = Array.make nvregs Ir.Vtemp;
+    exported;
+  }
+
+let block id insts term = { Ir.id; insts; term }
+
+let value_callee =
+  mk_proc ~params:[ 0 ] "callee" 2
+    [
+      block 0
+        [ Ir.Binop (Ir.Add, 1, Ir.Reg 0, Ir.Imm 1) ]
+        (Ir.Ret (Some (Ir.Reg 1)));
+    ]
+
+let test_refusals () =
+  let refuse what expected caller callee (b, i) =
+    match Inline.inline_at ~caller ~callee ~block:b ~index:i with
+    | Ok _ -> Alcotest.failf "%s: inlined instead of refusing" what
+    | Error r ->
+        Alcotest.(check string)
+          what
+          (Inline.refusal_to_string expected)
+          (Inline.refusal_to_string r)
+  in
+  let caller_with call =
+    mk_proc "caller" 2 [ block 0 [ call ] (Ir.Ret None) ]
+  in
+  refuse "indirect site" Inline.Indirect
+    (caller_with
+       (Ir.Call { target = Ir.Indirect 0; args = []; ret = None }))
+    value_callee (0, 0);
+  let direct_call ?ret args =
+    Ir.Call { target = Ir.Direct "callee"; args; ret }
+  in
+  let self_recursive =
+    mk_proc ~params:[ 0 ] "callee" 2
+      [
+        block 0
+          [ Ir.Call { target = Ir.Direct "callee"; args = [ Ir.Reg 0 ]; ret = Some 1 } ]
+          (Ir.Ret (Some (Ir.Reg 1)));
+      ]
+  in
+  refuse "recursive callee" Inline.Recursive
+    (caller_with (direct_call ~ret:1 [ Ir.Imm 3 ]))
+    self_recursive (0, 0);
+  refuse "arity mismatch" Inline.Arity_mismatch
+    (caller_with (direct_call ~ret:1 [ Ir.Imm 3; Ir.Imm 4 ]))
+    value_callee (0, 0);
+  let void_callee =
+    mk_proc ~params:[ 0 ] "callee" 1 [ block 0 [] (Ir.Ret None) ]
+  in
+  refuse "result-binding call to void callee" Inline.Void_result
+    (caller_with (direct_call ~ret:1 [ Ir.Imm 3 ]))
+    void_callee (0, 0);
+  refuse "position is not a call" Inline.Not_a_call
+    (mk_proc "caller" 1 [ block 0 [ Ir.Li (0, 7) ] (Ir.Ret None) ])
+    value_callee (0, 0);
+  refuse "position out of range" Inline.Not_a_call
+    (caller_with (direct_call ~ret:1 [ Ir.Imm 3 ]))
+    value_callee (3, 0);
+  let other =
+    mk_proc ~params:[ 0 ] "other" 2
+      [ block 0 [] (Ir.Ret (Some (Ir.Reg 0))) ]
+  in
+  refuse "call targets a different callee" Inline.Not_a_call
+    (caller_with (direct_call ~ret:1 [ Ir.Imm 3 ]))
+    other (0, 0)
+
+(** A void callee into a result-less call site — the [Ret None] path of
+    the splice. *)
+let test_void_callee_inlines () =
+  let src =
+    {|
+var logbook;
+proc note(v) { logbook = logbook + v; }
+proc main() {
+  note(4);
+  note(5);
+  print(logbook);
+}
+|}
+  in
+  let u = lower src in
+  let base = run_ir u in
+  let main = proc_of u "main" and note = proc_of u "note" in
+  let b, i =
+    match Inline.find_site main ~callee:"note" ~ordinal:1 with
+    | Some pos -> pos
+    | None -> Alcotest.fail "site not found"
+  in
+  let merged = inline_exn ~caller:main ~callee:note ~block:b ~index:i in
+  Alcotest.(check (list int))
+    "output unchanged" base
+    (run_ir (with_proc u "main" merged))
+
+let suite =
+  ( "inline",
+    [
+      Alcotest.test_case "inline preserves behavior" `Quick
+        test_inline_preserves_behavior;
+      Alcotest.test_case "find_site ordinals" `Quick test_find_site_ordinals;
+      Alcotest.test_case "multi-site descending application" `Quick
+        test_multi_site_descending;
+      Alcotest.test_case "refusal classes" `Quick test_refusals;
+      Alcotest.test_case "void callee" `Quick test_void_callee_inlines;
+    ] )

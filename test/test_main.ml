@@ -23,6 +23,8 @@ let () =
       Test_golden.suite;
       Test_profile.suite;
       Test_penalty.suite;
+      Test_inline.suite;
+      Test_pgo.suite;
       Test_globalpromo.suite;
       Test_split.suite;
       Test_equivalence.suite;

@@ -177,6 +177,53 @@ let test_golden_report () =
     Alcotest.failf "penalty report drifted:@.--- expected ---@.%s@.--- got ---@.%s"
       expected got
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(** Truncated output must announce itself: with the row limit below the
+    site count, the report carries an "omitted" trailer; when every row
+    fits, it must not. *)
+let test_report_truncation_trailer () =
+  let r = profile_of ~config:Config.baseline golden_src in
+  Alcotest.(check bool) "needs > 1 site" true (List.length r.Profile.sites > 1);
+  let cut = Format.asprintf "%a" (Profile.pp_penalty_report ~limit:1) r in
+  Alcotest.(check bool) "trailer present when rows are cut" true
+    (contains ~needle:"more site" cut && contains ~needle:"omitted" cut);
+  let full = Format.asprintf "%a" (Profile.pp_penalty_report ~limit:5) r in
+  Alcotest.(check bool) "no trailer when all rows fit" false
+    (contains ~needle:"omitted" full)
+
+(** The call-tree node cap no longer truncates silently: with a tiny
+    [max_nodes], calls on new paths collapse into their parents and are
+    counted in [tree_capped] (and the [sim.penalty.tree_capped] metric);
+    with the default cap the count is zero and the tree is complete. *)
+let test_tree_cap_reported () =
+  let prog =
+    Pipeline.program (Pipeline.compile Config.baseline golden_src)
+  in
+  Metrics.reset ();
+  Metrics.enable ();
+  let capped = Profile.run ~max_nodes:2 prog in
+  Metrics.disable ();
+  Alcotest.(check bool) "tree_capped > 0 under a tiny cap" true
+    (capped.Profile.tree_capped > 0);
+  Alcotest.(check int) "node table respects the cap" 2
+    (List.length capped.Profile.calltree);
+  (match List.assoc_opt "sim.penalty.tree_capped" (Metrics.dump ()) with
+  | Some v -> Alcotest.(check int) "metric matches report" capped.Profile.tree_capped v
+  | None -> Alcotest.fail "sim.penalty.tree_capped not published");
+  let full = Profile.run prog in
+  Alcotest.(check int) "default cap loses nothing" 0 full.Profile.tree_capped;
+  (* the collapsed counters still balance: both runs executed the same
+     program, so the global classification is identical *)
+  Alcotest.(check bool) "counters unaffected by the cap" true
+    (capped.Profile.counters = full.Profile.counters);
+  let trailer = Format.asprintf "%a" (Profile.pp_calltree ~max_depth:3) capped in
+  Alcotest.(check bool) "calltree trailer names the collapse" true
+    (contains ~needle:"collapsed" trailer)
+
 let suite =
   ( "penalty",
     [
@@ -185,6 +232,9 @@ let suite =
       Alcotest.test_case "sites sum to counters" `Quick
         test_sites_sum_to_counters;
       Alcotest.test_case "golden report" `Quick test_golden_report;
+      Alcotest.test_case "truncation trailer" `Quick
+        test_report_truncation_trailer;
+      Alcotest.test_case "tree cap reported" `Quick test_tree_cap_reported;
       Alcotest.test_case "parallel determinism (uopt)" `Slow
         test_parallel_deterministic;
       Alcotest.test_case "call-tree invariants (uopt)" `Slow
