@@ -16,7 +16,19 @@
       that measures what sharding the cache lock buys (on a multi-core
       host the 4-shard server must sustain strictly higher throughput;
       the [server/meta/cores] row lets the regression gate skip that
-      check on starved machines).
+      check on starved machines);
+    - [warm-logged]: the warm mix re-run with the structured log enabled
+      at info — the pair that measures what logging costs (the
+      regression gate holds its p50 within 2x of the silent warm mix).
+      It runs directly after [warm] so the pair shares machine
+      conditions: mixes late in the sequence drift upward on a loaded
+      host, and the 2x budget must gate logging, not position.
+
+    Each mix also reports [server/<mix>/queue_wait_p99]: the p99 of the
+    server-side [server.build.queue_wait_us] histogram over exactly that
+    mix's requests, extracted by diffing [Stats] snapshots taken before
+    and after the drive — the server's own account of admission-queue
+    time, next to the client-observed round-trip latency.
 
     The client side is [concurrency] threads, each with its own
     connection and one request in flight, so reported latency includes
@@ -26,6 +38,7 @@ module Server = Chow_server.Server
 module Client = Chow_server.Client
 module Protocol = Chow_server.Protocol
 module Metrics = Chow_obs.Metrics
+module Log = Chow_obs.Log
 
 (* a unit heavy enough that allocation dominates a cold compile and the
    artifact load is real work on the warm path; [salt] makes distinct
@@ -74,9 +87,10 @@ proc main() {
     salt
     (String.concat "" (List.map proc [ "a"; "b"; "c"; "d"; "e"; "f" ]))
 
-let build_req src =
+let build_req ?(id = -1) src =
   Protocol.Compile
     {
+      id;
       action = Protocol.Build;
       srcs = [ src ];
       o3 = true;
@@ -130,7 +144,13 @@ let stop r =
 
 (* ----- the load generator ----- *)
 
-type result = { p50_ns : float; p99_ns : float; throughput : int }
+type result = {
+  p50_ns : float;
+  p99_ns : float;
+  throughput : int;
+  queue_wait_p99_ns : float;
+      (** server-side admission-queue p99 over this mix's requests *)
+}
 
 let percentile sorted q =
   let n = Array.length sorted in
@@ -169,11 +189,9 @@ let drive ~sock ~concurrency ~total make_req =
     failwith
       (Printf.sprintf "serve bench: %d requests failed" (Atomic.get failures));
   Array.sort compare latencies;
-  {
-    p50_ns = percentile latencies 0.5 *. 1e9;
-    p99_ns = percentile latencies 0.99 *. 1e9;
-    throughput = int_of_float (float_of_int total /. elapsed);
-  }
+  ( percentile latencies 0.5 *. 1e9,
+    percentile latencies 0.99 *. 1e9,
+    int_of_float (float_of_int total /. elapsed) )
 
 let seed_working_set ~sock srcs =
   Client.with_connection ~socket_path:sock (fun c ->
@@ -191,7 +209,14 @@ let working_set_size = 16
 let warm_src i = unit_src (i mod working_set_size)
 let cold_src i = unit_src (1_000_000 + i)
 
-let run_mix ~name ~shards ~workers ~concurrency ~total make_req ~seed =
+let stats_snapshot sock =
+  Client.with_connection ~socket_path:sock (fun c ->
+      match Client.request c Protocol.Stats with
+      | Protocol.Stats_reply rows -> rows
+      | _ -> failwith "serve bench: Stats request failed")
+
+let run_mix ~name ~shards ~workers ~concurrency ~total ?(logged = false)
+    make_req ~seed =
   let r = start ~shards ~workers in
   Fun.protect
     ~finally:(fun () -> stop r)
@@ -199,9 +224,35 @@ let run_mix ~name ~shards ~workers ~concurrency ~total make_req ~seed =
       if seed then
         seed_working_set ~sock:r.sock
           (List.init working_set_size (fun i -> warm_src i));
-      let res = drive ~sock:r.sock ~concurrency ~total make_req in
-      Format.printf "server/%-14s p50 %8.1f us  p99 %8.1f us  %6d req/s@."
-        name (res.p50_ns /. 1e3) (res.p99_ns /. 1e3) res.throughput;
+      (* bracket the drive with Stats snapshots: their diff isolates this
+         mix's own histogram deltas even though the in-process metrics
+         registry is shared across mixes (and with the seeding above) *)
+      let before = stats_snapshot r.sock in
+      if logged then Log.enable Log.Info;
+      let p50_ns, p99_ns, throughput =
+        Fun.protect
+          ~finally:(fun () ->
+            if logged then begin
+              Log.disable ();
+              Log.reset ()
+            end)
+          (fun () -> drive ~sock:r.sock ~concurrency ~total make_req)
+      in
+      let after = stats_snapshot r.sock in
+      let queue_wait =
+        Metrics.bucket_rows "server.build.queue_wait_us"
+          (Metrics.diff before after)
+      in
+      let queue_wait_p99_ns =
+        float_of_int (Metrics.percentile queue_wait 99.) *. 1e3
+      in
+      let res = { p50_ns; p99_ns; throughput; queue_wait_p99_ns } in
+      Format.printf
+        "server/%-14s p50 %8.1f us  p99 %8.1f us  qwait99 %8.1f us  %6d \
+         req/s@."
+        name (res.p50_ns /. 1e3) (res.p99_ns /. 1e3)
+        (res.queue_wait_p99_ns /. 1e3)
+        res.throughput;
       res)
 
 (** The benchmark: every mix, as [(name, ns)] latency rows plus
@@ -211,31 +262,51 @@ let rows ~smoke () =
   let workers = 4 and concurrency = 4 in
   let cold =
     run_mix ~name:"cold" ~shards:4 ~workers ~concurrency ~total:(scale 400)
-      (fun i -> build_req (cold_src i))
+      (fun i -> build_req ~id:i (cold_src i))
       ~seed:false
   in
   let warm =
     run_mix ~name:"warm" ~shards:4 ~workers ~concurrency ~total:(scale 2000)
-      (fun i -> build_req (warm_src i))
+      (fun i -> build_req ~id:i (warm_src i))
+      ~seed:true
+  in
+  (* directly after [warm]: the 2x logging budget compares these two, so
+     they must not sit at opposite ends of the sequence where slow drift
+     on a loaded host would masquerade as logging cost *)
+  let logged =
+    run_mix ~name:"warm-logged" ~shards:4 ~workers ~concurrency
+      ~total:(scale 2000) ~logged:true
+      (fun i -> build_req ~id:i (warm_src i))
       ~seed:true
   in
   let mixed =
     run_mix ~name:"mixed" ~shards:4 ~workers ~concurrency ~total:(scale 1000)
       (fun i ->
-        if i mod 8 = 0 then build_req (cold_src i) else build_req (warm_src i))
+        if i mod 8 = 0 then build_req ~id:i (cold_src i)
+        else build_req ~id:i (warm_src i))
       ~seed:true
   in
   let shard1 =
     run_mix ~name:"warm-shard1" ~shards:1 ~workers ~concurrency
       ~total:(scale 800)
-      (fun i -> build_req (warm_src i))
+      (fun i -> build_req ~id:i (warm_src i))
       ~seed:true
   in
   let shard4 =
     run_mix ~name:"warm-shard4" ~shards:4 ~workers ~concurrency
       ~total:(scale 800)
-      (fun i -> build_req (warm_src i))
+      (fun i -> build_req ~id:i (warm_src i))
       ~seed:true
+  in
+  let mixes =
+    [
+      ("cold", cold);
+      ("warm", warm);
+      ("warm-logged", logged);
+      ("mixed", mixed);
+      ("warm-shard1", shard1);
+      ("warm-shard4", shard4);
+    ]
   in
   let ns_rows =
     List.concat_map
@@ -243,26 +314,15 @@ let rows ~smoke () =
         [
           (Printf.sprintf "server/%s/p50" mix, r.p50_ns);
           (Printf.sprintf "server/%s/p99" mix, r.p99_ns);
+          (Printf.sprintf "server/%s/queue_wait_p99" mix, r.queue_wait_p99_ns);
         ])
-      [
-        ("cold", cold);
-        ("warm", warm);
-        ("mixed", mixed);
-        ("warm-shard1", shard1);
-        ("warm-shard4", shard4);
-      ]
+      mixes
   in
   let value_rows =
     ("server/meta/cores", Domain.recommended_domain_count ())
     :: List.map
          (fun (mix, r) ->
            (Printf.sprintf "server/%s/throughput" mix, r.throughput))
-         [
-           ("cold", cold);
-           ("warm", warm);
-           ("mixed", mixed);
-           ("warm-shard1", shard1);
-           ("warm-shard4", shard4);
-         ]
+         mixes
   in
   (ns_rows, value_rows)

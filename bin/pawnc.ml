@@ -21,8 +21,14 @@
     - [callgraph FILE]: processing order, open/closed classification and
       published register-usage masks;
     - [serve]: run the long-lived compile-server daemon on a unix socket;
-    - [request]: send one build/run/profile (or ping/stats/shutdown)
-      request to a running daemon.
+      [--log FILE --log-level L] writes the structured JSON-lines log,
+      [--flight-dump FILE] sets the postmortem flight-recorder dump path;
+    - [request]: send one build/run/profile (or ping/stats/shutdown/dump)
+      request to a running daemon; [--trace FILE] records the client side
+      of the exchange (connect, enqueue-wait, service, read-reply spans
+      tagged with the request id the daemon also logs);
+    - [top]: poll a daemon's stats and render a live per-request-class
+      p50/p99/throughput table from histogram deltas.
 
     Exit codes: 0 on success; 2 on any user error (malformed source,
     link failure, corrupt artifact, runtime trap, unreadable file),
@@ -47,6 +53,7 @@ module Sim = Chow_sim.Sim
 module Profile = Chow_sim.Profile
 module Trace = Chow_obs.Trace
 module Metrics = Chow_obs.Metrics
+module Log = Chow_obs.Log
 module Server = Chow_server.Server
 module Client = Chow_server.Client
 module Protocol = Chow_server.Protocol
@@ -704,13 +711,66 @@ let serve_cmd =
       & info [ "max-entries" ] ~docv:"N"
           ~doc:"Bound the artifact cache (LRU eviction); default unbounded.")
   in
+  let log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE"
+          ~doc:
+            "Write the structured log to $(docv): one JSON object per \
+             line, each carrying a timestamp, level, event and the \
+             request id that caused it.")
+  in
+  let log_level_arg =
+    let level_conv =
+      Arg.enum
+        [
+          ("error", Log.Error);
+          ("warn", Log.Warn);
+          ("info", Log.Info);
+          ("debug", Log.Debug);
+        ]
+    in
+    Arg.(
+      value & opt level_conv Log.Info
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Log severity threshold: $(b,error), $(b,warn), $(b,info) \
+             (default) or $(b,debug) (adds per-request pipeline phases \
+             and cache hits).")
+  in
+  let flight_dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "Where the flight recorder dumps its rings (JSON) when a \
+             worker traps or a malformed frame arrives; default \
+             $(i,SOCKET).flight.json.")
+  in
   let serve socket workers queue_bound cache_dir shards max_entries trace
-      stats =
+      log log_level flight_dump stats =
     handle_errors @@ fun () ->
     with_obs ~trace ~stats @@ fun () ->
+    if log <> None then Log.enable log_level;
+    let flight_path =
+      match flight_dump with Some p -> p | None -> socket ^ ".flight.json"
+    in
+    (* the log is written even when serve dies on an exception — that is
+       exactly when it is wanted *)
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter
+          (fun path ->
+            Log.disable ();
+            Log.write_file path;
+            Printf.eprintf "log written to %s\n%!" path)
+          log)
+    @@ fun () ->
     let server =
       Server.create ~workers ~queue_bound ?cache_dir ~cache_shards:shards
-        ?cache_max_entries:max_entries ~socket_path:socket ()
+        ?cache_max_entries:max_entries ~flight_path ~socket_path:socket ()
     in
     let stop _ = Server.request_stop server in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
@@ -725,15 +785,24 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const serve $ socket_arg $ workers_arg $ queue_bound_arg
-      $ cache_dir_arg $ shards_arg $ max_entries_arg $ trace_arg $ stats_flag)
+      $ cache_dir_arg $ shards_arg $ max_entries_arg $ trace_arg $ log_arg
+      $ log_level_arg $ flight_dump_arg $ stats_flag)
 
 (* ----- request ----- *)
+
+(* A client-generated request id correlating this request's client-side
+   spans with the daemon's spans, log lines and flight events.  Unique
+   enough for correlation: microsecond wall clock mixed with the pid, so
+   concurrent clients on one machine don't collide. *)
+let fresh_request_id () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e6) in
+  (t lxor (Unix.getpid () lsl 44)) land max_int
 
 let request_cmd =
   let doc =
     "Send one request to a running $(b,pawnc serve) daemon: \
      $(b,build)/$(b,run)/$(b,profile) source files, or \
-     $(b,ping)/$(b,stats)/$(b,shutdown) control requests."
+     $(b,ping)/$(b,stats)/$(b,dump)/$(b,shutdown) control requests."
   in
   let action_arg =
     Arg.(
@@ -747,13 +816,15 @@ let request_cmd =
                   ("profile", `Profile);
                   ("ping", `Ping);
                   ("stats", `Stats);
+                  ("dump", `Dump);
                   ("shutdown", `Shutdown);
                 ]))
           None
       & info [] ~docv:"ACTION"
           ~doc:
             "One of $(b,build), $(b,run), $(b,profile) (with FILES), \
-             $(b,ping), $(b,stats), $(b,shutdown).")
+             $(b,ping), $(b,stats), $(b,dump) (the daemon's \
+             flight-recorder rings, as JSON), $(b,shutdown).")
   in
   let files_arg =
     Arg.(
@@ -781,12 +852,15 @@ let request_cmd =
           ~doc:"Print the reply's per-request metric deltas.")
   in
   let request action files socket o3 no_sw global_promo fuel priority
-      counters =
+      counters trace =
     handle_errors @@ fun () ->
+    with_obs ~trace ~stats:false @@ fun () ->
+    let id = fresh_request_id () in
     let req =
       match action with
       | `Ping -> Protocol.Ping
       | `Stats -> Protocol.Stats
+      | `Dump -> Protocol.Dump
       | `Shutdown -> Protocol.Shutdown
       | (`Build | `Run | `Profile) as a ->
           if files = [] then begin
@@ -799,6 +873,7 @@ let request_cmd =
           end;
           Protocol.Compile
             {
+              id;
               action =
                 (match a with
                 | `Build -> Protocol.Build
@@ -812,10 +887,39 @@ let request_cmd =
               priority;
             }
     in
+    (* The client's view of the exchange: a connect span, then the
+       server-side phases replayed onto the client's timeline from the
+       timings the [Done] reply carries — the request was enqueued, then
+       serviced, and the round-trip remainder was spent writing/reading
+       the reply.  Same ids as the daemon's own spans, so the two traces
+       merge into one correlated picture. *)
+    let rpc c =
+      let t_send = Trace.elapsed_ns () in
+      let reply = Client.request c req in
+      let rtt_ns = Trace.elapsed_ns () - t_send in
+      (match reply with
+      | Protocol.Done { queue_wait_ns; service_ns; _ } when Trace.is_on () ->
+          let args = [ ("req", Trace.Int id) ] in
+          Trace.span_at ~args ~ts_ns:t_send ~dur_ns:queue_wait_ns
+            "enqueue-wait";
+          Trace.span_at ~args
+            ~ts_ns:(t_send + queue_wait_ns)
+            ~dur_ns:service_ns "service";
+          Trace.span_at ~args
+            ~ts_ns:(t_send + queue_wait_ns + service_ns)
+            ~dur_ns:(max 0 (rtt_ns - queue_wait_ns - service_ns))
+            "read-reply"
+      | _ -> ());
+      reply
+    in
     let reply =
       try
-        Client.with_connection ~socket_path:socket (fun c ->
-            Client.request c req)
+        let c =
+          Trace.span "connect"
+            ~args:[ ("req", Trace.Int id) ]
+            (fun () -> Client.connect ~socket_path:socket)
+        in
+        Fun.protect ~finally:(fun () -> Client.close c) (fun () -> rpc c)
       with
       | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
           Printf.eprintf
@@ -828,7 +932,7 @@ let request_cmd =
           exit 2
     in
     match reply with
-    | Protocol.Done { text; counters = deltas } ->
+    | Protocol.Done { text; counters = deltas; _ } ->
         if text <> "" then print_endline text;
         if counters then
           List.iter (fun (n, v) -> Printf.printf "%-32s %12d\n" n v) deltas
@@ -842,12 +946,104 @@ let request_cmd =
     | Protocol.Stats_reply rows ->
         List.iter (fun (n, v) -> Printf.printf "%-32s %12d\n" n v) rows
     | Protocol.Bye -> print_endline "server shutting down"
+    | Protocol.Dump_reply json -> print_string json
   in
   Cmd.v
     (Cmd.info "request" ~doc)
     Term.(
       const request $ action_arg $ files_arg $ socket_arg $ o3_flag
-      $ no_sw_flag $ promo_flag $ fuel_arg $ priority_arg $ counters_flag)
+      $ no_sw_flag $ promo_flag $ fuel_arg $ priority_arg $ counters_flag
+      $ trace_arg)
+
+(* ----- top ----- *)
+
+let top_cmd =
+  let doc =
+    "Live view of a running $(b,pawnc serve) daemon: poll its stats and \
+     render per-request-class p50/p99 latency and throughput from the \
+     histogram deltas between consecutive polls."
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between polls (default 1).")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop after $(docv) refreshes; 0 (default) runs until ^C.")
+  in
+  let classes = [ "build"; "run"; "profile" ] in
+  let render socket interval delta =
+    let v name = Option.value ~default:0 (List.assoc_opt name delta) in
+    (* clear only a real terminal; piped output stays a plain append log *)
+    if Unix.isatty Unix.stdout then print_string "\027[2J\027[H";
+    Printf.printf "pawnc top — %s, every %gs\n" socket interval;
+    Printf.printf "%-8s %6s %9s %9s %9s %9s %9s %8s\n" "class" "reqs"
+      "queue50" "queue99" "serv50" "serv99" "reply99" "req/s";
+    let shown =
+      List.filter_map
+        (fun cls ->
+          let h part =
+            Metrics.bucket_rows (Printf.sprintf "server.%s.%s" cls part) delta
+          in
+          let qw = h "queue_wait_us"
+          and sv = h "service_us"
+          and rp = h "reply_us" in
+          let n = List.fold_left (fun acc (_, c) -> acc + c) 0 sv in
+          if n = 0 then None
+          else
+            Some
+              (Printf.sprintf "%-8s %6d %9d %9d %9d %9d %9d %8.1f" cls n
+                 (Metrics.percentile qw 50.) (Metrics.percentile qw 99.)
+                 (Metrics.percentile sv 50.) (Metrics.percentile sv 99.)
+                 (Metrics.percentile rp 99.)
+                 (float_of_int n /. interval)))
+        classes
+    in
+    if shown = [] then print_endline "(idle: no requests this interval)"
+    else List.iter print_endline shown;
+    Printf.printf "completed %d   failed %d   busy %d   protocol errors %d\n%!"
+      (v "server.completed") (v "server.failed") (v "server.busy")
+      (v "server.protocol_error")
+  in
+  let top socket interval count =
+    handle_errors @@ fun () ->
+    if interval <= 0. then begin
+      Printf.eprintf "error: --interval must be positive\n";
+      exit 2
+    end;
+    try
+      Client.with_connection ~socket_path:socket @@ fun c ->
+      let poll () =
+        match Client.request c Protocol.Stats with
+        | Protocol.Stats_reply rows -> rows
+        | _ ->
+            Printf.eprintf "error: unexpected reply to stats\n";
+            exit 2
+      in
+      let prev = ref (poll ()) in
+      let n = ref 0 in
+      while count = 0 || !n < count do
+        Unix.sleepf interval;
+        incr n;
+        let cur = poll () in
+        render socket interval (Metrics.diff !prev cur);
+        prev := cur
+      done
+    with
+    | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+        Printf.eprintf "error: no compile server listening on %s\n" socket;
+        exit 2
+    | Client.Server_gone ->
+        Printf.eprintf "error: server closed the connection\n";
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc)
+    Term.(const top $ socket_arg $ interval_arg $ count_arg)
 
 let main_cmd =
   let doc =
@@ -866,6 +1062,7 @@ let main_cmd =
       callgraph_cmd;
       serve_cmd;
       request_cmd;
+      top_cmd;
     ]
 
 (* a malformed command line is a user error like any other: fold

@@ -19,11 +19,16 @@
     present in only one file are ignored, but at least one [penalty/*]
     row must overlap — a gate comparing zero penalty rows is miswired.
     [server/*] p50 latency rows may not regress by more than 50% against
-    the baseline (p99 rows get a 3x band — tails are noisy) and
-    [server/*/throughput] rows may not fall below half the baseline.  When the
-    current file carries server rows, two invariants internal to that
+    the baseline (p99 rows get a 3x band — tails are noisy; queue_wait_p99
+    rows, being power-of-two bucket upper bounds, get 4x so single-bucket
+    jitter can't flake the gate) and [server/*/throughput] rows may not
+    fall below half the baseline.  The warm-shard mixes are exempt from
+    cross-run bands on hosts with fewer than 4 cores — without real
+    parallelism they measure scheduler timesharing, not sharding.  When the
+    current file carries server rows, three invariants internal to that
     file are also enforced: the warm p50 must be at least 4x below the
-    cold p50, and — on hosts with at least 4 cores, per the
+    cold p50, the warm-logged p50 must stay within 2x of the silent warm
+    p50, and — on hosts with at least 4 cores, per the
     [server/meta/cores] row — the 4-shard warm throughput must not fall
     more than 5% below the 1-shard one (a noise band, so a single-run
     tie can't flake the gate).
@@ -42,12 +47,21 @@
     memory operations than the plain one.
 
     [trace_check --serve-smoke PAWNC SRC.pawn] is the daemon CI smoke:
-    it starts [PAWNC serve] on a fresh socket and cache, issues a cold
-    run request, a warm run request (asserting its per-request counter
-    delta shows [cache.hit] = 1), a malformed frame (expecting a
-    protocol [Error] reply, not a wedged or dead server), checks [Stats]
-    reports [server.completed] = 2 with [cache.hit] = 1, and shuts the
-    daemon down, requiring a clean exit 0.
+    it starts [PAWNC serve] on a fresh socket and cache with the
+    structured log and the flight recorder's postmortem dump armed,
+    issues a cold run request and a warm run request under fixed request
+    ids (asserting the warm per-request counter delta shows [cache.hit]
+    = 1 and the [Done] replies carry sane queue-wait/service timings), a
+    malformed frame AND a well-formed frame of the previous protocol
+    version (both expecting a protocol [Error] reply, not a wedged or
+    dead server), checks [Stats] reports [server.completed] = 2 with
+    [cache.hit] = 1 and the per-class histograms accounting both
+    requests phase by phase, pulls a flight-recorder dump over the wire
+    (it must parse and hold both request lifecycles), and shuts the
+    daemon down, requiring a clean exit 0, a postmortem flight dump on
+    disk from the protocol errors, and a log where every line parses via
+    [Obs.Json] in timestamp order and every request-scoped line carries
+    one of the smoke's ids.
 
     Exits nonzero with a diagnostic on the first violation. *)
 
@@ -204,6 +218,18 @@ let server_invariants ~flunk current =
                 (%.1f us) — the artifact-cache hit path is not paying off"
                (warm /. 1e3) (cold /. 1e3))
     | _ -> flunk "server/warm/p50 or server/cold/p50 row missing");
+    (* structured logging must stay cheap: the warm mix rerun with the
+       log enabled may cost at most 2x the silent warm mix at the median
+       (the acceptance gate the observability layer ships under) *)
+    (match (ns "server/warm-logged/p50", ns "server/warm/p50") with
+    | Some logged, Some warm when warm > 0. ->
+        if logged > warm *. 2. then
+          flunk
+            (Printf.sprintf
+               "server warm-logged p50 (%.1f us) is more than 2x the silent \
+                warm p50 (%.1f us) — logging overhead is out of budget"
+               (logged /. 1e3) (warm /. 1e3))
+    | _ -> ());
     match value "server/meta/cores" with
     | Some cores when cores >= 4. -> (
         match
@@ -258,10 +284,30 @@ let check_bench_compare baseline_path current_path =
   let timing_checked = ref 0
   and penalty_checked = ref 0
   and pgo_checked = ref 0
-  and server_checked = ref 0 in
+  and server_checked = ref 0
+  and shard_skipped = ref 0 in
   let failures = ref [] in
   let flunk fmt =
     Printf.ksprintf (fun m -> failures := m :: !failures) fmt
+  in
+  (* the shard mixes exist to measure cache-shard contention relief, which
+     needs worker domains actually running in parallel.  On a host with
+     fewer than 4 cores their latency is dominated by how the scheduler
+     happens to timeshare one CPU — identical full runs have produced 5x
+     spreads — so cross-run bands on them gate nothing but noise.  Same
+     reasoning (and same [server/meta/cores] row) as the shard-throughput
+     invariant in {!server_invariants}. *)
+  let cores =
+    match List.assoc_opt "server/meta/cores" current with
+    | Some (_, Some v) -> v
+    | _ -> 0.
+  in
+  let is_shard_mix name =
+    starts_with ~prefix:"server/warm-shard" name
+  in
+  let ends_with ~suffix name =
+    let sl = String.length suffix and nl = String.length name in
+    nl >= sl && String.sub name (nl - sl) sl = suffix
   in
   List.iter
     (fun (name, (base_ns, base_v)) ->
@@ -303,13 +349,17 @@ let check_bench_compare baseline_path current_path =
           end
           else if starts_with ~prefix:"server/meta/" name then ()
           else if starts_with ~prefix:"server/" name then begin
-            (* tail latencies are far noisier than medians, so p99 rows
-               get a 3x band where p50 gets 1.5x *)
+            if is_shard_mix name && cores < 4. then incr shard_skipped
+            else
+            (* tail latencies are far noisier than medians, so p99 rows get
+               a 3x band where p50 gets 1.5x.  queue_wait_p99 rows are
+               histogram bucket upper bounds (powers of two), so the
+               smallest representable move is 2x and one bucket of jitter
+               on each side is 4x — they get a 4x band, i.e. only a shift
+               of three or more buckets flags *)
             let limit =
-              if
-                String.length name >= 4
-                && String.sub name (String.length name - 4) 4 = "/p99"
-              then 3.0
+              if ends_with ~suffix:"queue_wait_p99" name then 4.0
+              else if ends_with ~suffix:"p99" name then 3.0
               else 1.5
             in
             match (base_ns, cur_ns) with
@@ -348,9 +398,12 @@ let check_bench_compare baseline_path current_path =
       exit 1);
   Printf.printf
     "%s vs %s: %d timings within 25%%, %d penalty rows exact, %d pgo rows \
-     exact, %d server rows within band\n"
+     exact, %d server rows within band%s\n"
     current_path baseline_path !timing_checked !penalty_checked !pgo_checked
     !server_checked
+    (if !shard_skipped > 0 then
+       Printf.sprintf " (%d shard rows skipped: <4 cores)" !shard_skipped
+     else "")
 
 (* ----- pgo smoke ----- *)
 
@@ -456,6 +509,121 @@ let check_pgo_smoke pawnc src =
 module Protocol = Chow_server.Protocol
 module Client = Chow_server.Client
 
+(* the smoke's two compile requests carry fixed, recognizable ids so the
+   daemon's log lines and flight events can be matched back to them *)
+let cold_id = 424242
+let warm_id = 424243
+
+(** A flight-recorder dump (from the wire or the postmortem file) must
+    parse, carry the capacity/dropped/events envelope, and still hold
+    both smoke requests' lifecycles. *)
+let check_flight ~what json =
+  let root =
+    match Json.parse json with
+    | Error msg -> fail "serve smoke: %s does not parse: %s" what msg
+    | Ok root -> root
+  in
+  (match Json.member "capacity" root with
+  | Some (Json.Num c) when c > 0. -> ()
+  | _ -> fail "serve smoke: %s lacks a positive \"capacity\"" what);
+  (match Json.member "dropped" root with
+  | Some (Json.Num d) when d >= 0. -> ()
+  | _ -> fail "serve smoke: %s lacks a \"dropped\" count" what);
+  let events =
+    match Json.member "events" root with
+    | Some (Json.Arr evs) -> evs
+    | _ -> fail "serve smoke: %s lacks an \"events\" array" what
+  in
+  let has name req =
+    List.exists
+      (fun ev ->
+        match (Json.member "event" ev, Json.member "req" ev) with
+        | Some (Json.Str e), Some (Json.Num r) ->
+            e = name && int_of_float r = req
+        | _ -> false)
+      events
+  in
+  List.iter
+    (fun ev ->
+      match (Json.member "ts" ev, Json.member "event" ev) with
+      | Some (Json.Num _), Some (Json.Str _) -> ()
+      | _ -> fail "serve smoke: %s holds an event without ts/event" what)
+    events;
+  List.iter
+    (fun req ->
+      List.iter
+        (fun step ->
+          if not (has step req) then
+            fail "serve smoke: %s lost the %S event of request %d" what step
+              req)
+        [ "submit"; "exec-start"; "exec-done" ])
+    [ cold_id; warm_id ];
+  if
+    not
+      (List.exists
+         (fun ev ->
+           match Json.member "event" ev with
+           | Some (Json.Str "protocol-error") -> true
+           | _ -> false)
+         events)
+  then fail "serve smoke: %s holds no protocol-error event" what
+
+(** The daemon's structured log: every line one JSON object with
+    ts/level/event, every request-scoped line naming a smoke id, both
+    requests reaching their [done] line. *)
+let check_serve_log path =
+  if not (Sys.file_exists path) then
+    fail "serve smoke: daemon wrote no log at %s" path;
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file path))
+  in
+  if lines = [] then fail "serve smoke: %s is empty" path;
+  let done_of = Hashtbl.create 4 in
+  let last_ts = ref neg_infinity in
+  List.iter
+    (fun line ->
+      let obj =
+        match Json.parse line with
+        | Ok obj -> obj
+        | Error msg -> fail "serve smoke: log line does not parse (%s): %s" msg line
+      in
+      let ts =
+        match Json.member "ts" obj with
+        | Some (Json.Num ts) -> ts
+        | _ -> fail "serve smoke: log line lacks a numeric \"ts\": %s" line
+      in
+      (* the merged writer promises timestamp order across domains *)
+      if ts < !last_ts then
+        fail "serve smoke: log line out of timestamp order: %s" line;
+      last_ts := ts;
+      (match Json.member "level" obj with
+      | Some (Json.Str ("error" | "warn" | "info" | "debug")) -> ()
+      | _ -> fail "serve smoke: log line lacks a known \"level\": %s" line);
+      let event =
+        match Json.member "event" obj with
+        | Some (Json.Str e) -> e
+        | _ -> fail "serve smoke: log line lacks an \"event\": %s" line
+      in
+      match Json.member "req" obj with
+      | Some (Json.Num r) ->
+          let r = int_of_float r in
+          if r <> cold_id && r <> warm_id then
+            fail "serve smoke: log line carries unknown request id %d: %s" r
+              line;
+          if event = "done" then Hashtbl.replace done_of r ()
+      | Some _ -> fail "serve smoke: log line's \"req\" is not a number: %s" line
+      | None -> ())
+    lines;
+  List.iter
+    (fun req ->
+      if not (Hashtbl.mem done_of req) then
+        fail "serve smoke: request %d never logged its \"done\" line" req)
+    [ cold_id; warm_id ];
+  Printf.printf "%s: %d log lines parse, request ids match\n" path
+    (List.length lines)
+
 (** Cold + warm + malformed-frame round-trip against a freshly started
     [pawnc serve] daemon; see the module doc for the exact contract. *)
 let check_serve_smoke pawnc src_path =
@@ -463,6 +631,8 @@ let check_serve_smoke pawnc src_path =
   Sys.remove dir;
   Unix.mkdir dir 0o700;
   let sock = Filename.concat dir "s.sock" in
+  let log_path = Filename.concat dir "serve.log.jsonl" in
+  let flight_path = Filename.concat dir "flight.json" in
   let pid =
     Unix.create_process pawnc
       [|
@@ -474,6 +644,12 @@ let check_serve_smoke pawnc src_path =
         "2";
         "--cache-dir";
         Filename.concat dir "cache";
+        "--log";
+        log_path;
+        "--log-level";
+        "debug";
+        "--flight-dump";
+        flight_path;
       |]
       Unix.stdin Unix.stdout Unix.stderr
   in
@@ -484,9 +660,10 @@ let check_serve_smoke pawnc src_path =
   if not (Client.wait_ready ~socket_path:sock ()) then
     fail "serve smoke: daemon did not answer Ping within 10s";
   let src = read_file src_path in
-  let compile_req =
+  let compile_req id =
     Protocol.Compile
       {
+        id;
         action = Protocol.Run;
         srcs = [ src ];
         o3 = true;
@@ -501,17 +678,22 @@ let check_serve_smoke pawnc src_path =
     Option.value ~default:0 (List.assoc_opt name counters)
   in
   (* 1. cold: full compile, the cache only stores *)
-  (match request compile_req with
-  | Protocol.Done { counters; _ } ->
+  (match request (compile_req cold_id) with
+  | Protocol.Done { counters; queue_wait_ns; service_ns; _ } ->
       if delta counters "cache.miss" < 1 then
-        fail "serve smoke: cold request reported no cache.miss delta"
+        fail "serve smoke: cold request reported no cache.miss delta";
+      if queue_wait_ns < 0 || service_ns <= 0 then
+        fail
+          "serve smoke: cold Done carries degenerate timings (queue_wait %d \
+           ns, service %d ns)"
+          queue_wait_ns service_ns
   | reply -> fail "serve smoke: cold request failed (%s)"
       (match reply with
        | Protocol.Error { kind; message } -> kind ^ ": " ^ message
        | Protocol.Busy -> "busy"
        | _ -> "unexpected reply"));
   (* 2. warm: same source, must be served from the artifact cache *)
-  (match request compile_req with
+  (match request (compile_req warm_id) with
   | Protocol.Done { counters; _ } ->
       if delta counters "cache.hit" <> 1 then
         fail "serve smoke: warm request's counter delta has cache.hit = %d, \
@@ -528,8 +710,24 @@ let check_serve_smoke pawnc src_path =
       | None -> fail "serve smoke: malformed frame got no reply"
       | exception e ->
           fail "serve smoke: malformed frame: %s" (Printexc.to_string e));
+  (* 3b. old-protocol-version frame: a well-formed version-1 Ping must be
+     rejected just as cleanly — old clients get a diagnostic, not
+     garbage decoded under the wrong layout *)
+  Client.with_connection ~socket_path:sock (fun c ->
+      Protocol.write_frame (Client.fd c) "\x01\x00";
+      match Protocol.recv_reply (Client.fd c) with
+      | Some (Protocol.Error { kind = "protocol"; message }) ->
+          if not (contains ~needle:"version" message) then
+            fail
+              "serve smoke: old-version frame rejected without naming the \
+               version: %s"
+              message
+      | Some _ -> fail "serve smoke: old-version frame got a non-protocol reply"
+      | None -> fail "serve smoke: old-version frame got no reply"
+      | exception e ->
+          fail "serve smoke: old-version frame: %s" (Printexc.to_string e));
   (* 4. the daemon's own books: exactly the two Done requests completed,
-     one of them a cache hit *)
+     one of them a cache hit, and both malformed frames on the books *)
   (match request Protocol.Stats with
   | Protocol.Stats_reply counters ->
       let check name want =
@@ -540,10 +738,30 @@ let check_serve_smoke pawnc src_path =
       check "server.completed" 2;
       check "cache.hit" 1;
       check "cache.miss" 1;
-      check "server.protocol_error" 1;
-      check "server.busy" 0
+      check "server.protocol_error" 2;
+      check "server.busy" 0;
+      (* the per-class histograms must account exactly the two run
+         requests, split by phase *)
+      let bucket_total prefix =
+        List.fold_left
+          (fun acc (name, v) ->
+            if starts_with ~prefix name then acc + v else acc)
+          0 counters
+      in
+      List.iter
+        (fun part ->
+          let n = bucket_total ("server.run." ^ part ^ ".le_") in
+          if n <> 2 then
+            fail "serve smoke: server.run.%s holds %d observations, want 2"
+              part n)
+        [ "queue_wait_us"; "service_us"; "reply_us" ]
   | _ -> fail "serve smoke: Stats request failed");
-  (* 5. clean shutdown *)
+  (* 5. the flight recorder round-trips over the wire: the dump parses
+     and still holds both requests' lifecycles *)
+  (match request Protocol.Dump with
+  | Protocol.Dump_reply json -> check_flight ~what:"Dump reply" json
+  | _ -> fail "serve smoke: Dump request failed");
+  (* 6. clean shutdown *)
   (match request Protocol.Shutdown with
   | Protocol.Bye -> ()
   | _ -> fail "serve smoke: Shutdown did not answer Bye");
@@ -552,9 +770,19 @@ let check_serve_smoke pawnc src_path =
   | _, Unix.WEXITED n -> fail "serve smoke: daemon exited %d, want 0" n
   | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
       fail "serve smoke: daemon killed/stopped by signal %d" n);
+  (* 7. the protocol errors must have dumped the flight recorder to the
+     postmortem file *)
+  if not (Sys.file_exists flight_path) then
+    fail "serve smoke: protocol error left no flight dump at %s" flight_path;
+  check_flight ~what:flight_path (read_file flight_path);
+  (* 8. the structured log: every line parses as a JSON object, every
+     request-scoped line names one of the smoke's ids, and both requests
+     reached their 'done' line *)
+  check_serve_log log_path;
   print_endline
-    "serve smoke: cold + warm + malformed frame ok, server.completed = 2, \
-     cache.hit = 1, clean shutdown"
+    "serve smoke: cold + warm + 2 malformed frames ok, server.completed = 2, \
+     cache.hit = 1, flight dump round-trips, log parses with matching \
+     request ids, clean shutdown"
 
 let () =
   match Sys.argv with

@@ -23,6 +23,8 @@
 
 module Objfile = Chow_codegen.Objfile
 module Metrics = Chow_obs.Metrics
+module Log = Chow_obs.Log
+module Flight = Chow_obs.Flight
 
 let m_hit = Metrics.counter "cache.hit"
 let m_miss = Metrics.counter "cache.miss"
@@ -113,6 +115,8 @@ let find t key =
   Mutex.protect t.locks.(idx) (fun () ->
       if not (Sys.file_exists path) then begin
         Metrics.incr m_miss;
+        if Flight.is_on () then Flight.record ~detail:key "cache-miss";
+        Log.debug "cache-miss" [];
         None
       end
       else
@@ -121,6 +125,8 @@ let find t key =
             match Objfile.contract_check art with
             | Ok () ->
                 Metrics.incr m_hit;
+                if Flight.is_on () then Flight.record ~detail:key "cache-hit";
+                Log.debug "cache-hit" [];
                 (* refresh the entry's age: eviction is least-recently-USED,
                    not least-recently-stored *)
                 (try Unix.utimes path 0. 0. with Unix.Unix_error _ -> ());
@@ -130,11 +136,16 @@ let find t key =
                    or tampering — drop it and recompile *)
                 Metrics.incr m_corrupt;
                 Metrics.incr m_miss;
+                if Flight.is_on () then
+                  Flight.record ~detail:key "cache-corrupt";
+                Log.warn "cache-corrupt" [];
                 (try Sys.remove path with Sys_error _ -> ());
                 None)
         | exception (Objfile.Corrupt _ | Sys_error _) ->
             Metrics.incr m_corrupt;
             Metrics.incr m_miss;
+            if Flight.is_on () then Flight.record ~detail:key "cache-corrupt";
+            Log.warn "cache-corrupt" [];
             (try Sys.remove path with Sys_error _ -> ());
             None)
 
@@ -161,10 +172,13 @@ let evict_locked t idx =
         in
         Array.sort compare aged;
         Array.iteri
-          (fun i (_, _, p) ->
+          (fun i (_, n, p) ->
             if i < over then begin
               (try Sys.remove p with Sys_error _ -> ());
-              Metrics.incr m_evict
+              Metrics.incr m_evict;
+              if Flight.is_on () then Flight.record ~detail:n "cache-evict";
+              if Log.is_on Log.Info then
+                Log.info "cache-evict" [ ("entry", Log.Str n) ]
             end)
           aged
       end

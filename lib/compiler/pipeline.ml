@@ -37,6 +37,14 @@ module Bitset = Chow_support.Bitset
 module Pool = Chow_support.Pool
 module Trace = Chow_obs.Trace
 module Metrics = Chow_obs.Metrics
+module Log = Chow_obs.Log
+
+(* A pipeline phase is a trace span that also leaves a structured log
+   line at its boundary, so a server request's log tells which phase it
+   was in (the ambient request scope tags the line). *)
+let phase ?args name f =
+  Log.debug "phase" [ ("name", Log.Str name) ];
+  Trace.span ?args name f
 
 let m_units = Metrics.counter "pipeline.units"
 let m_code_words = Metrics.counter "pipeline.code_words"
@@ -129,7 +137,7 @@ let proc_size (p : Ir.proc) =
     iterative re-inlining.  Callees stay defined, so other callers and
     the IPRA summaries are unaffected. *)
 let apply_pgo (pg : pgo) (unit_ir : Ir.prog) : Ir.prog =
-  Trace.span "pgo-inline" @@ fun () ->
+  phase "pgo-inline" @@ fun () ->
   let by_name = Hashtbl.create 16 in
   List.iter (fun (p : Ir.proc) -> Hashtbl.replace by_name p.Ir.pname p)
     unit_ir.Ir.procs;
@@ -254,7 +262,7 @@ let allocate_unit ?profile ?pool ?explain (config : Config.t) ~unit_idx
       config.Config.machine unit_ir
   in
   if Trace.is_on () then
-    Trace.span ~args:[ ("unit", Trace.Int unit_idx) ] "allocate-unit" alloc
+    phase ~args:[ ("unit", Trace.Int unit_idx) ] "allocate-unit" alloc
   else alloc ()
 
 (** Lay every unit out after its predecessors; returns per-unit
@@ -355,18 +363,18 @@ let link_units (arts : Objfile.t list) : Asm.program =
     [Pool.parallel_map] is safe), and unit order is preserved. *)
 let fresh_unit_arts ?profile ?explain (config : Config.t)
     (units : Ir.prog list) =
-  let layouts = Trace.span "layout" (fun () -> unit_layouts units) in
+  let layouts = phase "layout" (fun () -> unit_layouts units) in
   let indexed =
     List.mapi (fun i (u, l) -> (i, u, l)) (List.combine units layouts)
   in
   let allocs =
-    Trace.span "allocate" (fun () ->
+    phase "allocate" (fun () ->
         Pool.with_pool config.Config.jobs (fun pool ->
             Pool.parallel_map pool indexed (fun (unit_idx, u, _) ->
                 allocate_unit ?profile ~pool ?explain config ~unit_idx u)))
   in
   let arts =
-    Trace.span "emit" (fun () ->
+    phase "emit" (fun () ->
         List.map2
           (fun (layout, base, size, init) alloc ->
             emit_unit_art ~layout ~base ~size ~init alloc)
@@ -375,7 +383,7 @@ let fresh_unit_arts ?profile ?explain (config : Config.t)
   (arts, allocs)
 
 let promo_units units =
-  Trace.span "promo" (fun () ->
+  phase "promo" (fun () ->
       List.iter (fun u -> ignore (Chow_core.Globalpromo.transform u)) units)
 
 let compile_irs ?profile ?(global_promo = false) ?explain (config : Config.t)
@@ -389,7 +397,7 @@ let compile_irs ?profile ?(global_promo = false) ?explain (config : Config.t)
     }
   in
   let arts, allocs = fresh_unit_arts ?profile ?explain config units in
-  let program = Trace.span "link" (fun () -> link_units arts) in
+  let program = phase "link" (fun () -> link_units arts) in
   {
     c_config = config;
     c_ir = Some merged;
@@ -422,7 +430,7 @@ let resolve_cached ?(global_promo = false) ?pgo ~cache ~require_main_first
           pg.pgo_budget
   in
   let slots =
-    Trace.span "cache-resolve" (fun () ->
+    phase "cache-resolve" (fun () ->
         let base = ref 0 in
         List.mapi
           (fun i src ->
@@ -450,7 +458,7 @@ let resolve_cached ?(global_promo = false) ?pgo ~cache ~require_main_first
                 `Miss (key, i, unit_ir, layout, b, end_ - b, init))
           srcs)
   in
-  Trace.span "compile-units" (fun () ->
+  phase "compile-units" (fun () ->
       Pool.with_pool config.Config.jobs (fun pool ->
           Pool.parallel_map pool slots (function
             | `Hit art -> (art, None)
@@ -467,7 +475,7 @@ let compile_srcs_cached ?global_promo ?pgo ~cache (config : Config.t)
       srcs
   in
   let arts = List.map fst pairs in
-  let program = Trace.span "link" (fun () -> link_units arts) in
+  let program = phase "link" (fun () -> link_units arts) in
   {
     c_config = config;
     c_ir = None;

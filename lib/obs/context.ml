@@ -1,0 +1,6 @@
+(** See context.mli. *)
+
+let key = Domain.DLS.new_key (fun () -> ref (-1))
+let set_request id = Domain.DLS.get key := id
+let clear_request () = Domain.DLS.get key := -1
+let request () = !(Domain.DLS.get key)

@@ -1,0 +1,24 @@
+(** Ambient request scope for observability.
+
+    The compile server's worker domains execute one request at a time, so
+    the request id currently being served is a per-domain fact.  A worker
+    sets it around a job ({!set_request} / {!clear_request}); the
+    structured log and the flight recorder read it back with {!request},
+    so instrumentation deep inside the pipeline or the artifact cache is
+    tagged with the request that caused the work without threading an id
+    through every call signature.
+
+    The scope is per-{i domain}, not per-thread: sys-threads sharing a
+    domain (the server's connection readers all live on domain 0) must
+    not rely on it and instead pass ids explicitly — which they can,
+    since they hold the decoded request.  Outside any request (the
+    [pawnc] CLI, benches) the scope is unset and {!request} is [-1]. *)
+
+(** [set_request id] marks the calling domain as serving request [id]. *)
+val set_request : int -> unit
+
+(** Unset the scope (back to [-1]). *)
+val clear_request : unit -> unit
+
+(** The calling domain's current request id, or [-1] when unset. *)
+val request : unit -> int

@@ -1,0 +1,126 @@
+(** See flight.mli.  Each ring is four parallel fixed arrays plus a
+    monotonically increasing write count; slot [count mod capacity] is the
+    next write, so the live window is the last [min count capacity]
+    entries and everything older has been overwritten.  A per-ring mutex
+    serialises sys-threads sharing the domain and lets {!dump_json}
+    snapshot a ring mid-flight without tearing an entry. *)
+
+let capacity = 512
+
+type ring = {
+  r_lock : Mutex.t;
+  mutable r_count : int;  (** total writes; slot = count mod capacity *)
+  r_ts : int array;  (** µs since the Unix epoch *)
+  r_req : int array;
+  r_events : string array;
+  r_details : string array;
+}
+
+let enabled = Atomic.make false
+let registry : ring list ref = ref []
+let registry_lock = Mutex.create ()
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let r =
+        {
+          r_lock = Mutex.create ();
+          r_count = 0;
+          r_ts = Array.make capacity 0;
+          r_req = Array.make capacity (-1);
+          r_events = Array.make capacity "";
+          r_details = Array.make capacity "";
+        }
+      in
+      Mutex.lock registry_lock;
+      registry := r :: !registry;
+      Mutex.unlock registry_lock;
+      r)
+
+let is_on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false
+
+let now_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+let record ?req ?(detail = "") event =
+  if Atomic.get enabled then begin
+    let req =
+      match req with Some r -> r | None -> Context.request ()
+    in
+    let ts = now_us () in
+    let r = Domain.DLS.get ring_key in
+    Mutex.lock r.r_lock;
+    let i = r.r_count mod capacity in
+    r.r_ts.(i) <- ts;
+    r.r_req.(i) <- req;
+    r.r_events.(i) <- event;
+    r.r_details.(i) <- detail;
+    r.r_count <- r.r_count + 1;
+    Mutex.unlock r.r_lock
+  end
+
+let rings () =
+  Mutex.lock registry_lock;
+  let l = !registry in
+  Mutex.unlock registry_lock;
+  l
+
+(* oldest-first copy of one ring's live window, taken under its lock *)
+let snapshot_ring r =
+  Mutex.lock r.r_lock;
+  let live = min r.r_count capacity in
+  let first = r.r_count - live in
+  let entries =
+    List.init live (fun k ->
+        let i = (first + k) mod capacity in
+        (r.r_ts.(i), r.r_req.(i), r.r_events.(i), r.r_details.(i)))
+  in
+  let dropped = r.r_count - live in
+  Mutex.unlock r.r_lock;
+  (entries, dropped)
+
+let events () =
+  let all = List.concat_map (fun r -> fst (snapshot_ring r)) (rings ()) in
+  List.stable_sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) all
+
+let dropped () =
+  List.fold_left (fun acc r -> acc + snd (snapshot_ring r)) 0 (rings ())
+
+let dump_json () =
+  let snaps = List.map snapshot_ring (rings ()) in
+  let entries =
+    List.stable_sort
+      (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+      (List.concat_map fst snaps)
+  in
+  let dropped = List.fold_left (fun acc (_, d) -> acc + d) 0 snaps in
+  let b = Buffer.create 4096 in
+  let out = Buffer.add_string b in
+  out (Printf.sprintf "{\"capacity\":%d,\"dropped\":%d,\"events\":[" capacity
+         dropped);
+  List.iteri
+    (fun k (ts, req, event, detail) ->
+      if k > 0 then out ",";
+      out (Printf.sprintf "\n{\"ts\":%d" ts);
+      if req >= 0 then out (Printf.sprintf ",\"req\":%d" req);
+      out ",\"event\":\"";
+      Trace.escape_into out event;
+      out "\"";
+      if detail <> "" then begin
+        out ",\"detail\":\"";
+        Trace.escape_into out detail;
+        out "\""
+      end;
+      out "}")
+    entries;
+  out "\n]}\n";
+  Buffer.contents b
+
+let reset () =
+  List.iter
+    (fun r ->
+      Mutex.lock r.r_lock;
+      r.r_count <- 0;
+      Mutex.unlock r.r_lock)
+    (rings ())

@@ -1,0 +1,45 @@
+(** Flight recorder: a bounded ring of recent observability events.
+
+    Logs and traces answer "what happened" only if someone turned them on
+    before the incident; the flight recorder is always cheap enough to
+    leave armed.  Each domain owns a fixed-size ring buffer ({!capacity}
+    slots) of recent events — request lifecycle steps, cache hits and
+    misses, scheduler decisions — written in O(1) with no allocation
+    beyond the strings the caller already holds.  When a daemon
+    misbehaves (worker trap, protocol error) the server dumps the rings
+    as JSON, giving a postmortem story of the last moments; clients can
+    also pull a dump on demand ([pawnc request dump]).
+
+    Rings are per-domain but sys-threads share their domain's ring (the
+    server's connection readers all run on domain 0), so each ring is
+    guarded by its own mutex; {!record} still costs O(1).  Older events
+    are overwritten once a ring wraps — {!dropped} counts them. *)
+
+(** Slots per domain ring. *)
+val capacity : int
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_on : unit -> bool
+
+(** [record ?req ?detail event] appends one event to the calling domain's
+    ring.  [req] defaults to the ambient {!Context.request}.  Free when
+    disabled; guard with {!is_on} if building [detail] costs anything. *)
+val record : ?req:int -> ?detail:string -> string -> unit
+
+(** Events still held, oldest first across all rings, as
+    [(ts_us, req, event, detail)] ([req] is [-1] when unscoped). *)
+val events : unit -> (int * int * string * string) list
+
+(** Events overwritten by ring wraparound since the last {!reset}. *)
+val dropped : unit -> int
+
+(** The whole recorder as one JSON object:
+    {v {"capacity":N,"dropped":D,"events":[
+       {"ts":…,"req":…,"event":"…","detail":"…"}, …]} v}
+    Events are oldest first; [req]/[detail] keys are omitted when unset.
+    Safe to call while other threads are still recording. *)
+val dump_json : unit -> string
+
+(** Clear every ring and the dropped count. *)
+val reset : unit -> unit

@@ -130,6 +130,28 @@ let diff (before : snapshot) (after : snapshot) : snapshot =
       if d = 0 then None else Some (name, d))
     after
 
+let bucket_rows hist rows =
+  List.filter_map
+    (fun (name, v) ->
+      match bucket_split name with
+      | Some (prefix, ub) when prefix = hist && v <> 0 -> Some (ub, v)
+      | _ -> None)
+    rows
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let percentile buckets p =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+  if total = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int total)) in
+    let rank = max 1 (min total rank) in
+    let rec go seen = function
+      | [] -> 0
+      | (ub, n) :: rest -> if seen + n >= rank then ub else go (seen + n) rest
+    in
+    go 0 buckets
+  end
+
 let pp_table ppf () =
   let rows = dump () in
   let width =

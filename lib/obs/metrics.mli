@@ -60,5 +60,25 @@ val snapshot : unit -> snapshot
     deltas; names absent from [before] count from zero.  Under concurrent
     requests the registry is shared, so a delta attributes to the
     bracketed request plus whatever overlapped it — exact when requests
-    are serialized, an upper bound otherwise. *)
+    are serialized, an upper bound otherwise.
+
+    Metrics registered {i after} [before] was taken thus still appear in
+    the delta (as their full value) — late-registered per-request-class
+    histograms are never silently dropped. *)
 val diff : snapshot -> snapshot -> snapshot
+
+(** {2 Histogram analysis}
+
+    Consumers of snapshots — the [pawnc top] live view, the serve bench's
+    queue-wait gate — turn snapshot rows back into distributions. *)
+
+(** [bucket_rows hist rows] extracts histogram [hist]'s buckets from a
+    snapshot (or a {!diff} of two) as [(upper_bound, count)] pairs in
+    ascending bound order; empty buckets are absent. *)
+val bucket_rows : string -> snapshot -> (int * int) list
+
+(** [percentile buckets p] estimates the [p]-th percentile
+    ([0. <= p <= 100.]) of a bucketed distribution as the upper bound of
+    the bucket holding that rank — an overestimate by at most the bucket
+    width, i.e. at most 2x.  [0] on an empty distribution. *)
+val percentile : (int * int) list -> float -> int

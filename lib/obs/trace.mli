@@ -48,6 +48,10 @@ val elapsed_ns : unit -> int
 val span_at :
   ?args:(string * arg) list -> ts_ns:int -> dur_ns:int -> string -> unit
 
+(** [escape_into out s] feeds [s] to [out] with JSON string escaping —
+    the renderer shared by {!Log} and {!Flight}. *)
+val escape_into : (string -> unit) -> string -> unit
+
 (** Merge every domain's buffer and emit the JSON array.  Call only when no
     domain is still recording. *)
 val write : out_channel -> unit

@@ -2,7 +2,7 @@
 
 exception Malformed of string
 
-let version = 1
+let version = 2
 let max_frame = 16 * 1024 * 1024
 
 let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
@@ -11,6 +11,7 @@ type action = Build | Run | Profile
 
 type request =
   | Compile of {
+      id : int;
       action : action;
       srcs : string list;
       o3 : bool;
@@ -22,14 +23,21 @@ type request =
   | Ping
   | Stats
   | Shutdown
+  | Dump
 
 type reply =
-  | Done of { text : string; counters : (string * int) list }
+  | Done of {
+      text : string;
+      counters : (string * int) list;
+      queue_wait_ns : int;
+      service_ns : int;
+    }
   | Error of { kind : string; message : string }
   | Busy
   | Pong
   | Stats_reply of (string * int) list
   | Bye
+  | Dump_reply of string
 
 (* ----- payload primitives: LEB128 varints + length-prefixed strings ----- *)
 
@@ -147,8 +155,10 @@ let encode_request req =
   Buffer.add_char b (Char.chr version);
   (match req with
   | Ping -> Buffer.add_char b '\000'
-  | Compile { action; srcs; o3; shrinkwrap; global_promo; fuel; priority } ->
+  | Compile { id; action; srcs; o3; shrinkwrap; global_promo; fuel; priority }
+    ->
       Buffer.add_char b '\001';
+      put_int b id;
       Buffer.add_char b (Char.chr (action_byte action));
       put_list b put_string srcs;
       put_bool b o3;
@@ -157,7 +167,8 @@ let encode_request req =
       put_option b put_int fuel;
       put_int b priority
   | Stats -> Buffer.add_char b '\002'
-  | Shutdown -> Buffer.add_char b '\003');
+  | Shutdown -> Buffer.add_char b '\003'
+  | Dump -> Buffer.add_char b '\004');
   Buffer.contents b
 
 let decode_request payload =
@@ -166,6 +177,7 @@ let decode_request payload =
     match get_byte r with
     | 0 -> Ping
     | 1 ->
+        let id = get_int r in
         let action = action_of_byte (get_byte r) in
         let srcs = get_list r get_string in
         let o3 = get_bool r in
@@ -173,9 +185,11 @@ let decode_request payload =
         let global_promo = get_bool r in
         let fuel = get_option r get_int in
         let priority = get_int r in
-        Compile { action; srcs; o3; shrinkwrap; global_promo; fuel; priority }
+        Compile
+          { id; action; srcs; o3; shrinkwrap; global_promo; fuel; priority }
     | 2 -> Stats
     | 3 -> Shutdown
+    | 4 -> Dump
     | t -> malformed "unknown request tag %#x" t
   in
   finish r "request";
@@ -196,10 +210,12 @@ let encode_reply reply =
   let b = Buffer.create 256 in
   Buffer.add_char b (Char.chr version);
   (match reply with
-  | Done { text; counters } ->
+  | Done { text; counters; queue_wait_ns; service_ns } ->
       Buffer.add_char b '\000';
       put_string b text;
-      put_list b put_counter counters
+      put_list b put_counter counters;
+      put_int b queue_wait_ns;
+      put_int b service_ns
   | Error { kind; message } ->
       Buffer.add_char b '\001';
       put_string b kind;
@@ -209,7 +225,10 @@ let encode_reply reply =
   | Stats_reply counters ->
       Buffer.add_char b '\004';
       put_list b put_counter counters
-  | Bye -> Buffer.add_char b '\005');
+  | Bye -> Buffer.add_char b '\005'
+  | Dump_reply json ->
+      Buffer.add_char b '\006';
+      put_string b json);
   Buffer.contents b
 
 let decode_reply payload =
@@ -219,7 +238,9 @@ let decode_reply payload =
     | 0 ->
         let text = get_string r in
         let counters = get_list r get_counter in
-        Done { text; counters }
+        let queue_wait_ns = get_int r in
+        let service_ns = get_int r in
+        Done { text; counters; queue_wait_ns; service_ns }
     | 1 ->
         let kind = get_string r in
         let message = get_string r in
@@ -228,6 +249,7 @@ let decode_reply payload =
     | 3 -> Pong
     | 4 -> Stats_reply (get_list r get_counter)
     | 5 -> Bye
+    | 6 -> Dump_reply (get_string r)
     | t -> malformed "unknown reply tag %#x" t
   in
   finish r "reply";

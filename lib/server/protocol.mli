@@ -22,7 +22,11 @@
 exception Malformed of string
 
 (** Protocol version carried in every frame; bumped on any incompatible
-    encoding change. *)
+    encoding change.  Version 2 added the client-generated request id on
+    [Compile], the queue-wait/service timings on [Done], and
+    [Dump]/[Dump_reply]; a frame from an old client fails the version
+    check and is answered with a clean ["protocol"] [Error], never
+    decoded as garbage. *)
 val version : int
 
 (** Upper bound on a frame's payload, in bytes (16 MiB). *)
@@ -34,6 +38,10 @@ type action = Build | Run | Profile
 
 type request =
   | Compile of {
+      id : int;
+          (** client-generated request id correlating the daemon's spans,
+              log lines and flight-recorder events with the client's own
+              trace; negative = unscoped *)
       action : action;
       srcs : string list;
           (** source unit texts, the unit defining [main] first *)
@@ -47,12 +55,16 @@ type request =
   | Ping
   | Stats  (** snapshot of the server's metrics registry *)
   | Shutdown
+  | Dump  (** the flight recorder's current contents, as JSON *)
 
 type reply =
   | Done of {
       text : string;  (** rendered output of the action *)
       counters : (string * int) list;
           (** per-request metric deltas ({!Chow_obs.Metrics.diff}) *)
+      queue_wait_ns : int;
+          (** time the request sat in the admission queue *)
+      service_ns : int;  (** time a worker spent executing it *)
     }
   | Error of { kind : string; message : string }
       (** [kind]: ["compile"] (Diag-rendered), ["link"], ["runtime"],
@@ -63,6 +75,7 @@ type reply =
   | Pong
   | Stats_reply of (string * int) list
   | Bye  (** shutdown acknowledged *)
+  | Dump_reply of string  (** {!Chow_obs.Flight.dump_json} output *)
 
 val encode_request : request -> string
 val decode_request : string -> request

@@ -12,6 +12,9 @@ module Sim = Chow_sim.Sim
 module Profile = Chow_sim.Profile
 module Trace = Chow_obs.Trace
 module Metrics = Chow_obs.Metrics
+module Log = Chow_obs.Log
+module Flight = Chow_obs.Flight
+module Context = Chow_obs.Context
 
 let m_accepted = Metrics.counter "server.accepted"
 let m_busy = Metrics.counter "server.busy"
@@ -20,6 +23,19 @@ let m_failed = Metrics.counter "server.failed"
 let m_protocol_errors = Metrics.counter "server.protocol_error"
 let h_queue_wait = Metrics.histogram "server.queue_wait_us"
 let h_run = Metrics.histogram "server.run_us"
+
+let class_name = function
+  | Protocol.Build -> "build"
+  | Protocol.Run -> "run"
+  | Protocol.Profile -> "profile"
+
+(* Per-request-class histograms splitting where a request's latency went:
+   admission queue, worker execution, reply write.  Registered on the
+   first request of each class — {!Metrics.diff} treats late-registered
+   names as delta-from-zero, so a [Stats] snapshot taken before the first
+   [profile] request still diffs cleanly against one taken after. *)
+let class_hist action part =
+  Metrics.histogram (Printf.sprintf "server.%s.%s" (class_name action) part)
 
 (** One client connection.  The fd is shared between the reader thread
     and any worker domains still holding reply closures for jobs
@@ -45,6 +61,7 @@ type t = {
   sched : Scheduler.t;
   cache : Cache.t option;
   bound : int;
+  flight_path : string option;
   stop : bool Atomic.t;
   (* open client connections, so shutdown can unblock their reader
      threads; registered on accept, deregistered when the refcounted
@@ -89,6 +106,21 @@ let conn_job_unref t id conn =
       conn.c_inflight <- conn.c_inflight - 1);
   conn_close_if_done t id conn
 
+(* Postmortem dump: write the flight recorder's rings next to the socket
+   when the daemon misbehaves (worker trap, protocol error).  Best-effort
+   — a full disk must never take the server down with it. *)
+let flight_dump ~path reason =
+  match path with
+  | None -> ()
+  | Some path -> (
+      Log.error "flight-dump"
+        [ ("path", Log.Str path); ("reason", Log.Str reason) ];
+      try
+        let oc = open_out path in
+        output_string oc (Flight.dump_json ());
+        close_out oc
+      with Sys_error _ -> ())
+
 (* ----- request execution ----- *)
 
 let config_of ~o3 ~shrinkwrap =
@@ -123,7 +155,13 @@ let exec ?cache ~action ~srcs ~o3 ~shrinkwrap ~global_promo ~fuel () =
     | Ok compiled -> (
         match action with
         | Protocol.Build ->
-            Protocol.Done { text = link_summary compiled; counters = [] }
+            Protocol.Done
+              {
+                text = link_summary compiled;
+                counters = [];
+                queue_wait_ns = 0;
+                service_ns = 0;
+              }
         | Protocol.Run ->
             let o = Pipeline.run ?fuel compiled in
             Protocol.Done
@@ -132,6 +170,8 @@ let exec ?cache ~action ~srcs ~o3 ~shrinkwrap ~global_promo ~fuel () =
                   String.concat "\n"
                     (List.map string_of_int o.Sim.output);
                 counters = [];
+                queue_wait_ns = 0;
+                service_ns = 0;
               }
         | Protocol.Profile ->
             let r = Pipeline.profile_penalty ?fuel compiled in
@@ -140,6 +180,8 @@ let exec ?cache ~action ~srcs ~o3 ~shrinkwrap ~global_promo ~fuel () =
                 text =
                   Format.asprintf "%a" (Profile.pp_penalty_report ~limit:20) r;
                 counters = [];
+                queue_wait_ns = 0;
+                service_ns = 0;
               })
   with
   | Sim.Runtime_error msg -> err "runtime" "%s" msg
@@ -152,28 +194,55 @@ let exec ?cache ~action ~srcs ~o3 ~shrinkwrap ~global_promo ~fuel () =
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-(** Runs on a worker domain: account the queue wait, execute, attach the
-    per-request metric deltas, and reply on the requesting connection.
-    [send] is the connection's serialized writer; it raises if the peer
-    vanished, which counts the request as failed, not completed. *)
-let run_job t ~send ~submit_ns ~submit_trace_ns ~action ~srcs ~o3 ~shrinkwrap
-    ~global_promo ~fuel () =
+(** Runs on a worker domain: account the queue wait, execute under the
+    request's ambient scope (so every span, log line and flight event the
+    work emits carries the request id), attach the per-request metric
+    deltas and server-side timings, and reply on the requesting
+    connection.  [send] is the connection's serialized writer; it raises
+    if the peer vanished, which counts the request as failed, not
+    completed. *)
+let run_job t ~send ~req ~submit_ns ~submit_trace_ns ~action ~srcs ~o3
+    ~shrinkwrap ~global_promo ~fuel () =
   let wait_ns = max 0 (now_ns () - submit_ns) in
   Metrics.observe h_queue_wait (wait_ns / 1000);
+  Metrics.observe (class_hist action "queue_wait_us") (wait_ns / 1000);
   if Trace.is_on () then
-    Trace.span_at ~ts_ns:submit_trace_ns ~dur_ns:wait_ns "queue-wait";
+    Trace.span_at ~ts_ns:submit_trace_ns ~dur_ns:wait_ns
+      ~args:[ ("req", Trace.Int req) ]
+      "queue-wait";
+  Flight.record ~req "exec-start";
+  Context.set_request req;
   let before = Metrics.snapshot () in
   let t0 = now_ns () in
   let reply =
     Trace.span "request"
+      ~args:[ ("req", Trace.Int req) ]
       (exec ?cache:t.cache ~action ~srcs ~o3 ~shrinkwrap ~global_promo ~fuel)
   in
-  Metrics.observe h_run ((now_ns () - t0) / 1000);
+  let service_ns = now_ns () - t0 in
+  Context.clear_request ();
+  Metrics.observe h_run (service_ns / 1000);
+  Metrics.observe (class_hist action "service_us") (service_ns / 1000);
   let reply =
     match reply with
     | Protocol.Done d ->
-        Protocol.Done { d with counters = Metrics.diff before (Metrics.snapshot ()) }
-    | other -> other
+        Flight.record ~req "exec-done";
+        Protocol.Done
+          {
+            d with
+            counters = Metrics.diff before (Metrics.snapshot ());
+            queue_wait_ns = wait_ns;
+            service_ns;
+          }
+    | other ->
+        if Flight.is_on () then
+          Flight.record ~req
+            ~detail:
+              (match other with
+              | Protocol.Error { kind; _ } -> kind
+              | _ -> "")
+            "exec-error";
+        other
   in
   (* completed = executed and replied Done; an Error reply counts as
      failed.  Account BEFORE sending: a client that reads the reply and
@@ -183,9 +252,29 @@ let run_job t ~send ~submit_ns ~submit_trace_ns ~action ~srcs ~o3 ~shrinkwrap
   (match reply with
   | Protocol.Done _ -> Metrics.incr m_completed
   | _ -> Metrics.incr m_failed);
-  match Trace.span "reply" (fun () -> send reply) with
-  | () -> ()
+  let t1 = now_ns () in
+  match
+    Trace.span "reply" ~args:[ ("req", Trace.Int req) ] (fun () -> send reply)
+  with
+  | () ->
+      let reply_ns = now_ns () - t1 in
+      Metrics.observe (class_hist action "reply_us") (reply_ns / 1000);
+      Flight.record ~req "reply-sent";
+      if Log.is_on Log.Info then
+        Log.info ~req "done"
+          [
+            ("class", Log.Str (class_name action));
+            ("ok",
+             Log.Bool (match reply with Protocol.Done _ -> true | _ -> false));
+            ("queue_wait_us", Log.Int (wait_ns / 1000));
+            ("service_us", Log.Int (service_ns / 1000));
+            ("reply_us", Log.Int (reply_ns / 1000));
+          ]
   | exception _ -> (
+      Flight.record ~req "reply-failed";
+      if Log.is_on Log.Warn then
+        Log.warn ~req "reply-failed"
+          [ ("class", Log.Str (class_name action)) ];
       match reply with
       | Protocol.Done _ ->
           Metrics.add m_completed (-1);
@@ -201,6 +290,12 @@ let handle_connection t id conn =
     | None -> ()
     | exception Protocol.Malformed msg ->
         Metrics.incr m_protocol_errors;
+        if Log.is_on Log.Warn then
+          Log.warn "protocol-error"
+            [ ("conn", Log.Int id); ("message", Log.Str msg) ];
+        if Flight.is_on () then
+          Flight.record ~req:(-1) ~detail:msg "protocol-error";
+        flight_dump ~path:t.flight_path "protocol-error";
         (* best-effort: the stream may already be gone *)
         (try send (Protocol.Error { kind = "protocol"; message = msg })
          with _ -> ());
@@ -210,20 +305,36 @@ let handle_connection t id conn =
         send Protocol.Pong;
         loop ()
     | Some Protocol.Stats ->
+        Log.debug "stats" [ ("conn", Log.Int id) ];
         send (Protocol.Stats_reply (Metrics.snapshot ()));
         loop ()
+    | Some Protocol.Dump ->
+        Log.debug "dump" [ ("conn", Log.Int id) ];
+        send (Protocol.Dump_reply (Flight.dump_json ()));
+        loop ()
     | Some Protocol.Shutdown ->
+        Log.info "shutdown" [ ("conn", Log.Int id) ];
         send Protocol.Bye;
         Atomic.set t.stop true
         (* stop reading; the refcounted close runs when the reader's
            finally marks it done and any in-flight jobs have replied *)
     | Some
         (Protocol.Compile
-           { action; srcs; o3; shrinkwrap; global_promo; fuel; priority }) ->
+           { id = req; action; srcs; o3; shrinkwrap; global_promo; fuel;
+             priority }) ->
+        if Log.is_on Log.Debug then
+          Log.debug ~req "submit"
+            [
+              ("conn", Log.Int id);
+              ("class", Log.Str (class_name action));
+              ("units", Log.Int (List.length srcs));
+              ("priority", Log.Int priority);
+            ];
+        Flight.record ~req ~detail:(class_name action) "submit";
         let submit_ns = now_ns () in
         let submit_trace_ns = Trace.elapsed_ns () in
         let work =
-          run_job t ~send ~submit_ns ~submit_trace_ns ~action ~srcs ~o3
+          run_job t ~send ~req ~submit_ns ~submit_trace_ns ~action ~srcs ~o3
             ~shrinkwrap ~global_promo ~fuel
         in
         (* the job holds a reference on the connection from submission
@@ -238,6 +349,9 @@ let handle_connection t id conn =
         | Scheduler.Rejected ->
             conn_job_unref t id conn;
             Metrics.incr m_busy;
+            if Log.is_on Log.Warn then
+              Log.warn ~req "busy" [ ("conn", Log.Int id) ];
+            Flight.record ~req "busy";
             (try send Protocol.Busy with _ -> ()));
         loop ()
   in
@@ -246,11 +360,14 @@ let handle_connection t id conn =
 (* ----- lifecycle ----- *)
 
 let create ?(workers = 4) ?(queue_bound = 64) ?cache_dir ?(cache_shards = 4)
-    ?cache_max_entries ~socket_path () =
+    ?cache_max_entries ?flight_path ~socket_path () =
   if workers < 1 then invalid_arg "Server.create: workers must be >= 1";
   (* replies to vanished clients must fail with EPIPE, not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   Metrics.enable ();
+  (* the flight recorder is cheap enough to leave armed for the daemon's
+     whole lifetime — that is the point of it *)
+  Flight.enable ();
   let cache =
     Option.map
       (fun dir ->
@@ -261,12 +378,21 @@ let create ?(workers = 4) ?(queue_bound = 64) ?cache_dir ?(cache_shards = 4)
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
   Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
   Unix.listen listen_fd 64;
+  (* a job that escapes [run_job]'s own error handling is a worker trap:
+     the postmortem case the flight recorder exists for *)
+  let on_error e =
+    let msg = Printexc.to_string e in
+    Log.error "worker-trap" [ ("exn", Log.Str msg) ];
+    if Flight.is_on () then Flight.record ~req:(-1) ~detail:msg "worker-trap";
+    flight_dump ~path:flight_path "worker-trap"
+  in
   {
     socket_path;
     listen_fd;
-    sched = Scheduler.create ~workers ~queue_bound ();
+    sched = Scheduler.create ~on_error ~workers ~queue_bound ();
     cache;
     bound = queue_bound;
+    flight_path;
     stop = Atomic.make false;
     conn_lock = Mutex.create ();
     conns = Hashtbl.create 16;
@@ -305,6 +431,8 @@ let serve t =
               Hashtbl.replace t.conns id conn;
               id)
         in
+        Log.info "accept" [ ("conn", Log.Int id) ];
+        Flight.record ~req:(-1) "accept";
         let th =
           Thread.create
             (fun () ->
@@ -322,6 +450,8 @@ let serve t =
   while not (Atomic.get t.stop) do
     accept_one ()
   done;
+  Log.info "drain" [];
+  Flight.record ~req:(-1) "drain";
   (* 1. no new connections *)
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   (* 2. unblock reader threads still parked in [recv_request] — receive
@@ -356,4 +486,5 @@ let serve t =
               end))
         t.conns;
       Hashtbl.reset t.conns);
-  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ())
+  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ());
+  Log.info "stopped" []

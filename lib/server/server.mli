@@ -17,10 +17,24 @@
     Observability: the metrics registry is enabled for the daemon's
     lifetime ([server.accepted] / [server.busy] / [server.completed] /
     [server.failed] counters, [server.queue_wait_us] / [server.run_us]
-    histograms, plus the cache and pipeline counters the work itself
+    histograms, per-request-class [server.<build|run|profile>.<queue_wait
+    |service|reply>_us] histograms splitting where each class's latency
+    went, plus the cache and pipeline counters the work itself
     publishes); when tracing is enabled each request contributes
-    queue-wait, request and reply spans.  A [Stats] request returns the
-    registry snapshot over the wire.
+    queue-wait, request and reply spans tagged with the client-generated
+    request id, and when {!Chow_obs.Log} is enabled the accept / submit /
+    busy / done / protocol-error / shutdown path emits structured lines
+    carrying the same id.  A [Stats] request returns the registry
+    snapshot over the wire; [Done] replies carry their own queue-wait and
+    service times, so a client can reconstruct the server-side phases of
+    its request on its own timeline.
+
+    The {!Chow_obs.Flight} recorder is armed for the daemon's lifetime:
+    request lifecycle steps (submit / exec-start / exec-done / reply-sent
+    and their failure variants), accepts and protocol errors land in the
+    per-domain rings.  A [Dump] request returns the rings as JSON; a
+    worker trap or protocol error also dumps them to [flight_path] when
+    one was configured — the postmortem story for a misbehaving daemon.
 
     Connection lifetime: a connection's fd is shared between its reader
     thread and any workers still holding reply closures, so it is
@@ -37,11 +51,13 @@
 type t
 
 (** [create ?workers ?queue_bound ?cache_dir ?cache_shards
-    ?cache_max_entries ~socket_path ()] binds and listens on
+    ?cache_max_entries ?flight_path ~socket_path ()] binds and listens on
     [socket_path] (an existing socket file is replaced).  Defaults:
     4 workers, queue bound 64, no cache (every request compiles cold),
-    4 shards.  The compile configuration is per-request; worker
-    parallelism is across requests, so each request compiles with
+    4 shards, no postmortem dump file.  [flight_path] is where the
+    flight-recorder rings are written (as JSON) when a worker traps or a
+    malformed frame arrives.  The compile configuration is per-request;
+    worker parallelism is across requests, so each request compiles with
     [jobs = 1]. *)
 val create :
   ?workers:int ->
@@ -49,6 +65,7 @@ val create :
   ?cache_dir:string ->
   ?cache_shards:int ->
   ?cache_max_entries:int ->
+  ?flight_path:string ->
   socket_path:string ->
   unit ->
   t

@@ -30,6 +30,7 @@ let () =
       Test_equivalence.suite;
       Test_parallel.suite;
       Test_obs.suite;
+      Test_log.suite;
       Test_objfile.suite;
       Test_server.suite;
     ]

@@ -262,6 +262,59 @@ let test_metrics_snapshot_diff () =
     (List.length (Metrics.diff before before));
   Metrics.reset ()
 
+(** A histogram registered AFTER a snapshot was taken must still show up
+    in a diff against a later snapshot, as a delta from zero — the daemon
+    registers per-request-class histograms lazily on the first request of
+    each class, and a [Stats] poll taken before that first request must
+    still diff cleanly. *)
+let test_metrics_diff_late_histogram () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let before = Metrics.snapshot () in
+  let h = Metrics.histogram "test.late.hist" in
+  Metrics.observe h 3;
+  Metrics.observe h 100;
+  let delta = Metrics.diff before (Metrics.snapshot ()) in
+  Metrics.disable ();
+  Metrics.reset ();
+  Alcotest.(check (option int))
+    "late bucket le_4 counted from zero" (Some 1)
+    (List.assoc_opt "test.late.hist.le_4" delta);
+  Alcotest.(check (option int))
+    "late bucket le_128 counted from zero" (Some 1)
+    (List.assoc_opt "test.late.hist.le_128" delta)
+
+let test_metrics_bucket_rows_and_percentile () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let h = Metrics.histogram "test.pct" in
+  (* 90 fast observations and 10 slow ones: p50 lands in the fast bucket,
+     p99 in the slow one *)
+  for _ = 1 to 90 do
+    Metrics.observe h 3
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe h 1000
+  done;
+  Metrics.observe (Metrics.histogram "test.pct_other") 7;
+  let rows = Metrics.snapshot () in
+  Metrics.disable ();
+  Metrics.reset ();
+  let buckets = Metrics.bucket_rows "test.pct" rows in
+  (* power-of-2 bounds: 3 -> le_4, 1000 -> le_1024; the unrelated
+     histogram (whose name extends the prefix) must not leak in *)
+  Alcotest.(check (list (pair int int)))
+    "buckets extracted in bound order"
+    [ (4, 90); (1024, 10) ]
+    buckets;
+  Alcotest.(check int) "p50 in the fast bucket" 4 (Metrics.percentile buckets 50.);
+  Alcotest.(check int) "p90 still fast" 4 (Metrics.percentile buckets 90.);
+  Alcotest.(check int)
+    "p99 in the slow bucket" 1024 (Metrics.percentile buckets 99.);
+  Alcotest.(check int)
+    "p100 = the maximum bound" 1024 (Metrics.percentile buckets 100.);
+  Alcotest.(check int) "empty distribution is 0" 0 (Metrics.percentile [] 99.)
+
 (** Histogram buckets must dump in ascending numeric threshold order —
     a plain string sort interleaves them (le_1, le_16, le_2, le_32...). *)
 let test_metrics_bucket_order () =
@@ -419,6 +472,10 @@ let suite =
         test_metrics_counter_and_histogram;
       Alcotest.test_case "metrics: snapshot/diff per-request deltas" `Quick
         test_metrics_snapshot_diff;
+      Alcotest.test_case "metrics: diff sees late-registered histograms"
+        `Quick test_metrics_diff_late_histogram;
+      Alcotest.test_case "metrics: bucket rows and percentile estimate"
+        `Quick test_metrics_bucket_rows_and_percentile;
       Alcotest.test_case "metrics: numeric bucket order" `Quick
         test_metrics_bucket_order;
       Alcotest.test_case "metrics: -j1 and -j4 dumps identical" `Quick

@@ -10,6 +10,13 @@ module Server = Chow_server.Server
 module Client = Chow_server.Client
 module Cache = Chow_compiler.Cache
 module Metrics = Chow_obs.Metrics
+module Flight = Chow_obs.Flight
+module Json = Chow_obs.Json
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
 
 (* ----- protocol ----- *)
 
@@ -18,8 +25,10 @@ let sample_requests =
     Protocol.Ping;
     Protocol.Stats;
     Protocol.Shutdown;
+    Protocol.Dump;
     Protocol.Compile
       {
+        id = 1;
         action = Protocol.Build;
         srcs = [ "proc main() {}" ];
         o3 = true;
@@ -30,6 +39,7 @@ let sample_requests =
       };
     Protocol.Compile
       {
+        id = max_int;
         action = Protocol.Run;
         srcs = [ ""; "two\nunits"; String.make 10_000 'x' ];
         o3 = false;
@@ -40,6 +50,8 @@ let sample_requests =
       };
     Protocol.Compile
       {
+        (* unscoped: negative ids must survive the zigzag round-trip *)
+        id = -1;
         action = Protocol.Profile;
         srcs = [];
         o3 = true;
@@ -52,17 +64,21 @@ let sample_requests =
 
 let sample_replies =
   [
-    Protocol.Done { text = "linked"; counters = [] };
+    Protocol.Done
+      { text = "linked"; counters = []; queue_wait_ns = 0; service_ns = 0 };
     Protocol.Done
       {
         text = String.make 5000 '\xff';
         counters = [ ("cache.hit", 2); ("sim.cycles", 144); ("neg", -3) ];
+        queue_wait_ns = 12_345;
+        service_ns = 987_654_321;
       };
     Protocol.Error { kind = "compile"; message = "3:1 parse error" };
     Protocol.Busy;
     Protocol.Pong;
     Protocol.Stats_reply [ ("server.completed", 12) ];
     Protocol.Bye;
+    Protocol.Dump_reply "{\"capacity\":512,\"dropped\":0,\"events\":[]}";
   ]
 
 let test_protocol_roundtrip () =
@@ -197,9 +213,11 @@ let fresh_dir name =
   d
 
 let with_server ?(workers = 2) ?(queue_bound = 16) name f =
-  (* the registry is global and other suites leave residues; the daemon
-     tests assert exact counter values, so start from zero *)
+  (* the registry and the flight rings are global and other suites leave
+     residues; the daemon tests assert exact counter values and event
+     sets, so start both from zero *)
   Metrics.reset ();
+  Flight.reset ();
   let dir = fresh_dir name in
   let socket_path = Filename.concat dir "s.sock" in
   let server =
@@ -218,9 +236,10 @@ let with_server ?(workers = 2) ?(queue_bound = 16) name f =
         (Client.wait_ready ~socket_path ());
       f socket_path)
 
-let compile_req ?(action = Protocol.Run) ?(priority = 0) srcs =
+let compile_req ?(action = Protocol.Run) ?(priority = 0) ?(id = -1) srcs =
   Protocol.Compile
     {
+      id;
       action;
       srcs;
       o3 = true;
@@ -232,20 +251,36 @@ let compile_req ?(action = Protocol.Run) ?(priority = 0) srcs =
 
 let good_src = "proc main() { print(6 * 7); }"
 
+(* total observations across a histogram's buckets, as they appear in a
+   [Stats] snapshot *)
+let bucket_total prefix counters =
+  List.fold_left
+    (fun acc (name, v) ->
+      let pl = String.length prefix in
+      if String.length name > pl && String.sub name 0 pl = prefix then acc + v
+      else acc)
+    0 counters
+
 let test_server_end_to_end () =
+  let cold_id = 4242 in
   with_server "e2e" (fun socket_path ->
       Client.with_connection ~socket_path (fun c ->
           (* ping *)
           Alcotest.(check bool)
             "pong" true
             (Client.request c Protocol.Ping = Protocol.Pong);
-          (* cold run: compiles, simulates, misses the cache *)
-          (match Client.request c (compile_req [ good_src ]) with
-          | Protocol.Done { text; counters } ->
+          (* cold run: compiles, simulates, misses the cache — and the
+             reply carries the server-side phase timings *)
+          (match Client.request c (compile_req ~id:cold_id [ good_src ]) with
+          | Protocol.Done { text; counters; queue_wait_ns; service_ns } ->
               Alcotest.(check string) "cold output" "42" text;
               Alcotest.(check int)
                 "cold delta: one miss" 1
-                (Option.value ~default:0 (List.assoc_opt "cache.miss" counters))
+                (Option.value ~default:0 (List.assoc_opt "cache.miss" counters));
+              Alcotest.(check bool)
+                "queue wait is non-negative" true (queue_wait_ns >= 0);
+              Alcotest.(check bool)
+                "a compile took measurable service time" true (service_ns > 0)
           | _ -> Alcotest.fail "cold request failed");
           (* warm run: identical request served from the artifact cache *)
           (match Client.request c (compile_req [ good_src ]) with
@@ -260,18 +295,12 @@ let test_server_end_to_end () =
               Alcotest.(check bool)
                 "diag message mentions parse" true
                 (let lower = String.lowercase_ascii message in
-                 let contains needle hay =
-                   let nl = String.length needle and hl = String.length hay in
-                   let rec go i =
-                     i + nl <= hl
-                     && (String.sub hay i nl = needle || go (i + 1))
-                   in
-                   go 0
-                 in
                  contains "parse" lower || contains "syntax" lower)
           | _ -> Alcotest.fail "bad source did not answer a compile Error");
-          (* the books: 2 Done, 1 failed (the Error), 1 hit, 1 miss *)
-          match Client.request c Protocol.Stats with
+          (* the books: 2 Done, 1 failed (the Error), 1 hit, 1 miss — and
+             every executed request (the Error too) landed one observation
+             in each of its class's phase histograms *)
+          (match Client.request c Protocol.Stats with
           | Protocol.Stats_reply counters ->
               let v name =
                 Option.value ~default:0 (List.assoc_opt name counters)
@@ -279,8 +308,68 @@ let test_server_end_to_end () =
               Alcotest.(check int) "completed" 2 (v "server.completed");
               Alcotest.(check int) "failed" 1 (v "server.failed");
               Alcotest.(check int) "hit" 1 (v "cache.hit");
-              Alcotest.(check int) "accepted" 3 (v "server.accepted")
-          | _ -> Alcotest.fail "Stats failed"))
+              Alcotest.(check int) "accepted" 3 (v "server.accepted");
+              List.iter
+                (fun part ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "three run-class %s observations" part)
+                    3
+                    (bucket_total
+                       (Printf.sprintf "server.run.%s.le_" part)
+                       counters))
+                [ "queue_wait_us"; "service_us" ]
+          | _ -> Alcotest.fail "Stats failed");
+          (* reply_us is observed AFTER the reply is written, so the
+             worker's last observation races this client's next frame —
+             poll for it *)
+          let deadline = Unix.gettimeofday () +. 10. in
+          let rec wait_replies () =
+            let total =
+              match Client.request c Protocol.Stats with
+              | Protocol.Stats_reply counters ->
+                  bucket_total "server.run.reply_us.le_" counters
+              | _ -> Alcotest.fail "Stats failed while polling reply_us"
+            in
+            if total <> 3 then
+              if Unix.gettimeofday () > deadline then
+                Alcotest.failf "reply_us observations stuck at %d" total
+              else begin
+                Unix.sleepf 0.02;
+                wait_replies ()
+              end
+          in
+          wait_replies ();
+          (* the flight recorder saw the request lifecycle, tagged with the
+             client-generated id, and [Dump] returns it over the wire *)
+          match Client.request c Protocol.Dump with
+          | Protocol.Dump_reply json -> (
+              match Json.parse json with
+              | Error msg -> Alcotest.failf "flight dump does not parse: %s" msg
+              | Ok j ->
+                  let events =
+                    match Json.member "events" j with
+                    | Some (Json.Arr evs) -> evs
+                    | _ -> Alcotest.fail "flight dump has no events array"
+                  in
+                  let has name =
+                    List.exists
+                      (fun ev ->
+                        (match Json.member "event" ev with
+                        | Some (Json.Str s) -> s = name
+                        | _ -> false)
+                        &&
+                        match Json.member "req" ev with
+                        | Some (Json.Num f) -> int_of_float f = cold_id
+                        | _ -> false)
+                      events
+                  in
+                  List.iter
+                    (fun name ->
+                      Alcotest.(check bool)
+                        (name ^ " recorded with the request id")
+                        true (has name))
+                    [ "submit"; "exec-start"; "exec-done"; "reply-sent" ])
+          | _ -> Alcotest.fail "Dump failed"))
 
 let test_server_busy_backpressure () =
   (* one worker, a queue of one: a burst of pipelined requests must get
@@ -312,6 +401,16 @@ let test_server_malformed_frame () =
           (match Protocol.recv_reply (Client.fd c) with
           | Some (Protocol.Error { kind = "protocol"; _ }) -> ()
           | _ -> Alcotest.fail "malformed frame: want a protocol Error"));
+      (* an old-protocol client (version-1 Ping) is rejected with a clean
+         Error naming the version mismatch, never decoded as garbage *)
+      Client.with_connection ~socket_path (fun c ->
+          Protocol.write_frame (Client.fd c) "\x01\x00";
+          (match Protocol.recv_reply (Client.fd c) with
+          | Some (Protocol.Error { kind = "protocol"; message }) ->
+              Alcotest.(check bool)
+                "rejection names the version" true
+                (contains "version" message)
+          | _ -> Alcotest.fail "old-version frame: want a protocol Error"));
       (* the daemon survives and serves the next connection *)
       Client.with_connection ~socket_path (fun c ->
           Alcotest.(check bool)
@@ -388,6 +487,148 @@ let test_server_graceful_shutdown () =
       in
       wait_down ())
 
+(* ----- flight recorder rings ----- *)
+
+let test_flight_wraparound () =
+  Flight.reset ();
+  Flight.enable ();
+  let extra = 37 in
+  for i = 1 to Flight.capacity + extra do
+    Flight.record ~req:i "wrap"
+  done;
+  let evs = Flight.events () in
+  Alcotest.(check int)
+    "live events = capacity" Flight.capacity (List.length evs);
+  Alcotest.(check int)
+    "dropped counts the overwritten" extra (Flight.dropped ());
+  (* the survivors are exactly the newest [capacity] events, oldest
+     first: the ring overwrote 1..extra and kept extra+1..capacity+extra
+     in order *)
+  let reqs = List.map (fun (_, r, _, _) -> r) evs in
+  Alcotest.(check int) "oldest survivor" (extra + 1) (List.hd reqs);
+  List.iteri
+    (fun k r ->
+      if r <> extra + 1 + k then
+        Alcotest.failf "event %d: expected req %d, got %d" k (extra + 1 + k) r)
+    reqs;
+  Flight.reset ();
+  Alcotest.(check int) "reset empties the rings" 0 (List.length (Flight.events ()));
+  Alcotest.(check int) "reset clears dropped" 0 (Flight.dropped ())
+
+let test_flight_concurrent_writers () =
+  Flight.reset ();
+  Flight.enable ();
+  let writers = 8 and per_writer = 200 in
+  let threads =
+    List.init writers (fun w ->
+        Thread.create
+          (fun () ->
+            for i = 1 to per_writer do
+              Flight.record ~req:w ~detail:(string_of_int i) "concurrent"
+            done)
+          ())
+  in
+  List.iter Thread.join threads;
+  (* sys-threads share domain 0's ring: every write landed, the newest
+     [capacity] survive, the rest are accounted dropped — none lost *)
+  let total = writers * per_writer in
+  let live = List.length (Flight.events ()) in
+  Alcotest.(check int)
+    "live + dropped = total writes" total (live + Flight.dropped ());
+  Alcotest.(check int) "ring is full" Flight.capacity live;
+  (match Json.parse (Flight.dump_json ()) with
+  | Error msg -> Alcotest.failf "concurrent dump does not parse: %s" msg
+  | Ok _ -> ());
+  Flight.reset ()
+
+let test_flight_dump_during_write () =
+  Flight.reset ();
+  Flight.enable ();
+  let writing = Atomic.make true in
+  let writer =
+    Thread.create
+      (fun () ->
+        for i = 1 to 5000 do
+          Flight.record ~req:i ~detail:"payload" "racing"
+        done;
+        Atomic.set writing false)
+      ()
+  in
+  (* dump while the writer wraps the ring several times over: every dump
+     must still be complete, parseable JSON with sane bookkeeping *)
+  let dumps = ref 0 in
+  while Atomic.get writing do
+    (match Json.parse (Flight.dump_json ()) with
+    | Error msg -> Alcotest.failf "mid-write dump does not parse: %s" msg
+    | Ok j ->
+        (match Json.member "capacity" j with
+        | Some (Json.Num f) when int_of_float f = Flight.capacity -> ()
+        | _ -> Alcotest.fail "dump lost its capacity field");
+        (match Json.member "events" j with
+        | Some (Json.Arr evs) ->
+            List.iter
+              (fun ev ->
+                match (Json.member "ts" ev, Json.member "event" ev) with
+                | Some (Json.Num _), Some (Json.Str _) -> ()
+                | _ -> Alcotest.fail "dump event torn mid-write")
+              evs
+        | _ -> Alcotest.fail "dump lost its events array"));
+    incr dumps;
+    Thread.yield ()
+  done;
+  Thread.join writer;
+  Alcotest.(check bool) "dumped at least once mid-write" true (!dumps >= 1);
+  Flight.reset ()
+
+(* ----- the pawnc client's exit codes ----- *)
+
+(* [pawnc request] must exit 3 — distinct from the generic failure 2 — on
+   [Busy], so callers (CI wrappers, retry loops) can tell backpressure
+   from a broken request.  Driven against a fake daemon that answers
+   every compile with [Busy]: the real admission queue can't be wedged
+   deterministically from outside. *)
+let test_request_busy_exits_3 () =
+  (* [dune runtest] runs this binary from the test directory,
+     [dune exec] from the workspace root — find the CLI from either *)
+  let pawnc =
+    match
+      List.find_opt Sys.file_exists
+        [ "../bin/pawnc.exe"; "_build/default/bin/pawnc.exe" ]
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "pawnc binary not built (dune deps?)"
+  in
+  let dir = fresh_dir "busy3" in
+  let socket_path = Filename.concat dir "s.sock" in
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close listen_fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+      Unix.listen listen_fd 1;
+      let fake_daemon =
+        Thread.create
+          (fun () ->
+            let fd, _ = Unix.accept listen_fd in
+            (match Protocol.recv_request fd with
+            | Some (Protocol.Compile _) -> Protocol.send_reply fd Protocol.Busy
+            | _ -> ());
+            Unix.close fd)
+          ()
+      in
+      let src = Filename.concat dir "x.p" in
+      let oc = open_out src in
+      output_string oc good_src;
+      close_out oc;
+      let code =
+        Sys.command
+          (Printf.sprintf "%s request run %s --socket %s >/dev/null 2>&1"
+             (Filename.quote pawnc) (Filename.quote src)
+             (Filename.quote socket_path))
+      in
+      Thread.join fake_daemon;
+      Alcotest.(check int) "Busy exits 3" 3 code)
+
 (* ----- shard routing ----- *)
 
 let test_shard_routing () =
@@ -457,6 +698,14 @@ let suite =
         test_server_client_vanishes;
       Alcotest.test_case "daemon: graceful shutdown" `Quick
         test_server_graceful_shutdown;
+      Alcotest.test_case "flight: ring wraparound keeps the newest" `Quick
+        test_flight_wraparound;
+      Alcotest.test_case "flight: concurrent writers lose nothing" `Quick
+        test_flight_concurrent_writers;
+      Alcotest.test_case "flight: dump while writing stays well-formed"
+        `Quick test_flight_dump_during_write;
+      Alcotest.test_case "client: Busy exits with code 3" `Quick
+        test_request_busy_exits_3;
       Alcotest.test_case "cache: shard routing deterministic and spread"
         `Quick test_shard_routing;
     ] )
