@@ -25,6 +25,8 @@ module Machine = Chow_machine.Machine
 module Config = Chow_compiler.Config
 module Pipeline = Chow_compiler.Pipeline
 module Sim = Chow_sim.Sim
+module Allocator = Chow_core.Allocator
+module W = Chow_workloads.Workloads
 
 let leafy_src =
   {|
@@ -102,9 +104,10 @@ let measure machine src =
       shrinkwrap = true;
       machine;
       jobs = 1;
+      alloc = Chow_core.Allocator.Chow;
     }
   in
-  let o = Pipeline.run (Pipeline.compile config src) in
+  let o = Pipeline.run (Pipeline.compile_source config (Pipeline.Src src)) in
   (o.Sim.cycles, o.Sim.save_loads + o.Sim.save_stores)
 
 let caller_file n = Machine.restrict ~n_caller:n ~n_callee:0 ~n_param:0
@@ -141,3 +144,46 @@ let run () =
       Format.printf "%4d | %12d %12d | %+10.1f%%@." k ca ce
         (100. *. float_of_int (ca - ce) /. float_of_int ca))
     [ 1; 2; 4; 6 ]
+
+(* ----- allocation-strategy matrix ----- *)
+
+(** Strategy x workload matrix over the paper's thirteen programs: every
+    [--alloc] policy compiles and runs each workload under -O3+sw, and
+    the table reports dynamic cycles plus the save/restore traffic the
+    allocation decision causes (register save/restore memory operations
+    plus spill-home loads/stores — the axis the paper minimizes).  The
+    program output is identical across strategies by construction (the
+    differential test suite asserts it); what varies is exactly the
+    penalty, so the matrix is the paper's Table 1 story retold against a
+    linear-scan and a spill-everywhere baseline instead of -O2.  The
+    machine-readable twin of this table is the [alloc/*] row family that
+    [bench timing --json --alloc] emits into BENCH_timing.json. *)
+let strategy_matrix () =
+  Format.printf "@.Allocation-strategy matrix (-O3+sw, dynamic counts)@.";
+  Format.printf "%s@." (String.make 74 '=');
+  Format.printf "%-10s | %21s | %21s | %21s@." ""
+    "chow cyc (sv+rs)" "linear cyc (sv+rs)" "spill-all cyc (sv+rs)";
+  let measure strategy src =
+    let config = Config.with_alloc strategy Config.o3_sw in
+    let o = Pipeline.run (Pipeline.compile_source config (Pipeline.Src src)) in
+    ( o.Sim.cycles,
+      o.Sim.save_stores + o.Sim.scalar_stores + o.Sim.save_loads
+      + o.Sim.scalar_loads )
+  in
+  List.iter
+    (fun w ->
+      let cells =
+        List.map (fun s -> measure s w.W.source) Allocator.all
+      in
+      Format.printf "%-10s |%s@." w.W.name
+        (String.concat " |"
+           (List.map
+              (fun (cyc, sr) -> Printf.sprintf " %12d (%6d)" cyc sr)
+              cells)))
+    W.all;
+  Format.printf
+    "  (sv+rs: dynamic save/restore + spill-home memory operations)@."
+
+let run () =
+  run ();
+  strategy_matrix ()

@@ -61,7 +61,7 @@ let fig1 () =
   Format.printf
     "p and q are active at the same time, yet a (in p), b (in p) and c (in \
      q)@.can share one register because no live range spans the call.@.@.";
-  let compiled = Pipeline.compile Config.o3_sw fig1_src in
+  let compiled = Pipeline.compile_source Config.o3_sw (Pipeline.Src fig1_src) in
   let assignments =
     List.concat_map
       (fun (alloc : Ipra.t) ->
@@ -286,8 +286,8 @@ let fig3 () =
   List.iter
     (fun (c1, c2) ->
       let src = fig3_src c1 c2 in
-      let base = Pipeline.run (Pipeline.compile Config.baseline src) in
-      let sw = Pipeline.run (Pipeline.compile Config.o2_sw src) in
+      let base = Pipeline.run (Pipeline.compile_source Config.baseline (Pipeline.Src src)) in
+      let sw = Pipeline.run (Pipeline.compile_source Config.o2_sw (Pipeline.Src src)) in
       Format.printf "%-18s %12d %12d %10d@."
         (Printf.sprintf "(%d,%d)" c1 c2)
         base.Sim.cycles sw.Sim.cycles
@@ -370,7 +370,8 @@ let fig4 () =
      rule: usage on a cold internal path of r is shrink-wrapped inside r.@.@.";
   let machine = Machine.restrict ~n_caller:3 ~n_callee:2 ~n_param:4 in
   let cfg name ipra shrinkwrap =
-    { Config.name; ipra; shrinkwrap; machine; jobs = 1 }
+    { Config.name; ipra; shrinkwrap; machine; jobs = 1;
+      alloc = Chow_core.Allocator.Chow }
   in
   let base_cfg = cfg "-O2/small" false false in
   let b_cfg = cfg "-O3/small" true false in
@@ -380,9 +381,9 @@ let fig4 () =
   List.iter
     (fun (label, cold_r, q_calls, r_calls) ->
       let src = fig4_src ~cold_r ~q_calls ~r_calls in
-      let base = Pipeline.run (Pipeline.compile base_cfg src) in
-      let b = Pipeline.run (Pipeline.compile b_cfg src) in
-      let c = Pipeline.run (Pipeline.compile c_cfg src) in
+      let base = Pipeline.run (Pipeline.compile_source base_cfg (Pipeline.Src src)) in
+      let b = Pipeline.run (Pipeline.compile_source b_cfg (Pipeline.Src src)) in
+      let c = Pipeline.run (Pipeline.compile_source c_cfg (Pipeline.Src src)) in
       let red v =
         100. *. float_of_int (base.Sim.cycles - v)
         /. float_of_int base.Sim.cycles

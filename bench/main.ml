@@ -7,7 +7,8 @@ let usage () =
   print_endline
     "usage: main.exe \
      [all|table1|table2|fig1..fig4|figures|ablation|profile|promo|split|timing] \
-     [--json] [--smoke] [--penalty] [--pgo] [--serve] [--trace FILE]";
+     [--json] [--smoke] [--penalty] [--pgo] [--serve] [--alloc] [--trace \
+     FILE]";
   exit 1
 
 (* pull the [--trace FILE] pair out of the argument list *)
@@ -29,11 +30,12 @@ let () =
   let penalty = List.mem "--penalty" args in
   let pgo = List.mem "--pgo" args in
   let serve = List.mem "--serve" args in
+  let alloc = List.mem "--alloc" args in
   let args =
     List.filter
       (fun a ->
         a <> "--json" && a <> "--smoke" && a <> "--penalty" && a <> "--pgo"
-        && a <> "--serve")
+        && a <> "--serve" && a <> "--alloc")
       args
   in
   let args = if args = [] then [ "all" ] else args in
@@ -47,7 +49,7 @@ let () =
           Profile_fb.run ();
           Promo_bench.run ();
           Split_bench.run ();
-          Timing.run ~json ~smoke ~penalty ~pgo ~serve ?trace ()
+          Timing.run ~json ~smoke ~penalty ~pgo ~serve ~alloc ?trace ()
       | "table1" -> Tables.run_table1 ()
       | "table2" -> Tables.run_table2 ()
       | "tables" -> ignore (Tables.run ())
@@ -60,6 +62,7 @@ let () =
       | "profile" -> Profile_fb.run ()
       | "promo" -> Promo_bench.run ()
       | "split" -> Split_bench.run ()
-      | "timing" -> Timing.run ~json ~smoke ~penalty ~pgo ~serve ?trace ()
+      | "timing" ->
+          Timing.run ~json ~smoke ~penalty ~pgo ~serve ~alloc ?trace ()
       | _ -> usage ())
     args

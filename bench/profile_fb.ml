@@ -66,12 +66,13 @@ let config =
     shrinkwrap = true;
     machine;
     jobs = 1;
+    alloc = Chow_core.Allocator.Chow;
   }
 
 let run () =
   Format.printf "@.Profile feedback (the paper's §8 future work)@.";
   Format.printf "%s@." (String.make 60 '=');
-  let static = Pipeline.compile config src in
+  let static = Pipeline.compile_source config (Pipeline.Src src) in
   let static_o = Pipeline.run static in
   let profiled, training = Pipeline.compile_with_profile config src in
   let profiled_o = Pipeline.run profiled in

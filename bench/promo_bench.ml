@@ -18,9 +18,9 @@ let run () =
     "cycles+gp" "data ld/st" "data+gp";
   List.iter
     (fun (w : W.t) ->
-      let plain = Pipeline.run (Pipeline.compile Config.o3_sw w.W.source) in
+      let plain = Pipeline.run (Pipeline.compile_source Config.o3_sw (Pipeline.Src w.W.source)) in
       let promoted =
-        Pipeline.run (Pipeline.compile ~global_promo:true Config.o3_sw w.W.source)
+        Pipeline.run (Pipeline.compile_source ~global_promo:true Config.o3_sw (Pipeline.Src w.W.source))
       in
       assert (plain.Sim.output = promoted.Sim.output);
       Format.printf "%-10s %10d %10d | %12d %12d@." w.W.name plain.Sim.cycles

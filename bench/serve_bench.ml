@@ -96,6 +96,7 @@ let build_req ?(id = -1) src =
       o3 = true;
       shrinkwrap = true;
       global_promo = false;
+      alloc = "chow";
       fuel = None;
       priority = 0;
     }

@@ -63,9 +63,10 @@ let run () =
           shrinkwrap = true;
           machine = Machine.restrict ~n_caller:(min n 11) ~n_callee:0 ~n_param:0;
           jobs = 1;
+          alloc = Chow_core.Allocator.Chow;
         }
       in
-      let c = Pipeline.compile config src in
+      let c = Pipeline.compile_source config (Pipeline.Src src) in
       let o = Pipeline.run c in
       let splits =
         List.concat_map

@@ -32,7 +32,11 @@ let ldst_reduction row cfg_name =
   reduction ~base:(scalar row.base) ~v:(scalar o)
 
 let measure_workload ?(configs = Config.all) (w : W.t) =
-  let compiled = List.map (fun c -> (c, Pipeline.compile c w.W.source)) configs in
+  let compiled =
+    List.map
+      (fun c -> (c, Pipeline.compile_source c (Pipeline.Src w.W.source)))
+      configs
+  in
   let outcomes =
     List.map (fun ((c : Config.t), comp) -> (c.Config.name, Pipeline.run comp)) compiled
   in

@@ -12,6 +12,7 @@ module Pipeline = Chow_compiler.Pipeline
 module Cache = Chow_compiler.Cache
 module Sim = Chow_sim.Sim
 module W = Chow_workloads.Workloads
+module Allocator = Chow_core.Allocator
 module Trace = Chow_obs.Trace
 module Metrics = Chow_obs.Metrics
 
@@ -21,14 +22,14 @@ let source_of name =
   | None -> invalid_arg ("unknown workload " ^ name)
 
 let compile_test ~name config src =
-  Test.make ~name (Staged.stage (fun () -> ignore (Pipeline.compile config src)))
+  Test.make ~name (Staged.stage (fun () -> ignore (Pipeline.compile_source config (Pipeline.Src src))))
 
 (* Simulator throughput: one run of an already-compiled program.  The
    decoded engine's pre-decode pass is part of every run (included and
    amortized, not cached), so the pair below is an honest end-to-end
    comparison of Sim.run against Sim.run_reference. *)
 let sim_test ~name ~engine config src =
-  let prog = Pipeline.program (Pipeline.compile config src) in
+  let prog = Pipeline.program (Pipeline.compile_source config (Pipeline.Src src)) in
   let run =
     match engine with
     | `Decoded -> fun () -> ignore (Sim.run prog)
@@ -180,7 +181,7 @@ let metrics_rows ~smoke () =
     (fun (config : Config.t) ->
       Metrics.reset ();
       Metrics.enable ();
-      let compiled = Pipeline.compile config src in
+      let compiled = Pipeline.compile_source config (Pipeline.Src src) in
       if config.Config.name = "-O2" || config.Config.name = "-O3+sw" then
         ignore (Sim.run (Pipeline.program compiled));
       Metrics.disable ();
@@ -210,7 +211,7 @@ let penalty_rows ~smoke () =
       let reports =
         List.map
           (fun (config : Config.t) ->
-            (config, Pipeline.profile_penalty (Pipeline.compile config src)))
+            (config, Pipeline.profile_penalty (Pipeline.compile_source config (Pipeline.Src src))))
           configs
       in
       let scalar_ops (r : Chow_sim.Profile.report) =
@@ -252,7 +253,7 @@ let pgo_rows ~smoke () =
       let src = source_of workload in
       List.concat_map
         (fun (config : Config.t) ->
-          let plain = Pipeline.compile config src in
+          let plain = Pipeline.compile_source config (Pipeline.Src src) in
           let plain_r = Pipeline.profile_penalty plain in
           let a =
             Chow_sim.Profile.artifact
@@ -277,6 +278,53 @@ let pgo_rows ~smoke () =
             row "cycles" pgo_r.Chow_sim.Profile.outcome.Chow_sim.Decode.cycles;
             row "code_growth" (code pgo_c - code plain);
           ])
+        configs)
+    workloads
+
+(* Allocation-strategy matrix: every [--alloc] policy over the paper
+   workloads under the two headline configurations.  Each cell reports
+   the compile wall time plus the run's dynamic cycles and save/restore
+   traffic.  "saves" counts every store the allocation decision causes
+   (register save/caller-save stores plus spill-home stores) and
+   "restores" the matching loads, so the spill-everywhere baseline is
+   comparable with the coloring strategies on the axis the paper
+   minimizes.  cycles/saves/restores are deterministic exact rows gated
+   by [trace_check --bench-compare], which additionally demands that
+   priority coloring strictly dominates spill-all on saves+restores for
+   every cell; compile_us is informational (host-dependent, skipped by
+   the gate). *)
+let alloc_rows ~smoke () =
+  let workloads = if smoke then [ "nim" ] else [ "nim"; "dhrystone"; "uopt" ] in
+  let configs = [ Config.baseline; Config.o3_sw ] in
+  List.concat_map
+    (fun workload ->
+      let src = source_of workload in
+      List.concat_map
+        (fun (config : Config.t) ->
+          List.concat_map
+            (fun strategy ->
+              let config = Config.with_alloc strategy config in
+              let t0 = Unix.gettimeofday () in
+              let compiled =
+                Pipeline.compile_source config (Pipeline.Src src)
+              in
+              let compile_us =
+                int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+              in
+              let o = Pipeline.run compiled in
+              let row what v =
+                ( Printf.sprintf "alloc/%s/%s/%s/%s"
+                    (Allocator.to_string strategy) workload
+                    config.Config.name what,
+                  v )
+              in
+              [
+                row "compile_us" compile_us;
+                row "cycles" o.Sim.cycles;
+                row "saves" (o.Sim.save_stores + o.Sim.scalar_stores);
+                row "restores" (o.Sim.save_loads + o.Sim.scalar_loads);
+              ])
+            Allocator.all)
         configs)
     workloads
 
@@ -310,7 +358,7 @@ let write_trace path =
   Trace.reset ();
   Trace.enable ();
   let compiled =
-    Pipeline.compile (Config.with_jobs 4 Config.o3_sw) (source_of "uopt")
+    Pipeline.compile_source (Config.with_jobs 4 Config.o3_sw) (Pipeline.Src (source_of "uopt"))
   in
   ignore (Sim.run (Pipeline.program compiled));
   Trace.disable ();
@@ -318,7 +366,7 @@ let write_trace path =
   Format.printf "wrote %s@." path
 
 let run ?(json = false) ?(smoke = false) ?(penalty = false) ?(pgo = false)
-    ?(serve = false) ?trace () =
+    ?(serve = false) ?(alloc = false) ?trace () =
   Format.printf "@.Compiler throughput (Bechamel, monotonic clock)%s@."
     (if smoke then " — smoke subset" else "");
   Format.printf "%s@." (String.make 60 '=');
@@ -358,5 +406,6 @@ let run ?(json = false) ?(smoke = false) ?(penalty = false) ?(pgo = false)
       (metrics_rows ~smoke ()
       @ (if penalty then penalty_rows ~smoke () else [])
       @ (if pgo then pgo_rows ~smoke () else [])
+      @ (if alloc then alloc_rows ~smoke () else [])
       @ serve_values);
   Option.iter write_trace trace

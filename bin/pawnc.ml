@@ -48,6 +48,7 @@ module Ipra = Chow_core.Ipra
 module Usage = Chow_core.Usage
 module Callgraph = Chow_core.Callgraph
 module Alloc = Chow_core.Alloc_types
+module Allocator = Chow_core.Allocator
 module Coloring = Chow_core.Coloring
 module Sim = Chow_sim.Sim
 module Profile = Chow_sim.Profile
@@ -111,6 +112,26 @@ let jobs_arg =
           "Parallelism of the allocator pipeline: compilation units and \
            call-graph waves are compiled on $(docv) domains.  The output \
            is identical for every $(docv).")
+
+let alloc_arg =
+  let alloc_conv =
+    Arg.enum
+      [
+        ("chow", Allocator.Chow);
+        ("linear", Allocator.Linear);
+        ("spill-all", Allocator.Spill_all);
+      ]
+  in
+  Arg.(
+    value & opt alloc_conv Allocator.Chow
+    & info [ "alloc" ] ~docv:"STRATEGY"
+        ~doc:
+          "Register-allocation strategy: $(b,chow) (the paper's \
+           priority-based coloring, default), $(b,linear) (linear scan: \
+           fast, no cost model), or $(b,spill-all) (spill-everywhere \
+           baseline).  Every strategy composes with $(b,--O3), \
+           shrink-wrapping, PGO and the cache; the program output is \
+           identical, only the save/restore/spill traffic differs.")
 
 let promo_flag =
   Arg.(
@@ -201,16 +222,20 @@ let print_stats compiled =
   print_newline ();
   Format.printf "%a@?" Metrics.pp_table ()
 
-let config_of ~o3 ~no_sw ~machine ~jobs =
+let config_of ?(alloc = Allocator.Chow) ~o3 ~no_sw ~machine ~jobs () =
   {
     Config.name =
-      Printf.sprintf "%s%s"
+      Printf.sprintf "%s%s%s"
         (if o3 then "-O3" else "-O2")
-        (if no_sw then "" else "+sw");
+        (if no_sw then "" else "+sw")
+        (match alloc with
+        | Allocator.Chow -> ""
+        | s -> "/" ^ Allocator.to_string s);
     ipra = o3;
     shrinkwrap = not no_sw;
     machine;
     jobs;
+    alloc;
   }
 
 (* Every user-facing failure renders a diagnostic and exits 2 — the one
@@ -249,11 +274,11 @@ let print_counters name (o : Sim.outcome) =
 
 let run_cmd =
   let doc = "Compile a Pawn program and execute it in the simulator." in
-  let run file o3 no_sw machine jobs counters global_promo pgo inline_budget
-      trace stats =
+  let run file o3 no_sw machine jobs alloc counters global_promo pgo
+      inline_budget trace stats =
     handle_errors @@ fun () ->
     with_obs ~trace ~stats @@ fun () ->
-    let config = config_of ~o3 ~no_sw ~machine ~jobs in
+    let config = config_of ~alloc ~o3 ~no_sw ~machine ~jobs () in
     let src = read_file file in
     let pgo = pgo_of ~config ~srcs:[ src ] ~budget:inline_budget pgo in
     let compiled =
@@ -273,18 +298,18 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       const run $ file_arg $ o3_flag $ no_sw_flag $ machine_arg $ jobs_arg
-      $ counters $ promo_flag $ pgo_arg $ inline_budget_arg $ trace_arg
-      $ stats_flag)
+      $ alloc_arg $ counters $ promo_flag $ pgo_arg $ inline_budget_arg
+      $ trace_arg $ stats_flag)
 
 (* ----- compile ----- *)
 
 let compile_cmd =
   let doc = "Compile and dump intermediate artifacts." in
-  let compile file o3 no_sw machine jobs dump_ir dump_asm dump_alloc trace
-      stats explain =
+  let compile file o3 no_sw machine jobs alloc dump_ir dump_asm dump_alloc
+      trace stats explain =
     handle_errors @@ fun () ->
     with_obs ~trace ~stats @@ fun () ->
-    let config = config_of ~o3 ~no_sw ~machine ~jobs in
+    let config = config_of ~alloc ~o3 ~no_sw ~machine ~jobs () in
     let explain_buf = Option.map (fun name -> (name, ref [])) explain in
     let compiled =
       Pipeline.compile_source ?explain:explain_buf config
@@ -382,8 +407,8 @@ let compile_cmd =
     (Cmd.info "compile" ~doc)
     Term.(
       const compile $ file_arg $ o3_flag $ no_sw_flag $ machine_arg
-      $ jobs_arg $ dump_ir $ dump_asm $ dump_alloc $ trace_arg $ stats_flag
-      $ explain_arg)
+      $ jobs_arg $ alloc_arg $ dump_ir $ dump_asm $ dump_alloc $ trace_arg
+      $ stats_flag $ explain_arg)
 
 (* ----- stats ----- *)
 
@@ -424,11 +449,11 @@ let profile_cmd =
      save/restore, spill, stack argument, data), attribute it to the call \
      site that forced it, and build the dynamic call tree."
   in
-  let profile file o3 no_sw machine jobs global_promo penalty_report calltree
-      limit max_depth emit trace stats =
+  let profile file o3 no_sw machine jobs alloc global_promo penalty_report
+      calltree limit max_depth emit trace stats =
     handle_errors @@ fun () ->
     with_obs ~trace ~stats @@ fun () ->
-    let config = config_of ~o3 ~no_sw ~machine ~jobs in
+    let config = config_of ~alloc ~o3 ~no_sw ~machine ~jobs () in
     let src = read_file file in
     let compiled =
       Pipeline.compile_source ~global_promo config (Pipeline.Src src)
@@ -497,8 +522,9 @@ let profile_cmd =
     (Cmd.info "profile" ~doc)
     Term.(
       const profile $ file_arg $ o3_flag $ no_sw_flag $ machine_arg
-      $ jobs_arg $ promo_flag $ penalty_report_flag $ calltree_flag
-      $ limit_arg $ max_depth_arg $ emit_arg $ trace_arg $ stats_flag)
+      $ jobs_arg $ alloc_arg $ promo_flag $ penalty_report_flag
+      $ calltree_flag $ limit_arg $ max_depth_arg $ emit_arg $ trace_arg
+      $ stats_flag)
 
 (* ----- callgraph ----- *)
 
@@ -507,9 +533,9 @@ let callgraph_cmd =
     "Show the depth-first processing order, the open/closed classification, \
      and the published register-usage masks."
   in
-  let callgraph file o3 no_sw machine jobs =
+  let callgraph file o3 no_sw machine jobs alloc =
     handle_errors @@ fun () ->
-    let config = config_of ~o3 ~no_sw ~machine ~jobs in
+    let config = config_of ~alloc ~o3 ~no_sw ~machine ~jobs () in
     let compiled =
       Pipeline.compile_source config (Pipeline.Src (read_file file))
     in
@@ -534,7 +560,7 @@ let callgraph_cmd =
     (Cmd.info "callgraph" ~doc)
     Term.(
       const callgraph $ file_arg $ o3_flag $ no_sw_flag $ machine_arg
-      $ jobs_arg)
+      $ jobs_arg $ alloc_arg)
 
 (* ----- build ----- *)
 
@@ -574,11 +600,11 @@ let build_cmd =
             "Compile only: write $(i,FILE).pawno next to each input \
              instead of linking.  No unit is required to define main.")
   in
-  let build files c_only o3 no_sw machine jobs global_promo cache_dir pgo
-      inline_budget trace stats =
+  let build files c_only o3 no_sw machine jobs alloc global_promo cache_dir
+      pgo inline_budget trace stats =
     handle_errors @@ fun () ->
     with_obs ~trace ~stats @@ fun () ->
-    let config = config_of ~o3 ~no_sw ~machine ~jobs in
+    let config = config_of ~alloc ~o3 ~no_sw ~machine ~jobs () in
     let cache = Option.map (fun dir -> Cache.create ~dir ()) cache_dir in
     let srcs = List.map read_file files in
     let pgo = pgo_of ~config ~srcs ~budget:inline_budget pgo in
@@ -612,8 +638,8 @@ let build_cmd =
     (Cmd.info "build" ~doc)
     Term.(
       const build $ files_arg $ c_flag $ o3_flag $ no_sw_flag $ machine_arg
-      $ jobs_arg $ promo_flag $ cache_dir_arg $ pgo_arg $ inline_budget_arg
-      $ trace_arg $ stats_flag)
+      $ jobs_arg $ alloc_arg $ promo_flag $ cache_dir_arg $ pgo_arg
+      $ inline_budget_arg $ trace_arg $ stats_flag)
 
 (* ----- link ----- *)
 
@@ -851,7 +877,16 @@ let request_cmd =
       & info [ "counters" ]
           ~doc:"Print the reply's per-request metric deltas.")
   in
-  let request action files socket o3 no_sw global_promo fuel priority
+  let request_alloc_arg =
+    Arg.(
+      value & opt string "chow"
+      & info [ "alloc" ] ~docv:"STRATEGY"
+          ~doc:
+            "Register-allocation strategy for build/run/profile requests: \
+             $(b,chow), $(b,linear) or $(b,spill-all).  Validated by the \
+             daemon.")
+  in
+  let request action files socket o3 no_sw alloc global_promo fuel priority
       counters trace =
     handle_errors @@ fun () ->
     with_obs ~trace ~stats:false @@ fun () ->
@@ -883,6 +918,7 @@ let request_cmd =
               o3;
               shrinkwrap = not no_sw;
               global_promo;
+              alloc;
               fuel;
               priority;
             }
@@ -952,8 +988,8 @@ let request_cmd =
     (Cmd.info "request" ~doc)
     Term.(
       const request $ action_arg $ files_arg $ socket_arg $ o3_flag
-      $ no_sw_flag $ promo_flag $ fuel_arg $ priority_arg $ counters_flag
-      $ trace_arg)
+      $ no_sw_flag $ request_alloc_arg $ promo_flag $ fuel_arg
+      $ priority_arg $ counters_flag $ trace_arg)
 
 (* ----- top ----- *)
 

@@ -39,6 +39,21 @@
     non-negative — a PGO build may never pay MORE save/restore penalty
     than the plain build it started from.
 
+    [alloc/*] rows (the allocation-strategy matrix:
+    [alloc/<strategy>/<workload>/<config>/{compile_us,cycles,saves,restores}])
+    are exact like [penalty/*] rows, except the [compile_us] rows, which
+    are host-dependent wall times and are skipped.  Within the current
+    file, for every (workload, config) cell carrying both strategies,
+    priority coloring must land strictly below the spill-everywhere
+    baseline on saves+restores — the paper's headline claim restated as
+    an invariant the bench can never silently lose.
+
+    [trace_check --alloc-smoke PAWNC SRC.pawn] is the strategy-matrix CI
+    smoke: it runs SRC under [--alloc chow], [--alloc linear] and
+    [--alloc spill-all] (all -O3), checks that the three runs print the
+    same program output, and that chow's dynamic save/restore plus
+    spill-home memory operations land strictly below spill-all's.
+
     [trace_check --pgo-smoke PAWNC SRC.pawn] is the profile-guided
     inlining CI smoke: it profiles SRC with [PAWNC profile --emit],
     re-runs the program plain and under [--pgo] (with a forcing
@@ -278,12 +293,58 @@ let pgo_invariants ~flunk current =
             flunk (Printf.sprintf "%s: pgo row lacks a \"value\" field" name))
     current
 
+(** Invariant internal to one freshly measured file: for every
+    (workload, config) cell of the strategy matrix that carries both the
+    [chow] and [spill-all] strategies, priority coloring must cause
+    strictly fewer dynamic saves+restores than the spill-everywhere
+    baseline.  This is the paper's reason to exist, so the gate refuses
+    any measurement where the baseline wins a cell. *)
+let alloc_invariants ~flunk current =
+  let cells = Hashtbl.create 16 in
+  List.iter
+    (fun (name, (_, v)) ->
+      match String.split_on_char '/' name with
+      | [ "alloc"; strategy; workload; config; ("saves" | "restores") ] -> (
+          match v with
+          | Some v ->
+              let key = (workload, config) in
+              let prev =
+                match Hashtbl.find_opt cells key with
+                | Some l -> l
+                | None -> []
+              in
+              Hashtbl.replace cells key ((strategy, v) :: prev)
+          | None ->
+              flunk
+                (Printf.sprintf "%s: alloc row lacks a \"value\" field" name))
+      | _ -> ())
+    current;
+  Hashtbl.iter
+    (fun (workload, config) rows ->
+      let total strategy =
+        match List.filter (fun (s, _) -> s = strategy) rows with
+        | [] -> None
+        | l -> Some (List.fold_left (fun acc (_, v) -> acc +. v) 0. l)
+      in
+      match (total "chow", total "spill-all") with
+      | Some chow, Some spill ->
+          if chow >= spill then
+            flunk
+              (Printf.sprintf
+                 "alloc matrix: chow saves+restores (%.0f) not strictly \
+                  below spill-all (%.0f) on %s/%s — priority coloring lost \
+                  to the spill-everywhere baseline"
+                 chow spill workload config)
+      | _ -> ())
+    cells
+
 let check_bench_compare baseline_path current_path =
   let baseline = bench_rows baseline_path in
   let current = bench_rows current_path in
   let timing_checked = ref 0
   and penalty_checked = ref 0
   and pgo_checked = ref 0
+  and alloc_checked = ref 0
   and server_checked = ref 0
   and shard_skipped = ref 0 in
   let failures = ref [] in
@@ -347,6 +408,21 @@ let check_bench_compare baseline_path current_path =
                     name b c
             | _ -> flunk "%s: pgo row lacks a \"value\" field" name
           end
+          else if starts_with ~prefix:"alloc/" name then begin
+            (* compile_us rows are wall times from whatever host measured
+               them; only the deterministic dynamic counts are exact *)
+            if ends_with ~suffix:"/compile_us" name then ()
+            else
+              match (base_v, cur_v) with
+              | Some b, Some c ->
+                  incr alloc_checked;
+                  if b <> c then
+                    flunk
+                      "%s changed: %.0f -> %.0f (alloc rows are exact; \
+                       re-baseline deliberately if intended)"
+                      name b c
+              | _ -> flunk "%s: alloc row lacks a \"value\" field" name
+          end
           else if starts_with ~prefix:"server/meta/" name then ()
           else if starts_with ~prefix:"server/" name then begin
             if is_shard_mix name && cores < 4. then incr shard_skipped
@@ -386,6 +462,7 @@ let check_bench_compare baseline_path current_path =
     baseline;
   server_invariants ~flunk:(fun m -> failures := m :: !failures) current;
   pgo_invariants ~flunk:(fun m -> failures := m :: !failures) current;
+  alloc_invariants ~flunk:(fun m -> failures := m :: !failures) current;
   if !penalty_checked = 0 then
     flunk
       "no penalty/* rows overlap between %s and %s — the gate is comparing \
@@ -398,9 +475,9 @@ let check_bench_compare baseline_path current_path =
       exit 1);
   Printf.printf
     "%s vs %s: %d timings within 25%%, %d penalty rows exact, %d pgo rows \
-     exact, %d server rows within band%s\n"
+     exact, %d alloc rows exact, %d server rows within band%s\n"
     current_path baseline_path !timing_checked !penalty_checked !pgo_checked
-    !server_checked
+    !alloc_checked !server_checked
     (if !shard_skipped > 0 then
        Printf.sprintf " (%d shard rows skipped: <4 cores)" !shard_skipped
      else "")
@@ -503,6 +580,69 @@ let check_pgo_smoke pawnc src =
   Printf.printf
     "pgo smoke: identical output, save/restore memops %d -> %d (%d removed)\n"
     plain_sr pgo_sr (plain_sr - pgo_sr)
+
+(* ----- allocation-strategy smoke ----- *)
+
+(** One named dynamic counter from a [--counters] dump, e.g.
+    ["scalar loads:"]. *)
+let counter_value ~what ~label text =
+  let rec find = function
+    | [] -> fail "alloc smoke: %s run printed no %S counter" what label
+    | line :: rest ->
+        let line = String.trim line in
+        if starts_with ~prefix:label line then
+          let rest_s =
+            String.trim
+              (String.sub line (String.length label)
+                 (String.length line - String.length label))
+          in
+          match int_of_string_opt rest_s with
+          | Some v -> v
+          | None -> fail "alloc smoke: %s %S is not a number" what label
+        else find rest
+  in
+  find (String.split_on_char '\n' text)
+
+(** The strategy-matrix CI smoke: SRC must print the same program output
+    under every [--alloc] strategy, and chow's save/restore plus
+    spill-home memory traffic must land strictly below spill-all's.  See
+    the module doc. *)
+let check_alloc_smoke pawnc src =
+  let run_strategy strategy =
+    let code, out =
+      run_capture
+        [| pawnc; "run"; src; "--O3"; "--alloc"; strategy; "--counters" |]
+    in
+    if code <> 0 then fail "alloc smoke: --alloc %s run exited %d" strategy code;
+    let penalty =
+      save_restore_total ~what:("--alloc " ^ strategy) out
+      + counter_value ~what:("--alloc " ^ strategy) ~label:"scalar loads:" out
+      + counter_value ~what:("--alloc " ^ strategy) ~label:"scalar stores:" out
+    in
+    (program_output out, penalty)
+  in
+  let chow_out, chow_p = run_strategy "chow" in
+  let linear_out, _ = run_strategy "linear" in
+  let spill_out, spill_p = run_strategy "spill-all" in
+  List.iter
+    (fun (strategy, out) ->
+      if out <> chow_out then
+        fail
+          "alloc smoke: program output differs between --alloc chow and \
+           --alloc %s — the strategy changed observable behavior:\n\
+           chow: %s\n\
+           %s:   %s"
+          strategy chow_out strategy out)
+    [ ("linear", linear_out); ("spill-all", spill_out) ];
+  if chow_p >= spill_p then
+    fail
+      "alloc smoke: chow executed %d save/restore+spill memory operations, \
+       spill-all %d — priority coloring must be strictly cheaper"
+      chow_p spill_p;
+  Printf.printf
+    "alloc smoke: identical output across 3 strategies, save/spill memops \
+     chow %d < spill-all %d\n"
+    chow_p spill_p
 
 (* ----- daemon smoke ----- *)
 
@@ -669,6 +809,7 @@ let check_serve_smoke pawnc src_path =
         o3 = true;
         shrinkwrap = true;
         global_promo = false;
+        alloc = "chow";
         fuel = None;
         priority = 0;
       }
@@ -790,6 +931,7 @@ let () =
       check_bench_compare baseline current
   | [| _; "--serve-smoke"; pawnc; src |] -> check_serve_smoke pawnc src
   | [| _; "--pgo-smoke"; pawnc; src |] -> check_pgo_smoke pawnc src
+  | [| _; "--alloc-smoke"; pawnc; src |] -> check_alloc_smoke pawnc src
   | [| _; trace; stats |] ->
       check_trace trace;
       check_stats stats
@@ -805,5 +947,6 @@ let () =
         \       trace_check --cache-smoke STATS.txt N\n\
         \       trace_check --bench-compare BASELINE.json CURRENT.json\n\
         \       trace_check --serve-smoke PAWNC SRC.pawn\n\
-        \       trace_check --pgo-smoke PAWNC SRC.pawn";
+        \       trace_check --pgo-smoke PAWNC SRC.pawn\n\
+        \       trace_check --alloc-smoke PAWNC SRC.pawn";
       exit 2

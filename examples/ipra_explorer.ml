@@ -50,7 +50,7 @@ let pp_param_loc ppf = function
   | Alloc.Pstack -> Format.pp_print_string ppf "stack"
 
 let () =
-  let compiled = Pipeline.compile Config.o3_sw source in
+  let compiled = Pipeline.compile_source Config.o3_sw (Pipeline.Src source) in
   let o = Pipeline.run compiled in
   Format.printf "program output: %a@.@."
     (Format.pp_print_list

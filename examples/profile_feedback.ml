@@ -61,6 +61,7 @@ let config =
     shrinkwrap = true;
     machine = Machine.restrict ~n_caller:2 ~n_callee:1 ~n_param:2;
     jobs = 1;
+    alloc = Chow_core.Allocator.Chow;
   }
 
 let location_of (c : Pipeline.compiled) proc var =
@@ -93,7 +94,7 @@ let () =
   Format.printf
     "3 allocatable registers; the cold loop's variables statically\n\
      outweigh the hot region's a and b:@.@.";
-  let static = Pipeline.compile config source in
+  let static = Pipeline.compile_source config (Pipeline.Src source) in
   let static_o = Pipeline.run static in
   show "static weights" static static_o;
   let profiled, training = Pipeline.compile_with_profile config source in

@@ -35,7 +35,7 @@ proc main() {
 |}
 
 let describe (config : Config.t) =
-  let compiled = Pipeline.compile config source in
+  let compiled = Pipeline.compile_source config (Pipeline.Src source) in
   let o = Pipeline.run compiled in
   Format.printf "%-8s output=%a  cycles=%d  scalar loads/stores=%d/%d@."
     config.Config.name

@@ -56,7 +56,7 @@ proc main() {
 let () =
   Format.printf "compiling two units separately and linking...@.";
   let compiled =
-    Pipeline.compile_modules Config.o3_sw [ unit_app; unit_mathlib ]
+    Pipeline.compile_source Config.o3_sw (Pipeline.Srcs [ unit_app; unit_mathlib ])
   in
   let o = Pipeline.run compiled in
   Format.printf "output: %a@.@."

@@ -47,7 +47,7 @@ proc main() {
 |}
 
 let dump_process (config : Config.t) =
-  let compiled = Pipeline.compile config source in
+  let compiled = Pipeline.compile_source config (Pipeline.Src source) in
   let layout, _, _ = Chow_codegen.Link.layout (Pipeline.ir compiled) in
   List.iter
     (fun (alloc : Ipra.t) ->

@@ -5,6 +5,7 @@
     A-C of Table 1 and D/E of Table 2 are the other five configurations. *)
 
 module Machine = Chow_machine.Machine
+module Allocator = Chow_core.Allocator
 
 type t = {
   name : string;
@@ -12,10 +13,15 @@ type t = {
   shrinkwrap : bool;
   machine : Machine.config;
   jobs : int;  (** allocator/pipeline parallelism; 1 = sequential *)
+  alloc : Allocator.strategy;  (** register-allocation strategy *)
 }
 
 (** [with_jobs n config] is [config] compiling with parallelism [n]. *)
 let with_jobs jobs t = { t with jobs }
+
+(** [with_alloc strategy config] is [config] allocating with
+    [strategy]. *)
+let with_alloc alloc t = { t with alloc }
 
 (** [fingerprint t] is a stable string identifying every field of [t] that
     can change generated code: the optimisation switches and the machine
@@ -25,7 +31,9 @@ let with_jobs jobs t = { t with jobs }
     two configurations share cache entries exactly when they provably
     produce the same code. *)
 let fingerprint t =
-  Printf.sprintf "ipra=%b;sw=%b;nparam=%d;regs=%s" t.ipra t.shrinkwrap
+  Printf.sprintf "ipra=%b;sw=%b;alloc=%s;nparam=%d;regs=%s" t.ipra
+    t.shrinkwrap
+    (Allocator.to_string t.alloc)
     t.machine.Machine.n_param_regs
     (String.concat "," (List.map string_of_int t.machine.Machine.allocatable))
 
@@ -36,6 +44,7 @@ let baseline =
     shrinkwrap = false;
     machine = Machine.full;
     jobs = 1;
+    alloc = Allocator.Chow;
   }
 
 (** Table 1 column A: -O2 with shrink-wrap enabled. *)
@@ -46,6 +55,7 @@ let o2_sw =
     shrinkwrap = true;
     machine = Machine.full;
     jobs = 1;
+    alloc = Allocator.Chow;
   }
 
 (** Table 1 column B: -O3 with shrink-wrap disabled. *)
@@ -56,6 +66,7 @@ let o3 =
     shrinkwrap = false;
     machine = Machine.full;
     jobs = 1;
+    alloc = Allocator.Chow;
   }
 
 (** Table 1 column C: -O3 with shrink-wrap enabled. *)
@@ -66,6 +77,7 @@ let o3_sw =
     shrinkwrap = true;
     machine = Machine.full;
     jobs = 1;
+    alloc = Allocator.Chow;
   }
 
 (** Table 2 column D: as C but only 7 caller-saved registers. *)
@@ -76,6 +88,7 @@ let seven_caller =
     shrinkwrap = true;
     machine = Machine.seven_caller_saved;
     jobs = 1;
+    alloc = Allocator.Chow;
   }
 
 (** Table 2 column E: as C but only 7 callee-saved registers. *)
@@ -86,6 +99,7 @@ let seven_callee =
     shrinkwrap = true;
     machine = Machine.seven_callee_saved;
     jobs = 1;
+    alloc = Allocator.Chow;
   }
 
 let all = [ baseline; o2_sw; o3; o3_sw; seven_caller; seven_callee ]

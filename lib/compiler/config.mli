@@ -7,6 +7,7 @@
     cache. *)
 
 module Machine := Chow_machine.Machine
+module Allocator := Chow_core.Allocator
 
 type t = {
   name : string;
@@ -14,10 +15,17 @@ type t = {
   shrinkwrap : bool;
   machine : Machine.config;
   jobs : int;  (** allocator/pipeline parallelism; 1 = sequential *)
+  alloc : Allocator.strategy;
+      (** register-allocation strategy; the named configurations all use
+          {!Allocator.Chow} *)
 }
 
 (** [with_jobs n config] is [config] compiling with parallelism [n]. *)
 val with_jobs : int -> t -> t
+
+(** [with_alloc strategy config] is [config] allocating with
+    [strategy]. *)
+val with_alloc : Allocator.strategy -> t -> t
 
 (** The paper's six measurement configurations.  [baseline] is [-O2]
     without shrink-wrap; [all] lists them in table order. *)
@@ -31,7 +39,7 @@ val seven_callee : t
 val all : t list
 
 (** [fingerprint t] is a stable string over every code-affecting field —
-    optimisation switches and machine model, excluding [name] and [jobs]
-    (allocation is bit-identical for every [-j]).  Part of the incremental
-    cache key. *)
+    optimisation switches, allocation strategy and machine model,
+    excluding [name] and [jobs] (allocation is bit-identical for every
+    [-j]).  Part of the incremental cache key. *)
 val fingerprint : t -> string

@@ -258,8 +258,8 @@ let allocate_unit ?profile ?pool ?explain (config : Config.t) ~unit_idx
     (unit_ir : Ir.prog) =
   let alloc () =
     Ipra.allocate_program ~ipra:config.Config.ipra
-      ~shrinkwrap:config.Config.shrinkwrap ?profile ?pool ?explain
-      config.Config.machine unit_ir
+      ~shrinkwrap:config.Config.shrinkwrap ~strategy:config.Config.alloc
+      ?profile ?pool ?explain config.Config.machine unit_ir
   in
   if Trace.is_on () then
     phase ~args:[ ("unit", Trace.Int unit_idx) ] "allocate-unit" alloc
@@ -547,17 +547,6 @@ let compile_result ?profile ?global_promo ?explain ?cache ?pgo config source =
   Diag.catch (fun () ->
       compile_source ?profile ?global_promo ?explain ?cache ?pgo config source)
 
-(** {2 Deprecated aliases} — one-liners over {!compile_source}. *)
-
-let compile ?profile ?global_promo ?explain config src =
-  compile_source ?profile ?global_promo ?explain config (Src src)
-
-let compile_ir ?profile ?global_promo ?explain config unit_ir =
-  compile_source ?profile ?global_promo ?explain config (Ir unit_ir)
-
-let compile_modules ?profile ?global_promo ?explain ?cache config srcs =
-  compile_source ?profile ?global_promo ?explain ?cache config (Srcs srcs)
-
 (** [run c] simulates the compiled program with contract checking on,
     using the default pre-decoded engine. *)
 let run ?fuel ?check ?profile (c : compiled) =
@@ -582,7 +571,7 @@ let profile_penalty ?fuel ?check ?trace ?trace_depth ?trace_limit
     the recompiled program and the training run's outcome. *)
 let compile_with_profile ?fuel (config : Config.t) src =
   let unit_ir = Lower.compile_unit src in
-  let training = compile_ir config unit_ir in
+  let training = compile_source config (Ir unit_ir) in
   let outcome = Sim.run ?fuel ~profile:true training.c_program in
   let counts : (string, float array) Hashtbl.t = Hashtbl.create 16 in
   List.iter
@@ -600,11 +589,11 @@ let compile_with_profile ?fuel (config : Config.t) src =
     Option.map Chow_core.Liverange.weights_of_profile
       (Hashtbl.find_opt counts name)
   in
-  (compile_ir ~profile config unit_ir, outcome)
+  (compile_source ~profile config (Ir unit_ir), outcome)
 
 (** Compile and run under every configuration, returning
     [(config, outcome)] pairs — the harness behind every table. *)
 let run_all_configs ?fuel ?(configs = Config.all) src =
   List.map
-    (fun config -> (config, run ?fuel (compile config src)))
+    (fun config -> (config, run ?fuel (compile_source config (Src src))))
     configs

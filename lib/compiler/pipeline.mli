@@ -157,45 +157,6 @@ val compile_artifacts :
     {!Chow_codegen.Link.Undefined_procedure} for unresolved externs. *)
 val link_units : Objfile.t list -> Asm.program
 
-(** {2 Deprecated aliases}
-
-    Thin wrappers over {!compile_source}, kept for existing callers.
-    [compile src] is [Src], [compile_ir] is [Ir], [compile_irs] is
-    [Units], [compile_modules] is [Srcs]. *)
-
-val compile :
-  ?profile:(string -> float array option) ->
-  ?global_promo:bool ->
-  ?explain:string * Coloring.explanation ->
-  Config.t ->
-  string ->
-  compiled
-
-val compile_ir :
-  ?profile:(string -> float array option) ->
-  ?global_promo:bool ->
-  ?explain:string * Coloring.explanation ->
-  Config.t ->
-  Ir.prog ->
-  compiled
-
-val compile_irs :
-  ?profile:(string -> float array option) ->
-  ?global_promo:bool ->
-  ?explain:string * Coloring.explanation ->
-  Config.t ->
-  Ir.prog list ->
-  compiled
-
-val compile_modules :
-  ?profile:(string -> float array option) ->
-  ?global_promo:bool ->
-  ?explain:string * Coloring.explanation ->
-  ?cache:Cache.t ->
-  Config.t ->
-  string list ->
-  compiled
-
 (** {2 Execution} *)
 
 (** [run c] simulates the compiled program on the pre-decoded engine with

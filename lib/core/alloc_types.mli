@@ -1,0 +1,48 @@
+(** Shared vocabulary between the allocator and the code generator: where a
+    virtual register lives, where parameters travel, and what must happen at
+    each call site.  Pure data — every type is concrete, constructed by the
+    allocation strategies (via {!Alloc_shared.finish}) and consumed by
+    {!Frame}/{!Emit}. *)
+
+module Machine := Chow_machine.Machine
+module Ir := Chow_ir.Ir
+
+(** Final location of a virtual register. *)
+type location =
+  | Lreg of Machine.reg
+  | Lstack  (** unallocated: lives in its frame home, scratch-loaded at use *)
+
+(** Where a parameter travels at a call boundary. *)
+type param_loc = Preg of Machine.reg | Pstack
+(** [Pstack] parameters occupy the outgoing-argument slot matching their
+    position. *)
+
+(** Everything the code generator needs for one call site. *)
+type call_plan = {
+  cp_arg_locs : param_loc list;  (** destination of each argument *)
+  cp_saves : Machine.reg list;
+      (** physical registers to save before / restore after the call, because
+          they carry a live-across range and the callee may clobber them *)
+}
+
+(** Result of allocating one procedure. *)
+type result = {
+  r_proc : Ir.proc;
+  r_assignment : location array;  (** per vreg *)
+  r_param_locs : param_loc list;  (** where this procedure's params arrive *)
+  r_param_live : bool list;
+      (** whether each parameter is live on entry; a dead-on-arrival
+          parameter needs no prologue move, and emitting one could clobber a
+          shrink-wrapped register before its save runs *)
+  r_call_plans : (Ir.label * int, call_plan) Hashtbl.t;
+      (** keyed by (block, instruction index) of the call *)
+  r_contract_saves : Machine.reg list;
+      (** callee-saved registers (from the {e callee}'s point of view) that
+          this procedure must preserve with local save/restore code *)
+  r_save_at : (Ir.label * Machine.reg) list;
+      (** shrink-wrapped placement: save [reg] at entry of [block];
+          entry/exit placement is expressed as entry-block / exit-blocks *)
+  r_restore_at : (Ir.label * Machine.reg) list;
+      (** restore [reg] at exit of [block], before the terminator *)
+  r_open : bool;  (** open procedure (default linkage) *)
+}

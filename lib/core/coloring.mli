@@ -6,7 +6,7 @@
 
 module Machine = Chow_machine.Machine
 
-type mode = {
+type mode = Alloc_shared.mode = {
   ipra : bool;  (** consume and publish inter-procedural usage summaries *)
   shrinkwrap : bool;
   is_open : bool;  (** §3 classification; forced open when [ipra] is off *)
@@ -17,7 +17,7 @@ type mode = {
 val intra_mode : shrinkwrap:bool -> mode
 
 (** Diagnostics for tests, examples and the figure benches. *)
-type stats = {
+type stats = Alloc_shared.stats = {
   s_nranges : int;  (** live ranges considered *)
   s_allocated : int;  (** ranges granted a register *)
   s_distinct_regs : int;

@@ -38,8 +38,11 @@ let find t name = List.assoc_opt name t.results
     frequencies per procedure (the paper's "feedback of profile data to the
     register allocator", §8 future work); procedures without a profile keep
     the static loop-depth estimates.  [jobs] is the parallelism used for
-    each wave (a fresh pool, ignored when [pool] supplies a shared one). *)
+    each wave (a fresh pool, ignored when [pool] supplies a shared one).
+    [strategy] selects the allocation policy (default the paper's priority
+    coloring); every strategy flows through the same IPRA publication. *)
 let allocate_program ?(ipra = false) ?(shrinkwrap = false)
+    ?(strategy = Allocator.Chow)
     ?(profile = fun (_ : string) -> (None : float array option)) ?(jobs = 1)
     ?pool ?explain (config : Machine.config) (prog : Ir.prog) =
   let callgraph = Callgraph.build prog in
@@ -69,8 +72,9 @@ let allocate_program ?(ipra = false) ?(shrinkwrap = false)
                   ("open", Trace.Str (if is_open then "yes" else "no"));
                 ]
               ("alloc:" ^ name)
-              (fun () -> Coloring.allocate ?weights ?explain config mode p)
-          else Coloring.allocate ?weights ?explain config mode p
+              (fun () ->
+                Allocator.allocate strategy ?weights ?explain config mode p)
+          else Allocator.allocate strategy ?weights ?explain config mode p
         in
         Some (name, result, info, st)
   in

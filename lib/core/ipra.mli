@@ -21,10 +21,14 @@ val find : t -> string -> Alloc_types.result option
     sequential), while [pool] supplies a shared pool instead (and [jobs]
     is ignored).  The result is bit-for-bit independent of the
     parallelism.  [explain] names one procedure whose allocation decisions
-    are recorded into the supplied {!Coloring.explanation} buffer. *)
+    are recorded into the supplied {!Coloring.explanation} buffer.
+    [strategy] selects the allocation policy (default {!Allocator.Chow});
+    every strategy publishes usage summaries through the same
+    contract. *)
 val allocate_program :
   ?ipra:bool ->
   ?shrinkwrap:bool ->
+  ?strategy:Allocator.strategy ->
   ?profile:(string -> float array option) ->
   ?jobs:int ->
   ?pool:Chow_support.Pool.t ->

@@ -1,0 +1,36 @@
+(** Live-range splitting at natural-loop granularity, the distinguishing
+    move of priority-based coloring (Chow-Hennessy [11]): a memory-resident
+    range with references inside a loop gets a fresh range spanning only
+    the loop — initialised in a preheader, substituted through the body,
+    copied back on modified exits — so at least the hot portion can be
+    granted a register.  Used speculatively by {!Coloring.allocate}:
+    {!snapshot} / {!apply} / re-allocate, and {!restore} when the split
+    did not pay off.  Pure IR surgery, re-verified after every
+    rewrite. *)
+
+module Ir := Chow_ir.Ir
+module Loops := Chow_ir.Loops
+
+(** [find_candidate p loops lr assignment ~attempted] picks the most
+    profitable (spilled vreg, loop) pair not yet in [attempted] (keyed by
+    [(vreg, loop header)]): highest in-loop weighted references (at least
+    10), range extending beyond the loop. *)
+val find_candidate :
+  Ir.proc ->
+  Loops.t ->
+  Liverange.t ->
+  Alloc_types.location array ->
+  attempted:(Ir.vreg * Ir.label, unit) Hashtbl.t ->
+  (Ir.vreg * Loops.loop) option
+
+(** Cheap structural snapshot for speculative splitting: block records are
+    copied (their instruction lists and terminators are immutable values),
+    so {!restore} just reinstates the old arrays. *)
+type snapshot
+
+val snapshot : Ir.proc -> snapshot
+val restore : Ir.proc -> snapshot -> unit
+
+(** [apply p v loop] performs the rewrite and returns the new vreg.  The
+    procedure is re-verified; block and vreg counts grow. *)
+val apply : Ir.proc -> Ir.vreg -> Loops.loop -> Ir.vreg

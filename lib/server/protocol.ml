@@ -2,7 +2,7 @@
 
 exception Malformed of string
 
-let version = 2
+let version = 3
 let max_frame = 16 * 1024 * 1024
 
 let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
@@ -17,6 +17,7 @@ type request =
       o3 : bool;
       shrinkwrap : bool;
       global_promo : bool;
+      alloc : string;  (** allocation strategy, --alloc spelling *)
       fuel : int option;
       priority : int;
     }
@@ -155,7 +156,8 @@ let encode_request req =
   Buffer.add_char b (Char.chr version);
   (match req with
   | Ping -> Buffer.add_char b '\000'
-  | Compile { id; action; srcs; o3; shrinkwrap; global_promo; fuel; priority }
+  | Compile
+      { id; action; srcs; o3; shrinkwrap; global_promo; alloc; fuel; priority }
     ->
       Buffer.add_char b '\001';
       put_int b id;
@@ -164,6 +166,7 @@ let encode_request req =
       put_bool b o3;
       put_bool b shrinkwrap;
       put_bool b global_promo;
+      put_string b alloc;
       put_option b put_int fuel;
       put_int b priority
   | Stats -> Buffer.add_char b '\002'
@@ -183,10 +186,21 @@ let decode_request payload =
         let o3 = get_bool r in
         let shrinkwrap = get_bool r in
         let global_promo = get_bool r in
+        let alloc = get_string r in
         let fuel = get_option r get_int in
         let priority = get_int r in
         Compile
-          { id; action; srcs; o3; shrinkwrap; global_promo; fuel; priority }
+          {
+            id;
+            action;
+            srcs;
+            o3;
+            shrinkwrap;
+            global_promo;
+            alloc;
+            fuel;
+            priority;
+          }
     | 2 -> Stats
     | 3 -> Shutdown
     | 4 -> Dump

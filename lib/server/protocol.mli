@@ -24,9 +24,10 @@ exception Malformed of string
 (** Protocol version carried in every frame; bumped on any incompatible
     encoding change.  Version 2 added the client-generated request id on
     [Compile], the queue-wait/service timings on [Done], and
-    [Dump]/[Dump_reply]; a frame from an old client fails the version
-    check and is answered with a clean ["protocol"] [Error], never
-    decoded as garbage. *)
+    [Dump]/[Dump_reply]; version 3 added the allocation strategy on
+    [Compile].  A frame from an old client fails the version check and is
+    answered with a clean ["protocol"] [Error], never decoded as
+    garbage. *)
 val version : int
 
 (** Upper bound on a frame's payload, in bytes (16 MiB). *)
@@ -48,6 +49,10 @@ type request =
       o3 : bool;
       shrinkwrap : bool;
       global_promo : bool;
+      alloc : string;
+          (** allocation strategy in [--alloc] spelling ([chow], [linear],
+              [spill-all]); an unknown name is answered with a
+              ["protocol"] [Error] *)
       fuel : int option;  (** simulation fuel for [Run]/[Profile] *)
       priority : int;
           (** scheduling priority: higher runs sooner; 0 = normal *)

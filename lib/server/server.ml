@@ -5,6 +5,7 @@ module Config = Chow_compiler.Config
 module Pipeline = Chow_compiler.Pipeline
 module Cache = Chow_compiler.Cache
 module Machine = Chow_machine.Machine
+module Allocator = Chow_core.Allocator
 module Diag = Chow_frontend.Diag
 module Link = Chow_codegen.Link
 module Objfile = Chow_codegen.Objfile
@@ -123,7 +124,7 @@ let flight_dump ~path reason =
 
 (* ----- request execution ----- *)
 
-let config_of ~o3 ~shrinkwrap =
+let config_of ~o3 ~shrinkwrap ~alloc =
   {
     Config.name =
       Printf.sprintf "%s%s" (if o3 then "-O3" else "-O2")
@@ -133,6 +134,7 @@ let config_of ~o3 ~shrinkwrap =
     machine = Machine.full;
     (* worker parallelism is across requests; within one it is sequential *)
     jobs = 1;
+    alloc;
   }
 
 let link_summary (compiled : Pipeline.compiled) =
@@ -144,10 +146,10 @@ let link_summary (compiled : Pipeline.compiled) =
 
 (** Compile (and run / profile) one request; every failure mode crosses
     the wire as an [Error] reply, rendered once, here. *)
-let exec ?cache ~action ~srcs ~o3 ~shrinkwrap ~global_promo ~fuel () =
+let exec ?cache ~action ~srcs ~o3 ~shrinkwrap ~global_promo ~alloc ~fuel () =
   let err kind fmt = Printf.ksprintf (fun m -> Protocol.Error { kind; message = m }) fmt in
   try
-    let config = config_of ~o3 ~shrinkwrap in
+    let config = config_of ~o3 ~shrinkwrap ~alloc in
     match
       Pipeline.compile_result ~global_promo ?cache config (Pipeline.Srcs srcs)
     with
@@ -202,7 +204,7 @@ let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
     if the peer vanished, which counts the request as failed, not
     completed. *)
 let run_job t ~send ~req ~submit_ns ~submit_trace_ns ~action ~srcs ~o3
-    ~shrinkwrap ~global_promo ~fuel () =
+    ~shrinkwrap ~global_promo ~alloc ~fuel () =
   let wait_ns = max 0 (now_ns () - submit_ns) in
   Metrics.observe h_queue_wait (wait_ns / 1000);
   Metrics.observe (class_hist action "queue_wait_us") (wait_ns / 1000);
@@ -217,7 +219,8 @@ let run_job t ~send ~req ~submit_ns ~submit_trace_ns ~action ~srcs ~o3
   let reply =
     Trace.span "request"
       ~args:[ ("req", Trace.Int req) ]
-      (exec ?cache:t.cache ~action ~srcs ~o3 ~shrinkwrap ~global_promo ~fuel)
+      (exec ?cache:t.cache ~action ~srcs ~o3 ~shrinkwrap ~global_promo ~alloc
+         ~fuel)
   in
   let service_ns = now_ns () - t0 in
   Context.clear_request ();
@@ -320,8 +323,8 @@ let handle_connection t id conn =
            finally marks it done and any in-flight jobs have replied *)
     | Some
         (Protocol.Compile
-           { id = req; action; srcs; o3; shrinkwrap; global_promo; fuel;
-             priority }) ->
+           { id = req; action; srcs; o3; shrinkwrap; global_promo; alloc;
+             fuel; priority }) ->
         if Log.is_on Log.Debug then
           Log.debug ~req "submit"
             [
@@ -331,11 +334,24 @@ let handle_connection t id conn =
               ("priority", Log.Int priority);
             ];
         Flight.record ~req ~detail:(class_name action) "submit";
+        match Allocator.of_string alloc with
+        | None ->
+            (try
+               send
+                 (Protocol.Error
+                    {
+                      kind = "protocol";
+                      message =
+                        Printf.sprintf "unknown allocation strategy %S" alloc;
+                    })
+             with _ -> ());
+            loop ()
+        | Some alloc ->
         let submit_ns = now_ns () in
         let submit_trace_ns = Trace.elapsed_ns () in
         let work =
           run_job t ~send ~req ~submit_ns ~submit_trace_ns ~action ~srcs ~o3
-            ~shrinkwrap ~global_promo ~fuel
+            ~shrinkwrap ~global_promo ~alloc ~fuel
         in
         (* the job holds a reference on the connection from submission
            until its reply is sent (or fails): the fd stays valid for the

@@ -112,7 +112,7 @@ let prop_parallel_random =
 
 let frame_of src proc_name =
   let compiled =
-    Chow_compiler.Pipeline.compile Chow_compiler.Config.baseline src
+    Chow_compiler.Pipeline.compile_source Chow_compiler.Config.baseline (Chow_compiler.Pipeline.Src src)
   in
   let res =
     List.find_map
@@ -161,12 +161,12 @@ proc main() { print(wide(1, 2, 3, 4, 5, 6)); }
 
 let test_link_resolves_everything () =
   let compiled =
-    Chow_compiler.Pipeline.compile Chow_compiler.Config.baseline
-      {|
+    Chow_compiler.Pipeline.compile_source Chow_compiler.Config.baseline
+      (Chow_compiler.Pipeline.Src {|
 var g = 2;
 proc f(x) { return x * g; }
 proc main() { var p = &f; print(p(10)); print(f(1)); }
-|}
+|})
   in
   let prog = (Chow_compiler.Pipeline.program compiled) in
   Array.iteri

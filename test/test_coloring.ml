@@ -248,7 +248,7 @@ proc main() {
         info.Usage.param_locs);
   (* and behaviour matches the baseline *)
   let run cfg =
-    (Chow_compiler.Pipeline.run (Chow_compiler.Pipeline.compile cfg src))
+    (Chow_compiler.Pipeline.run (Chow_compiler.Pipeline.compile_source cfg (Chow_compiler.Pipeline.Src src)))
       .Chow_sim.Sim.output
   in
   Alcotest.(check (list int)) "same output"

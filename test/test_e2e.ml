@@ -7,7 +7,7 @@ module Pipeline = Chow_compiler.Pipeline
 module Sim = Chow_sim.Sim
 
 let run ?(config = Config.baseline) src =
-  (Pipeline.run (Pipeline.compile config src)).Sim.output
+  (Pipeline.run (Pipeline.compile_source config (Pipeline.Src src))).Sim.output
 
 let check_output ?config name src expected =
   Alcotest.(check (list int)) name expected (run ?config src)
@@ -131,7 +131,7 @@ let test_array_bounds_trap () =
 
 let test_infinite_loop_runs_out_of_fuel () =
   let src = "proc main() { var x = 1; while (x == 1) { x = 1; } }" in
-  let c = Pipeline.compile Config.baseline src in
+  let c = Pipeline.compile_source Config.baseline (Pipeline.Src src) in
   match Pipeline.run ~fuel:10_000 c with
   | _ -> Alcotest.fail "expected fuel exhaustion"
   | exception Sim.Runtime_error msg ->
@@ -158,7 +158,7 @@ proc main() { print(api(9)); }
 
 let test_extern_without_definition_fails_at_link () =
   let src = "extern proc missing(a); proc main() { print(missing(1)); }" in
-  match Pipeline.compile Config.baseline src with
+  match Pipeline.compile_source Config.baseline (Pipeline.Src src) with
   | _ -> Alcotest.fail "expected link failure"
   | exception Chow_codegen.Link.Undefined_procedure "missing" -> ()
 

@@ -14,7 +14,7 @@ module W = Chow_workloads.Workloads
 let outputs_under src configs =
   List.map
     (fun (config : Config.t) ->
-      let c = Pipeline.compile config src in
+      let c = Pipeline.compile_source config (Pipeline.Src src) in
       (config.Config.name, (Pipeline.run c).Sim.output))
     configs
 
@@ -42,6 +42,7 @@ let tiny_configs =
       shrinkwrap = true;
       machine = Machine.restrict ~n_caller:2 ~n_callee:0 ~n_param:2;
       jobs = 1;
+      alloc = Chow_core.Allocator.Chow;
     };
     {
       Config.name = "tiny-1callee";
@@ -49,6 +50,7 @@ let tiny_configs =
       shrinkwrap = true;
       machine = Machine.restrict ~n_caller:0 ~n_callee:1 ~n_param:0;
       jobs = 1;
+      alloc = Chow_core.Allocator.Chow;
     };
     {
       Config.name = "tiny-1caller-nosw";
@@ -56,6 +58,7 @@ let tiny_configs =
       shrinkwrap = false;
       machine = Machine.restrict ~n_caller:1 ~n_callee:1 ~n_param:1;
       jobs = 1;
+      alloc = Chow_core.Allocator.Chow;
     };
   ]
 
@@ -72,7 +75,7 @@ let prop_random_equivalence =
       let src = Genprog.generate ~seed () in
       (* also exercise the global-promotion pass and profile feedback *)
       let promoted =
-        Pipeline.run (Pipeline.compile ~global_promo:true Config.o3_sw src)
+        Pipeline.run (Pipeline.compile_source ~global_promo:true Config.o3_sw (Pipeline.Src src))
       in
       let profiled, _ = Pipeline.compile_with_profile Config.o3_sw src in
       let profiled = Pipeline.run profiled in

@@ -137,7 +137,7 @@ let test_lower_short_circuit () =
     "proc main() { var a = 0; var b = 7; if (a != 0 && 10 / a > b) { \
      print(1); } else { print(2); } }"
   in
-  let c = Chow_compiler.Pipeline.compile Chow_compiler.Config.baseline src in
+  let c = Chow_compiler.Pipeline.compile_source Chow_compiler.Config.baseline (Chow_compiler.Pipeline.Src src) in
   let o = Chow_compiler.Pipeline.run c in
   Alcotest.(check (list int)) "no div-by-zero" [ 2 ] o.Chow_sim.Sim.output
 

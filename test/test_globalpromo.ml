@@ -12,7 +12,7 @@ let promotions src =
   Globalpromo.transform ir
 
 let run ?(global_promo = false) src =
-  Pipeline.run (Pipeline.compile ~global_promo Config.o3_sw src)
+  Pipeline.run (Pipeline.compile_source ~global_promo Config.o3_sw (Pipeline.Src src))
 
 let test_promotes_in_leafy_proc () =
   let n =

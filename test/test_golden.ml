@@ -30,7 +30,7 @@ let test_one (name, expected) () =
   match W.find name with
   | None -> Alcotest.failf "workload %s missing" name
   | Some w ->
-      let o = Pipeline.run (Pipeline.compile Config.baseline w.W.source) in
+      let o = Pipeline.run (Pipeline.compile_source Config.baseline (Pipeline.Src w.W.source)) in
       Alcotest.(check (list int)) name expected o.Sim.output
 
 let test_every_workload_pinned () =

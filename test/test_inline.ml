@@ -20,7 +20,7 @@ let proc_of unit_ir name =
   | None -> Alcotest.failf "no procedure %s" name
 
 let run_ir unit_ir =
-  (Pipeline.run (Pipeline.compile_ir Config.o3_sw unit_ir)).Sim.output
+  (Pipeline.run (Pipeline.compile_source Config.o3_sw (Pipeline.Ir unit_ir))).Sim.output
 
 (** Replace [name]'s body in the unit with [p]. *)
 let with_proc unit_ir name p =

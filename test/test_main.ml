@@ -28,6 +28,7 @@ let () =
       Test_globalpromo.suite;
       Test_split.suite;
       Test_equivalence.suite;
+      Test_alloc_strategies.suite;
       Test_parallel.suite;
       Test_obs.suite;
       Test_log.suite;

@@ -29,12 +29,12 @@ export proc cube(x) { return x * square(x); }
 |}
 
 let test_two_units_run () =
-  let c = Pipeline.compile_modules Config.o3_sw [ unit_main; unit_math ] in
+  let c = Pipeline.compile_source Config.o3_sw (Pipeline.Srcs [ unit_main; unit_math ]) in
   let o = Pipeline.run c in
   Alcotest.(check (list int)) "output" [ 25; 27; 16 ] o.Sim.output
 
 let test_cross_unit_is_open () =
-  let c = Pipeline.compile_modules Config.o3_sw [ unit_main; unit_math ] in
+  let c = Pipeline.compile_source Config.o3_sw (Pipeline.Srcs [ unit_main; unit_math ]) in
   (* within the math unit, [square] is exported hence open; within the main
      unit, [local_helper] is closed despite calling an extern *)
   let find_result name =
@@ -65,15 +65,15 @@ proc main() {
 }
 |}
   in
-  let one = Pipeline.run (Pipeline.compile Config.o3_sw whole) in
+  let one = Pipeline.run (Pipeline.compile_source Config.o3_sw (Pipeline.Src whole)) in
   let two =
-    Pipeline.run (Pipeline.compile_modules Config.o3_sw [ unit_main; unit_math ])
+    Pipeline.run (Pipeline.compile_source Config.o3_sw (Pipeline.Srcs [ unit_main; unit_math ]))
   in
   Alcotest.(check (list int))
     "same behaviour" one.Sim.output two.Sim.output
 
 let test_missing_unit_fails () =
-  match Pipeline.compile_modules Config.baseline [ unit_main ] with
+  match Pipeline.compile_source Config.baseline (Pipeline.Srcs [ unit_main ]) with
   | _ -> Alcotest.fail "expected undefined procedure"
   | exception Chow_codegen.Link.Undefined_procedure _ -> ()
 
@@ -105,7 +105,7 @@ proc main() {
 }
 |}
   in
-  let o = Pipeline.run (Pipeline.compile_modules Config.o3_sw [ main_unit; lib ]) in
+  let o = Pipeline.run (Pipeline.compile_source Config.o3_sw (Pipeline.Srcs [ main_unit; lib ])) in
   Alcotest.(check (list int)) "split nim helpers" [ 3 * 256 + 5 * 16 + 7; 3; 5; 7 ]
     o.Sim.output
 

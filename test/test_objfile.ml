@@ -404,16 +404,16 @@ let test_compile_result_errors () =
   | Error e -> Alcotest.failf "valid program rejected: %s" (Diag.to_string e)
 
 let test_legacy_aliases_still_raise () =
-  (match Pipeline.compile Config.baseline "proc main( {}" with
+  (match Pipeline.compile_source Config.baseline (Pipeline.Src "proc main( {}") with
   | _ -> Alcotest.fail "expected Parser.Error"
   | exception Chow_frontend.Parser.Error _ -> ());
-  (match Pipeline.compile_modules Config.baseline [] with
+  (match Pipeline.compile_source Config.baseline (Pipeline.Srcs []) with
   | _ -> Alcotest.fail "expected Check.Error"
   | exception Chow_frontend.Check.Error msg ->
       Alcotest.(check string) "message" "no compilation units" msg);
   (* the alias surface still compiles real programs *)
   let o =
-    Pipeline.run (Pipeline.compile_modules Config.o3_sw two_units)
+    Pipeline.run (Pipeline.compile_source Config.o3_sw (Pipeline.Srcs two_units))
   in
   Alcotest.(check (list int)) "aliases still work" [ 32; 27 ] o.Sim.output
 
@@ -444,6 +444,6 @@ let suite =
         test_concurrent_domains;
       Alcotest.test_case "diag: compile_result reifies front-end errors"
         `Quick test_compile_result_errors;
-      Alcotest.test_case "diag: legacy aliases still raise" `Quick
+      Alcotest.test_case "diag: legacy exceptions still raise" `Quick
         test_legacy_aliases_still_raise;
     ] )

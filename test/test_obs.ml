@@ -99,7 +99,7 @@ let test_trace_pipeline () =
   Trace.reset ();
   Trace.enable ();
   let compiled =
-    Pipeline.compile (Config.with_jobs 4 Config.o3_sw) (source_of "nim")
+    Pipeline.compile_source (Config.with_jobs 4 Config.o3_sw) (Pipeline.Src (source_of "nim"))
   in
   ignore (Sim.run (Pipeline.program compiled));
   Trace.disable ();
@@ -345,7 +345,7 @@ let test_metrics_parallel_deterministic () =
   let dump_with jobs =
     Metrics.reset ();
     Metrics.enable ();
-    ignore (Pipeline.compile (Config.with_jobs jobs Config.o3_sw) uopt);
+    ignore (Pipeline.compile_source (Config.with_jobs jobs Config.o3_sw) (Pipeline.Src uopt));
     Metrics.disable ();
     let d = Metrics.dump () in
     Metrics.reset ();
@@ -358,7 +358,7 @@ let test_metrics_parallel_deterministic () =
 let test_sim_metrics_match_outcome () =
   Metrics.reset ();
   Metrics.enable ();
-  let compiled = Pipeline.compile Config.o3_sw (source_of "nim") in
+  let compiled = Pipeline.compile_source Config.o3_sw (Pipeline.Src (source_of "nim")) in
   let o = Sim.run ~profile:true (Pipeline.program compiled) in
   Metrics.disable ();
   let dump = Metrics.dump () in
@@ -406,7 +406,9 @@ proc main() {
 
 let explain_for proc =
   let buf = ref [] in
-  ignore (Pipeline.compile ~explain:(proc, buf) Config.o3_sw explain_src);
+  ignore
+    (Pipeline.compile_source ~explain:(proc, buf) Config.o3_sw
+       (Pipeline.Src explain_src));
   Format.asprintf "%a" Coloring.pp_explanation !buf
 
 let test_explain_golden () =

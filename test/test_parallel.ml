@@ -173,7 +173,7 @@ let test_alloc_deterministic_random () =
 let check_asm_identical name src =
   let compile jobs =
     Pipeline.program
-      (Pipeline.compile (Config.with_jobs jobs Config.o3_sw) src)
+      (Pipeline.compile_source (Config.with_jobs jobs Config.o3_sw) (Pipeline.Src src))
   in
   if not (compile 1 = compile 4) then
     Alcotest.failf "%s: assembly differs between -j 1 and -j 4" name

@@ -19,7 +19,7 @@ let source_of name =
   | None -> Alcotest.failf "unknown workload %s" name
 
 let profile_of ?(config = Config.o3_sw) src =
-  Pipeline.profile_penalty (Pipeline.compile config src)
+  Pipeline.profile_penalty (Pipeline.compile_source config (Pipeline.Src src))
 
 (* share the expensive uopt profiles across cases *)
 let uopt_o3sw = lazy (profile_of (source_of "uopt"))
@@ -45,7 +45,7 @@ let test_matches_reference_engine () =
   List.iter
     (fun (config : Config.t) ->
       let prog =
-        Pipeline.program (Pipeline.compile config (source_of "nim"))
+        Pipeline.program (Pipeline.compile_source config (Pipeline.Src (source_of "nim")))
       in
       let r = Profile.run prog in
       let ref_o = Sim.run_reference prog in
@@ -201,7 +201,7 @@ let test_report_truncation_trailer () =
     with the default cap the count is zero and the tree is complete. *)
 let test_tree_cap_reported () =
   let prog =
-    Pipeline.program (Pipeline.compile Config.baseline golden_src)
+    Pipeline.program (Pipeline.compile_source Config.baseline (Pipeline.Src golden_src))
   in
   Metrics.reset ();
   Metrics.enable ();

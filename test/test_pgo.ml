@@ -36,7 +36,7 @@ let fresh_cache name =
 (** Measure a penalty profile of [src] under [config] and distill it to
     an artifact, exactly as [pawnc profile --emit] does. *)
 let measure ?(config = Config.o3_sw) src =
-  let compiled = Pipeline.compile config src in
+  let compiled = Pipeline.compile_source config (Pipeline.Src src) in
   let r = Pipeline.profile_penalty compiled in
   Profile.artifact
     ~source_digest:(Pipeline.source_digest [ src ])

@@ -52,13 +52,13 @@ proc main() { print(a + arr[0] + arr[1] + arr[4] + b + c); }
     "init entries"
     [ (0, 7); (1, 1); (2, 2); (7, -3) ]
     (List.sort compare init);
-  let o = Pipeline.run (Pipeline.compile Config.baseline {|
+  let o = Pipeline.run (Pipeline.compile_source Config.baseline (Pipeline.Src {|
 var a = 7;
 var arr[5] = {1, 2};
 var b = 0;
 var c = -3;
 proc main() { print(a + arr[0] + arr[1] + arr[4] + b + c); }
-|}) in
+|})) in
   Alcotest.(check (list int)) "initialisation observed" [ 7 ] o.Sim.output
 
 let test_compile_modules_options () =
@@ -72,9 +72,9 @@ proc remember(x) { cache = cache + x; return cache; }
 proc main() { print(sq(4)); print(remember(2)); print(remember(3)); }
 |}
   in
-  let plain = Pipeline.compile_modules Config.o3_sw [ app; lib ] in
+  let plain = Pipeline.compile_source Config.o3_sw (Pipeline.Srcs [ app; lib ]) in
   let promoted =
-    Pipeline.compile_modules ~global_promo:true Config.o3_sw [ app; lib ]
+    Pipeline.compile_source ~global_promo:true Config.o3_sw (Pipeline.Srcs [ app; lib ])
   in
   Alcotest.(check (list int)) "promotion composes"
     (Pipeline.run plain).Sim.output

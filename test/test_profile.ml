@@ -23,7 +23,7 @@ proc main() {
 |}
 
 let test_block_counts_collected () =
-  let c = Pipeline.compile Config.baseline src_loopy in
+  let c = Pipeline.compile_source Config.baseline (Pipeline.Src src_loopy) in
   let o = Pipeline.run ~profile:true c in
   Alcotest.(check bool) "counts present" true (o.Sim.block_counts <> []);
   (* the loop body of main executed 25 times *)
@@ -41,7 +41,7 @@ let test_block_counts_collected () =
   Alcotest.(check (option int)) "entry once" (Some 1) entry
 
 let test_no_profile_no_counts () =
-  let c = Pipeline.compile Config.baseline src_loopy in
+  let c = Pipeline.compile_source Config.baseline (Pipeline.Src src_loopy) in
   let o = Pipeline.run c in
   Alcotest.(check bool) "no counts by default" true (o.Sim.block_counts = [])
 
@@ -94,10 +94,11 @@ let small_config =
     shrinkwrap = true;
     machine = Machine.restrict ~n_caller:2 ~n_callee:1 ~n_param:2;
     jobs = 1;
+    alloc = Chow_core.Allocator.Chow;
   }
 
 let test_profile_preserves_behaviour () =
-  let static = Pipeline.run (Pipeline.compile small_config src_mispredicted) in
+  let static = Pipeline.run (Pipeline.compile_source small_config (Pipeline.Src src_mispredicted)) in
   let profiled, training =
     Pipeline.compile_with_profile small_config src_mispredicted
   in
@@ -108,7 +109,7 @@ let test_profile_preserves_behaviour () =
     profiled_o.Sim.output
 
 let test_profile_improves_allocation () =
-  let static = Pipeline.run (Pipeline.compile small_config src_mispredicted) in
+  let static = Pipeline.run (Pipeline.compile_source small_config (Pipeline.Src src_mispredicted)) in
   let profiled, _ =
     Pipeline.compile_with_profile small_config src_mispredicted
   in
@@ -126,7 +127,7 @@ let test_profile_on_workload_equivalent () =
   match Chow_workloads.Workloads.find "nim" with
   | None -> Alcotest.fail "nim missing"
   | Some w ->
-      let static = Pipeline.run (Pipeline.compile Config.o3_sw w.source) in
+      let static = Pipeline.run (Pipeline.compile_source Config.o3_sw (Pipeline.Src w.source)) in
       let profiled, _ =
         Pipeline.compile_with_profile Config.o3_sw w.source
       in

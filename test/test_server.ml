@@ -34,6 +34,7 @@ let sample_requests =
         o3 = true;
         shrinkwrap = false;
         global_promo = true;
+        alloc = "chow";
         fuel = None;
         priority = 0;
       };
@@ -45,6 +46,7 @@ let sample_requests =
         o3 = false;
         shrinkwrap = true;
         global_promo = false;
+        alloc = "spill-all";
         fuel = Some 123_456_789;
         priority = -7;
       };
@@ -57,6 +59,7 @@ let sample_requests =
         o3 = true;
         shrinkwrap = true;
         global_promo = false;
+        alloc = "linear";
         fuel = Some 0;
         priority = max_int;
       };
@@ -236,7 +239,8 @@ let with_server ?(workers = 2) ?(queue_bound = 16) name f =
         (Client.wait_ready ~socket_path ());
       f socket_path)
 
-let compile_req ?(action = Protocol.Run) ?(priority = 0) ?(id = -1) srcs =
+let compile_req ?(action = Protocol.Run) ?(priority = 0) ?(id = -1)
+    ?(alloc = "chow") srcs =
   Protocol.Compile
     {
       id;
@@ -245,6 +249,7 @@ let compile_req ?(action = Protocol.Run) ?(priority = 0) ?(id = -1) srcs =
       o3 = true;
       shrinkwrap = true;
       global_promo = false;
+      alloc;
       fuel = None;
       priority;
     }
@@ -370,6 +375,28 @@ let test_server_end_to_end () =
                         true (has name))
                     [ "submit"; "exec-start"; "exec-done"; "reply-sent" ])
           | _ -> Alcotest.fail "Dump failed"))
+
+(* the daemon validates the request's allocation strategy by name: a
+   known non-default strategy compiles and runs to the same output, an
+   unknown name answers a protocol Error instead of touching a worker *)
+let test_server_alloc_strategies () =
+  with_server "alloc" (fun socket_path ->
+      Client.with_connection ~socket_path (fun c ->
+          (match Client.request c (compile_req ~alloc:"spill-all" [ good_src ]) with
+          | Protocol.Done { text; _ } ->
+              Alcotest.(check string) "spill-all output" "42" text
+          | _ -> Alcotest.fail "spill-all request failed");
+          (match Client.request c (compile_req ~alloc:"nonsense" [ good_src ]) with
+          | Protocol.Error { kind = "protocol"; message } ->
+              Alcotest.(check bool)
+                "diagnostic names the strategy" true
+                (contains "nonsense" message)
+          | _ -> Alcotest.fail "unknown strategy did not answer a protocol Error");
+          (* the daemon is still healthy afterwards *)
+          match Client.request c (compile_req ~alloc:"linear" [ good_src ]) with
+          | Protocol.Done { text; _ } ->
+              Alcotest.(check string) "linear output" "42" text
+          | _ -> Alcotest.fail "linear request failed"))
 
 let test_server_busy_backpressure () =
   (* one worker, a queue of one: a burst of pipelined requests must get
@@ -692,6 +719,8 @@ let suite =
         test_server_end_to_end;
       Alcotest.test_case "daemon: overload answers Busy" `Quick
         test_server_busy_backpressure;
+      Alcotest.test_case "daemon: alloc strategy validated by name" `Quick
+        test_server_alloc_strategies;
       Alcotest.test_case "daemon: malformed frame contained" `Quick
         test_server_malformed_frame;
       Alcotest.test_case "daemon: vanished client counted failed" `Quick

@@ -99,7 +99,7 @@ proc f(x) { g = g + x; return g; }
 proc main() { print(f(1)); print(f(2)); }
 |}
   in
-  let c = Pipeline.compile Config.baseline src in
+  let c = Pipeline.compile_source Config.baseline (Pipeline.Src src) in
   let o = Pipeline.run c in
   Alcotest.(check (list int)) "output" [ 2; 4 ] o.Sim.output;
   Alcotest.(check int) "three calls (main, f, f)" 3 o.Sim.calls;
@@ -118,7 +118,7 @@ proc down(n) { if (n == 0) { return 0; } return down(n - 1) + 1; }
 proc main() { print(down(50)); }
 |}
   in
-  let o = Pipeline.run (Pipeline.compile Config.baseline src) in
+  let o = Pipeline.run (Pipeline.compile_source Config.baseline (Pipeline.Src src)) in
   Alcotest.(check bool) "save loads > 40" true (o.Sim.save_loads > 40);
   Alcotest.(check bool) "save traffic within scalar metric" true
     (o.Sim.scalar_loads >= o.Sim.save_loads)
@@ -146,7 +146,7 @@ proc forever(n) { return forever(n + 1); }
 proc main() { print(forever(0)); }
 |}
   in
-  let c = Pipeline.compile Config.baseline src in
+  let c = Pipeline.compile_source Config.baseline (Pipeline.Src src) in
   match Pipeline.run c with
   | _ -> Alcotest.fail "expected stack overflow"
   | exception Sim.Runtime_error msg ->
@@ -198,7 +198,7 @@ let check_engines_agree ?fuel ?profile name prog =
 
 let test_diff_fuel_exhaustion () =
   let src = "proc main() { var x = 1; while (x == 1) { x = 1; } }" in
-  let prog = Pipeline.program (Pipeline.compile Config.baseline src) in
+  let prog = Pipeline.program (Pipeline.compile_source Config.baseline (Pipeline.Src src)) in
   check_engines_agree ~fuel:100 "fuel" prog;
   match capture (fun () -> Sim.run ~fuel:100 prog) with
   | Ok _ -> Alcotest.fail "expected fuel exhaustion"
@@ -250,7 +250,7 @@ let test_diff_profile_counts () =
   let w = Option.get (Chow_workloads.Workloads.find "nim") in
   let prog =
     Pipeline.program
-      (Pipeline.compile Config.o3_sw w.Chow_workloads.Workloads.source)
+      (Pipeline.compile_source Config.o3_sw (Pipeline.Src w.Chow_workloads.Workloads.source))
   in
   let d = Sim.run ~profile:true prog in
   let r = Sim.run_reference ~profile:true prog in
@@ -289,7 +289,7 @@ let prop_differential =
       let src = Genprog.generate ~seed () in
       let rng = Random.State.make [| seed; 0xd1ff |] in
       let config = if seed mod 2 = 0 then Config.o3_sw else Config.baseline in
-      let prog = Pipeline.program (Pipeline.compile config src) in
+      let prog = Pipeline.program (Pipeline.compile_source config (Pipeline.Src src)) in
       check_engines_agree ~profile:true (Printf.sprintf "seed %d" seed) prog;
       (* bounded fuel: a mutation can loop or recurse without limit *)
       let mname, mutated = mutate rng prog in

@@ -43,7 +43,7 @@ let check_agree name (prog : Chow_codegen.Asm.program) =
 let test_workload (w : W.t) () =
   List.iter
     (fun (config : Config.t) ->
-      let c = Pipeline.compile config w.W.source in
+      let c = Pipeline.compile_source config (Pipeline.Src w.W.source) in
       check_agree
         (Printf.sprintf "%s/%s" w.W.name config.Config.name)
         (Pipeline.program c))

@@ -17,6 +17,7 @@ let config_with n =
     shrinkwrap = true;
     machine = Machine.restrict ~n_caller:(min n 11) ~n_callee:0 ~n_param:0;
     jobs = 1;
+    alloc = Chow_core.Allocator.Chow;
   }
 
 let splits_of (c : Pipeline.compiled) name =
@@ -63,7 +64,7 @@ proc main() {
 |}
 
 let test_profitable_split_fires () =
-  let c = Pipeline.compile (config_with 5) profitable_src in
+  let c = Pipeline.compile_source (config_with 5) (Pipeline.Src profitable_src) in
   Alcotest.(check int) "one split kept in f" 1 (splits_of c "f");
   (* the rewrite shows up in the IR: a vreg named keep@split *)
   let f = Option.get (Ir.find_proc (Pipeline.ir c) "f") in
@@ -76,9 +77,9 @@ let test_profitable_split_fires () =
 
 let test_split_improves_traffic () =
   let base =
-    Pipeline.run (Pipeline.compile Config.baseline profitable_src)
+    Pipeline.run (Pipeline.compile_source Config.baseline (Pipeline.Src profitable_src))
   in
-  let split = Pipeline.run (Pipeline.compile (config_with 5) profitable_src) in
+  let split = Pipeline.run (Pipeline.compile_source (config_with 5) (Pipeline.Src profitable_src)) in
   Alcotest.(check (list int)) "behaviour preserved" base.Sim.output
     split.Sim.output;
   (* the split range's loop traffic now travels in a register *)
@@ -112,7 +113,7 @@ proc main() {
 |}
 
 let test_hopeless_splits_rolled_back () =
-  let c = Pipeline.compile (config_with 3) pathological_src in
+  let c = Pipeline.compile_source (config_with 3) (Pipeline.Src pathological_src) in
   Alcotest.(check int) "no split survives in hot" 0 (splits_of c "hot");
   (* the rollback leaves no trace in the IR *)
   let hot = Option.get (Ir.find_proc (Pipeline.ir c) "hot") in
@@ -124,7 +125,7 @@ let test_hopeless_splits_rolled_back () =
       hot.Ir.vreg_kinds
   in
   Alcotest.(check bool) "no residual @split vregs" false has_split_vreg;
-  let base = Pipeline.run (Pipeline.compile Config.baseline pathological_src) in
+  let base = Pipeline.run (Pipeline.compile_source Config.baseline (Pipeline.Src pathological_src)) in
   let o = Pipeline.run c in
   Alcotest.(check (list int)) "behaviour preserved" base.Sim.output o.Sim.output
 
@@ -135,7 +136,7 @@ let test_full_machine_never_splits_workloads () =
       match Chow_workloads.Workloads.find name with
       | None -> Alcotest.failf "missing %s" name
       | Some w ->
-          let c = Pipeline.compile Config.o3_sw w.Chow_workloads.Workloads.source in
+          let c = Pipeline.compile_source Config.o3_sw (Pipeline.Src w.Chow_workloads.Workloads.source) in
           List.iter
             (fun (alloc : Ipra.t) ->
               List.iter
@@ -157,11 +158,11 @@ let test_workloads_equivalent_on_tiny_machines () =
       | Some w ->
           let base =
             Pipeline.run
-              (Pipeline.compile Config.baseline w.Chow_workloads.Workloads.source)
+              (Pipeline.compile_source Config.baseline (Pipeline.Src w.Chow_workloads.Workloads.source))
           in
           let tiny =
             Pipeline.run
-              (Pipeline.compile (config_with 4) w.Chow_workloads.Workloads.source)
+              (Pipeline.compile_source (config_with 4) (Pipeline.Src w.Chow_workloads.Workloads.source))
           in
           Alcotest.(check (list int)) (name ^ " output") base.Sim.output
             tiny.Sim.output)

@@ -11,7 +11,7 @@ module W = Chow_workloads.Workloads
 let run name =
   match W.find name with
   | None -> Alcotest.failf "workload %s missing" name
-  | Some w -> Pipeline.run (Pipeline.compile Config.baseline w.W.source)
+  | Some w -> Pipeline.run (Pipeline.compile_source Config.baseline (Pipeline.Src w.W.source))
 
 let head n xs = List.filteri (fun i _ -> i < n) xs
 
