@@ -17,12 +17,17 @@
       host the 4-shard server must sustain strictly higher throughput;
       the [server/meta/cores] row lets the regression gate skip that
       check on starved machines);
+    - [warm-sampled]: the warm mix re-run with the continuous telemetry
+      sampler armed at an aggressive 200ms interval (5x the production
+      default) — the pair that measures what background sampling costs
+      (the regression gate holds its p50 within 1.1x of the silent warm
+      mix);
     - [warm-logged]: the warm mix re-run with the structured log enabled
       at info — the pair that measures what logging costs (the
       regression gate holds its p50 within 2x of the silent warm mix).
-      It runs directly after [warm] so the pair shares machine
+      Both re-runs sit directly after [warm] so each pair shares machine
       conditions: mixes late in the sequence drift upward on a loaded
-      host, and the 2x budget must gate logging, not position.
+      host, and the budgets must gate telemetry, not position.
 
     Each mix also reports [server/<mix>/queue_wait_p99]: the p99 of the
     server-side [server.build.queue_wait_us] histogram over exactly that
@@ -118,15 +123,19 @@ type running = {
   thread : Thread.t;
 }
 
-let start ~shards ~workers =
+let start ?(sampled = false) ~shards ~workers () =
   let dir = Filename.temp_file "chow88-serve-bench" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o755;
   let sock = Filename.concat dir "s.sock" in
+  let telemetry_path =
+    if sampled then Some (Filename.concat dir "telemetry.jsonl") else None
+  in
   let server =
     Server.create ~workers ~queue_bound:256
       ~cache_dir:(Filename.concat dir "cache")
-      ~cache_shards:shards ~socket_path:sock ()
+      ~cache_shards:shards ?telemetry_path ~sample_interval:0.2
+      ~socket_path:sock ()
   in
   let thread = Thread.create Server.serve server in
   if not (Client.wait_ready ~socket_path:sock ()) then
@@ -217,8 +226,8 @@ let stats_snapshot sock =
       | _ -> failwith "serve bench: Stats request failed")
 
 let run_mix ~name ~shards ~workers ~concurrency ~total ?(logged = false)
-    make_req ~seed =
-  let r = start ~shards ~workers in
+    ?(sampled = false) make_req ~seed =
+  let r = start ~sampled ~shards ~workers () in
   Fun.protect
     ~finally:(fun () -> stop r)
     (fun () ->
@@ -271,9 +280,18 @@ let rows ~smoke () =
       (fun i -> build_req ~id:i (warm_src i))
       ~seed:true
   in
-  (* directly after [warm]: the 2x logging budget compares these two, so
-     they must not sit at opposite ends of the sequence where slow drift
-     on a loaded host would masquerade as logging cost *)
+  (* directly after [warm]: the 1.1x sampling budget compares these two,
+     so they must not sit at opposite ends of the sequence where slow
+     drift on a loaded host would masquerade as telemetry cost.  The
+     sampler runs at an aggressive 200ms (5x the default rate) — if 5
+     snapshots a second fit the budget, the default 1s surely does *)
+  let sampled =
+    run_mix ~name:"warm-sampled" ~shards:4 ~workers ~concurrency
+      ~total:(scale 2000) ~sampled:true
+      (fun i -> build_req ~id:i (warm_src i))
+      ~seed:true
+  in
+  (* the 2x logging budget likewise compares warm-logged against warm *)
   let logged =
     run_mix ~name:"warm-logged" ~shards:4 ~workers ~concurrency
       ~total:(scale 2000) ~logged:true
@@ -303,6 +321,7 @@ let rows ~smoke () =
     [
       ("cold", cold);
       ("warm", warm);
+      ("warm-sampled", sampled);
       ("warm-logged", logged);
       ("mixed", mixed);
       ("warm-shard1", shard1);

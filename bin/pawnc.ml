@@ -775,8 +775,34 @@ let serve_cmd =
              worker traps or a malformed frame arrives; default \
              $(i,SOCKET).flight.json.")
   in
+  let telemetry_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:
+            "Continuous telemetry: snapshot the metrics registry every \
+             $(b,--sample-interval) seconds into $(docv) as JSON lines, \
+             rotated to $(docv).1 after $(b,--telemetry-lines) samples \
+             (a bounded on-disk time-series ring).")
+  in
+  let sample_interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "sample-interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between telemetry samples (default 1).")
+  in
+  let telemetry_lines_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "telemetry-lines" ] ~docv:"N"
+          ~doc:
+            "Rotate the telemetry file after $(docv) samples (default \
+             10000); the file pair keeps at most 2x$(docv) samples.")
+  in
   let serve socket workers queue_bound cache_dir shards max_entries trace
-      log log_level flight_dump stats =
+      log log_level flight_dump telemetry sample_interval telemetry_lines
+      stats =
     handle_errors @@ fun () ->
     with_obs ~trace ~stats @@ fun () ->
     if log <> None then Log.enable log_level;
@@ -794,9 +820,15 @@ let serve_cmd =
             Printf.eprintf "log written to %s\n%!" path)
           log)
     @@ fun () ->
+    if sample_interval <= 0. then begin
+      Printf.eprintf "error: --sample-interval must be positive\n";
+      exit 2
+    end;
     let server =
       Server.create ~workers ~queue_bound ?cache_dir ~cache_shards:shards
-        ?cache_max_entries:max_entries ~flight_path ~socket_path:socket ()
+        ?cache_max_entries:max_entries ~flight_path ?telemetry_path:telemetry
+        ~sample_interval ~telemetry_max_lines:telemetry_lines
+        ~socket_path:socket ()
     in
     let stop _ = Server.request_stop server in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
@@ -812,7 +844,8 @@ let serve_cmd =
     Term.(
       const serve $ socket_arg $ workers_arg $ queue_bound_arg
       $ cache_dir_arg $ shards_arg $ max_entries_arg $ trace_arg $ log_arg
-      $ log_level_arg $ flight_dump_arg $ stats_flag)
+      $ log_level_arg $ flight_dump_arg $ telemetry_arg
+      $ sample_interval_arg $ telemetry_lines_arg $ stats_flag)
 
 (* ----- request ----- *)
 
@@ -828,7 +861,9 @@ let request_cmd =
   let doc =
     "Send one request to a running $(b,pawnc serve) daemon: \
      $(b,build)/$(b,run)/$(b,profile) source files, or \
-     $(b,ping)/$(b,stats)/$(b,dump)/$(b,shutdown) control requests."
+     $(b,ping)/$(b,stats)/$(b,health)/$(b,metrics)/$(b,dump)/$(b,shutdown) \
+     control requests.  $(b,health) exits 0 when the daemon is ready and \
+     1 when it is degraded, so it drops straight into a liveness check."
   in
   let action_arg =
     Arg.(
@@ -842,6 +877,8 @@ let request_cmd =
                   ("profile", `Profile);
                   ("ping", `Ping);
                   ("stats", `Stats);
+                  ("health", `Health);
+                  ("metrics", `Metrics);
                   ("dump", `Dump);
                   ("shutdown", `Shutdown);
                 ]))
@@ -849,8 +886,9 @@ let request_cmd =
       & info [] ~docv:"ACTION"
           ~doc:
             "One of $(b,build), $(b,run), $(b,profile) (with FILES), \
-             $(b,ping), $(b,stats), $(b,dump) (the daemon's \
-             flight-recorder rings, as JSON), $(b,shutdown).")
+             $(b,ping), $(b,stats), $(b,health) (readiness probe, exit \
+             0/1), $(b,metrics) (the OpenMetrics page), $(b,dump) (the \
+             daemon's flight-recorder rings, as JSON), $(b,shutdown).")
   in
   let files_arg =
     Arg.(
@@ -895,6 +933,8 @@ let request_cmd =
       match action with
       | `Ping -> Protocol.Ping
       | `Stats -> Protocol.Stats
+      | `Health -> Protocol.Health
+      | `Metrics -> Protocol.Metrics_text
       | `Dump -> Protocol.Dump
       | `Shutdown -> Protocol.Shutdown
       | (`Build | `Run | `Profile) as a ->
@@ -983,6 +1023,16 @@ let request_cmd =
         List.iter (fun (n, v) -> Printf.printf "%-32s %12d\n" n v) rows
     | Protocol.Bye -> print_endline "server shutting down"
     | Protocol.Dump_reply json -> print_string json
+    | Protocol.Health_reply { ready; checks } ->
+        print_endline (if ready then "ready" else "degraded");
+        List.iter
+          (fun (name, ok, detail) ->
+            Printf.printf "  %-10s %-4s %s\n" name
+              (if ok then "ok" else "FAIL")
+              detail)
+          checks;
+        if not ready then exit 1
+    | Protocol.Metrics_reply page -> print_string page
   in
   Cmd.v
     (Cmd.info "request" ~doc)
@@ -996,8 +1046,10 @@ let request_cmd =
 let top_cmd =
   let doc =
     "Live view of a running $(b,pawnc serve) daemon: poll its stats and \
-     render per-request-class p50/p99 latency and throughput from the \
-     histogram deltas between consecutive polls."
+     render the live levels (queue depth, in-flight requests, open \
+     connections, busy workers, GC rate) from the gauges plus \
+     per-request-class interpolated p50/p99 latency and throughput from \
+     the histogram deltas between consecutive polls."
   in
   let interval_arg =
     Arg.(
@@ -1012,11 +1064,42 @@ let top_cmd =
           ~doc:"Stop after $(docv) refreshes; 0 (default) runs until ^C.")
   in
   let classes = [ "build"; "run"; "profile" ] in
-  let render socket interval delta =
+  (* A refresh is computed from a measured window, never the nominal
+     --interval: the first poll after a slow connect, a suspended
+     terminal or a stalled daemon can make the real window arbitrarily
+     shorter or longer than asked for, and dividing by the nominal
+     interval would print garbage throughput.  A near-zero window shows
+     rates as 0 rather than inf/NaN.  Rate-from-gauge lines additionally
+     require the gauge to have been present in the PREVIOUS snapshot:
+     diffing a late-appearing gauge from zero would charge the daemon's
+     whole lifetime to one window. *)
+  let min_window_s = 1e-6 in
+  let render socket ~elapsed ~prev ~cur delta =
     let v name = Option.value ~default:0 (List.assoc_opt name delta) in
+    let g name = Option.value ~default:0 (List.assoc_opt name cur) in
+    let rate_of n =
+      if elapsed <= min_window_s then 0. else float_of_int n /. elapsed
+    in
+    let gauge_rate name =
+      if elapsed <= min_window_s then None
+      else
+        match (List.assoc_opt name prev, List.assoc_opt name cur) with
+        | Some p, Some c -> Some (float_of_int (c - p) /. elapsed)
+        | _ -> None
+    in
     (* clear only a real terminal; piped output stays a plain append log *)
     if Unix.isatty Unix.stdout then print_string "\027[2J\027[H";
-    Printf.printf "pawnc top — %s, every %gs\n" socket interval;
+    Printf.printf "pawnc top — %s, %.2fs window\n" socket elapsed;
+    Printf.printf "queue %d   inflight %d   conns %d   busy workers %d\n"
+      (g "server.queue_depth") (g "server.inflight")
+      (g "server.connections") (g "server.workers_busy");
+    (match gauge_rate "gc.minor_words" with
+    | Some r ->
+        Printf.printf "gc minor %.3g w/s   heap %d words   compactions %d\n"
+          r (g "gc.heap_words") (g "gc.compactions")
+    | None ->
+        Printf.printf "gc rate pending   heap %d words   compactions %d\n"
+          (g "gc.heap_words") (g "gc.compactions"));
     Printf.printf "%-8s %6s %9s %9s %9s %9s %9s %8s\n" "class" "reqs"
       "queue50" "queue99" "serv50" "serv99" "reply99" "req/s";
     let shown =
@@ -1032,11 +1115,14 @@ let top_cmd =
           if n = 0 then None
           else
             Some
-              (Printf.sprintf "%-8s %6d %9d %9d %9d %9d %9d %8.1f" cls n
-                 (Metrics.percentile qw 50.) (Metrics.percentile qw 99.)
-                 (Metrics.percentile sv 50.) (Metrics.percentile sv 99.)
-                 (Metrics.percentile rp 99.)
-                 (float_of_int n /. interval)))
+              (Printf.sprintf "%-8s %6d %9.0f %9.0f %9.0f %9.0f %9.0f %8.1f"
+                 cls n
+                 (Metrics.percentile_interp qw 50.)
+                 (Metrics.percentile_interp qw 99.)
+                 (Metrics.percentile_interp sv 50.)
+                 (Metrics.percentile_interp sv 99.)
+                 (Metrics.percentile_interp rp 99.)
+                 (rate_of n)))
         classes
     in
     if shown = [] then print_endline "(idle: no requests this interval)"
@@ -1061,13 +1147,19 @@ let top_cmd =
             exit 2
       in
       let prev = ref (poll ()) in
+      let t_prev = ref (Unix.gettimeofday ()) in
       let n = ref 0 in
       while count = 0 || !n < count do
         Unix.sleepf interval;
         incr n;
         let cur = poll () in
-        render socket interval (Metrics.diff !prev cur);
-        prev := cur
+        let now = Unix.gettimeofday () in
+        render socket
+          ~elapsed:(now -. !t_prev)
+          ~prev:!prev ~cur
+          (Metrics.diff !prev cur);
+        prev := cur;
+        t_prev := now
       done
     with
     | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->

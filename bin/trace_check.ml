@@ -78,6 +78,19 @@
     [Obs.Json] in timestamp order and every request-scoped line carries
     one of the smoke's ids.
 
+    [trace_check --telemetry-smoke PAWNC SRC.pawn] is the continuous
+    telemetry CI smoke: it starts [PAWNC serve] with 100ms sampling into
+    a JSON-lines time-series file, drives one compile through it, pulls
+    the OpenMetrics page over the wire (checking the grammar — every
+    sample belongs to a declared [# TYPE] family with the suffix shape
+    its instrument requires, buckets are cumulative and closed by
+    [le="+Inf"], the page ends with [# EOF] — and that the daemon's
+    required counter/gauge/histogram families are all present), runs
+    [PAWNC request health] expecting exit 0 and a leading "ready", and
+    after a clean shutdown asserts the time-series holds at least two
+    samples with monotone timestamps, each a parsing JSON object with a
+    numeric [ts] and a [metrics] object.
+
     Exits nonzero with a diagnostic on the first violation. *)
 
 module Json = Chow_obs.Json
@@ -244,6 +257,21 @@ let server_invariants ~flunk current =
                "server warm-logged p50 (%.1f us) is more than 2x the silent \
                 warm p50 (%.1f us) — logging overhead is out of budget"
                (logged /. 1e3) (warm /. 1e3))
+    | _ -> ());
+    (* continuous telemetry must be near-free: the warm mix rerun with
+       the background sampler armed may cost at most 1.1x the silent warm
+       mix at the median (the acceptance gate the telemetry layer ships
+       under — a sampler that taxes the serving path 10% is a bug, not an
+       observability feature) *)
+    (match (ns "server/warm-sampled/p50", ns "server/warm/p50") with
+    | Some sampled, Some warm when warm > 0. ->
+        if sampled > warm *. 1.1 then
+          flunk
+            (Printf.sprintf
+               "server warm-sampled p50 (%.1f us) is more than 1.1x the \
+                silent warm p50 (%.1f us) — telemetry sampling overhead is \
+                out of budget"
+               (sampled /. 1e3) (warm /. 1e3))
     | _ -> ());
     match value "server/meta/cores" with
     | Some cores when cores >= 4. -> (
@@ -925,11 +953,300 @@ let check_serve_smoke pawnc src_path =
      cache.hit = 1, flight dump round-trips, log parses with matching \
      request ids, clean shutdown"
 
+(* ----- telemetry smoke ----- *)
+
+let has_suffix ~suffix s =
+  String.length s >= String.length suffix
+  && String.sub s
+       (String.length s - String.length suffix)
+       (String.length suffix)
+     = suffix
+
+(** Families the daemon must expose on its OpenMetrics page, with the
+    instrument each must be declared as. *)
+let required_families =
+  [
+    ("server_accepted", "counter");
+    ("server_completed", "counter");
+    ("server_queue_depth", "gauge");
+    ("server_workers_busy", "gauge");
+    ("server_connections", "gauge");
+    ("server_inflight", "gauge");
+    ("gc_minor_words", "gauge");
+    ("gc_heap_words", "gauge");
+    ("cache_entries", "gauge");
+    ("server_run_us", "histogram");
+    ("server_queue_wait_us", "histogram");
+  ]
+
+(** OpenMetrics grammar: every non-comment line must be a sample of a
+    family declared by a preceding [# TYPE] line, with the suffix shape
+    its instrument requires ([_total] for counters, bare for gauges,
+    [_bucket]/[_sum]/[_count] for histograms), metric names restricted
+    to their legal alphabet, every consecutive [_bucket] series
+    cumulative and closed by [le="+Inf"], and the page terminated by
+    [# EOF].  The {!required_families} must all be present. *)
+let check_openmetrics ~what page =
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' page)
+  in
+  (match List.rev lines with
+  | "# EOF" :: _ -> ()
+  | _ -> fail "%s: page does not end with # EOF" what);
+  let types = Hashtbl.create 64 in
+  (* the consecutive [_bucket] samples of one (family, labels-minus-le)
+     series: (key, last cumulative count, +Inf seen) *)
+  let run = ref None in
+  let close_run () =
+    (match !run with
+    | Some (key, _, false) ->
+        fail "%s: histogram series %s has no le=\"+Inf\" bucket" what key
+    | _ -> ());
+    run := None
+  in
+  List.iter
+    (fun line ->
+      if line = "# EOF" then close_run ()
+      else if starts_with ~prefix:"# TYPE " line then begin
+        close_run ();
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; fam; ty ] ->
+            if Hashtbl.mem types fam then
+              fail "%s: family %s declared twice" what fam;
+            if not (List.mem ty [ "counter"; "gauge"; "histogram" ]) then
+              fail "%s: family %s has unknown type %s" what fam ty;
+            Hashtbl.replace types fam ty
+        | _ -> fail "%s: malformed TYPE line %S" what line
+      end
+      else if starts_with ~prefix:"#" line then
+        fail "%s: unexpected comment %S" what line
+      else begin
+        let sp =
+          match String.rindex_opt line ' ' with
+          | Some i -> i
+          | None -> fail "%s: sample line %S has no value" what line
+        in
+        let lhs = String.sub line 0 sp in
+        let value = String.sub line (sp + 1) (String.length line - sp - 1) in
+        (match float_of_string_opt value with
+        | Some _ -> ()
+        | None -> fail "%s: sample %S has a non-numeric value" what line);
+        let name, labels =
+          match String.index_opt lhs '{' with
+          | None -> (lhs, "")
+          | Some i ->
+              if not (has_suffix ~suffix:"}" lhs) then
+                fail "%s: unterminated label set in %S" what line;
+              ( String.sub lhs 0 i,
+                String.sub lhs (i + 1) (String.length lhs - i - 2) )
+        in
+        String.iter
+          (fun c ->
+            if
+              not
+                ((c >= 'a' && c <= 'z')
+                || (c >= 'A' && c <= 'Z')
+                || (c >= '0' && c <= '9')
+                || c = '_' || c = ':')
+            then
+              fail "%s: illegal character %C in metric name %s" what c name)
+          name;
+        let family =
+          if Hashtbl.mem types name then Some (name, `Bare)
+          else
+            List.find_map
+              (fun (suf, tag) ->
+                if has_suffix ~suffix:suf name then begin
+                  let fam =
+                    String.sub name 0
+                      (String.length name - String.length suf)
+                  in
+                  if Hashtbl.mem types fam then Some (fam, tag) else None
+                end
+                else None)
+              [
+                ("_total", `Total);
+                ("_bucket", `Bucket);
+                ("_sum", `Sum);
+                ("_count", `Count);
+              ]
+        in
+        let fam, shape =
+          match family with
+          | Some r -> r
+          | None -> fail "%s: sample %s has no preceding # TYPE" what name
+        in
+        (match (Hashtbl.find types fam, shape) with
+        | "counter", `Total
+        | "gauge", `Bare
+        | "histogram", (`Bucket | `Sum | `Count) -> ()
+        | ty, _ ->
+            fail "%s: sample %s has the wrong shape for a %s family" what
+              name ty);
+        if shape = `Bucket then begin
+          let parts = String.split_on_char ',' labels in
+          let le =
+            match
+              List.find_opt (fun p -> starts_with ~prefix:"le=" p) parts
+            with
+            | Some le -> le
+            | None -> fail "%s: bucket sample %S lacks an le label" what line
+          in
+          let others =
+            List.filter (fun p -> not (starts_with ~prefix:"le=" p)) parts
+          in
+          let key = fam ^ "{" ^ String.concat "," others ^ "}" in
+          let cum = float_of_string value in
+          let is_inf = le = "le=\"+Inf\"" in
+          match !run with
+          | Some (k, last, inf_seen) when k = key ->
+              if inf_seen then
+                fail "%s: bucket after le=\"+Inf\" in %s" what key;
+              if cum < last then
+                fail "%s: non-cumulative bucket counts in %s" what key;
+              run := Some (key, cum, is_inf)
+          | _ ->
+              close_run ();
+              run := Some (key, cum, is_inf)
+        end
+        else close_run ()
+      end)
+    lines;
+  List.iter
+    (fun (fam, ty) ->
+      match Hashtbl.find_opt types fam with
+      | Some got when got = ty -> ()
+      | Some got ->
+          fail "%s: family %s declared as %s, want %s" what fam got ty
+      | None -> fail "%s: required family %s missing" what fam)
+    required_families
+
+(** The on-disk time-series ring: at least [min_samples] JSON lines,
+    each an object carrying a numeric [ts] and a non-empty [metrics]
+    object, timestamps non-decreasing. *)
+let check_telemetry_file ~min_samples path =
+  if not (Sys.file_exists path) then
+    fail "telemetry smoke: no time-series file at %s" path;
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file path))
+  in
+  if List.length lines < min_samples then
+    fail "telemetry smoke: %s holds %d samples, want at least %d" path
+      (List.length lines) min_samples;
+  let last = ref neg_infinity in
+  List.iteri
+    (fun i line ->
+      match Json.parse line with
+      | Error msg ->
+          fail "telemetry smoke: %s line %d does not parse: %s" path (i + 1)
+            msg
+      | Ok root ->
+          (match Json.member "ts" root with
+          | Some (Json.Num ts) ->
+              if ts < !last then
+                fail "telemetry smoke: %s timestamps go backwards at line %d"
+                  path (i + 1);
+              last := ts
+          | _ ->
+              fail "telemetry smoke: %s line %d lacks a numeric ts" path
+                (i + 1));
+          (match Json.member "metrics" root with
+          | Some (Json.Obj (_ :: _)) -> ()
+          | _ ->
+              fail "telemetry smoke: %s line %d lacks a metrics object" path
+                (i + 1)))
+    lines
+
+(** Boot a daemon with 100ms sampling, drive one compile through it,
+    then validate the three telemetry surfaces: the OpenMetrics page
+    (grammar + required families), the health probe through the real
+    CLI (exit 0 and a leading "ready"), and the on-disk time-series
+    (>= 2 samples, monotone timestamps) after a clean shutdown. *)
+let check_telemetry_smoke pawnc src_path =
+  let dir = Filename.temp_file "chow88-telemetry" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let sock = Filename.concat dir "s.sock" in
+  let telemetry = Filename.concat dir "telemetry.jsonl" in
+  let pid =
+    Unix.create_process pawnc
+      [|
+        pawnc;
+        "serve";
+        "--socket";
+        sock;
+        "--workers";
+        "2";
+        "--cache-dir";
+        Filename.concat dir "cache";
+        "--telemetry";
+        telemetry;
+        "--sample-interval";
+        "0.1";
+      |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  let server_done = ref false in
+  at_exit (fun () ->
+      if not !server_done then (try Unix.kill pid Sys.sigkill with _ -> ()));
+  if not (Client.wait_ready ~socket_path:sock ()) then
+    fail "telemetry smoke: daemon did not answer Ping within 10s";
+  let request req =
+    Client.with_connection ~socket_path:sock (fun c -> Client.request c req)
+  in
+  (* some real work first, so the scraped histograms are non-trivial *)
+  (match
+     request
+       (Protocol.Compile
+          {
+            id = 7;
+            action = Protocol.Run;
+            srcs = [ read_file src_path ];
+            o3 = true;
+            shrinkwrap = true;
+            global_promo = false;
+            alloc = "chow";
+            fuel = None;
+            priority = 0;
+          })
+   with
+  | Protocol.Done _ -> ()
+  | _ -> fail "telemetry smoke: compile request failed");
+  (* let the 100ms sampler tick a few times past its startup sample *)
+  Unix.sleepf 0.35;
+  (match request Protocol.Metrics_text with
+  | Protocol.Metrics_reply page ->
+      check_openmetrics ~what:"OpenMetrics page" page
+  | _ -> fail "telemetry smoke: Metrics_text request failed");
+  (* the health probe through the real CLI: the exit code is the contract *)
+  let code, out =
+    run_capture [| pawnc; "request"; "health"; "--socket"; sock |]
+  in
+  if code <> 0 then
+    fail "telemetry smoke: request health exited %d, want 0" code;
+  if not (starts_with ~prefix:"ready" out) then
+    fail "telemetry smoke: request health printed %S, want ready" out;
+  (match request Protocol.Shutdown with
+  | Protocol.Bye -> ()
+  | _ -> fail "telemetry smoke: Shutdown did not answer Bye");
+  (match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> server_done := true
+  | _, Unix.WEXITED n -> fail "telemetry smoke: daemon exited %d, want 0" n
+  | _, (Unix.WSIGNALED n | Unix.WSTOPPED n) ->
+      fail "telemetry smoke: daemon killed/stopped by signal %d" n);
+  check_telemetry_file ~min_samples:2 telemetry;
+  print_endline
+    "telemetry smoke: OpenMetrics page valid with required families, health \
+     ready (exit 0), time-series holds >= 2 monotone samples, clean shutdown"
+
 let () =
   match Sys.argv with
   | [| _; "--bench-compare"; baseline; current |] ->
       check_bench_compare baseline current
   | [| _; "--serve-smoke"; pawnc; src |] -> check_serve_smoke pawnc src
+  | [| _; "--telemetry-smoke"; pawnc; src |] -> check_telemetry_smoke pawnc src
   | [| _; "--pgo-smoke"; pawnc; src |] -> check_pgo_smoke pawnc src
   | [| _; "--alloc-smoke"; pawnc; src |] -> check_alloc_smoke pawnc src
   | [| _; trace; stats |] ->
@@ -947,6 +1264,7 @@ let () =
         \       trace_check --cache-smoke STATS.txt N\n\
         \       trace_check --bench-compare BASELINE.json CURRENT.json\n\
         \       trace_check --serve-smoke PAWNC SRC.pawn\n\
+        \       trace_check --telemetry-smoke PAWNC SRC.pawn\n\
         \       trace_check --pgo-smoke PAWNC SRC.pawn\n\
         \       trace_check --alloc-smoke PAWNC SRC.pawn";
       exit 2

@@ -100,6 +100,34 @@ let shard_entries t idx =
        (fun n -> shard_index t (Filename.chop_suffix n ".pawno") = idx)
        (Array.to_list (entries t)))
 
+type stats = {
+  s_entries : int;
+  s_bytes : int;
+  s_shard_entries : int array;
+  s_shard_bytes : int array;
+}
+
+(* one readdir + one stat per artifact; entries racing with concurrent
+   eviction may vanish between the two, and simply don't count *)
+let stats t =
+  let n = Array.length t.locks in
+  let per_entries = Array.make n 0 and per_bytes = Array.make n 0 in
+  Array.iter
+    (fun name ->
+      let idx = shard_index t (Filename.chop_suffix name ".pawno") in
+      match Unix.stat (Filename.concat t.dir name) with
+      | exception Unix.Unix_error _ -> ()
+      | st ->
+          per_entries.(idx) <- per_entries.(idx) + 1;
+          per_bytes.(idx) <- per_bytes.(idx) + st.Unix.st_size)
+    (entries t);
+  {
+    s_entries = Array.fold_left ( + ) 0 per_entries;
+    s_bytes = Array.fold_left ( + ) 0 per_bytes;
+    s_shard_entries = per_entries;
+    s_shard_bytes = per_bytes;
+  }
+
 (* the shard's share of the global entry budget, rounded up so the total
    bound is never under-enforced by integer division *)
 let shard_quota t =

@@ -70,3 +70,21 @@ val store : t -> string -> Objfile.t -> unit
 
 (** [clear t] removes every stored artifact (not counted as eviction). *)
 val clear : t -> unit
+
+(** {2 Footprint}
+
+    The daemon's telemetry gauges ([cache.entries], [cache.bytes] and
+    their per-shard [/shardN] series) are refreshed from here. *)
+
+type stats = {
+  s_entries : int;  (** stored artifacts across all shards *)
+  s_bytes : int;  (** their total on-disk size *)
+  s_shard_entries : int array;  (** per shard, indexed by shard *)
+  s_shard_bytes : int array;
+}
+
+(** [stats t] scans the store (one [readdir] plus one [stat] per entry —
+    cheap at working-set sizes, and never takes a shard lock, so a
+    concurrent sampler can't stall compiles).  Entries evicted mid-scan
+    just don't count. *)
+val stats : t -> stats

@@ -97,8 +97,18 @@ let dump_json () =
   let dropped = List.fold_left (fun acc (_, d) -> acc + d) 0 snaps in
   let b = Buffer.create 4096 in
   let out = Buffer.add_string b in
-  out (Printf.sprintf "{\"capacity\":%d,\"dropped\":%d,\"events\":[" capacity
+  out (Printf.sprintf "{\"capacity\":%d,\"dropped\":%d,\"gauges\":{" capacity
          dropped);
+  (* instantaneous levels at dump time: a trap dump should say not just
+     what happened last but what the daemon looked like when it died *)
+  List.iteri
+    (fun k (name, v) ->
+      if k > 0 then out ",";
+      out "\"";
+      Trace.escape_into out name;
+      out (Printf.sprintf "\":%d" v))
+    (Metrics.gauges ());
+  out "},\"events\":[";
   List.iteri
     (fun k (ts, req, event, detail) ->
       if k > 0 then out ",";

@@ -35,9 +35,12 @@ val events : unit -> (int * int * string * string) list
 val dropped : unit -> int
 
 (** The whole recorder as one JSON object:
-    {v {"capacity":N,"dropped":D,"events":[
+    {v {"capacity":N,"dropped":D,"gauges":{"name":v,…},"events":[
        {"ts":…,"req":…,"event":"…","detail":"…"}, …]} v}
     Events are oldest first; [req]/[detail] keys are omitted when unset.
+    [gauges] is the registry's instantaneous levels at dump time (see
+    {!Metrics.gauges}) — a trap dump carries not just the last events but
+    the queue depth, cache footprint and heap size the daemon died with.
     Safe to call while other threads are still recording. *)
 val dump_json : unit -> string
 

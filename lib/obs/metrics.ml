@@ -1,15 +1,19 @@
 (** See metrics.mli. *)
 
 type counter = { c_value : int Atomic.t }
+type gauge = { g_value : int Atomic.t }
 
-(* bucket [k] counts observations with 2^(k-1) < v <= 2^k (bucket 0: v <= 1) *)
-type histogram = { h_buckets : int Atomic.t array }
+(* bucket [k] counts observations with 2^(k-1) < v <= 2^k (bucket 0: v <= 1);
+   [h_sum] is the exact total of every observed value, kept for the
+   OpenMetrics [_sum] row *)
+type histogram = { h_buckets : int Atomic.t array; h_sum : int Atomic.t }
 
 let nbuckets = 62
 
 let enabled = Atomic.make false
 let lock = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 32
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
 let is_on () = Atomic.get enabled
@@ -38,9 +42,19 @@ let add c n =
 
 let incr c = add c 1
 
+let gauge name = registered gauges_tbl name (fun () -> { g_value = Atomic.make 0 })
+
+let set g v = if Atomic.get enabled then Atomic.set g.g_value v
+
+let gauge_add g n =
+  if Atomic.get enabled && n <> 0 then ignore (Atomic.fetch_and_add g.g_value n)
+
 let histogram name =
   registered histograms name (fun () ->
-      { h_buckets = Array.init nbuckets (fun _ -> Atomic.make 0) })
+      {
+        h_buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+        h_sum = Atomic.make 0;
+      })
 
 let bucket_of v =
   if v <= 1 then 0
@@ -54,14 +68,19 @@ let bucket_of v =
   end
 
 let observe h v =
-  if Atomic.get enabled then
-    ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of v) 1)
+  if Atomic.get enabled then begin
+    ignore (Atomic.fetch_and_add h.h_buckets.(bucket_of v) 1);
+    ignore (Atomic.fetch_and_add h.h_sum v)
+  end
 
 let reset () =
   Mutex.lock lock;
   Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+  Hashtbl.iter (fun _ g -> Atomic.set g.g_value 0) gauges_tbl;
   Hashtbl.iter
-    (fun _ h -> Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
+    (fun _ h ->
+      Array.iter (fun b -> Atomic.set b 0) h.h_buckets;
+      Atomic.set h.h_sum 0)
     histograms;
   Mutex.unlock lock
 
@@ -96,20 +115,76 @@ let dump () =
   in
   let rows =
     Hashtbl.fold
+      (fun name g acc -> (name, Atomic.get g.g_value) :: acc)
+      gauges_tbl rows
+  in
+  let rows =
+    Hashtbl.fold
       (fun name h acc ->
         let acc = ref acc in
+        let any = ref false in
         Array.iteri
           (fun k b ->
             let n = Atomic.get b in
-            if n > 0 then
+            if n > 0 then begin
+              any := true;
               acc :=
-                (Printf.sprintf "%s.le_%d" name (1 lsl k), n) :: !acc)
+                (Printf.sprintf "%s.le_%d" name (1 lsl k), n) :: !acc
+            end)
           h.h_buckets;
+        if !any then acc := (name ^ ".sum", Atomic.get h.h_sum) :: !acc;
         !acc)
       histograms rows
   in
   Mutex.unlock lock;
   List.sort (fun (a, _) (b, _) -> compare_names a b) rows
+
+let gauges () =
+  Mutex.lock lock;
+  let rows =
+    Hashtbl.fold
+      (fun name g acc -> (name, Atomic.get g.g_value) :: acc)
+      gauges_tbl []
+  in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) rows
+
+type typed_snapshot = {
+  t_counters : (string * int) list;
+  t_gauges : (string * int) list;
+  t_histograms : (string * (int * int) list * int) list;
+}
+
+let typed_snapshot () =
+  Mutex.lock lock;
+  let cs =
+    Hashtbl.fold
+      (fun name c acc -> (name, Atomic.get c.c_value) :: acc)
+      counters []
+  in
+  let gs =
+    Hashtbl.fold
+      (fun name g acc -> (name, Atomic.get g.g_value) :: acc)
+      gauges_tbl []
+  in
+  let hs =
+    Hashtbl.fold
+      (fun name h acc ->
+        let buckets = ref [] in
+        Array.iteri
+          (fun k b ->
+            let n = Atomic.get b in
+            if n > 0 then buckets := (1 lsl k, n) :: !buckets)
+          h.h_buckets;
+        (name, List.rev !buckets, Atomic.get h.h_sum) :: acc)
+      histograms []
+  in
+  Mutex.unlock lock;
+  {
+    t_counters = List.sort compare cs;
+    t_gauges = List.sort compare gs;
+    t_histograms = List.sort (fun (a, _, _) (b, _, _) -> compare a b) hs;
+  }
 
 type snapshot = (string * int) list
 
@@ -150,6 +225,34 @@ let percentile buckets p =
       | (ub, n) :: rest -> if seen + n >= rank then ub else go (seen + n) rest
     in
     go 0 buckets
+  end
+
+(* Linear interpolation inside the bucket holding the continuous rank
+   [p/100 * total].  The bucket spans (prev_ub, ub]; its lower edge is the
+   previous bucket's upper bound (0 for the first).  With power-of-two
+   buckets this halves the worst-case overestimate of the raw bucket-ub
+   form and, unlike it, moves smoothly as mass shifts within a bucket —
+   what a live view refreshing every second wants. *)
+let percentile_interp buckets p =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+  if total = 0 then 0.
+  else begin
+    let rank =
+      Float.max 0. (Float.min (float_of_int total) (p /. 100. *. float_of_int total))
+    in
+    let rec go lower seen = function
+      | [] -> float_of_int lower
+      | (ub, n) :: rest ->
+          if float_of_int (seen + n) >= rank then begin
+            let frac =
+              if n = 0 then 1.
+              else (rank -. float_of_int seen) /. float_of_int n
+            in
+            float_of_int lower +. (frac *. float_of_int (ub - lower))
+          end
+          else go ub (seen + n) rest
+    in
+    go 0 0 buckets
   end
 
 let pp_table ppf () =

@@ -2,7 +2,7 @@
 
 exception Malformed of string
 
-let version = 3
+let version = 4
 let max_frame = 16 * 1024 * 1024
 
 let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
@@ -25,6 +25,8 @@ type request =
   | Stats
   | Shutdown
   | Dump
+  | Health
+  | Metrics_text
 
 type reply =
   | Done of {
@@ -39,6 +41,8 @@ type reply =
   | Stats_reply of (string * int) list
   | Bye
   | Dump_reply of string
+  | Health_reply of { ready : bool; checks : (string * bool * string) list }
+  | Metrics_reply of string
 
 (* ----- payload primitives: LEB128 varints + length-prefixed strings ----- *)
 
@@ -171,7 +175,9 @@ let encode_request req =
       put_int b priority
   | Stats -> Buffer.add_char b '\002'
   | Shutdown -> Buffer.add_char b '\003'
-  | Dump -> Buffer.add_char b '\004');
+  | Dump -> Buffer.add_char b '\004'
+  | Health -> Buffer.add_char b '\005'
+  | Metrics_text -> Buffer.add_char b '\006');
   Buffer.contents b
 
 let decode_request payload =
@@ -204,6 +210,8 @@ let decode_request payload =
     | 2 -> Stats
     | 3 -> Shutdown
     | 4 -> Dump
+    | 5 -> Health
+    | 6 -> Metrics_text
     | t -> malformed "unknown request tag %#x" t
   in
   finish r "request";
@@ -242,7 +250,19 @@ let encode_reply reply =
   | Bye -> Buffer.add_char b '\005'
   | Dump_reply json ->
       Buffer.add_char b '\006';
-      put_string b json);
+      put_string b json
+  | Health_reply { ready; checks } ->
+      Buffer.add_char b '\007';
+      put_bool b ready;
+      put_list b
+        (fun b (name, ok, detail) ->
+          put_string b name;
+          put_bool b ok;
+          put_string b detail)
+        checks
+  | Metrics_reply page ->
+      Buffer.add_char b '\008';
+      put_string b page);
   Buffer.contents b
 
 let decode_reply payload =
@@ -264,6 +284,17 @@ let decode_reply payload =
     | 4 -> Stats_reply (get_list r get_counter)
     | 5 -> Bye
     | 6 -> Dump_reply (get_string r)
+    | 7 ->
+        let ready = get_bool r in
+        let checks =
+          get_list r (fun r ->
+              let name = get_string r in
+              let ok = get_bool r in
+              let detail = get_string r in
+              (name, ok, detail))
+        in
+        Health_reply { ready; checks }
+    | 8 -> Metrics_reply (get_string r)
     | t -> malformed "unknown reply tag %#x" t
   in
   finish r "reply";

@@ -25,9 +25,10 @@ exception Malformed of string
     encoding change.  Version 2 added the client-generated request id on
     [Compile], the queue-wait/service timings on [Done], and
     [Dump]/[Dump_reply]; version 3 added the allocation strategy on
-    [Compile].  A frame from an old client fails the version check and is
-    answered with a clean ["protocol"] [Error], never decoded as
-    garbage. *)
+    [Compile]; version 4 added the [Health] and [Metrics_text] telemetry
+    requests with their replies.  A frame from an old client fails the
+    version check and is answered with a clean ["protocol"] [Error],
+    never decoded as garbage. *)
 val version : int
 
 (** Upper bound on a frame's payload, in bytes (16 MiB). *)
@@ -61,6 +62,11 @@ type request =
   | Stats  (** snapshot of the server's metrics registry *)
   | Shutdown
   | Dump  (** the flight recorder's current contents, as JSON *)
+  | Health
+      (** readiness probe: is the daemon able to make progress right
+          now?  Always answered immediately from the connection thread,
+          never queued — a wedged worker pool cannot wedge the probe. *)
+  | Metrics_text  (** the OpenMetrics page ({!Chow_obs.Export}) *)
 
 type reply =
   | Done of {
@@ -81,6 +87,11 @@ type reply =
   | Stats_reply of (string * int) list
   | Bye  (** shutdown acknowledged *)
   | Dump_reply of string  (** {!Chow_obs.Flight.dump_json} output *)
+  | Health_reply of { ready : bool; checks : (string * bool * string) list }
+      (** [ready] is the conjunction of the [checks]; each check is
+          [(name, ok, detail)] — the daemon is degraded, not dead, when
+          some check fails (e.g. the admission queue is at its bound) *)
+  | Metrics_reply of string  (** the rendered OpenMetrics page *)
 
 val encode_request : request -> string
 val decode_request : string -> request

@@ -3,7 +3,15 @@
     capped by the admission bound, and the head is always the next job to
     run: highest priority first, FIFO within a priority. *)
 
+module Metrics = Chow_obs.Metrics
+
 type job = { j_prio : int; j_seq : int; j_work : unit -> unit }
+
+(* published under [t.lock], so each [set] carries a consistent level even
+   though several schedulers would share the (global) gauge — in practice a
+   daemon runs exactly one *)
+let g_depth = Metrics.gauge "server.queue_depth"
+let g_busy = Metrics.gauge "server.workers_busy"
 
 type t = {
   queue_bound : int;
@@ -12,9 +20,11 @@ type t = {
   work : Condition.t;  (** queue grew or shutdown began *)
   mutable queue : job list;  (** sorted: highest priority, then lowest seq *)
   mutable npending : int;
+  mutable nbusy : int;  (** workers currently executing a job *)
   mutable seq : int;
   mutable stopping : bool;
   mutable workers : unit Domain.t list;
+  mutable nworkers : int;
 }
 
 let before a b = a.j_prio > b.j_prio || (a.j_prio = b.j_prio && a.j_seq < b.j_seq)
@@ -36,8 +46,15 @@ let rec worker_loop t =
   | job :: rest ->
       t.queue <- rest;
       t.npending <- t.npending - 1;
+      t.nbusy <- t.nbusy + 1;
+      Metrics.set g_depth t.npending;
+      Metrics.set g_busy t.nbusy;
       Mutex.unlock t.lock;
       (try job.j_work () with e -> t.on_error e);
+      Mutex.lock t.lock;
+      t.nbusy <- t.nbusy - 1;
+      Metrics.set g_busy t.nbusy;
+      Mutex.unlock t.lock;
       worker_loop t
 
 let create ?(on_error = fun _ -> ()) ~workers ~queue_bound () =
@@ -52,9 +69,11 @@ let create ?(on_error = fun _ -> ()) ~workers ~queue_bound () =
       work = Condition.create ();
       queue = [];
       npending = 0;
+      nbusy = 0;
       seq = 0;
       stopping = false;
       workers = [];
+      nworkers = workers;
     }
   in
   t.workers <-
@@ -72,6 +91,7 @@ let submit t ~priority work =
       t.seq <- t.seq + 1;
       t.queue <- insert job t.queue;
       t.npending <- t.npending + 1;
+      Metrics.set g_depth t.npending;
       Condition.signal t.work;
       Accepted
     end
@@ -82,6 +102,20 @@ let submit t ~priority work =
 let pending t =
   Mutex.lock t.lock;
   let n = t.npending in
+  Mutex.unlock t.lock;
+  n
+
+let depth = pending
+
+let busy t =
+  Mutex.lock t.lock;
+  let n = t.nbusy in
+  Mutex.unlock t.lock;
+  n
+
+let workers_alive t =
+  Mutex.lock t.lock;
+  let n = if t.stopping then 0 else t.nworkers in
   Mutex.unlock t.lock;
   n
 

@@ -37,6 +37,21 @@ val submit : t -> priority:int -> (unit -> unit) -> outcome
 (** Jobs currently waiting (not yet picked up by a worker). *)
 val pending : t -> int
 
+(** {!pending} under its telemetry name: the queue depth the
+    [server.queue_depth] gauge and the health probe report.  The
+    scheduler also publishes the gauge itself (under its lock, so the
+    level is consistent) on every submit and dequeue. *)
+val depth : t -> int
+
+(** Workers currently executing a job (also published continuously as the
+    [server.workers_busy] gauge). *)
+val busy : t -> int
+
+(** Worker domains still draining the queue: the spawn count until
+    {!shutdown} begins, then 0.  The health probe's "workers alive"
+    check. *)
+val workers_alive : t -> int
+
 (** [shutdown t] stops accepting work, lets the workers drain every
     already-accepted job, and joins them.  Idempotent. *)
 val shutdown : t -> unit

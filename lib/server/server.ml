@@ -16,6 +16,8 @@ module Metrics = Chow_obs.Metrics
 module Log = Chow_obs.Log
 module Flight = Chow_obs.Flight
 module Context = Chow_obs.Context
+module Export = Chow_obs.Export
+module Sampler = Chow_obs.Sampler
 
 let m_accepted = Metrics.counter "server.accepted"
 let m_busy = Metrics.counter "server.busy"
@@ -24,6 +26,14 @@ let m_failed = Metrics.counter "server.failed"
 let m_protocol_errors = Metrics.counter "server.protocol_error"
 let h_queue_wait = Metrics.histogram "server.queue_wait_us"
 let h_run = Metrics.histogram "server.run_us"
+
+(* level gauges owned by the admission side; the scheduler publishes
+   [server.queue_depth] / [server.workers_busy] itself and the sampler
+   owns [gc.*] *)
+let g_conns = Metrics.gauge "server.connections"
+let g_inflight = Metrics.gauge "server.inflight"
+let g_cache_entries = Metrics.gauge "cache.entries"
+let g_cache_bytes = Metrics.gauge "cache.bytes"
 
 let class_name = function
   | Protocol.Build -> "build"
@@ -61,9 +71,13 @@ type t = {
   listen_fd : Unix.file_descr;
   sched : Scheduler.t;
   cache : Cache.t option;
+  (* per-shard footprint gauges, registered once at create so the 1 Hz
+     refresh allocates no names *)
+  cache_shard_gauges : (Metrics.gauge * Metrics.gauge) array;
   bound : int;
   flight_path : string option;
   stop : bool Atomic.t;
+  mutable sampler : Sampler.t option;
   (* open client connections, so shutdown can unblock their reader
      threads; registered on accept, deregistered when the refcounted
      close runs, both under [conn_lock] *)
@@ -96,16 +110,71 @@ let conn_close_if_done t id conn =
         end
         else false)
   in
-  if close_now then
-    Mutex.protect t.conn_lock (fun () -> Hashtbl.remove t.conns id)
+  if close_now then begin
+    Mutex.protect t.conn_lock (fun () -> Hashtbl.remove t.conns id);
+    Metrics.gauge_add g_conns (-1)
+  end
 
 let conn_job_ref conn =
-  Mutex.protect conn.c_lock (fun () -> conn.c_inflight <- conn.c_inflight + 1)
+  Mutex.protect conn.c_lock (fun () -> conn.c_inflight <- conn.c_inflight + 1);
+  Metrics.gauge_add g_inflight 1
 
 let conn_job_unref t id conn =
   Mutex.protect conn.c_lock (fun () ->
       conn.c_inflight <- conn.c_inflight - 1);
+  Metrics.gauge_add g_inflight (-1);
   conn_close_if_done t id conn
+
+(* Pull the level gauges whose truth lives outside the registry up to
+   date: cache footprint from a directory scan, GC levels from
+   [Gc.quick_stat].  Called before answering [Stats]/[Metrics_text] (so
+   pull-based views are always current) and by the sampler before each
+   time-series line. *)
+let refresh_gauges t =
+  (match t.cache with
+  | None -> ()
+  | Some c ->
+      let st = Cache.stats c in
+      Metrics.set g_cache_entries st.Cache.s_entries;
+      Metrics.set g_cache_bytes st.Cache.s_bytes;
+      Array.iteri
+        (fun i (g_entries, g_bytes) ->
+          Metrics.set g_entries st.Cache.s_shard_entries.(i);
+          Metrics.set g_bytes st.Cache.s_shard_bytes.(i))
+        t.cache_shard_gauges);
+  Sampler.refresh_gc_gauges ()
+
+(* Readiness: each check is answered from the connection thread with
+   nothing but cheap probes — never by queueing work — so a wedged worker
+   pool cannot wedge the probe that is supposed to detect it. *)
+let health t =
+  let depth = Scheduler.depth t.sched in
+  let workers = Scheduler.workers_alive t.sched in
+  let listener_up = not (Atomic.get t.stop) in
+  let cache_ok, cache_detail =
+    match t.cache with
+    | None -> (true, "disabled")
+    | Some c -> (
+        let dir = Cache.dir c in
+        match Unix.access dir [ Unix.W_OK ] with
+        | () -> (true, dir)
+        | exception Unix.Unix_error (e, _, _) ->
+            (false, Printf.sprintf "%s: %s" dir (Unix.error_message e)))
+  in
+  let checks =
+    [
+      ( "listener",
+        listener_up,
+        if listener_up then t.socket_path else "shutting down" );
+      ("workers", workers > 0, Printf.sprintf "%d alive" workers);
+      ( "queue",
+        depth < t.bound,
+        Printf.sprintf "%d/%d waiting" depth t.bound );
+      ("cache", cache_ok, cache_detail);
+    ]
+  in
+  let ready = List.for_all (fun (_, ok, _) -> ok) checks in
+  (ready, checks)
 
 (* Postmortem dump: write the flight recorder's rings next to the socket
    when the daemon misbehaves (worker trap, protocol error).  Best-effort
@@ -309,7 +378,18 @@ let handle_connection t id conn =
         loop ()
     | Some Protocol.Stats ->
         Log.debug "stats" [ ("conn", Log.Int id) ];
+        refresh_gauges t;
         send (Protocol.Stats_reply (Metrics.snapshot ()));
+        loop ()
+    | Some Protocol.Health ->
+        Log.debug "health" [ ("conn", Log.Int id) ];
+        let ready, checks = health t in
+        send (Protocol.Health_reply { ready; checks });
+        loop ()
+    | Some Protocol.Metrics_text ->
+        Log.debug "metrics" [ ("conn", Log.Int id) ];
+        refresh_gauges t;
+        send (Protocol.Metrics_reply (Export.page ()));
         loop ()
     | Some Protocol.Dump ->
         Log.debug "dump" [ ("conn", Log.Int id) ];
@@ -376,7 +456,8 @@ let handle_connection t id conn =
 (* ----- lifecycle ----- *)
 
 let create ?(workers = 4) ?(queue_bound = 64) ?cache_dir ?(cache_shards = 4)
-    ?cache_max_entries ?flight_path ~socket_path () =
+    ?cache_max_entries ?flight_path ?telemetry_path ?(sample_interval = 1.0)
+    ?(telemetry_max_lines = 10_000) ~socket_path () =
   if workers < 1 then invalid_arg "Server.create: workers must be >= 1";
   (* replies to vanished clients must fail with EPIPE, not kill the daemon *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -402,19 +483,41 @@ let create ?(workers = 4) ?(queue_bound = 64) ?cache_dir ?(cache_shards = 4)
     if Flight.is_on () then Flight.record ~req:(-1) ~detail:msg "worker-trap";
     flight_dump ~path:flight_path "worker-trap"
   in
-  {
-    socket_path;
-    listen_fd;
-    sched = Scheduler.create ~on_error ~workers ~queue_bound ();
-    cache;
-    bound = queue_bound;
-    flight_path;
-    stop = Atomic.make false;
-    conn_lock = Mutex.create ();
-    conns = Hashtbl.create 16;
-    conn_seq = 0;
-    threads = [];
-  }
+  let cache_shard_gauges =
+    match cache with
+    | None -> [||]
+    | Some c ->
+        Array.init (Cache.shards c) (fun i ->
+            ( Metrics.gauge (Printf.sprintf "cache.entries/shard%d" i),
+              Metrics.gauge (Printf.sprintf "cache.bytes/shard%d" i) ))
+  in
+  let t =
+    {
+      socket_path;
+      listen_fd;
+      sched = Scheduler.create ~on_error ~workers ~queue_bound ();
+      cache;
+      cache_shard_gauges;
+      bound = queue_bound;
+      flight_path;
+      stop = Atomic.make false;
+      sampler = None;
+      conn_lock = Mutex.create ();
+      conns = Hashtbl.create 16;
+      conn_seq = 0;
+      threads = [];
+    }
+  in
+  (match telemetry_path with
+  | None -> ()
+  | Some path ->
+      t.sampler <-
+        Some
+          (Sampler.start ~interval_s:sample_interval
+             ~max_lines:telemetry_max_lines
+             ~on_sample:(fun () -> refresh_gauges t)
+             ~path ()));
+  t
 
 let queue_bound t = t.bound
 let request_stop t = Atomic.set t.stop true
@@ -449,6 +552,7 @@ let serve t =
         in
         Log.info "accept" [ ("conn", Log.Int id) ];
         Flight.record ~req:(-1) "accept";
+        Metrics.gauge_add g_conns 1;
         let th =
           Thread.create
             (fun () ->
@@ -503,4 +607,11 @@ let serve t =
         t.conns;
       Hashtbl.reset t.conns);
   (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ());
+  (* stop telemetry last: its final sample records the drained daemon *)
+  (match t.sampler with
+  | None -> ()
+  | Some s ->
+      refresh_gauges t;
+      Sampler.stop s;
+      t.sampler <- None);
   Log.info "stopped" []

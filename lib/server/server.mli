@@ -29,6 +29,24 @@
     service times, so a client can reconstruct the server-side phases of
     its request on its own timeline.
 
+    Continuous telemetry: the daemon also publishes {e level} gauges —
+    [server.queue_depth] and [server.workers_busy] (maintained by the
+    scheduler under its lock), [server.connections] and
+    [server.inflight] (maintained by the admission side), the cache
+    footprint as [cache.entries] / [cache.bytes] with per-shard
+    [/shardN] series, and the [gc.minor_words] / [gc.major_words] /
+    [gc.heap_words] / [gc.compactions] runtime levels.  Footprint and GC
+    gauges are refreshed before answering [Stats] or [Metrics_text], so
+    pull-based views are current even without a sampler.  A
+    [Metrics_text] request returns the {!Chow_obs.Export} OpenMetrics
+    page; a [Health] request answers the readiness checks (listener up,
+    workers alive, queue below bound, cache dir writable) directly from
+    the connection thread, never through the queue.  When
+    [telemetry_path] is set, a {!Chow_obs.Sampler} thread snapshots the
+    registry every [sample_interval] seconds into a bounded JSON-lines
+    time-series ring, stopped (with one final post-drain sample) as the
+    last step of shutdown.
+
     The {!Chow_obs.Flight} recorder is armed for the daemon's lifetime:
     request lifecycle steps (submit / exec-start / exec-done / reply-sent
     and their failure variants), accepts and protocol errors land in the
@@ -51,14 +69,18 @@
 type t
 
 (** [create ?workers ?queue_bound ?cache_dir ?cache_shards
-    ?cache_max_entries ?flight_path ~socket_path ()] binds and listens on
+    ?cache_max_entries ?flight_path ?telemetry_path ?sample_interval
+    ?telemetry_max_lines ~socket_path ()] binds and listens on
     [socket_path] (an existing socket file is replaced).  Defaults:
     4 workers, queue bound 64, no cache (every request compiles cold),
-    4 shards, no postmortem dump file.  [flight_path] is where the
-    flight-recorder rings are written (as JSON) when a worker traps or a
-    malformed frame arrives.  The compile configuration is per-request;
-    worker parallelism is across requests, so each request compiles with
-    [jobs = 1]. *)
+    4 shards, no postmortem dump file, no time-series sampler.
+    [flight_path] is where the flight-recorder rings are written (as
+    JSON) when a worker traps or a malformed frame arrives.
+    [telemetry_path] arms the continuous sampler: one JSON line per
+    [sample_interval] seconds (default 1s), rotated after
+    [telemetry_max_lines] lines (default 10_000).  The compile
+    configuration is per-request; worker parallelism is across requests,
+    so each request compiles with [jobs = 1]. *)
 val create :
   ?workers:int ->
   ?queue_bound:int ->
@@ -66,6 +88,9 @@ val create :
   ?cache_shards:int ->
   ?cache_max_entries:int ->
   ?flight_path:string ->
+  ?telemetry_path:string ->
+  ?sample_interval:float ->
+  ?telemetry_max_lines:int ->
   socket_path:string ->
   unit ->
   t

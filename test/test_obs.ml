@@ -1,11 +1,15 @@
 (** Observability suite: the Chrome trace writer (well-formed JSON, spans
     properly nested per timeline, the expected pipeline phases present),
-    the metrics registry (disabled no-op, counter/histogram behaviour,
-    [-j] determinism of the dump), and the [--explain] report (golden
-    output for a §2-style program). *)
+    the metrics registry (disabled no-op, counter/gauge/histogram
+    behaviour, both percentile semantics, [-j] determinism of the dump),
+    the OpenMetrics exporter (golden page), the time-series sampler (ring
+    rotation, sample shape), and the [--explain] report (golden output
+    for a §2-style program). *)
 
 module Trace = Chow_obs.Trace
 module Metrics = Chow_obs.Metrics
+module Export = Chow_obs.Export
+module Sampler = Chow_obs.Sampler
 module Json = Chow_obs.Json
 module Config = Chow_compiler.Config
 module Pipeline = Chow_compiler.Pipeline
@@ -378,6 +382,231 @@ let test_sim_metrics_match_outcome () =
         (List.assoc_opt ("sim.proc_cycles/" ^ name) dump))
     o.Sim.proc_cycles
 
+(* ----- gauges ----- *)
+
+let test_gauge_levels () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set g 5;
+  Metrics.gauge_add g 3;
+  Metrics.gauge_add g (-2);
+  let dump = Metrics.dump () in
+  let rows = Metrics.gauges () in
+  Metrics.disable ();
+  Metrics.reset ();
+  Alcotest.(check (option int))
+    "level after set/add/add" (Some 6)
+    (List.assoc_opt "test.gauge" dump);
+  Alcotest.(check (option int))
+    "gauges () carries the same level" (Some 6)
+    (List.assoc_opt "test.gauge" rows);
+  (* disabled updates are ignored, like counters *)
+  Metrics.set g 99;
+  Metrics.gauge_add g 7;
+  Alcotest.(check (option int))
+    "disabled set/add ignored (reset left 0)" (Some 0)
+    (List.assoc_opt "test.gauge" (Metrics.gauges ()))
+
+(** The zero-overhead-when-disabled contract extends to gauges and the
+    sampler's GC refresh: a disabled [set]/[gauge_add]/
+    [refresh_gc_gauges] must allocate nothing — any per-call word would
+    show up [iters]-fold in the minor-words delta. *)
+let test_gauge_disabled_allocates_nothing () =
+  Metrics.reset ();
+  Metrics.disable ();
+  let g = Metrics.gauge "test.gauge.noalloc" in
+  let iters = 100_000 in
+  let before = Gc.minor_words () in
+  for i = 1 to iters do
+    Metrics.set g i;
+    Metrics.gauge_add g 1;
+    Sampler.refresh_gc_gauges ()
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "disabled calls allocate nothing (saw %.0f words)"
+       allocated)
+    true
+    (allocated < float_of_int iters /. 100.)
+
+(** [gauge_add] commutes, so inc/dec traffic from 4 concurrent domains
+    must land on the same final level — and the same dump bytes — as the
+    serial equivalent, the property that makes gauge rows safe inside the
+    [-j]-deterministic dump. *)
+let test_gauge_multi_domain_deterministic () =
+  let per_domain = 10_000 in
+  let run domains =
+    Metrics.reset ();
+    Metrics.enable ();
+    let g = Metrics.gauge "test.gauge.domains" in
+    let work () =
+      for _ = 1 to per_domain do
+        Metrics.gauge_add g 3;
+        Metrics.gauge_add g (-1)
+      done
+    in
+    let ds = List.init domains (fun _ -> Domain.spawn work) in
+    List.iter Domain.join ds;
+    Metrics.disable ();
+    let d = Metrics.dump () in
+    Metrics.reset ();
+    d
+  in
+  let d1 = run 1 and d4 = run 4 in
+  Alcotest.(check (option int))
+    "1-domain final level" (Some (2 * per_domain))
+    (List.assoc_opt "test.gauge.domains" d1);
+  Alcotest.(check (option int))
+    "4-domain final level" (Some (8 * per_domain))
+    (List.assoc_opt "test.gauge.domains" d4);
+  let d4' = run 4 in
+  Alcotest.(check (list (pair string int)))
+    "4-domain dump bit-identical across runs" d4 d4'
+
+let test_histogram_sum_row () =
+  Metrics.reset ();
+  Metrics.enable ();
+  let h = Metrics.histogram "test.sum" in
+  Metrics.observe h 1;
+  Metrics.observe h 5;
+  Metrics.observe h 5;
+  let dump = Metrics.dump () in
+  Metrics.disable ();
+  Metrics.reset ();
+  Alcotest.(check (option int))
+    "exact sum of observations" (Some 11)
+    (List.assoc_opt "test.sum.sum" dump);
+  (* an observation-free histogram contributes no .sum row *)
+  Metrics.enable ();
+  ignore (Metrics.histogram "test.sum.empty");
+  let dump = Metrics.dump () in
+  Metrics.disable ();
+  Metrics.reset ();
+  Alcotest.(check (option int))
+    "empty histogram has no sum row" None
+    (List.assoc_opt "test.sum.empty.sum" dump)
+
+(** Both percentile semantics, pinned on one distribution (90 at 3, 10
+    at 1000 -> buckets [(4, 90); (1024, 10)]): the bucket-upper-bound
+    form is integral and one-sided (the bench gates rely on that), the
+    interpolated form is the smoother live-view variant. *)
+let test_percentile_both_semantics () =
+  let buckets = [ (4, 90); (1024, 10) ] in
+  Alcotest.(check int)
+    "bucket-ub p50" 4 (Metrics.percentile buckets 50.);
+  Alcotest.(check int)
+    "bucket-ub p99" 1024 (Metrics.percentile buckets 99.);
+  let close name expected got =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s = %.4f (got %.4f)" name expected got)
+      true
+      (Float.abs (expected -. got) < 1e-9)
+  in
+  (* rank 50 inside the first bucket: 0 + 50/90 * (4 - 0) *)
+  close "interp p50" (50. /. 90. *. 4.) (Metrics.percentile_interp buckets 50.);
+  (* rank 99, 9 observations into the slow bucket: 4 + 0.9 * (1024 - 4) *)
+  close "interp p99" 922.0 (Metrics.percentile_interp buckets 99.);
+  close "interp p100 = max bound" 1024. (Metrics.percentile_interp buckets 100.);
+  close "interp empty = 0" 0. (Metrics.percentile_interp [] 99.)
+
+(* ----- OpenMetrics export ----- *)
+
+(** Golden page for a hand-built typed snapshot: dot-separated registry
+    names sanitized into the OpenMetrics alphabet, [/item] suffixes
+    turned into escaped [item] labels sharing one family, counters
+    suffixed [_total], histogram buckets cumulative and closed by
+    [le="+Inf"] with exact [_sum] and [_count], families sorted, page
+    terminated by [# EOF]. *)
+let test_export_golden () =
+  let snap =
+    {
+      Metrics.t_counters = [ ("cache.hit", 3) ];
+      t_gauges =
+        [
+          ("cache.entries/shard0", 2);
+          ("cache.entries/shard1", 5);
+          ("odd.name/a\"b\\c\nd", 7);
+          ("q.depth", 1);
+        ];
+      t_histograms = [ ("server.run_us", [ (4, 90); (1024, 10) ], 10360) ];
+    }
+  in
+  let expected =
+    "# TYPE cache_entries gauge\n\
+     cache_entries{item=\"shard0\"} 2\n\
+     cache_entries{item=\"shard1\"} 5\n\
+     # TYPE cache_hit counter\n\
+     cache_hit_total 3\n\
+     # TYPE odd_name gauge\n\
+     odd_name{item=\"a\\\"b\\\\c\\nd\"} 7\n\
+     # TYPE q_depth gauge\n\
+     q_depth 1\n\
+     # TYPE server_run_us histogram\n\
+     server_run_us_bucket{le=\"4\"} 90\n\
+     server_run_us_bucket{le=\"1024\"} 100\n\
+     server_run_us_bucket{le=\"+Inf\"} 100\n\
+     server_run_us_sum 10360\n\
+     server_run_us_count 100\n\
+     # EOF\n"
+  in
+  Alcotest.(check string) "OpenMetrics page" expected (Export.render snap)
+
+(* ----- sampler ----- *)
+
+let read_lines path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  List.filter (fun l -> l <> "") (String.split_on_char '\n' s)
+
+(** Drive the time-series ring synchronously through rotation: with
+    [max_lines = 3] and 8 total samples (1 at start, 6 manual, 1 final at
+    stop), the rotated half must hold exactly 3 lines and the live file
+    the 2 newest, every line parsing as [{"ts":...,"metrics":{...}}] with
+    non-decreasing timestamps across the pair. *)
+let test_sampler_rotation () =
+  let path = Filename.temp_file "chow88-sampler" ".jsonl" in
+  Metrics.reset ();
+  Metrics.enable ();
+  let c = Metrics.counter "test.sampler.ticks" in
+  (* a huge interval parks the background thread: every sample below is
+     ours, so the line counts are exact *)
+  let s = Sampler.start ~interval_s:3600. ~max_lines:3 ~path () in
+  for _ = 1 to 6 do
+    Metrics.incr c;
+    Sampler.sample s
+  done;
+  Sampler.stop s;
+  Metrics.disable ();
+  Metrics.reset ();
+  let rotated = read_lines (path ^ ".1") in
+  let live = read_lines path in
+  Alcotest.(check int) "rotated half holds max_lines" 3 (List.length rotated);
+  Alcotest.(check int) "live file holds the newest 2" 2 (List.length live);
+  let last_ts = ref neg_infinity in
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Error msg -> Alcotest.failf "sample does not parse: %s" msg
+      | Ok root ->
+          (match Json.member "ts" root with
+          | Some (Json.Num ts) ->
+              Alcotest.(check bool)
+                "timestamps non-decreasing" true (ts >= !last_ts);
+              last_ts := ts
+          | _ -> Alcotest.fail "sample lacks a numeric ts");
+          (match Json.member "metrics" root with
+          | Some (Json.Obj rows) ->
+              Alcotest.(check bool)
+                "metrics object non-empty" true
+                (List.mem_assoc "test.sampler.ticks" rows)
+          | _ -> Alcotest.fail "sample lacks a metrics object"))
+    (rotated @ live);
+  Sys.remove path;
+  Sys.remove (path ^ ".1")
+
 (* ----- explain ----- *)
 
 (** A §2-shaped program: [leaf] is closed under -O3 and uses few registers,
@@ -484,6 +713,19 @@ let suite =
         test_metrics_parallel_deterministic;
       Alcotest.test_case "metrics: sim counters match outcome" `Quick
         test_sim_metrics_match_outcome;
+      Alcotest.test_case "gauges: set/add levels" `Quick test_gauge_levels;
+      Alcotest.test_case "gauges: disabled path allocates nothing" `Quick
+        test_gauge_disabled_allocates_nothing;
+      Alcotest.test_case "gauges: 4-domain traffic deterministic" `Quick
+        test_gauge_multi_domain_deterministic;
+      Alcotest.test_case "metrics: histogram .sum row" `Quick
+        test_histogram_sum_row;
+      Alcotest.test_case "metrics: both percentile semantics pinned" `Quick
+        test_percentile_both_semantics;
+      Alcotest.test_case "export: OpenMetrics golden page" `Quick
+        test_export_golden;
+      Alcotest.test_case "sampler: ring rotation and sample shape" `Quick
+        test_sampler_rotation;
       Alcotest.test_case "explain: golden report" `Quick test_explain_golden;
       Alcotest.test_case "explain: unknown procedure" `Quick
         test_explain_unknown_proc_empty;

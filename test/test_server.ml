@@ -26,6 +26,8 @@ let sample_requests =
     Protocol.Stats;
     Protocol.Shutdown;
     Protocol.Dump;
+    Protocol.Health;
+    Protocol.Metrics_text;
     Protocol.Compile
       {
         id = 1;
@@ -82,6 +84,18 @@ let sample_replies =
     Protocol.Stats_reply [ ("server.completed", 12) ];
     Protocol.Bye;
     Protocol.Dump_reply "{\"capacity\":512,\"dropped\":0,\"events\":[]}";
+    Protocol.Health_reply { ready = true; checks = [] };
+    Protocol.Health_reply
+      {
+        ready = false;
+        checks =
+          [
+            ("listener", true, "accepting");
+            ("queue", false, "16/16 waiting");
+            ("cache", true, "");
+          ];
+      };
+    Protocol.Metrics_reply "# TYPE x counter\nx_total 1\n# EOF\n";
   ]
 
 let test_protocol_roundtrip () =
@@ -421,6 +435,100 @@ let test_server_busy_backpressure () =
           Alcotest.(check bool)
             "overload answered Busy, not blocking" true (!busy >= 1)))
 
+(* health: a fresh daemon is ready with every check passing; wedge the
+   admission queue (one worker, bound 1, a pipelined burst of distinct
+   cold compiles keeping the queue at its bound) and the probe — answered
+   from the connection thread, never through the queue — must report
+   degraded naming the queue check; once the burst drains it is ready
+   again *)
+let test_server_health_probe () =
+  with_server ~workers:1 ~queue_bound:1 "health" (fun socket_path ->
+      let probe () =
+        Client.with_connection ~socket_path (fun c ->
+            match Client.request c Protocol.Health with
+            | Protocol.Health_reply { ready; checks } -> (ready, checks)
+            | _ -> Alcotest.fail "Health request failed")
+      in
+      let ready, checks = probe () in
+      Alcotest.(check bool) "fresh daemon ready" true ready;
+      Alcotest.(check bool)
+        "all checks pass" true
+        (List.for_all (fun (_, ok, _) -> ok) checks);
+      List.iter
+        (fun name ->
+          Alcotest.(check bool)
+            (name ^ " check present") true
+            (List.exists (fun (n, _, _) -> n = name) checks))
+        [ "listener"; "workers"; "queue"; "cache" ];
+      Client.with_connection ~socket_path (fun c ->
+          let burst = 32 in
+          (* distinct sources so every request compiles cold: the single
+             worker stays busy and the queue stays at its bound for the
+             whole burst *)
+          let src i =
+            Printf.sprintf
+              "proc main() { var i = 0; var acc = %d; while (i < 500) { acc \
+               = acc + i * i; i = i + 1; } print(acc); }"
+              i
+          in
+          for i = 1 to burst do
+            Protocol.send_request (Client.fd c) (compile_req [ src i ])
+          done;
+          (* while the burst churns, poll the probe from fresh
+             connections until it reports the degradation *)
+          let deadline = Unix.gettimeofday () +. 10. in
+          let rec poll_degraded () =
+            let ready, checks = probe () in
+            let queue_bad =
+              List.exists (fun (n, ok, _) -> n = "queue" && not ok) checks
+            in
+            if (not ready) && queue_bad then ()
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.fail "probe never saw the full queue"
+            else poll_degraded ()
+          in
+          poll_degraded ();
+          (* drain: every burst frame still gets SOME reply *)
+          for _ = 1 to burst do
+            match Protocol.recv_reply (Client.fd c) with
+            | Some (Protocol.Done _ | Protocol.Busy) -> ()
+            | Some _ -> Alcotest.fail "unexpected reply under load"
+            | None -> Alcotest.fail "connection died under load"
+          done);
+      let ready, _ = probe () in
+      Alcotest.(check bool) "ready again after drain" true ready)
+
+(* the OpenMetrics page over the wire: a live daemon's scrape carries the
+   level gauges and the request histograms alongside the counters, and
+   terminates with # EOF *)
+let test_server_metrics_scrape () =
+  with_server "scrape" (fun socket_path ->
+      Client.with_connection ~socket_path (fun c ->
+          (match Client.request c (compile_req [ good_src ]) with
+          | Protocol.Done _ -> ()
+          | _ -> Alcotest.fail "compile request failed");
+          match Client.request c Protocol.Metrics_text with
+          | Protocol.Metrics_reply page ->
+              List.iter
+                (fun needle ->
+                  Alcotest.(check bool)
+                    (needle ^ " on the page") true (contains needle page))
+                [
+                  "# TYPE server_accepted counter";
+                  "server_accepted_total 1";
+                  "# TYPE server_queue_depth gauge";
+                  "# TYPE gc_heap_words gauge";
+                  "# TYPE cache_entries gauge";
+                  "server_run_us_bucket{le=\"+Inf\"}";
+                  "server_run_us_count 1";
+                ];
+              Alcotest.(check bool)
+                "page ends with # EOF" true
+                (let tail = "# EOF\n" in
+                 let pl = String.length page and tl = String.length tail in
+                 pl >= tl && String.sub page (pl - tl) tl = tail)
+          | _ -> Alcotest.fail "Metrics_text request failed"))
+
 let test_server_malformed_frame () =
   with_server "malformed" (fun socket_path ->
       Client.with_connection ~socket_path (fun c ->
@@ -719,6 +827,10 @@ let suite =
         test_server_end_to_end;
       Alcotest.test_case "daemon: overload answers Busy" `Quick
         test_server_busy_backpressure;
+      Alcotest.test_case "daemon: health degraded on full queue" `Quick
+        test_server_health_probe;
+      Alcotest.test_case "daemon: OpenMetrics scrape over the wire" `Quick
+        test_server_metrics_scrape;
       Alcotest.test_case "daemon: alloc strategy validated by name" `Quick
         test_server_alloc_strategies;
       Alcotest.test_case "daemon: malformed frame contained" `Quick
